@@ -1,0 +1,40 @@
+"""Ablation benches for DESIGN.md's called-out design choices:
+control-flow reduction, per-strategy checker cost, training volume.
+"""
+
+import pytest
+
+from repro.eval import (
+    reduction_ablation, render_reduction, strategy_cost_ablation,
+    training_volume_ablation,
+)
+
+
+@pytest.mark.parametrize("device_name", ("fdc", "sdhci", "pcnet"))
+def bench_reduction(benchmark, device_name):
+    row = benchmark.pedantic(reduction_ablation, args=(device_name,),
+                             kwargs=dict(ops=20), rounds=1, iterations=1)
+    print("\n" + render_reduction([row]))
+    assert row.blocks_reduced <= row.blocks_unreduced
+    assert row.checker_cycles_reduced <= row.checker_cycles_unreduced
+
+
+def bench_strategy_costs(benchmark):
+    rows = benchmark.pedantic(strategy_cost_ablation, args=("sdhci",),
+                              kwargs=dict(ops=20), rounds=1, iterations=1)
+    by_label = {r.strategy: r.checker_cycles for r in rows}
+    print("\nchecker cycles by strategy config:", by_label)
+    # The walk itself dominates; toggling strategies shifts cost little.
+    assert by_label["all"] > 0
+    assert by_label["none"] > 0
+
+
+def bench_training_volume(benchmark):
+    rows = benchmark.pedantic(
+        training_volume_ablation, args=("sdhci",),
+        kwargs=dict(repeat_choices=(1, 4), hours=2, rare_case_rate=0.5),
+        rounds=1, iterations=1)
+    print("\nrepeats -> (blocks, FPs):",
+          [(r.repeats, r.spec_blocks, r.false_positives) for r in rows])
+    # The paper's remedy claim: richer corpora reduce false positives.
+    assert rows[-1].false_positives <= rows[0].false_positives

@@ -1,0 +1,26 @@
+"""Figure 3 — normalized storage throughput (read/write) per record size.
+
+Paper claim reproduced: SEDSpec costs the storage devices less than 5%
+throughput at every record size (FDC swept only below its media limit).
+"""
+
+from conftest import spec_for
+
+from repro.eval import generate_storage_figures
+from repro.eval.figures import STORAGE_DEVICES
+
+
+def bench_fig3_storage_throughput(benchmark):
+    specs = {name: spec_for(name) for name in STORAGE_DEVICES}
+    fig3, _ = benchmark.pedantic(
+        generate_storage_figures,
+        kwargs=dict(specs=specs, record_sizes=(512, 1024, 2048, 4096),
+                    records_per_size=2),
+        rounds=1, iterations=1)
+    print("\n" + fig3.render())
+    print(f"max throughput loss: {fig3.max_overhead_percent():.2f}%")
+    assert fig3.max_overhead_percent() < 5.0
+    for device, sizes in fig3.series.items():
+        for size, (write_n, read_n) in sizes.items():
+            assert 0.9 < write_n <= 1.0001, (device, size)
+            assert 0.9 < read_n <= 1.0001, (device, size)

@@ -1,0 +1,25 @@
+"""Figure 4 — normalized storage latency per record size.
+
+Paper claim reproduced: SEDSpec increases storage latency by less than 5%.
+"""
+
+from conftest import spec_for
+
+from repro.eval import generate_storage_figures
+from repro.eval.figures import STORAGE_DEVICES
+
+
+def bench_fig4_storage_latency(benchmark):
+    specs = {name: spec_for(name) for name in STORAGE_DEVICES}
+    _, fig4 = benchmark.pedantic(
+        generate_storage_figures,
+        kwargs=dict(specs=specs, record_sizes=(512, 1024, 2048, 4096),
+                    records_per_size=2),
+        rounds=1, iterations=1)
+    print("\n" + fig4.render())
+    print(f"max latency increase: {fig4.max_overhead_percent():.2f}%")
+    assert fig4.max_overhead_percent() < 5.0
+    for device, sizes in fig4.series.items():
+        for size, (write_n, read_n) in sizes.items():
+            assert 0.9999 <= write_n < 1.10, (device, size)
+            assert 0.9999 <= read_n < 1.10, (device, size)

@@ -1,0 +1,84 @@
+"""Micro-benchmarks of the pipeline's core components: compilation,
+tracing+decoding, spec construction, and per-round checking cost.
+
+These quantify where the offline and online time goes — useful context
+for every macro number in the table/figure benches.
+"""
+
+from conftest import spec_for
+
+import random
+
+from repro.analysis import ObservationLogger, select_parameters
+from repro.checker import ESChecker
+from repro.compiler import compile_device
+from repro.core import deploy
+from repro.devices.fdc import FDC, FDCLogic
+from repro.interp import Machine
+from repro.ipt import Decoder, IPTTracer
+from repro.spec import build_spec, spec_from_json, spec_to_json
+from repro.workloads.profiles import PROFILES
+
+
+def bench_compile_fdc(benchmark):
+    program = benchmark(compile_device, FDCLogic)
+    assert program.frozen
+    assert program.block_count() > 40
+
+
+def bench_trace_and_decode(benchmark):
+    prof = PROFILES["fdc"]
+
+    def traced_session():
+        vm, device = prof.make_vm()
+        tracer = device.machine.add_sink(IPTTracer())
+        driver = prof.make_driver(vm)
+        prof.prepare(vm, driver)
+        driver.write_lba(3, bytes(512))
+        driver.read_lba(3)
+        return Decoder(device.program).decode_stream(tracer.packets)
+
+    rounds = benchmark(traced_session)
+    assert len(rounds) > 20
+
+
+def bench_spec_construction(benchmark):
+    prof = PROFILES["fdc"]
+    vm, device = prof.make_vm()
+    selection = select_parameters(device.program)
+    logger = device.machine.add_sink(ObservationLogger(
+        "fdc", selection.scalar_params | selection.funcptrs,
+        selection.buffers))
+    prof.training(vm, device, random.Random(7))
+    spec = benchmark(build_spec, device.program, logger.log, selection)
+    assert spec.block_count() > 0
+
+
+def bench_spec_serialization_roundtrip(benchmark):
+    spec = spec_for("fdc")
+    restored = benchmark(lambda: spec_from_json(spec_to_json(spec)))
+    assert restored.block_count() == spec.block_count()
+
+
+def bench_checker_per_round(benchmark):
+    """The online cost that every guest I/O pays: one check_io round."""
+    spec = spec_for("fdc")
+    device = FDC()
+    checker = ESChecker(spec)
+    checker.boot_sync(device.state)
+
+    def one_round():
+        return checker.check_io("pmio:read:4", ())
+
+    report = benchmark(one_round)
+    assert report.ok
+
+
+def bench_device_round_uncached(benchmark):
+    """Raw device-side cost of the same round, for comparison."""
+    device = FDC()
+
+    def one_round():
+        return device.handle_io("pmio:read:4", ())
+
+    benchmark(one_round)

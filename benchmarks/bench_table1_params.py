@@ -1,0 +1,46 @@
+"""Table I — device-state parameter selection, regenerated per device.
+
+Benchmarks the CFG-analyzer selection pass and prints the table.
+"""
+
+import pytest
+
+from repro.analysis import select_parameters
+from repro.devices import create_device
+from repro.eval import generate_table1
+
+EXPECTED = {
+    "fdc": {"registers": {"msr", "dor", "tdr"},
+            "buffers": {"fifo"},
+            "counters": {"data_pos", "data_len"},
+            "funcptrs": {"irq"}},
+    "ehci": {"buffers": {"data_buf", "setup_buf"},
+             "counters": {"setup_len", "setup_index"},
+             "funcptrs": {"irq"}},
+    "pcnet": {"registers": {"csr0", "rap"},
+              "buffers": {"buffer"},
+              "counters": {"xmit_pos"},
+              "funcptrs": {"irq"}},
+    "sdhci": {"registers": {"blksize", "blkcnt"},
+              "buffers": {"fifo_buffer"},
+              "counters": {"data_count"}},
+    "scsi": {"buffers": {"cmdbuf", "cdb", "fifo"},
+             "counters": {"fifo_pos", "data_pos"}},
+}
+
+
+@pytest.mark.parametrize("device_name", sorted(EXPECTED))
+def bench_selection(benchmark, device_name):
+    device = create_device(device_name)
+    selection = benchmark(select_parameters, device.program)
+    want = EXPECTED[device_name]
+    assert want.get("registers", set()) <= selection.registers
+    assert want.get("buffers", set()) <= selection.buffers
+    assert want.get("counters", set()) <= selection.counters
+    assert want.get("funcptrs", set()) <= selection.funcptrs
+
+
+def bench_table1_rendering(benchmark):
+    table = benchmark(generate_table1)
+    print("\n" + table.render())
+    assert len(table.rows()) == 20

@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark suite.
+
+Spec training is expensive; train each (device, version) pair once per
+session and share across benches.  Scale knobs come from the environment:
+
+* ``REPRO_FP_HOURS``   — Table II horizons (default "10,20,30")
+* ``REPRO_FP_CPH``     — cases per simulated hour (default 8)
+* ``REPRO_FUZZ_ITERS`` — fuzzing budget for effective coverage (default 300)
+"""
+
+import os
+
+import pytest
+
+from repro.workloads import train_device_spec
+
+ALL_DEVICES = ("fdc", "ehci", "pcnet", "sdhci", "scsi")
+
+FP_HOURS = tuple(int(h) for h in
+                 os.environ.get("REPRO_FP_HOURS", "10,20,30").split(","))
+FP_CASES_PER_HOUR = int(os.environ.get("REPRO_FP_CPH", "8"))
+FUZZ_ITERATIONS = int(os.environ.get("REPRO_FUZZ_ITERS", "300"))
+
+_SPEC_CACHE = {}
+
+
+def spec_for(device: str, version: str = "99.0.0"):
+    key = (device, version)
+    if key not in _SPEC_CACHE:
+        _SPEC_CACHE[key] = train_device_spec(
+            device, qemu_version=version).spec
+    return _SPEC_CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def patched_specs():
+    return {name: spec_for(name) for name in ALL_DEVICES}
+
+
+@pytest.fixture(scope="session")
+def spec_cache():
+    """Vulnerable-build spec cache keyed like eval.security expects."""
+    cache = {}
+    return cache

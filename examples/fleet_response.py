@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Scenario: fleet operations — distributed spec training and automated
+anomaly response (the paper's Section VIII future work, implemented).
+
+Two "sites" train execution specifications on different workload slices;
+the merged specification covers the union (the paper's remedy for false
+positives).  A ResponsePolicy then handles a live exploit: rollback to a
+pre-attack checkpoint and device quarantine, instead of killing the VM.
+"""
+
+import random
+
+from repro.checker import AlertLevel, Mode, ResponsePolicy
+from repro.core import build_execution_spec, deploy
+from repro.exploits import exploit_by_cve
+from repro.spec import coverage_gain, merge_specs
+from repro.vm.machine import SEDSpecHalt
+from repro.workloads.profiles import PROFILES
+
+
+def train_site(profile, ops_subset):
+    """One site trains on its own traffic mix."""
+    def workload(vm, device):
+        rng = random.Random(11)
+        driver = profile.make_driver(vm)
+        profile.prepare(vm, driver)
+        for _ in range(25):
+            rng.choice(ops_subset)(vm, driver, rng)
+
+    return build_execution_spec(
+        lambda: profile.make_vm("5.2.0"), workload).spec
+
+
+def main() -> None:
+    prof = PROFILES["sdhci"]
+
+    # -- distributed training --------------------------------------------------
+    site_a = train_site(prof, prof.common_ops[:2])    # block I/O heavy
+    site_b = train_site(prof, prof.common_ops[1:])    # status heavy
+    merged = merge_specs(site_a, site_b)
+    print(f"site A spec: {site_a.block_count()} blocks; "
+          f"site B: {site_b.block_count()}; merged: "
+          f"{merged.block_count()}")
+    print(f"site A was missing {coverage_gain(site_a, merged):.0%} of the "
+          f"merged behaviour\n")
+
+    # -- deployment with automated response -------------------------------------
+    vm, device = prof.make_vm("5.2.0")     # CVE-2021-3409 vulnerable
+    deploy(vm, device, merged, mode=Mode.PROTECTION)
+    policy = ResponsePolicy(device)
+    driver = prof.make_driver(vm)
+    driver.reset_card()
+
+    # Healthy traffic accumulates checkpoints.
+    rng = random.Random(2)
+    for _ in range(20):
+        rng.choice(prof.common_ops)(vm, driver, rng)
+        policy.on_clean_round()
+
+    # The blksize-underflow exploit arrives.
+    exploit = exploit_by_cve("CVE-2021-3409")
+    try:
+        exploit.run(vm, device)
+    except SEDSpecHalt as halt:
+        fresh = policy.on_report(halt.report)
+        print(f"exploit flagged: {fresh[-1]}")
+
+    print(f"response: rollbacks={policy.rollback.rollbacks}, "
+          f"quarantined={policy.quarantine.is_quarantined('sdhci')}, "
+          f"worst alert={policy.alerts.worst().name}")
+    assert policy.alerts.worst() is AlertLevel.CRITICAL
+
+    # The operator inspects, patches, and releases the device.
+    policy.quarantine.release(device)
+    driver.reset_card()
+    driver.write_blocks(2, bytes(512))
+    print("device recovered and serving I/O again")
+
+
+if __name__ == "__main__":
+    main()

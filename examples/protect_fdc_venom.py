@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Case study: stopping Venom (CVE-2015-3456) on a vulnerable QEMU 2.3.0
+floppy controller.
+
+Shows the two worlds side by side:
+
+* **unprotected** — the exploit marches the FIFO cursor out of the
+  512-byte FIFO, corrupts the controller state behind it, and finally
+  crashes the emulator (in the real world: guest-to-host escape);
+* **protected** — SEDSpec's parameter check flags the very first
+  out-of-bounds FIFO store and halts the device before any corruption.
+"""
+
+from repro.checker import Mode
+from repro.core import deploy
+from repro.errors import DeviceFault
+from repro.exploits import exploit_by_cve, run_exploit
+from repro.vm.machine import SEDSpecHalt
+from repro.workloads import train_device_spec
+from repro.workloads.profiles import PROFILES
+
+VENOM = exploit_by_cve("CVE-2015-3456")
+
+
+def unprotected() -> None:
+    prof = PROFILES["fdc"]
+    vm, device = prof.make_vm(VENOM.qemu_version)
+    outcome = run_exploit(vm, device, VENOM)
+    print("UNPROTECTED qemu-2.3.0:")
+    print(f"  device crashed: {outcome.device_faulted} "
+          f"({outcome.fault_kind})")
+    print(f"  controller state trashed: data_pos="
+          f"{device.state.read_field('data_pos')}, data_len="
+          f"{device.state.read_field('data_len')}")
+
+
+def protected() -> None:
+    # The spec is trained on the SAME vulnerable build — SEDSpec needs no
+    # knowledge of the bug, only of legitimate behaviour.
+    spec = train_device_spec("fdc", qemu_version=VENOM.qemu_version).spec
+    prof = PROFILES["fdc"]
+    vm, device = prof.make_vm(VENOM.qemu_version)
+    deploy(vm, device, spec, mode=Mode.PROTECTION)
+    outcome = run_exploit(vm, device, VENOM)
+    print("\nPROTECTED qemu-2.3.0 (SEDSpec, protection mode):")
+    print(f"  halted by: {outcome.halted_by}")
+    print(f"  device survived: {not device.halted}")
+    print(f"  controller state intact: data_pos="
+          f"{device.state.read_field('data_pos')}, data_len="
+          f"{device.state.read_field('data_len')}")
+
+
+def main() -> None:
+    unprotected()
+    protected()
+
+
+if __name__ == "__main__":
+    main()

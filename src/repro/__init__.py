@@ -1,0 +1,15 @@
+"""SEDSpec reproduction: securing emulated devices by enforcing execution
+specifications (Chen et al., DSN 2024).
+
+Public API tour:
+
+* ``repro.core``     — the three-phase pipeline facade (train -> deploy)
+* ``repro.devices``  — the five emulated QEMU devices with seeded CVEs
+* ``repro.vm``       — the guest VM substrate and guest drivers
+* ``repro.spec``     — execution specifications (ES-CFG)
+* ``repro.checker``  — the ES-Checker runtime proxy and check strategies
+* ``repro.exploits`` — proof-of-concept I/O streams per CVE
+* ``repro.eval``     — harnesses regenerating every table/figure
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,20 @@
+"""CFG analyzer: parameter selection, taint, data flow, observation log."""
+
+from repro.analysis.params import (
+    CATEGORY_BUFFER, CATEGORY_COUNTER, CATEGORY_FUNCPTR, CATEGORY_REGISTER,
+    ParamSelection, observation_points, select_parameters,
+)
+from repro.analysis.taint import TaintResult, analyze_taint
+from repro.analysis.dataflow import ReachingDefs, SliceResult, slice_function
+from repro.analysis.obslog import (
+    DeviceStateChangeLog, LogEvent, ObservationLogger, RoundLog,
+)
+
+__all__ = [
+    "CATEGORY_BUFFER", "CATEGORY_COUNTER", "CATEGORY_FUNCPTR",
+    "CATEGORY_REGISTER", "ParamSelection", "observation_points",
+    "select_parameters",
+    "TaintResult", "analyze_taint",
+    "ReachingDefs", "SliceResult", "slice_function",
+    "DeviceStateChangeLog", "LogEvent", "ObservationLogger", "RoundLog",
+]

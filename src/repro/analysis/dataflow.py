@@ -1,0 +1,190 @@
+"""Data-flow analysis: reaching definitions, def-use, and backward slicing.
+
+This is the reproduction's stand-in for the paper's use of *angr*
+(Section V-D, data dependency recovery).  The execution specification only
+re-executes statements that matter to device state; everything else is
+sliced away.  A local whose (transitive) definition bottoms out in an
+extern-call result cannot be computed by the checker and is flagged as a
+*sync local* — the ES-CFG constructor will turn its uses into sync points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.ir import (
+    Assign, BufStore, Call, ExternCall, Function, ICall, Intrinsic,
+    StateStore, Stmt,
+)
+
+#: Identifies a statement: (block label, index within the block).
+StmtId = Tuple[str, int]
+
+
+@dataclass
+class SliceResult:
+    """What the specification keeps from one function."""
+
+    #: statements to keep, per block label (indices into block.stmts)
+    kept: Dict[str, Set[int]] = field(default_factory=dict)
+    #: locals whose defining value the checker cannot compute
+    sync_locals: Set[str] = field(default_factory=set)
+    #: how many statements existed vs were kept (reduction metric)
+    total_stmts: int = 0
+    kept_stmts: int = 0
+
+    def keeps(self, label: str, index: int) -> bool:
+        return index in self.kept.get(label, set())
+
+    @property
+    def reduction_ratio(self) -> float:
+        if self.total_stmts == 0:
+            return 0.0
+        return 1.0 - self.kept_stmts / self.total_stmts
+
+
+def _stmt_uses(stmt: Stmt) -> FrozenSet[str]:
+    uses: Set[str] = set()
+    for expr in stmt.exprs():
+        uses |= expr.local_refs()
+    return frozenset(uses)
+
+
+def _terminator_uses(func: Function, label: str) -> FrozenSet[str]:
+    uses: Set[str] = set()
+    for expr in func.block(label).terminator.exprs():
+        uses |= expr.local_refs()
+    return frozenset(uses)
+
+
+def slice_function(func: Function, param_fields: Set[str],
+                   param_buffers: Set[str]) -> SliceResult:
+    """Backward slice keeping only what device-state simulation needs.
+
+    Roots of the slice:
+
+    * stores to device-state parameter fields / buffers (DSOD material),
+    * every terminator's operands (NBTD conditions, call arguments,
+      switch scrutinees) — the checker must navigate exactly like the
+      device,
+    * intrinsics (block-type auxiliary information).
+
+    The slice then walks def-use chains backwards; ``ExternCall`` results
+    that end up needed become sync locals instead of kept computations.
+    """
+    result = SliceResult()
+    needed_locals: Set[str] = set()
+
+    # Pass 0: collect root statements and the locals terminators use.
+    roots: Set[StmtId] = set()
+    for block in func.iter_blocks():
+        result.total_stmts += len(block.stmts)
+        needed_locals |= _terminator_uses(func, block.label)
+        for idx, stmt in enumerate(block.stmts):
+            if isinstance(stmt, StateStore) and stmt.field in param_fields:
+                roots.add((block.label, idx))
+            elif isinstance(stmt, BufStore) and stmt.buf in param_buffers:
+                roots.add((block.label, idx))
+            elif isinstance(stmt, Intrinsic):
+                roots.add((block.label, idx))
+
+    kept: Set[StmtId] = set(roots)
+    for sid in roots:
+        block = func.block(sid[0])
+        needed_locals |= _stmt_uses(block.stmts[sid[1]])
+
+    # Fixed point: keep definitions of needed locals; their uses become
+    # needed in turn.  Extern-call definitions become sync locals.
+    changed = True
+    while changed:
+        changed = False
+        for block in func.iter_blocks():
+            for idx, stmt in enumerate(block.stmts):
+                target = stmt.defined_local()
+                if target is None or target not in needed_locals:
+                    continue
+                sid = (block.label, idx)
+                if isinstance(stmt, ExternCall):
+                    if target not in result.sync_locals:
+                        result.sync_locals.add(target)
+                        changed = True
+                    continue
+                if sid not in kept:
+                    kept.add(sid)
+                    before = len(needed_locals)
+                    needed_locals |= _stmt_uses(stmt)
+                    if len(needed_locals) != before:
+                        changed = True
+
+    # Call/ICall results land in locals via terminators; if such a local is
+    # needed, the call itself is a terminator and always "kept" — nothing
+    # to do.  But its value may still be uncomputable if the callee's
+    # return value depends on externs; that is resolved at spec-build time.
+
+    for label, idx in kept:
+        result.kept.setdefault(label, set()).add(idx)
+    result.kept_stmts = len(kept)
+    return result
+
+
+@dataclass
+class ReachingDefs:
+    """Classic reaching-definitions over one function (per-local).
+
+    Exposed for tests and for the spec constructor's NBTD-substitution
+    path: a condition local with a *unique* reaching definition whose RHS
+    reads only state/params/consts can be inlined into the NBTD.
+    """
+
+    func: Function
+    #: (block label) -> local -> set of defining StmtIds reaching entry
+    in_: Dict[str, Dict[str, Set[StmtId]]] = field(default_factory=dict)
+
+    @classmethod
+    def compute(cls, func: Function) -> "ReachingDefs":
+        rd = cls(func)
+        gen: Dict[str, Dict[str, StmtId]] = {}
+        for block in func.iter_blocks():
+            defs: Dict[str, StmtId] = {}
+            for idx, stmt in enumerate(block.stmts):
+                target = stmt.defined_local()
+                if target:
+                    defs[target] = (block.label, idx)
+            term = block.terminator
+            if isinstance(term, (Call, ICall)) and term.dest:
+                defs[term.dest] = (block.label, len(block.stmts))
+            gen[block.label] = defs
+
+        preds: Dict[str, List[str]] = {b.label: [] for b in func.iter_blocks()}
+        for block in func.iter_blocks():
+            for succ in block.terminator.successors():
+                preds[succ].append(block.label)
+
+        rd.in_ = {b.label: {} for b in func.iter_blocks()}
+        out: Dict[str, Dict[str, Set[StmtId]]] = {
+            b.label: {} for b in func.iter_blocks()}
+        changed = True
+        while changed:
+            changed = False
+            for block in func.iter_blocks():
+                label = block.label
+                new_in: Dict[str, Set[StmtId]] = {}
+                for pred in preds[label]:
+                    for local, ids in out[pred].items():
+                        new_in.setdefault(local, set()).update(ids)
+                rd.in_[label] = new_in
+                new_out = {k: set(v) for k, v in new_in.items()}
+                for local, sid in gen[label].items():
+                    new_out[local] = {sid}
+                if new_out != out[label]:
+                    out[label] = new_out
+                    changed = True
+        return rd
+
+    def unique_def(self, label: str, local: str) -> Optional[StmtId]:
+        """The single definition of *local* reaching *label*, if unique."""
+        ids = self.in_[label].get(local, set())
+        if len(ids) == 1:
+            return next(iter(ids))
+        return None

@@ -1,0 +1,183 @@
+"""Observation points and the device state change log (Section IV-B).
+
+After the CFG analyzer picks the device state parameters and the
+observation points, the device is "recompiled with instrumentation" — here,
+a trace sink records, for every training round: the control flow (block
+sequence, branch outcomes, indirect targets), the device-state parameter
+changes, and the block-type auxiliary information (command markers).  The
+collected :class:`DeviceStateChangeLog` is the primary input to ES-CFG
+construction, and serializes to JSON to model the paper's log files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.interp.sinks import TraceSink
+
+
+@dataclass
+class LogEvent:
+    """One observation inside a round; ``kind`` selects the payload.
+
+    kinds: ``block`` (entered block at address), ``branch`` (outcome),
+    ``tip`` (indirect target + icall/switch), ``store`` (param field,
+    new value, overflow flag), ``bufstore`` (param buffer, index),
+    ``cmd_decision`` (command value), ``cmd_end``.
+    """
+
+    kind: str
+    block: int
+    data: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class RoundLog:
+    """All observations of one I/O interaction round."""
+
+    io_key: str
+    io_args: Tuple[int, ...]
+    events: List[LogEvent] = field(default_factory=list)
+    initial_state: Dict[str, int] = field(default_factory=dict)
+    final_state: Dict[str, int] = field(default_factory=dict)
+    faulted: bool = False
+
+    def block_sequence(self) -> List[int]:
+        return [e.block for e in self.events if e.kind == "block"]
+
+    def command_values(self) -> List[int]:
+        return [e.data["value"] for e in self.events
+                if e.kind == "cmd_decision"]
+
+
+@dataclass
+class DeviceStateChangeLog:
+    """The full training log of one device."""
+
+    device: str
+    param_fields: List[str]
+    param_buffers: List[str]
+    rounds: List[RoundLog] = field(default_factory=list)
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "device": self.device,
+            "param_fields": self.param_fields,
+            "param_buffers": self.param_buffers,
+            "rounds": [asdict(r) for r in self.rounds],
+        })
+
+    @classmethod
+    def from_json(cls, text: str) -> "DeviceStateChangeLog":
+        raw = json.loads(text)
+        log = cls(raw["device"], raw["param_fields"], raw["param_buffers"])
+        for r in raw["rounds"]:
+            round_ = RoundLog(r["io_key"], tuple(r["io_args"]),
+                              initial_state=r["initial_state"],
+                              final_state=r["final_state"],
+                              faulted=r["faulted"])
+            round_.events = [LogEvent(e["kind"], e["block"], e["data"])
+                             for e in r["events"]]
+            log.rounds.append(round_)
+        return log
+
+
+class ObservationLogger(TraceSink):
+    """The instrumented observation points, as a trace sink.
+
+    *param_fields*/*param_buffers* are the selected device state
+    parameters; only their changes are recorded (the paper: tracking every
+    change in the control structure is impractical).
+    """
+
+    def __init__(self, device: str, param_fields: Set[str],
+                 param_buffers: Set[str],
+                 decision_blocks: Set[int] = frozenset(),
+                 end_blocks: Set[int] = frozenset()):
+        self.log = DeviceStateChangeLog(
+            device, sorted(param_fields), sorted(param_buffers))
+        self._param_fields = set(param_fields)
+        self._param_buffers = set(param_buffers)
+        self._decision_blocks = set(decision_blocks)
+        self._end_blocks = set(end_blocks)
+        self._machine = None
+        self._round: Optional[RoundLog] = None
+        self._block_addr = 0
+
+    def attach(self, machine) -> None:
+        self._machine = machine
+
+    # -- sink events -----------------------------------------------------------
+
+    def on_io_enter(self, key, args) -> None:
+        self._round = RoundLog(key, tuple(args))
+        self._round.initial_state = self._param_snapshot()
+
+    def on_io_exit(self, key, result) -> None:
+        if self._round is not None:
+            self._round.final_state = self._param_snapshot()
+            self.log.rounds.append(self._round)
+        self._round = None
+
+    def abort_round(self) -> None:
+        """Record a faulted round (device crashed mid-I/O)."""
+        if self._round is not None:
+            self._round.faulted = True
+            self._round.final_state = self._param_snapshot()
+            self.log.rounds.append(self._round)
+        self._round = None
+
+    def on_block(self, func, block) -> None:
+        self._block_addr = block.address
+        self._event("block", {})
+        if block.address in self._end_blocks:
+            # Auto-detected command-end block (e.g. the entry handler's
+            # return): the "block type" auxiliary information.
+            self._event("cmd_end", {})
+
+    def on_switch(self, block, value, target_addr) -> None:
+        if block.address in self._decision_blocks:
+            # Auto-detected command decision: the scrutinee value names
+            # the current device command.
+            self._event("cmd_decision", {"value": value})
+
+    def on_branch(self, block, taken) -> None:
+        self._event("branch", {"taken": bool(taken)})
+
+    def on_tip(self, block, target_addr, kind) -> None:
+        self._event("tip", {"target": target_addr, "how": kind})
+
+    def on_state_store(self, field_name, value, overflowed) -> None:
+        if field_name in self._param_fields:
+            self._event("store", {"field": field_name, "value": value,
+                                  "overflow": bool(overflowed)})
+
+    def on_buf_store(self, buf, index, value) -> None:
+        if buf in self._param_buffers:
+            self._event("bufstore", {"buf": buf, "index": index})
+
+    def on_intrinsic(self, kind, values) -> None:
+        if kind == "command_decision":
+            self._event("cmd_decision",
+                        {"value": values[0] if values else 0})
+        elif kind == "command_end":
+            self._event("cmd_end", {})
+
+    # -- internals ----------------------------------------------------------------
+
+    def _event(self, kind: str, data: Dict[str, Any]) -> None:
+        if self._round is not None:
+            self._round.events.append(
+                LogEvent(kind, self._block_addr, data))
+
+    def _param_snapshot(self) -> Dict[str, int]:
+        if self._machine is None:
+            return {}
+        state = self._machine.state
+        return {name: state.read_field(name)
+                for name in self._param_fields
+                if not state.layout.field(name).is_buffer}

@@ -1,0 +1,191 @@
+"""Device-state parameter selection (Section IV-B, Table I).
+
+From the variables that influence control-flow transitions in the ITC-CFG,
+two rules pick the final device state:
+
+* **Rule 1** — variables mirroring physical device registers (declared
+  ``register=True`` by the device, as derived from its physical
+  counterpart's programming model);
+* **Rule 2** — variables associated with the dominant vulnerability
+  classes: fixed-length buffers, the counters/indices addressing them, and
+  function-pointer fields (control-flow hijack targets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.cfg.itc import ITCCFG
+from repro.ir import (
+    Branch, BufLen, BufLoad, BufStore, ICall, Program, StateRef, Switch,
+)
+
+CATEGORY_REGISTER = "Physical register related variables"
+CATEGORY_BUFFER = "Fixed-length buffer variables"
+CATEGORY_COUNTER = "Variables for counting and indexing buffer positions"
+CATEGORY_FUNCPTR = "Function pointer variables"
+
+
+@dataclass
+class ParamSelection:
+    """The selected device state parameters, categorised as in Table I."""
+
+    device: str
+    registers: Set[str] = field(default_factory=set)
+    buffers: Set[str] = field(default_factory=set)
+    counters: Set[str] = field(default_factory=set)
+    funcptrs: Set[str] = field(default_factory=set)
+    #: every field observed to influence control flow (pre-filter)
+    influencing: Set[str] = field(default_factory=set)
+
+    @property
+    def selected(self) -> Set[str]:
+        return (self.registers | self.buffers | self.counters
+                | self.funcptrs)
+
+    @property
+    def scalar_params(self) -> Set[str]:
+        return self.registers | self.counters
+
+    def table_rows(self) -> List[Tuple[str, str]]:
+        """(category, comma-joined examples) rows, Table I shaped."""
+        rows = []
+        for category, names in (
+                (CATEGORY_REGISTER, self.registers),
+                (CATEGORY_BUFFER, self.buffers),
+                (CATEGORY_COUNTER, self.counters),
+                (CATEGORY_FUNCPTR, self.funcptrs)):
+            rows.append((category, ", ".join(sorted(names)) or "-"))
+        return rows
+
+
+def select_parameters(program: Program,
+                      itc: Optional[ITCCFG] = None) -> ParamSelection:
+    """Apply the two selection rules over the program (and ITC-CFG).
+
+    When *itc* is given, only blocks present in it contribute (the paper
+    extracts variables from the ITC-CFG); without it the full static
+    program is used — equivalent here, since our static CFG is complete.
+    """
+    selection = ParamSelection(device=program.name)
+    layout = program.layout
+    allowed = set(itc.nodes) if itc is not None else None
+
+    index_fields: Set[str] = set()
+    #: (state fields in comparison incl. via locals, saw buffer length,
+    #:  saw an index local)
+    compared_pairs: List[Tuple[Set[str], bool, bool]] = []
+
+    for func in program.functions.values():
+        # One-level local resolution: counters often reach conditions via
+        # a local copy (e.g. a range() bound local holding self.count).
+        local_state_refs: Dict[str, Set[str]] = {}
+        for block in func.iter_blocks():
+            for stmt in block.stmts:
+                target = stmt.defined_local()
+                if target is not None:
+                    refs: Set[str] = set()
+                    for expr in stmt.exprs():
+                        refs |= expr.state_refs()
+                    local_state_refs.setdefault(target, set()).update(refs)
+        # Small fixed-point for chains of locals (depth is tiny in practice).
+        for _ in range(3):
+            for block in func.iter_blocks():
+                for stmt in block.stmts:
+                    target = stmt.defined_local()
+                    if target is None:
+                        continue
+                    for expr in stmt.exprs():
+                        for local in expr.local_refs():
+                            local_state_refs.setdefault(target, set()) \
+                                .update(local_state_refs.get(local, set()))
+
+        def resolve(expr) -> Set[str]:
+            refs = set(expr.state_refs())
+            for local in expr.local_refs():
+                refs |= local_state_refs.get(local, set())
+            return refs
+
+        index_locals: Set[str] = set()
+        for block in func.iter_blocks():
+            if allowed is not None and block.address not in allowed:
+                continue
+            # Buffer accesses anywhere: buffers + their index expressions.
+            for stmt in block.stmts:
+                for expr in stmt.exprs():
+                    for node in expr.walk():
+                        if isinstance(node, BufLoad):
+                            selection.buffers.add(node.buf)
+                            index_fields |= resolve(node.index)
+                            index_locals |= node.index.local_refs()
+                if isinstance(stmt, BufStore):
+                    selection.buffers.add(stmt.buf)
+                    index_fields |= resolve(stmt.index)
+                    index_locals |= stmt.index.local_refs()
+
+        for block in func.iter_blocks():
+            if allowed is not None and block.address not in allowed:
+                continue
+            term = block.terminator
+            # Fields steering conditional / multi-way control flow.
+            if isinstance(term, (Branch, Switch)):
+                for expr in term.exprs():
+                    refs = resolve(expr)
+                    selection.influencing |= refs
+                    has_len = any(isinstance(n, BufLen)
+                                  for n in expr.walk())
+                    has_index_local = bool(
+                        expr.local_refs() & index_locals)
+                    if refs:
+                        compared_pairs.append(
+                            (refs, has_len, has_index_local))
+            if isinstance(term, ICall):
+                selection.influencing.add(term.ptr_field)
+                selection.funcptrs.add(term.ptr_field)
+
+    # Rule 1: declared register fields that influence control flow — and
+    # registers written by I/O even if not branched on (the paper keeps
+    # all physical-register mirrors in the device state).
+    for decl in layout.fields:
+        if decl.register:
+            selection.registers.add(decl.name)
+
+    # Rule 2a: index fields are counters.
+    for name in index_fields:
+        if layout.has_field(name) and not layout.field(name).register:
+            selection.counters.add(name)
+
+    # Rule 2b: fields compared against an index field, an index local, or
+    # a buffer length are length/count fields.
+    for refs, has_len, has_index_local in compared_pairs:
+        if has_len or has_index_local or (refs & index_fields):
+            for name in refs:
+                if (layout.has_field(name)
+                        and not layout.field(name).register
+                        and not layout.field(name).is_buffer
+                        and not layout.field(name).is_funcptr):
+                    selection.counters.add(name)
+
+    # Registers double-counted as counters stay registers only.
+    selection.counters -= selection.registers
+    return selection
+
+
+def observation_points(program: Program,
+                       itc: Optional[ITCCFG] = None) -> Set[int]:
+    """Block addresses where observation instrumentation goes.
+
+    Per the paper: at locations that impact control-flow direction —
+    conditional and indirect jumps (plus command markers, which live in
+    those blocks' statement lists and are recorded by the logger anyway).
+    """
+    points: Set[int] = set()
+    allowed = set(itc.nodes) if itc is not None else None
+    for func in program.functions.values():
+        for block in func.iter_blocks():
+            if allowed is not None and block.address not in allowed:
+                continue
+            if isinstance(block.terminator, (Branch, Switch, ICall)):
+                points.add(block.address)
+    return points

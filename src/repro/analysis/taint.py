@@ -1,0 +1,133 @@
+"""Interprocedural taint analysis over device IR.
+
+I/O request data (the parameters of entry handlers) is the attacker's
+input.  The analysis computes which control-structure fields are written
+from that input — *command sources* — and uses them to auto-detect the
+paper's command decision blocks: a multi-way dispatch whose scrutinee is a
+field the guest wrote directly is, in QEMU-device idiom, the command
+dispatch.  Explicit ``sed_command_decision``/``sed_command_end`` intrinsics
+override/augment detection where the idiom is atypical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.ir import (
+    Assign, Branch, BufStore, Call, ExternCall, ICall, Intrinsic, Param,
+    Program, Return, StateStore, Switch,
+)
+
+
+@dataclass
+class TaintResult:
+    """Outcome of the whole-program taint pass."""
+
+    tainted_fields: Set[str] = field(default_factory=set)
+    tainted_params: Dict[str, Set[str]] = field(default_factory=dict)
+    #: block addresses auto- or explicitly-identified as command decisions
+    command_decision_blocks: Set[int] = field(default_factory=set)
+    #: block addresses identified as command ends
+    command_end_blocks: Set[int] = field(default_factory=set)
+    #: the field(s) whose value names the current command, when detectable
+    command_fields: Set[str] = field(default_factory=set)
+
+
+def _expr_tainted(expr, tainted_locals: Set[str], tainted_params: Set[str],
+                  tainted_fields: Set[str]) -> bool:
+    if expr.local_refs() & tainted_locals:
+        return True
+    if expr.param_refs() & tainted_params:
+        return True
+    if expr.state_refs() & tainted_fields:
+        return True
+    return False
+
+
+def analyze_taint(program: Program) -> TaintResult:
+    """Fixed-point taint propagation from entry-handler parameters."""
+    result = TaintResult()
+    entry_funcs = set(program.entry_handlers.values())
+    # Seed: every parameter of every entry handler is guest-controlled.
+    for name in program.functions:
+        params = set(program.function(name).params) if name in entry_funcs \
+            else set()
+        result.tainted_params[name] = params
+
+    changed = True
+    while changed:
+        changed = False
+        for func in program.functions.values():
+            tainted_params = result.tainted_params[func.name]
+            tainted_locals: Set[str] = set()
+            # Iterate blocks to a local fixed point (loops carry taint).
+            for _ in range(2):
+                for block in func.iter_blocks():
+                    for stmt in block.stmts:
+                        if isinstance(stmt, Assign):
+                            if _expr_tainted(stmt.value, tainted_locals,
+                                             tainted_params,
+                                             result.tainted_fields):
+                                tainted_locals.add(stmt.target)
+                        elif isinstance(stmt, StateStore):
+                            if _expr_tainted(stmt.value, tainted_locals,
+                                             tainted_params,
+                                             result.tainted_fields):
+                                if stmt.field not in result.tainted_fields:
+                                    result.tainted_fields.add(stmt.field)
+                                    changed = True
+                        elif isinstance(stmt, BufStore):
+                            # Guest data stored into a buffer taints the
+                            # buffer (reads of it come back tainted).
+                            if _expr_tainted(stmt.value, tainted_locals,
+                                             tainted_params,
+                                             result.tainted_fields):
+                                if stmt.buf not in result.tainted_fields:
+                                    result.tainted_fields.add(stmt.buf)
+                                    changed = True
+                        elif isinstance(stmt, (ExternCall,)):
+                            if stmt.dest:
+                                # Host helpers may reflect guest data back
+                                # (DMA reads): treat results as tainted.
+                                tainted_locals.add(stmt.dest)
+                    term = block.terminator
+                    if isinstance(term, (Call, ICall)):
+                        callee_name = term.func if isinstance(term, Call) \
+                            else None
+                        if callee_name and callee_name in program.functions:
+                            callee = program.function(callee_name)
+                            callee_tp = result.tainted_params[callee_name]
+                            for pname, arg in zip(callee.params, term.args):
+                                if (_expr_tainted(arg, tainted_locals,
+                                                  tainted_params,
+                                                  result.tainted_fields)
+                                        and pname not in callee_tp):
+                                    callee_tp.add(pname)
+                                    changed = True
+    _detect_command_blocks(program, result)
+    return result
+
+
+def _detect_command_blocks(program: Program, result: TaintResult) -> None:
+    """Auto-detection + explicit intrinsics for decision/end blocks."""
+    entry_funcs = set(program.entry_handlers.values())
+    for func in program.functions.values():
+        tainted_params = result.tainted_params[func.name]
+        for block in func.iter_blocks():
+            for stmt in block.stmts:
+                if isinstance(stmt, Intrinsic):
+                    if stmt.kind == "command_decision":
+                        result.command_decision_blocks.add(block.address)
+                        for arg in stmt.args:
+                            result.command_fields |= arg.state_refs()
+                    elif stmt.kind == "command_end":
+                        result.command_end_blocks.add(block.address)
+            term = block.terminator
+            if isinstance(term, Switch):
+                if _expr_tainted(term.scrutinee, set(), tainted_params,
+                                 result.tainted_fields):
+                    result.command_decision_blocks.add(block.address)
+                    result.command_fields |= term.scrutinee.state_refs()
+            if (isinstance(term, Return) and func.name in entry_funcs):
+                result.command_end_blocks.add(block.address)

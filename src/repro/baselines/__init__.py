@@ -1,0 +1,16 @@
+"""Baseline systems for comparison: Nioh (manual FSM), VMDec (Markov)."""
+
+from repro.baselines.nioh import (
+    MONITORS, DeviceFSM, FDCNiohMonitor, NiohMonitor, PCNetNiohMonitor,
+    SCSINiohMonitor, Violation, attach_nioh,
+)
+from repro.baselines.vmdec import (
+    IOSequenceRecorder, MarkovModel, Token, VMDecDetector, tokenize,
+)
+
+__all__ = [
+    "MONITORS", "DeviceFSM", "FDCNiohMonitor", "NiohMonitor",
+    "PCNetNiohMonitor", "SCSINiohMonitor", "Violation", "attach_nioh",
+    "IOSequenceRecorder", "MarkovModel", "Token", "VMDecDetector",
+    "tokenize",
+]

@@ -1,0 +1,269 @@
+"""Nioh baseline: manually-specified device state machines (ACSAC'17).
+
+Nioh hardens the hypervisor by filtering I/O requests against a finite
+state machine *hand-derived from the device's written specification*.
+Transitions not in the model are illegal.  Exactly as in the original,
+everything here is manual: per-device states, events, transition tables,
+and spec-knowledge side conditions (command parameter counts, ring-length
+minima, CDB group validity) encoded by a human reading the datasheet.
+
+This is the comparison point the paper uses: Nioh detects CVE-2016-1568
+(the spurious completion interrupt is an illegal transition of the manual
+model) where SEDSpec's learned specification cannot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.devices.base import Device
+from repro.interp.sinks import TraceSink
+
+
+@dataclass
+class Violation:
+    state: str
+    event: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        return f"illegal {self.event!r} in state {self.state!r} {self.detail}"
+
+
+class DeviceFSM:
+    """A hand-written automaton: states + (state, event) -> state."""
+
+    def __init__(self, name: str, initial: str,
+                 transitions: Dict[Tuple[str, str], str],
+                 selfloop_events: Tuple[str, ...] = ()):
+        self.name = name
+        self.state = initial
+        self.initial = initial
+        self.transitions = dict(transitions)
+        self.selfloop_events = frozenset(selfloop_events)
+        self.violations: List[Violation] = []
+
+    def feed(self, event: str, detail: str = "") -> bool:
+        """Advance on *event*; record (and refuse) illegal transitions."""
+        if event in self.selfloop_events:
+            return True
+        nxt = self.transitions.get((self.state, event))
+        if nxt is None:
+            self.violations.append(Violation(self.state, event, detail))
+            return False
+        self.state = nxt
+        return True
+
+    def reset(self) -> None:
+        self.state = self.initial
+
+
+class NiohMonitor(TraceSink):
+    """Base monitor: translates device activity into FSM events."""
+
+    def __init__(self, device: Device):
+        self.device = device
+        self.fsm = self.build_fsm()
+        device.machine.add_sink(self)
+
+    def build_fsm(self) -> DeviceFSM:
+        raise NotImplementedError
+
+    @property
+    def violations(self) -> List[Violation]:
+        return self.fsm.violations
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.fsm.violations)
+
+
+class FDCNiohMonitor(NiohMonitor):
+    """Manual 82078 model: command cycle phases + interrupt discipline.
+
+    Spec knowledge encoded: each command's parameter count; SENSE INT
+    executes immediately; an interrupt may only be raised by a command
+    completion or a controller reset — an interrupt in IDLE with no
+    operation pending is illegal (this catches the CVE-2016-1568 UAF).
+    """
+
+    PARAM_COUNTS = {0x03: 2, 0x04: 1, 0x07: 1, 0x0F: 2, 0x06: 8,
+                    0x05: 8, 0x0A: 1, 0x13: 3, 0x0E: 0, 0x10: 0}
+    #: datasheet: these commands produce no result phase ...
+    NO_RESULT = frozenset({0x03, 0x07, 0x0F, 0x13})
+    #: ... and only these raise a completion interrupt
+    IRQ_RAISING = frozenset({0x05, 0x06, 0x07, 0x0A, 0x0F})
+
+    def __init__(self, device: Device):
+        self._params_left = 0
+        self._completing = False
+        self._cur_cmd = 0
+        super().__init__(device)
+
+    def build_fsm(self) -> DeviceFSM:
+        transitions = {
+            ("IDLE", "cmd"): "PARAM",
+            ("IDLE", "cmd_immediate"): "RESULT",
+            ("IDLE", "reset"): "IDLE",
+            ("IDLE", "reset_irq"): "IDLE",
+            ("PARAM", "param"): "PARAM",
+            ("PARAM", "exec"): "RESULT",
+            ("PARAM", "exec_noresult"): "IDLE",
+            ("PARAM", "reset"): "IDLE",
+            ("RESULT", "result_read"): "RESULT",
+            ("RESULT", "result_done"): "IDLE",
+            ("RESULT", "reset"): "IDLE",
+            ("RESULT", "completion_irq"): "RESULT",
+            ("PARAM", "completion_irq"): "PARAM",
+            ("IDLE", "completion_irq"): "IDLE",
+        }
+        return DeviceFSM("fdc-nioh", "IDLE", transitions,
+                         selfloop_events=("dor", "dsr", "msr_read"))
+
+    # -- event extraction ---------------------------------------------------
+
+    def on_io_enter(self, key, args) -> None:
+        state = self.device.state
+        if key == "pmio:write:2":
+            if args and not args[0] & 0x04:
+                self.fsm.feed("reset")
+            else:
+                self._completing = True     # reset raises a legal IRQ
+                self.fsm.feed("reset_irq")
+            return
+        if key == "pmio:write:5":
+            phase = state.read_field("phase")
+            if phase == 0:                  # command opcode byte
+                cmd = (args[0] & 0x1F) if args else 0
+                self._cur_cmd = cmd
+                count = self.PARAM_COUNTS.get(cmd, 0)
+                self._params_left = count
+                if count == 0:
+                    # Immediate commands (SENSE INT/DUMPREG/VERSION)
+                    # raise no interrupt, only a result phase.
+                    self.fsm.feed("cmd_immediate",
+                                  detail=f"cmd={cmd:#x}")
+                else:
+                    self.fsm.feed("cmd", detail=f"cmd={cmd:#x}")
+            else:
+                # Parameter byte: spec says exactly N then execution.
+                if self._params_left <= 0:
+                    self.fsm.feed("param_overflow",
+                                  detail="more parameters than the "
+                                         "datasheet allows")
+                    return
+                self._params_left -= 1
+                self.fsm.feed("param")
+                if self._params_left == 0:
+                    if self._cur_cmd in self.IRQ_RAISING:
+                        self._completing = True
+                    if self._cur_cmd in self.NO_RESULT:
+                        self.fsm.feed("exec_noresult")
+                    else:
+                        self.fsm.feed("exec")
+        elif key == "pmio:read:5":
+            if self.fsm.state == "RESULT":
+                state_len = state.read_field("data_len")
+                pos = state.read_field("data_pos")
+                self.fsm.feed("result_read")
+                if pos + 1 >= state_len:
+                    self.fsm.feed("result_done")
+
+    def on_extern(self, caller, func, dest, args, result) -> None:
+        if func == "set_irq" and args and args[0]:
+            if self._completing:
+                self._completing = False
+                self.fsm.feed("completion_irq")
+            else:
+                # An interrupt with nothing pending: the UAF's signature.
+                self.fsm.feed("spurious_irq",
+                              detail="interrupt with no operation pending")
+
+
+class SCSINiohMonitor(NiohMonitor):
+    """Manual ESP/SCSI model: selection discipline + CDB validity.
+
+    Spec knowledge: the command FIFO holds at most 16 bytes, DMA selects
+    must not exceed it, and CDB group codes 3/4/6/7 are reserved."""
+
+    def build_fsm(self) -> DeviceFSM:
+        transitions = {
+            ("IDLE", "select"): "COMMAND",
+            ("COMMAND", "data"): "DATA",
+            ("COMMAND", "status"): "STATUS",
+            ("DATA", "data"): "DATA",
+            ("DATA", "status"): "STATUS",
+            ("STATUS", "msg_accepted"): "IDLE",
+            ("IDLE", "reset"): "IDLE",
+            ("COMMAND", "reset"): "IDLE",
+            ("DATA", "reset"): "IDLE",
+            ("STATUS", "reset"): "IDLE",
+            ("STATUS", "status"): "STATUS",
+        }
+        return DeviceFSM("scsi-nioh", "IDLE", transitions,
+                         selfloop_events=("fifo", "tc", "status_read"))
+
+    def on_io_enter(self, key, args) -> None:
+        state = self.device.state
+        if key == "pmio:write:3" and args:
+            cmd = args[0] & 0x7F
+            if cmd == 0x02:
+                self.fsm.feed("reset")
+            elif cmd in (0x42, 0x43):
+                if cmd == 0x43:
+                    length = state.read_field("ti_size")
+                    if length > 16:
+                        self.fsm.feed(
+                            "oversized_select",
+                            detail=f"DMA select of {length} > TI_BUFSZ")
+                        return
+                else:
+                    first = state.read_buf("fifo", 0)
+                    if (first >> 5) not in (0, 1, 2, 5):
+                        self.fsm.feed(
+                            "reserved_group",
+                            detail=f"CDB group {first >> 5} is reserved")
+                        return
+                self.fsm.feed("select")
+                self.fsm.feed("data")
+            elif cmd == 0x11:
+                self.fsm.feed("status")
+            elif cmd == 0x12:
+                self.fsm.feed("msg_accepted")
+        elif key in ("pmio:read:0", "pmio:write:1"):
+            if self.fsm.state == "DATA":
+                self.fsm.feed("data")
+
+
+class PCNetNiohMonitor(NiohMonitor):
+    """Manual PCnet model: datasheet says ring lengths are 1..65535."""
+
+    def build_fsm(self) -> DeviceFSM:
+        return DeviceFSM("pcnet-nioh", "RUN", {("RUN", "csr"): "RUN"},
+                         selfloop_events=("rap", "frame", "read"))
+
+    def on_io_enter(self, key, args) -> None:
+        if key == "pmio:write:0" and args:
+            rap = self.device.state.read_field("rap")
+            if rap in (76, 78) and args[0] == 0:
+                self.fsm.feed("zero_ring_length",
+                              detail=f"CSR{rap} := 0 violates datasheet")
+                return
+            self.fsm.feed("csr")
+
+
+MONITORS = {
+    "fdc": FDCNiohMonitor,
+    "scsi": SCSINiohMonitor,
+    "pcnet": PCNetNiohMonitor,
+}
+
+
+def attach_nioh(device: Device) -> NiohMonitor:
+    try:
+        cls = MONITORS[device.NAME]
+    except KeyError:
+        raise KeyError(f"no manual Nioh model written for {device.NAME} "
+                       f"(that is Nioh's scalability problem)") from None
+    return cls(device)

@@ -1,0 +1,11 @@
+"""CFG layer: ITC-CFG construction (FlowGuard-style) and coverage."""
+
+from repro.cfg.itc import (
+    ITCCFG, ITCNode, build_itc_cfg, build_static, connect_rounds,
+)
+from repro.cfg.coverage import CoverageReport, edge_union, effective_coverage
+
+__all__ = [
+    "ITCCFG", "ITCNode", "build_itc_cfg", "build_static", "connect_rounds",
+    "CoverageReport", "edge_union", "effective_coverage",
+]

@@ -1,0 +1,55 @@
+"""Path/edge coverage accounting over CFGs.
+
+Used for the paper's *effective coverage* metric (Table III): the ratio of
+code paths covered by the execution specification's training set relative
+to the paths representing all legitimate behaviours, which the paper
+approximates with a one-hour fuzzing run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class CoverageReport:
+    """Edge-level coverage of one set relative to a reference set."""
+
+    covered: int
+    reference: int
+
+    @property
+    def ratio(self) -> float:
+        if self.reference == 0:
+            return 1.0
+        return self.covered / self.reference
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.ratio
+
+    def __str__(self) -> str:
+        return f"{self.covered}/{self.reference} edges ({self.percent:.1f}%)"
+
+
+def effective_coverage(training_edges: Iterable[Edge],
+                       legitimate_edges: Iterable[Edge]) -> CoverageReport:
+    """Coverage of the training set against the legitimate-behaviour set.
+
+    *legitimate_edges* is the fuzzing-derived approximation of "all paths
+    representing legitimate behaviours"; the report says what fraction the
+    execution specification's training samples reached.
+    """
+    legit: Set[Edge] = set(legitimate_edges)
+    train: Set[Edge] = set(training_edges)
+    return CoverageReport(covered=len(train & legit), reference=len(legit))
+
+
+def edge_union(*edge_sets: Iterable[Edge]) -> Set[Edge]:
+    out: Set[Edge] = set()
+    for edges in edge_sets:
+        out |= set(edges)
+    return out

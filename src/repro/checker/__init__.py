@@ -1,0 +1,27 @@
+"""ES-Checker: runtime enforcement of execution specifications."""
+
+from repro.checker.anomalies import (
+    ALL_STRATEGIES, Action, Anomaly, CheckReport, Mode, Strategy,
+    decide_action,
+)
+from repro.checker.escheck import (
+    CHECK_BLOCK_COST, CHECK_STMT_COST, ESChecker,
+)
+from repro.checker.response import (
+    Alert, AlertLevel, AlertManager, Checkpoint, DeviceQuarantine,
+    ResponsePolicy, RollbackManager, classify,
+)
+from repro.checker.sync import (
+    ExternHarvestSink, FieldSyncOracle, MappingSyncOracle, NullSyncOracle,
+    QueueSyncOracle, SyncOracle,
+)
+
+__all__ = [
+    "ALL_STRATEGIES", "Action", "Anomaly", "CheckReport", "Mode",
+    "Strategy", "decide_action",
+    "CHECK_BLOCK_COST", "CHECK_STMT_COST", "ESChecker",
+    "Alert", "AlertLevel", "AlertManager", "Checkpoint",
+    "DeviceQuarantine", "ResponsePolicy", "RollbackManager", "classify",
+    "ExternHarvestSink", "FieldSyncOracle", "MappingSyncOracle",
+    "NullSyncOracle", "QueueSyncOracle", "SyncOracle",
+]

@@ -1,0 +1,87 @@
+"""Anomaly taxonomy, check strategies, and working modes (Section VI)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Strategy(enum.Enum):
+    """The three check strategies of Section VI-A."""
+
+    PARAMETER = "parameter"             # integer / buffer overflow
+    INDIRECT_JUMP = "indirect_jump"     # control-flow hijack
+    CONDITIONAL_JUMP = "conditional_jump"  # irregular device operation
+
+
+ALL_STRATEGIES = frozenset(Strategy)
+
+
+class Mode(enum.Enum):
+    """ES-Checker working modes (Section VI-B).
+
+    * PROTECTION  — halt on *any* anomaly (high security requirements).
+    * ENHANCEMENT — halt only on parameter-check anomalies (which cannot
+      be false positives); the other strategies merely warn.
+    """
+
+    PROTECTION = "protection"
+    ENHANCEMENT = "enhancement"
+
+
+class Action(enum.Enum):
+    """Outcome of one I/O check."""
+
+    ALLOW = "allow"
+    WARN = "warn"
+    HALT = "halt"
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """A single detected violation of the execution specification."""
+
+    strategy: Strategy
+    kind: str             # e.g. "integer-overflow", "unobserved-branch"
+    message: str
+    block_address: int = 0
+    io_key: str = ""
+
+    def __str__(self) -> str:
+        return (f"[{self.strategy.value}/{self.kind}] {self.message} "
+                f"(block {self.block_address:#x}, io {self.io_key})")
+
+
+@dataclass
+class CheckReport:
+    """Everything the ES-Checker learned about one I/O interaction."""
+
+    io_key: str
+    action: Action = Action.ALLOW
+    anomalies: List[Anomaly] = field(default_factory=list)
+    #: blocks the checker walked (proxy for its runtime cost)
+    blocks_walked: int = 0
+    dsod_stmts_executed: int = 0
+    #: walk ended early without verdict (e.g. strategy disabled at the
+    #: point where the path left the spec)
+    incomplete: bool = False
+    final_state: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.anomalies
+
+    def first_anomaly(self) -> Optional[Anomaly]:
+        return self.anomalies[0] if self.anomalies else None
+
+
+def decide_action(anomalies: List[Anomaly], mode: Mode) -> Action:
+    """Working-mode policy: what to do about the detected anomalies."""
+    if not anomalies:
+        return Action.ALLOW
+    if mode is Mode.PROTECTION:
+        return Action.HALT
+    if any(a.strategy is Strategy.PARAMETER for a in anomalies):
+        return Action.HALT
+    return Action.WARN

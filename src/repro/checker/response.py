@@ -1,0 +1,203 @@
+"""Anomaly handling beyond halt-or-warn (Section VIII, "Anomaly Defence").
+
+The paper's discussion lists three avenues it leaves to future work; all
+three are implemented here:
+
+* **rollback** — restore the device (and its shadow) to a checkpoint
+  taken before the exploitation;
+* **targeted termination** — quarantine only the offending device
+  instead of the whole VM;
+* **alert levels** — classify responses by the violated strategy
+  (parameter-check findings are never false positives, so they rank
+  highest).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Tuple
+
+from repro.checker.anomalies import Anomaly, CheckReport, Strategy
+from repro.devices.base import Device
+from repro.ir import StateMemory
+
+
+class AlertLevel(enum.IntEnum):
+    """Severity ordering for operator alert streams."""
+
+    INFO = 0          # incomplete walks, telemetry
+    WARNING = 1       # conditional-jump findings (may be rare-but-legit)
+    SEVERE = 2        # indirect-jump findings (control flow at stake)
+    CRITICAL = 3      # parameter-check findings (never false positives)
+
+
+STRATEGY_LEVELS: Dict[Strategy, AlertLevel] = {
+    Strategy.CONDITIONAL_JUMP: AlertLevel.WARNING,
+    Strategy.INDIRECT_JUMP: AlertLevel.SEVERE,
+    Strategy.PARAMETER: AlertLevel.CRITICAL,
+}
+
+
+def classify(anomaly: Anomaly) -> AlertLevel:
+    return STRATEGY_LEVELS[anomaly.strategy]
+
+
+@dataclass
+class Alert:
+    level: AlertLevel
+    anomaly: Anomaly
+    round_index: int
+
+    def __str__(self) -> str:
+        return f"[{self.level.name}] round {self.round_index}: " \
+               f"{self.anomaly}"
+
+
+class AlertManager:
+    """Collects classified alerts; the operator-facing stream."""
+
+    def __init__(self) -> None:
+        self.alerts: List[Alert] = []
+        self._round = 0
+
+    def next_round(self) -> None:
+        self._round += 1
+
+    def ingest(self, report: CheckReport) -> List[Alert]:
+        fresh = [Alert(classify(a), a, self._round)
+                 for a in report.anomalies]
+        self.alerts.extend(fresh)
+        return fresh
+
+    def worst(self) -> Optional[AlertLevel]:
+        if not self.alerts:
+            return None
+        return max(alert.level for alert in self.alerts)
+
+    def at_level(self, level: AlertLevel) -> List[Alert]:
+        return [a for a in self.alerts if a.level is level]
+
+
+@dataclass
+class Checkpoint:
+    """A device restore point: control structure + IRQ line level."""
+
+    round_index: int
+    memory: StateMemory
+    irq_level: int
+
+
+class RollbackManager:
+    """Periodic device checkpoints + restore-on-anomaly.
+
+    Checkpoints are cheap (one control-structure copy); a ring buffer
+    keeps the most recent *depth* of them.  ``rollback`` restores the
+    newest checkpoint strictly older than the poisoned round, so the
+    device resumes from a state the exploitation never touched.
+    """
+
+    def __init__(self, device: Device, interval: int = 16,
+                 depth: int = 8):
+        if interval <= 0 or depth <= 0:
+            raise ValueError("interval and depth must be positive")
+        self.device = device
+        self.interval = interval
+        self.checkpoints: Deque[Checkpoint] = deque(maxlen=depth)
+        self.rounds = 0
+        self.rollbacks = 0
+        self.checkpoint()   # boot state is always restorable
+
+    def on_round(self) -> None:
+        self.rounds += 1
+        if self.rounds % self.interval == 0:
+            self.checkpoint()
+
+    def checkpoint(self) -> Checkpoint:
+        snap = Checkpoint(self.rounds, self.device.snapshot(),
+                          self.device.irq_line.level
+                          if hasattr(self.device, "irq_line") else 0)
+        self.checkpoints.append(snap)
+        return snap
+
+    def rollback(self, before_round: Optional[int] = None) -> Checkpoint:
+        """Restore the newest checkpoint older than *before_round*
+        (default: the newest available)."""
+        if not self.checkpoints:
+            raise RuntimeError("no checkpoint available")
+        candidates = [c for c in self.checkpoints
+                      if before_round is None
+                      or c.round_index < before_round]
+        if not candidates:
+            candidates = [self.checkpoints[0]]
+        chosen = candidates[-1]
+        self.device.state.restore(chosen.memory)
+        self.device.halted = False
+        self.device.fault = None
+        self.rollbacks += 1
+        return chosen
+
+
+@dataclass
+class QuarantineState:
+    device_name: str
+    reason: str
+    round_index: int
+
+
+class DeviceQuarantine:
+    """Targeted termination: fence off one device, keep the VM alive."""
+
+    def __init__(self) -> None:
+        self.quarantined: Dict[str, QuarantineState] = {}
+
+    def quarantine(self, device: Device, reason: str,
+                   round_index: int = 0) -> None:
+        device.halted = True
+        self.quarantined[device.NAME] = QuarantineState(
+            device.NAME, reason, round_index)
+
+    def release(self, device: Device) -> None:
+        device.halted = False
+        device.fault = None
+        self.quarantined.pop(device.NAME, None)
+
+    def is_quarantined(self, device_name: str) -> bool:
+        return device_name in self.quarantined
+
+
+class ResponsePolicy:
+    """Combines the three mechanisms into one anomaly-response policy.
+
+    * CRITICAL  -> rollback the device to a pre-exploit checkpoint and
+      quarantine it for operator attention;
+    * SEVERE    -> rollback only;
+    * WARNING   -> alert only.
+    """
+
+    def __init__(self, device: Device,
+                 rollback: Optional[RollbackManager] = None):
+        self.device = device
+        self.alerts = AlertManager()
+        self.rollback = rollback or RollbackManager(device)
+        self.quarantine = DeviceQuarantine()
+
+    def on_clean_round(self) -> None:
+        self.alerts.next_round()
+        self.rollback.on_round()
+
+    def on_report(self, report: CheckReport) -> List[Alert]:
+        self.alerts.next_round()
+        fresh = self.alerts.ingest(report)
+        worst = max((a.level for a in fresh), default=None)
+        if worst is None:
+            self.rollback.on_round()
+            return fresh
+        if worst >= AlertLevel.SEVERE:
+            self.rollback.rollback()
+        if worst is AlertLevel.CRITICAL:
+            self.quarantine.quarantine(
+                self.device, str(fresh[-1].anomaly),
+                round_index=self.rollback.rounds)
+        return fresh

@@ -1,0 +1,96 @@
+"""Sync-point resolution (Section V-D at runtime).
+
+Two kinds of sync variables appear in a specification:
+
+* ``field:NAME``           — a control-structure field outside the device
+  state; resolved from the live structure just before the I/O executes;
+* ``extern:FUNC:LOCAL``    — the result of a host-helper call; resolved by
+  *speculation*: the device is run against a snapshot of its control
+  structure and the extern results are harvested in order, so the real
+  device still only executes after every check has passed (a strengthening
+  of the paper's interleaved scheme, documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.errors import CheckerError
+from repro.interp.sinks import TraceSink
+from repro.ir import StateMemory
+
+
+class SyncOracle:
+    """Interface: resolve one sync variable occurrence."""
+
+    def resolve(self, name: str) -> int:
+        raise CheckerError(f"sync variable {name!r} cannot be resolved "
+                           f"by {type(self).__name__}")
+
+
+class NullSyncOracle(SyncOracle):
+    """Refuses everything — for specs without sync points."""
+
+
+class MappingSyncOracle(SyncOracle):
+    """Fixed values per name (tests / replay)."""
+
+    def __init__(self, values: Dict[str, int]):
+        self._values = dict(values)
+
+    def resolve(self, name: str) -> int:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise CheckerError(f"no sync value for {name!r}") from None
+
+
+class FieldSyncOracle(SyncOracle):
+    """Resolves ``field:NAME`` from a live control structure."""
+
+    def __init__(self, memory: StateMemory,
+                 fallback: Optional[SyncOracle] = None):
+        self._memory = memory
+        self._fallback = fallback
+
+    def resolve(self, name: str) -> int:
+        if name.startswith("field:"):
+            return self._memory.read_field(name[len("field:"):])
+        if self._fallback is not None:
+            return self._fallback.resolve(name)
+        return super().resolve(name)
+
+
+class ExternHarvestSink(TraceSink):
+    """Trace sink that queues extern results during a speculative run."""
+
+    def __init__(self) -> None:
+        self.queues: Dict[str, Deque[int]] = {}
+
+    def on_extern(self, caller: str, func: str, dest, args: Tuple[int, ...],
+                  result: int) -> None:
+        if dest is not None:
+            key = f"extern:{caller}:{dest}"
+            self.queues.setdefault(key, deque()).append(result)
+
+
+class QueueSyncOracle(SyncOracle):
+    """Pops harvested extern results in order; falls back for fields."""
+
+    def __init__(self, queues: Dict[str, Deque[int]],
+                 fallback: Optional[SyncOracle] = None):
+        self._queues = queues
+        self._fallback = fallback
+
+    def resolve(self, name: str) -> int:
+        if name.startswith("extern:"):
+            queue = self._queues.get(name)
+            if queue:
+                return queue.popleft()
+            raise CheckerError(
+                f"speculation produced no value for {name!r} (checker and "
+                f"device paths diverged)")
+        if self._fallback is not None:
+            return self._fallback.resolve(name)
+        return super().resolve(name)

@@ -1,0 +1,183 @@
+"""Command-line interface to the SEDSpec reproduction.
+
+::
+
+    python -m repro train   --device fdc --out fdc.spec.json
+    python -m repro inspect --spec fdc.spec.json [--dot out.dot]
+    python -m repro exploit --cve CVE-2015-3456 [--protect]
+    python -m repro tables  [--which 1|3]
+    python -m repro devices
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_devices(args: argparse.Namespace) -> int:
+    from repro.devices import create_device, device_names
+    from repro.eval.report import render_table
+
+    rows = []
+    for name in device_names():
+        device = create_device(name, qemu_version=args.qemu_version)
+        cves = ", ".join(g.cve for g in device.CVES) or "-"
+        active = ", ".join(device.active_cves()) or "-"
+        rows.append((name, device.LOGIC.STRUCT,
+                     device.program.block_count(), cves, active))
+    print(render_table(
+        ("Device", "Struct", "Blocks", "Seeded CVEs",
+         f"Active @ {args.qemu_version}"), rows))
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.spec import spec_to_json
+    from repro.workloads import train_device_spec
+
+    artifacts = train_device_spec(args.device,
+                                  qemu_version=args.qemu_version,
+                                  seed=args.seed,
+                                  repeats=args.repeats)
+    print(artifacts.spec.describe())
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(spec_to_json(artifacts.spec))
+        print(f"wrote {args.out}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.spec import spec_from_json
+    from repro.spec.dot import spec_to_dot
+
+    with open(args.spec) as handle:
+        spec = spec_from_json(handle.read())
+    print(spec.describe())
+    if args.dot:
+        with open(args.dot, "w") as handle:
+            handle.write(spec_to_dot(spec, function=args.function))
+        print(f"wrote {args.dot}")
+    return 0
+
+
+def _cmd_exploit(args: argparse.Namespace) -> int:
+    from repro.checker import Mode
+    from repro.core import deploy
+    from repro.exploits import exploit_by_cve, run_exploit
+    from repro.workloads import train_device_spec
+    from repro.workloads.profiles import PROFILES
+
+    exploit = exploit_by_cve(args.cve)
+    prof = PROFILES[exploit.device]
+    vm, device = prof.make_vm(exploit.qemu_version)
+    if args.protect:
+        spec = train_device_spec(
+            exploit.device, qemu_version=exploit.qemu_version).spec
+        deploy(vm, device, spec, mode=Mode.PROTECTION)
+    outcome = run_exploit(vm, device, exploit)
+    print(f"{exploit.cve} against {exploit.device} "
+          f"(qemu {exploit.qemu_version}): {exploit.description}")
+    print(f"  protected: {args.protect}")
+    print(f"  detected:  {outcome.detected} "
+          f"{sorted(s.value for s in outcome.anomaly_strategies)}")
+    print(f"  device fault: {outcome.device_faulted} "
+          f"({outcome.fault_kind or '-'})")
+    return 0 if (outcome.detected == args.protect
+                 or exploit.expected_miss) else 1
+
+
+def _cmd_spec_diff(args: argparse.Namespace) -> int:
+    from repro.spec import coverage_gain, merge_specs, spec_from_json
+
+    with open(args.base) as handle:
+        base = spec_from_json(handle.read())
+    with open(args.other) as handle:
+        other = spec_from_json(handle.read())
+    merged = merge_specs(base, other)
+    new_blocks = merged.visited_blocks - base.visited_blocks
+    new_cmds = set(merged.cmd_access.table) - set(base.cmd_access.table)
+    print(f"device: {base.device}")
+    print(f"base: {base.block_count()} blocks, "
+          f"{len(base.cmd_access.table)} commands")
+    print(f"other adds: {len(new_blocks)} blocks, "
+          f"{len(new_cmds)} commands "
+          f"({sorted(hex(c) for c in new_cmds)})")
+    print(f"coverage gain: {coverage_gain(base, merged):.1%}")
+    if args.out:
+        from repro.spec import spec_to_json
+        with open(args.out, "w") as handle:
+            handle.write(spec_to_json(merged))
+        print(f"wrote merged spec to {args.out}")
+    return 0
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    if args.which in ("1", "all"):
+        from repro.eval import generate_table1
+        print(generate_table1().render())
+    if args.which in ("3", "all"):
+        from repro.checker import Strategy
+        from repro.eval import render_table, strategy_matrix
+        rows = strategy_matrix()
+        print(render_table(
+            ("Device", "CVE", "Param", "IndJmp", "CondJmp", "match"),
+            [(r.device, r.cve,
+              "Y" if Strategy.PARAMETER in r.detected_by else "",
+              "Y" if Strategy.INDIRECT_JUMP in r.detected_by else "",
+              "Y" if Strategy.CONDITIONAL_JUMP in r.detected_by else "",
+              "ok" if r.matches_paper else "MISMATCH") for r in rows]))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SEDSpec reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("devices", help="list devices and seeded CVEs")
+    p.add_argument("--qemu-version", default="99.0.0")
+    p.set_defaults(fn=_cmd_devices)
+
+    p = sub.add_parser("train", help="train an execution specification")
+    p.add_argument("--device", required=True)
+    p.add_argument("--qemu-version", default="99.0.0")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--repeats", type=int, default=2)
+    p.add_argument("--out", help="write the spec JSON here")
+    p.set_defaults(fn=_cmd_train)
+
+    p = sub.add_parser("inspect", help="describe / visualize a spec")
+    p.add_argument("--spec", required=True)
+    p.add_argument("--dot", help="write a Graphviz rendering here")
+    p.add_argument("--function", help="restrict the DOT to one function")
+    p.set_defaults(fn=_cmd_inspect)
+
+    p = sub.add_parser("exploit", help="run a CVE proof-of-concept")
+    p.add_argument("--cve", required=True)
+    p.add_argument("--protect", action="store_true",
+                   help="deploy SEDSpec (protection mode) first")
+    p.set_defaults(fn=_cmd_exploit)
+
+    p = sub.add_parser("spec-diff",
+                       help="compare/merge two trained specs")
+    p.add_argument("--base", required=True)
+    p.add_argument("--other", required=True)
+    p.add_argument("--out", help="write the merged spec here")
+    p.set_defaults(fn=_cmd_spec_diff)
+
+    p = sub.add_parser("tables", help="regenerate paper tables")
+    p.add_argument("--which", choices=("1", "3", "all"), default="all")
+    p.set_defaults(fn=_cmd_tables)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

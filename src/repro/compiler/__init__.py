@@ -1,0 +1,11 @@
+"""Restricted-Python front end: DeviceLogic declarations → IR programs."""
+
+from repro.compiler.decl import (
+    INTRINSICS, DeviceLogic, FieldSpec, arr, fld, ptr, reg,
+)
+from repro.compiler.frontend import compile_device
+
+__all__ = [
+    "INTRINSICS", "DeviceLogic", "FieldSpec", "arr", "fld", "ptr", "reg",
+    "compile_device",
+]

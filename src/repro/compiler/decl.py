@@ -1,0 +1,78 @@
+"""Declaration helpers for device logic classes.
+
+A device's I/O-facing logic is a :class:`DeviceLogic` subclass whose methods
+are written in the restricted Python subset understood by
+:mod:`repro.compiler.frontend`.  The class body declares:
+
+* ``STRUCT``   — name of the control structure (e.g. ``"FDCtrl"``),
+* ``FIELDS``   — ordered field declarations (``reg``/``fld``/``arr``/``ptr``),
+  packed back to back exactly like the C struct they model,
+* ``CONSTS``   — compile-time constants folded away by the front end
+  (this is how ``qemu_version`` gates vulnerable vs patched code paths),
+* ``EXTERNS``  — host helper functions callable from device code
+  (DMA, IRQ line, byte I/O to backing media, …),
+* ``ENTRIES``  — I/O interface keys mapped to entry-handler method names.
+
+The class is never instantiated to *run*; it is a compilation unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Union
+
+from repro.errors import CompileError
+from repro.ir.types import BufType, FuncPtrType, IntType, type_by_name
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One declared member of the control structure (pre-layout)."""
+
+    name: str
+    type: Union[IntType, BufType, FuncPtrType]
+    register: bool = False
+    doc: str = ""
+
+
+def reg(name: str, type_name: str, doc: str = "") -> FieldSpec:
+    """Declare a field mirroring a physical device register (Rule 1)."""
+    typ = type_by_name(type_name)
+    if isinstance(typ, FuncPtrType):
+        raise CompileError(f"register field {name!r} cannot be a funcptr")
+    return FieldSpec(name, typ, register=True, doc=doc)
+
+
+def fld(name: str, type_name: str, doc: str = "") -> FieldSpec:
+    """Declare a plain scalar field (counters, indices, lengths, flags)."""
+    return FieldSpec(name, type_by_name(type_name), doc=doc)
+
+
+def arr(name: str, elem_type_name: str, length: int, doc: str = "") -> FieldSpec:
+    """Declare a fixed-length inline buffer (C array member)."""
+    elem = type_by_name(elem_type_name)
+    if not isinstance(elem, IntType):
+        raise CompileError(f"buffer {name!r} element must be an integer type")
+    return FieldSpec(name, BufType(elem, length), doc=doc)
+
+
+def ptr(name: str, doc: str = "") -> FieldSpec:
+    """Declare a function-pointer field (IRQ callbacks and the like)."""
+    return FieldSpec(name, FuncPtrType(), doc=doc)
+
+
+class DeviceLogic:
+    """Base class for compilable device logic.  Subclass and declare."""
+
+    STRUCT: str = ""
+    FIELDS: Tuple[FieldSpec, ...] = ()
+    CONSTS: Dict[str, int] = {}
+    EXTERNS: Tuple[str, ...] = ()
+    ENTRIES: Dict[str, str] = {}
+
+    #: Methods never compiled (plain-Python helpers for tests/tooling).
+    NOCOMPILE: Tuple[str, ...] = ()
+
+
+#: Intrinsics understood by the front end: SEDSpec block-type annotations.
+INTRINSICS = ("sed_command_decision", "sed_command_end")

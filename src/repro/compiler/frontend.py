@@ -1,0 +1,646 @@
+"""Restricted-Python → IR front end.
+
+Compiles the methods of a :class:`~repro.compiler.decl.DeviceLogic` subclass
+into a :class:`~repro.ir.Program`.  The accepted subset mirrors the C that
+QEMU devices are written in:
+
+* integer locals, parameters, and control-structure fields (``self.x``),
+* fixed buffers with *unchecked* indexing (``self.fifo[i]``),
+* arithmetic / bitwise / comparison operators, ``and``/``or``/``not``,
+* ``if``/``elif``/``else``, ``while``, ``for i in range(...)``,
+  ``break``/``continue``/``return``,
+* direct calls to sibling methods, indirect calls through function-pointer
+  fields, extern calls to host helpers, and SEDSpec intrinsics,
+* compile-time constants (``self.SOME_CONST``) with dead-branch elimination —
+  this is how one source tree yields both the vulnerable and the patched
+  build of a device, selected by ``qemu_version``.
+
+Anything outside the subset raises :class:`~repro.errors.CompileError` with
+the offending line number.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Dict, List, Optional, Tuple, Type
+
+from repro.errors import CompileError
+from repro.compiler.decl import INTRINSICS, DeviceLogic
+from repro.ir import (
+    Assign, BasicBlock, BinOp, Branch, BufLen, BufLoad, BufStore, Call,
+    Const, ExternCall, Expr, Function, Goto, ICall, Intrinsic, Local, Param,
+    Program, Return, StateLayout, StateRef, StateStore, Stmt, Switch,
+    Terminator, UnOp,
+)
+
+_BIN_OPS = {
+    ast.Add: "+", ast.Sub: "-", ast.Mult: "*", ast.FloorDiv: "//",
+    ast.Mod: "%", ast.BitAnd: "&", ast.BitOr: "|", ast.BitXor: "^",
+    ast.LShift: "<<", ast.RShift: ">>",
+}
+_CMP_OPS = {
+    ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<", ast.LtE: "<=",
+    ast.Gt: ">", ast.GtE: ">=",
+}
+_UNARY_OPS = {ast.USub: "-", ast.Not: "not", ast.Invert: "~"}
+
+
+class _ClassCtx:
+    """Name-resolution context shared by all methods of one device class."""
+
+    def __init__(self, cls: Type[DeviceLogic]):
+        self.cls = cls
+        self.scalars = set()
+        self.buffers = set()
+        self.funcptrs = set()
+        for spec in cls.FIELDS:
+            from repro.ir.types import BufType, FuncPtrType
+            if isinstance(spec.type, BufType):
+                self.buffers.add(spec.name)
+            elif isinstance(spec.type, FuncPtrType):
+                self.funcptrs.add(spec.name)
+            else:
+                self.scalars.add(spec.name)
+        self.consts: Dict[str, int] = {
+            k: int(v) for k, v in dict(cls.CONSTS).items()}
+        self.externs = set(cls.EXTERNS)
+        self.methods: set = set()
+
+
+def _fold(expr: Expr) -> Expr:
+    """Constant-fold an expression tree (exact integer arithmetic)."""
+    if isinstance(expr, BinOp):
+        left, right = _fold(expr.left), _fold(expr.right)
+        if isinstance(left, Const) and isinstance(right, Const):
+            return Const(_eval_const(expr.op, left.value, right.value))
+        return BinOp(expr.op, left, right)
+    if isinstance(expr, UnOp):
+        operand = _fold(expr.operand)
+        if isinstance(operand, Const):
+            if expr.op == "-":
+                return Const(-operand.value)
+            if expr.op == "~":
+                return Const(~operand.value)
+            return Const(int(not operand.value))
+        return UnOp(expr.op, operand)
+    if isinstance(expr, BufLoad):
+        return BufLoad(expr.buf, _fold(expr.index))
+    return expr
+
+
+def _eval_const(op: str, a: int, b: int) -> int:
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "//":
+        return a // b
+    if op == "%":
+        return a % b
+    if op == "&":
+        return a & b
+    if op == "|":
+        return a | b
+    if op == "^":
+        return a ^ b
+    if op == "<<":
+        return a << b
+    if op == ">>":
+        return a >> b
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    if op == "<":
+        return int(a < b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">":
+        return int(a > b)
+    if op == ">=":
+        return int(a >= b)
+    if op == "and":
+        return int(bool(a) and bool(b))
+    if op == "or":
+        return int(bool(a) or bool(b))
+    raise CompileError(f"cannot fold operator {op!r}")
+
+
+class _FuncCompiler:
+    """Compiles one method body into an IR Function."""
+
+    def __init__(self, ctx: _ClassCtx, name: str, params: Tuple[str, ...]):
+        self.ctx = ctx
+        self.name = name
+        self.func = Function(name, params)
+        self.params = set(params)
+        self._label_counter = 0
+        self._cur: Optional[BasicBlock] = None
+        self._loop_stack: List[Tuple[str, str]] = []   # (continue, break)
+        self._start_block(self.func.entry)
+
+    # -- block plumbing ----------------------------------------------------
+
+    def _new_label(self, hint: str = "b") -> str:
+        self._label_counter += 1
+        return f"{hint}{self._label_counter}"
+
+    def _start_block(self, label: str, lineno: int = 0) -> BasicBlock:
+        block = BasicBlock(label, lineno=lineno)
+        self.func.add_block(block)
+        self._cur = block
+        return block
+
+    def _emit(self, stmt: Stmt) -> None:
+        if self._cur is None:
+            # Unreachable code after return/break — keep compiling into a
+            # dead block so line numbers still validate; pruned later.
+            self._start_block(self._new_label("dead"))
+        self._cur.stmts.append(stmt)
+
+    def _terminate(self, term: Terminator) -> None:
+        if self._cur is None:
+            self._start_block(self._new_label("dead"))
+        self._cur.terminator = term
+        self._cur = None
+
+    # -- expressions ---------------------------------------------------------
+
+    def expr(self, node: ast.expr) -> Expr:
+        result = self._expr(node)
+        return _fold(result)
+
+    def _expr(self, node: ast.expr) -> Expr:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return Const(int(node.value))
+            if isinstance(node.value, int):
+                return Const(node.value)
+            raise self._err(node, f"unsupported literal {node.value!r}")
+        if isinstance(node, ast.Name):
+            return self._name(node)
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self._subscript_load(node)
+        if isinstance(node, ast.BinOp):
+            op = _BIN_OPS.get(type(node.op))
+            if op is None:
+                raise self._err(node, f"operator {type(node.op).__name__} "
+                                      "not supported")
+            return BinOp(op, self._expr(node.left), self._expr(node.right))
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise self._err(node, "chained comparisons not supported")
+            op = _CMP_OPS.get(type(node.ops[0]))
+            if op is None:
+                raise self._err(node, "comparison operator not supported")
+            return BinOp(op, self._expr(node.left),
+                         self._expr(node.comparators[0]))
+        if isinstance(node, ast.BoolOp):
+            op = "and" if isinstance(node.op, ast.And) else "or"
+            result = self._expr(node.values[0])
+            for value in node.values[1:]:
+                result = BinOp(op, result, self._expr(value))
+            return result
+        if isinstance(node, ast.UnaryOp):
+            op = _UNARY_OPS.get(type(node.op))
+            if op is None:
+                raise self._err(node, "unary operator not supported")
+            return UnOp(op, self._expr(node.operand))
+        if isinstance(node, ast.Call):
+            return self._len_call(node)
+        raise self._err(node, f"expression {type(node).__name__} "
+                              "not in the restricted subset")
+
+    def _name(self, node: ast.Name) -> Expr:
+        if node.id in self.params:
+            return Param(node.id)
+        return Local(node.id)
+
+    def _attribute(self, node: ast.Attribute) -> Expr:
+        if not (isinstance(node.value, ast.Name) and node.value.id == "self"):
+            raise self._err(node, "only self.<field> attribute access "
+                                  "is supported")
+        name = node.attr
+        if name in self.ctx.consts:
+            return Const(self.ctx.consts[name])
+        if name in self.ctx.scalars or name in self.ctx.funcptrs:
+            return StateRef(name)
+        if name in self.ctx.buffers:
+            raise self._err(node, f"buffer {name!r} must be indexed or "
+                                  "wrapped in len()")
+        raise self._err(node, f"unknown field or constant {name!r}")
+
+    def _subscript_load(self, node: ast.Subscript) -> Expr:
+        buf, index = self._subscript_parts(node)
+        return BufLoad(buf, self.expr(index))
+
+    def _subscript_parts(self, node: ast.Subscript) -> Tuple[str, ast.expr]:
+        target = node.value
+        if not (isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr in self.ctx.buffers):
+            raise self._err(node, "only self.<buffer>[index] subscripts "
+                                  "are supported")
+        index = node.slice
+        if isinstance(index, ast.Slice):
+            raise self._err(node, "slices are not supported")
+        return target.attr, index
+
+    def _len_call(self, node: ast.Call) -> Expr:
+        """``len(self.buf)`` is the only call allowed in expression position."""
+        if (isinstance(node.func, ast.Name) and node.func.id == "len"
+                and len(node.args) == 1
+                and isinstance(node.args[0], ast.Attribute)
+                and node.args[0].attr in self.ctx.buffers):
+            buf = node.args[0].attr
+            for spec in self.ctx.cls.FIELDS:
+                if spec.name == buf:
+                    return BufLen(buf, spec.type.length)
+        raise self._err(node, "calls are only allowed as statements "
+                              "(or len(self.<buffer>))")
+
+    # -- statements ----------------------------------------------------------
+
+    def suite(self, stmts: List[ast.stmt]) -> None:
+        for stmt in stmts:
+            self.stmt(stmt)
+
+    def stmt(self, node: ast.stmt) -> None:
+        if isinstance(node, ast.Assign):
+            self._assign(node)
+        elif isinstance(node, ast.AugAssign):
+            self._aug_assign(node)
+        elif isinstance(node, ast.AnnAssign):
+            if node.value is None:
+                raise self._err(node, "bare annotations not supported")
+            self._do_assign(node.target, node.value, node.lineno)
+        elif isinstance(node, ast.Expr):
+            self._expr_stmt(node)
+        elif isinstance(node, ast.If):
+            self._if(node)
+        elif isinstance(node, ast.While):
+            self._while(node)
+        elif isinstance(node, ast.For):
+            self._for(node)
+        elif isinstance(node, ast.Return):
+            value = self.expr(node.value) if node.value else None
+            self._terminate(Return(value, lineno=node.lineno))
+        elif isinstance(node, ast.Break):
+            if not self._loop_stack:
+                raise self._err(node, "break outside loop")
+            self._terminate(Goto(self._loop_stack[-1][1], lineno=node.lineno))
+        elif isinstance(node, ast.Continue):
+            if not self._loop_stack:
+                raise self._err(node, "continue outside loop")
+            self._terminate(Goto(self._loop_stack[-1][0], lineno=node.lineno))
+        elif isinstance(node, ast.Pass):
+            pass
+        else:
+            raise self._err(node, f"statement {type(node).__name__} "
+                                  "not in the restricted subset")
+
+    def _assign(self, node: ast.Assign) -> None:
+        if len(node.targets) != 1:
+            raise self._err(node, "multiple assignment targets not supported")
+        self._do_assign(node.targets[0], node.value, node.lineno)
+
+    def _do_assign(self, target: ast.expr, value: ast.expr,
+                   lineno: int) -> None:
+        if isinstance(value, ast.Call) and not self._is_len_call(value):
+            if isinstance(target, ast.Name):
+                self._call(value, dest_target=target, lineno=lineno)
+            else:
+                # self.field = self.method(): lower through a temp local.
+                temp = f"__call{self._label_counter}"
+                temp_name = ast.Name(id=temp, ctx=ast.Store())
+                ast.copy_location(temp_name, target)
+                self._call(value, dest_target=temp_name, lineno=lineno)
+                self._store(target, Local(temp), lineno)
+            return
+        rhs = self.expr(value)
+        self._store(target, rhs, lineno)
+
+    def _store(self, target: ast.expr, rhs: Expr, lineno: int) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.params:
+                raise self._err(target, "parameters are read-only; "
+                                        "copy into a local first")
+            self._emit(Assign(target.id, rhs, lineno=lineno))
+        elif isinstance(target, ast.Attribute):
+            ref = self._attribute(target)
+            if not isinstance(ref, StateRef):
+                raise self._err(target, "cannot assign to a constant")
+            self._emit(StateStore(ref.field, rhs, lineno=lineno))
+        elif isinstance(target, ast.Subscript):
+            buf, index = self._subscript_parts(target)
+            self._emit(BufStore(buf, self.expr(index), rhs, lineno=lineno))
+        else:
+            raise self._err(target, "unsupported assignment target")
+
+    def _aug_assign(self, node: ast.AugAssign) -> None:
+        op = _BIN_OPS.get(type(node.op))
+        if op is None:
+            raise self._err(node, "augmented operator not supported")
+        load: ast.expr = node.target
+        current = self.expr(load)
+        rhs = _fold(BinOp(op, current, self.expr(node.value)))
+        self._store(node.target, rhs, node.lineno)
+
+    def _is_len_call(self, node: ast.Call) -> bool:
+        return (isinstance(node.func, ast.Name) and node.func.id == "len")
+
+    def _expr_stmt(self, node: ast.Expr) -> None:
+        if isinstance(node.value, ast.Constant):
+            return   # docstring
+        if not isinstance(node.value, ast.Call):
+            raise self._err(node, "expression statements must be calls")
+        self._call(node.value, dest_target=None, lineno=node.lineno)
+
+    # -- calls -----------------------------------------------------------------
+
+    def _call(self, node: ast.Call, dest_target: Optional[ast.expr],
+              lineno: int) -> None:
+        if node.keywords:
+            raise self._err(node, "keyword arguments not supported")
+        args = tuple(self.expr(a) for a in node.args)
+        dest = self._dest_local(dest_target)
+
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in INTRINSICS:
+                if dest is not None:
+                    raise self._err(node, "intrinsics return nothing")
+                self._emit(Intrinsic(name.replace("sed_", ""), args,
+                                     lineno=lineno))
+                return
+            if name in self.ctx.externs:
+                self._emit(ExternCall(name, args, dest=dest, lineno=lineno))
+                return
+            raise self._err(node, f"unknown function {name!r} (declare it "
+                                  "in EXTERNS?)")
+
+        if (isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "self"):
+            name = node.func.attr
+            cont = self._new_label("c")
+            if name in self.ctx.funcptrs:
+                self._terminate(ICall(name, args, dest, cont, lineno=lineno))
+            elif name in self.ctx.methods:
+                self._terminate(Call(name, args, dest, cont, lineno=lineno))
+            else:
+                raise self._err(node, f"unknown method {name!r}")
+            self._start_block(cont, lineno=lineno)
+            return
+
+        raise self._err(node, "unsupported call form")
+
+    def _dest_local(self, target: Optional[ast.expr]) -> Optional[str]:
+        """Call results land in locals; field/buffer targets are lowered
+        through a temporary by :meth:`_do_assign`."""
+        if target is None:
+            return None
+        if isinstance(target, ast.Name):
+            return target.id
+        raise self._err(target, "call results must be assigned to a local")
+
+    # -- control flow ------------------------------------------------------------
+
+    def _if(self, node: ast.If) -> None:
+        cond = self.expr(node.test)
+        if isinstance(cond, Const):
+            # Dead-branch elimination: compile-time version gating.
+            self.suite(node.body if cond.value else node.orelse)
+            return
+        if self._try_switch_lowering(node):
+            return
+        then_label = self._new_label("then")
+        else_label = self._new_label("else") if node.orelse else None
+        join_label = self._new_label("join")
+        self._terminate(Branch(cond, then_label, else_label or join_label,
+                               lineno=node.lineno))
+        self._start_block(then_label, lineno=node.lineno)
+        self.suite(node.body)
+        if self._cur is not None:
+            self._terminate(Goto(join_label))
+        if else_label:
+            self._start_block(else_label)
+            self.suite(node.orelse)
+            if self._cur is not None:
+                self._terminate(Goto(join_label))
+        self._start_block(join_label)
+
+    def _try_switch_lowering(self, node: ast.If) -> bool:
+        """Lower ``if x == C0: ... elif x == C1: ... else: ...`` chains
+        (3+ arms, same scrutinee, constant comparands) to a Switch — the
+        jump table a C compiler emits for a device's command dispatch.
+        Emits one TIP-style indirect transfer instead of a TNT cascade.
+        """
+        arms: List[Tuple[int, List[ast.stmt]]] = []
+        scrutinee: Optional[Expr] = None
+        current: ast.stmt = node
+        default_body: List[ast.stmt] = []
+        while isinstance(current, ast.If):
+            test = current.test
+            if not (isinstance(test, ast.Compare) and len(test.ops) == 1
+                    and isinstance(test.ops[0], ast.Eq)):
+                return False
+            left = self.expr(test.left)
+            right = self.expr(test.comparators[0])
+            if not isinstance(right, Const):
+                return False
+            if scrutinee is None:
+                scrutinee = left
+            elif left != scrutinee:
+                return False
+            if right.value in dict(arms):
+                return False
+            arms.append((right.value, current.body))
+            orelse = current.orelse
+            if len(orelse) == 1 and isinstance(orelse[0], ast.If):
+                current = orelse[0]
+            else:
+                default_body = orelse
+                break
+        if scrutinee is None or len(arms) < 3:
+            return False
+
+        join_label = self._new_label("sjoin")
+        table: Dict[int, str] = {}
+        arm_bodies: List[Tuple[str, List[ast.stmt]]] = []
+        for value, body in arms:
+            label = self._new_label("arm")
+            table[value] = label
+            arm_bodies.append((label, body))
+        default_label = self._new_label("sdef")
+        self._terminate(Switch(scrutinee, table, default_label,
+                               lineno=node.lineno))
+        for label, body in arm_bodies:
+            self._start_block(label, lineno=node.lineno)
+            self.suite(body)
+            if self._cur is not None:
+                self._terminate(Goto(join_label))
+        self._start_block(default_label)
+        self.suite(default_body)
+        if self._cur is not None:
+            self._terminate(Goto(join_label))
+        self._start_block(join_label)
+        return True
+
+    def _while(self, node: ast.While) -> None:
+        if node.orelse:
+            raise self._err(node, "while-else not supported")
+        cond_label = self._new_label("loop")
+        body_label = self._new_label("body")
+        exit_label = self._new_label("exit")
+        self._terminate(Goto(cond_label, lineno=node.lineno))
+        self._start_block(cond_label, lineno=node.lineno)
+        cond = self.expr(node.test)
+        self._terminate(Branch(cond, body_label, exit_label,
+                               lineno=node.lineno))
+        self._start_block(body_label)
+        self._loop_stack.append((cond_label, exit_label))
+        self.suite(node.body)
+        self._loop_stack.pop()
+        if self._cur is not None:
+            self._terminate(Goto(cond_label))
+        self._start_block(exit_label)
+
+    def _for(self, node: ast.For) -> None:
+        """``for i in range(...)`` desugars to an explicit counter loop."""
+        if node.orelse:
+            raise self._err(node, "for-else not supported")
+        if not (isinstance(node.iter, ast.Call)
+                and isinstance(node.iter.func, ast.Name)
+                and node.iter.func.id == "range"):
+            raise self._err(node, "only range() iteration is supported")
+        if not isinstance(node.target, ast.Name):
+            raise self._err(node, "loop variable must be a plain name")
+        rng = node.iter.args
+        if len(rng) == 1:
+            start: Expr = Const(0)
+            stop = self.expr(rng[0])
+            step = 1
+        elif len(rng) in (2, 3):
+            start = self.expr(rng[0])
+            stop = self.expr(rng[1])
+            step = 1
+            if len(rng) == 3:
+                step_expr = self.expr(rng[2])
+                if not isinstance(step_expr, Const) or step_expr.value == 0:
+                    raise self._err(node, "range step must be a nonzero "
+                                          "constant")
+                step = step_expr.value
+        else:
+            raise self._err(node, "range() takes 1-3 arguments")
+
+        var = node.target.id
+        self._emit(Assign(var, start, lineno=node.lineno))
+        # The bound is evaluated once, like Python (and like idiomatic C).
+        bound = f"__{var}_stop"
+        self._emit(Assign(bound, stop, lineno=node.lineno))
+        cond_label = self._new_label("forc")
+        body_label = self._new_label("forb")
+        step_label = self._new_label("fors")
+        exit_label = self._new_label("fore")
+        self._terminate(Goto(cond_label, lineno=node.lineno))
+        self._start_block(cond_label, lineno=node.lineno)
+        cmp_op = "<" if step > 0 else ">"
+        self._terminate(Branch(BinOp(cmp_op, Local(var), Local(bound)),
+                               body_label, exit_label, lineno=node.lineno))
+        self._start_block(body_label)
+        self._loop_stack.append((step_label, exit_label))
+        self.suite(node.body)
+        self._loop_stack.pop()
+        if self._cur is not None:
+            self._terminate(Goto(step_label))
+        self._start_block(step_label)
+        self._emit(Assign(var, BinOp("+", Local(var), Const(step))))
+        self._terminate(Goto(cond_label))
+        self._start_block(exit_label)
+
+    # -- finalization ---------------------------------------------------------
+
+    def finish(self) -> Function:
+        if self._cur is not None:
+            self._terminate(Return(None))
+        self._prune_unreachable()
+        return self.func
+
+    def _prune_unreachable(self) -> None:
+        reachable = set()
+        stack = [self.func.entry]
+        while stack:
+            label = stack.pop()
+            if label in reachable:
+                continue
+            reachable.add(label)
+            stack.extend(self.func.blocks[label].terminator.successors())
+        for label in list(self.func.blocks):
+            if label not in reachable:
+                del self.func.blocks[label]
+
+    def _err(self, node: ast.AST, message: str) -> CompileError:
+        return CompileError(message, getattr(node, "lineno", 0), self.name)
+
+
+def _class_ast(cls: Type[DeviceLogic],
+               source: Optional[str] = None) -> ast.ClassDef:
+    if source is None:
+        source = inspect.getsource(cls)
+    module = ast.parse(textwrap.dedent(source))
+    for node in module.body:
+        if isinstance(node, ast.ClassDef) and node.name == cls.__name__:
+            return node
+    raise CompileError(f"could not locate class {cls.__name__} in source")
+
+
+def compile_device(cls: Type[DeviceLogic],
+                   const_overrides: Optional[Dict[str, int]] = None,
+                   source: Optional[str] = None) -> Program:
+    """Compile a DeviceLogic subclass into a frozen IR Program.
+
+    *const_overrides* replaces entries of ``cls.CONSTS`` before compilation;
+    devices use this to build vulnerable vs patched variants from one source
+    (``{"VULN_VENOM": 1}`` etc. — driven by ``qemu_version``).  *source*
+    supplies the class source text when ``inspect.getsource`` cannot (e.g.
+    dynamically generated classes).
+    """
+    if not cls.STRUCT:
+        raise CompileError(f"{cls.__name__}.STRUCT is not set")
+    ctx = _ClassCtx(cls)
+    if const_overrides:
+        for key, value in const_overrides.items():
+            ctx.consts[key] = int(value)
+
+    class_node = _class_ast(cls, source)
+    method_nodes = [n for n in class_node.body
+                    if isinstance(n, ast.FunctionDef)
+                    and not n.name.startswith("_")
+                    and n.name not in cls.NOCOMPILE]
+    ctx.methods = {n.name for n in method_nodes}
+
+    layout = StateLayout(cls.STRUCT)
+    for spec in cls.FIELDS:
+        layout.add(spec.name, spec.type, register=spec.register, doc=spec.doc)
+
+    program = Program(cls.STRUCT, layout)
+    for node in method_nodes:
+        params = tuple(a.arg for a in node.args.args if a.arg != "self")
+        fc = _FuncCompiler(ctx, node.name, params)
+        fc.suite(node.body)
+        program.add_function(fc.finish())
+
+    for key, method in dict(cls.ENTRIES).items():
+        if method not in program.functions:
+            raise CompileError(
+                f"entry {key!r} names unknown method {method!r}")
+        program.register_entry(key, method)
+    return program.freeze()

@@ -1,0 +1,7 @@
+"""SEDSpec core: the end-to-end pipeline facade."""
+
+from repro.core.pipeline import (
+    TrainingArtifacts, build_execution_spec, deploy,
+)
+
+__all__ = ["TrainingArtifacts", "build_execution_spec", "deploy"]

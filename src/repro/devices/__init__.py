@@ -1,0 +1,16 @@
+"""Emulated devices: framework, backends, and the five QEMU device models."""
+
+from repro.devices.base import (
+    CveGate, Device, create_device, device_names, register_device,
+    version_lt,
+)
+from repro.devices.backends import (
+    DiskImage, GuestMemory, IRQLine, NetBackend, NetFrame, SECTOR_SIZE,
+)
+
+__all__ = [
+    "CveGate", "Device", "create_device", "device_names",
+    "register_device", "version_lt",
+    "DiskImage", "GuestMemory", "IRQLine", "NetBackend", "NetFrame",
+    "SECTOR_SIZE",
+]

@@ -1,0 +1,118 @@
+"""Host-side backends devices talk to through externs.
+
+These play the role of QEMU's block layer, net layer, and IRQ
+infrastructure: guest-visible behaviour flows through the device models;
+the backends just store bytes and count events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+
+SECTOR_SIZE = 512
+
+
+class DiskImage:
+    """Flat byte-addressable backing store (the block layer)."""
+
+    def __init__(self, size: int):
+        if size <= 0:
+            raise WorkloadError("disk size must be positive")
+        self.size = size
+        self.data = bytearray(size)
+        self.reads = 0
+        self.writes = 0
+
+    def read_byte(self, offset: int) -> int:
+        self.reads += 1
+        if 0 <= offset < self.size:
+            return self.data[offset]
+        return 0    # reads off the end return zeros, like a sparse image
+
+    def write_byte(self, offset: int, value: int) -> None:
+        self.writes += 1
+        if 0 <= offset < self.size:
+            self.data[offset] = value & 0xFF
+
+    def read_block(self, offset: int, length: int) -> bytes:
+        return bytes(self.read_byte(offset + i) for i in range(length))
+
+    def write_block(self, offset: int, payload: bytes) -> None:
+        for i, byte in enumerate(payload):
+            self.write_byte(offset + i, byte)
+
+
+class GuestMemory:
+    """Guest physical memory, accessed by devices via DMA externs."""
+
+    def __init__(self, size: int = 1 << 20):
+        self.size = size
+        self.data = bytearray(size)
+        self.dma_reads = 0
+        self.dma_writes = 0
+
+    def read_byte(self, addr: int) -> int:
+        self.dma_reads += 1
+        if 0 <= addr < self.size:
+            return self.data[addr]
+        return 0
+
+    def write_byte(self, addr: int, value: int) -> None:
+        self.dma_writes += 1
+        if 0 <= addr < self.size:
+            self.data[addr] = value & 0xFF
+
+    def write_block(self, addr: int, payload: bytes) -> None:
+        self.data[addr:addr + len(payload)] = payload
+
+    def read_block(self, addr: int, length: int) -> bytes:
+        return bytes(self.data[addr:addr + length])
+
+
+class IRQLine:
+    """One interrupt line with edge counting (guest-visible via the VM)."""
+
+    def __init__(self, name: str = "irq"):
+        self.name = name
+        self.level = 0
+        self.raise_count = 0
+
+    def set_level(self, level: int) -> None:
+        if level:
+            self.raise_count += 1
+        self.level = 1 if level else 0
+
+
+@dataclass
+class NetFrame:
+    payload: bytes
+    timestamp: int = 0
+
+
+class NetBackend:
+    """User-mode-networking stand-in: queues in both directions."""
+
+    def __init__(self) -> None:
+        self.rx_queue: Deque[NetFrame] = deque()   # host -> guest
+        self.tx_frames: List[NetFrame] = []        # guest -> host
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+
+    def inject(self, payload: bytes) -> None:
+        """Host side delivers a frame toward the guest."""
+        self.rx_queue.append(NetFrame(bytes(payload)))
+
+    def pop_rx(self) -> Optional[NetFrame]:
+        if self.rx_queue:
+            frame = self.rx_queue.popleft()
+            self.rx_bytes += len(frame.payload)
+            return frame
+        return None
+
+    def transmit(self, payload: bytes) -> None:
+        self.tx_frames.append(NetFrame(bytes(payload)))
+        self.tx_bytes += len(payload)

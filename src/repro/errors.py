@@ -1,0 +1,68 @@
+"""Exception hierarchy shared across the SEDSpec reproduction.
+
+Every subsystem raises subclasses of :class:`ReproError` so callers can
+distinguish reproduction-infrastructure failures from genuine Python bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class IRError(ReproError):
+    """Malformed IR: unknown block, bad operand types, broken invariants."""
+
+
+class CompileError(ReproError):
+    """The restricted-Python front end rejected a device source construct."""
+
+    def __init__(self, message: str, lineno: int = 0, func: str = ""):
+        self.lineno = lineno
+        self.func = func
+        prefix = f"{func}:{lineno}: " if func else ""
+        super().__init__(prefix + message)
+
+
+class InterpError(ReproError):
+    """The IR interpreter hit an unrecoverable condition (not a device fault)."""
+
+
+class DeviceFault(ReproError):
+    """The emulated device crashed — the analogue of a QEMU segfault/abort.
+
+    Raised e.g. when an out-of-bounds access leaves the device control
+    structure entirely, or when an indirect call targets a non-code address.
+    A :class:`DeviceFault` escaping to the VM is what a successful
+    denial-of-service exploit looks like in this reproduction.
+    """
+
+    def __init__(self, message: str, device: str = "", kind: str = "fault"):
+        self.device = device
+        self.kind = kind
+        super().__init__(f"[{device or 'device'}:{kind}] {message}")
+
+
+class TraceError(ReproError):
+    """IPT packet stream could not be encoded or decoded."""
+
+
+class AnalysisError(ReproError):
+    """CFG/data-flow analysis failed (e.g. unknown function, no entry)."""
+
+
+class SpecError(ReproError):
+    """Execution-specification construction or (de)serialization failed."""
+
+
+class CheckerError(ReproError):
+    """ES-Checker internal error (distinct from a detected anomaly)."""
+
+
+class WorkloadError(ReproError):
+    """A workload/benchmark harness was misconfigured."""
+
+
+class GuestError(ReproError):
+    """A guest driver observed a protocol violation from its device."""

@@ -1,0 +1,38 @@
+"""Evaluation harnesses: one per table/figure of the paper, plus ablations."""
+
+from repro.eval.report import pct, render_table
+from repro.eval.table1 import Table1, generate_table1
+from repro.eval.security import (
+    CveResult, DefenseResult, defended, strategy_matrix, undefended,
+)
+from repro.eval.table3 import Table3, generate_table3
+from repro.eval.figures import (
+    NetworkFigure, StorageFigure, generate_network_figure,
+    generate_storage_figures,
+)
+from repro.eval.baseline_compare import (
+    NIOH_CVES, Comparison, ComparisonRow, compare_baselines,
+)
+from repro.eval.case_studies import (
+    CaseStudy, all_case_studies, render_case_studies, study,
+)
+from repro.eval.ablation import (
+    ReductionAblation, StrategyCostRow, TrainingVolumeRow,
+    reduction_ablation, render_reduction, strategy_cost_ablation,
+    training_volume_ablation,
+)
+
+__all__ = [
+    "pct", "render_table",
+    "Table1", "generate_table1",
+    "CveResult", "DefenseResult", "defended", "strategy_matrix",
+    "undefended",
+    "Table3", "generate_table3",
+    "NetworkFigure", "StorageFigure", "generate_network_figure",
+    "generate_storage_figures",
+    "NIOH_CVES", "Comparison", "ComparisonRow", "compare_baselines",
+    "CaseStudy", "all_case_studies", "render_case_studies", "study",
+    "ReductionAblation", "StrategyCostRow", "TrainingVolumeRow",
+    "reduction_ablation", "render_reduction", "strategy_cost_ablation",
+    "training_volume_ablation",
+]

@@ -1,0 +1,171 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Not in the paper's evaluation, but they quantify the choices the paper
+motivates qualitatively:
+
+* **Control-flow reduction** (Section V-C): ES-CFG size and checker work
+  with and without reduction.
+* **Per-strategy cost**: checker cycles with each strategy enabled alone.
+* **Training volume**: how spec coverage and false positives respond to
+  the number of training passes (the paper's remedy discussion: more
+  test cases -> fewer FPs).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.checker import ALL_STRATEGIES, Mode, Strategy
+from repro.core import build_execution_spec, deploy
+from repro.eval.report import render_table
+from repro.spec import ExecutionSpec
+from repro.workloads import (
+    InteractionMode, run_interaction, train_device_spec,
+)
+from repro.workloads.profiles import PROFILES
+
+
+@dataclass
+class ReductionAblation:
+    device: str
+    blocks_reduced: int
+    blocks_unreduced: int
+    checker_cycles_reduced: int
+    checker_cycles_unreduced: int
+
+    @property
+    def block_savings(self) -> float:
+        if self.blocks_unreduced == 0:
+            return 0.0
+        return 1 - self.blocks_reduced / self.blocks_unreduced
+
+    @property
+    def cycle_savings(self) -> float:
+        if self.checker_cycles_unreduced == 0:
+            return 0.0
+        return 1 - self.checker_cycles_reduced \
+            / self.checker_cycles_unreduced
+
+
+def _checker_cycles(device_name: str, spec: ExecutionSpec,
+                    ops: int = 30, seed: int = 3) -> int:
+    prof = PROFILES[device_name]
+    vm, device = prof.make_vm()
+    deploy(vm, device, spec, mode=Mode.ENHANCEMENT)
+    driver = prof.make_driver(vm)
+    prof.prepare(vm, driver)
+    rng = random.Random(seed)
+    for _ in range(ops):
+        rng.choice(prof.common_ops)(vm, driver, rng)
+    return vm.stats.checker_cycles
+
+
+def reduction_ablation(device_name: str, ops: int = 30
+                       ) -> ReductionAblation:
+    prof = PROFILES[device_name]
+
+    def workload(vm, device):
+        rng = random.Random(7)
+        for _ in range(2):
+            prof.training(vm, device, rng)
+
+    reduced = build_execution_spec(
+        lambda: prof.make_vm(), workload, reduce_cfg=True).spec
+    unreduced = build_execution_spec(
+        lambda: prof.make_vm(), workload, reduce_cfg=False).spec
+    return ReductionAblation(
+        device=device_name,
+        blocks_reduced=reduced.block_count(),
+        blocks_unreduced=unreduced.block_count(),
+        checker_cycles_reduced=_checker_cycles(device_name, reduced,
+                                               ops=ops),
+        checker_cycles_unreduced=_checker_cycles(device_name, unreduced,
+                                                 ops=ops))
+
+
+@dataclass
+class StrategyCostRow:
+    strategy: str
+    checker_cycles: int
+
+
+def strategy_cost_ablation(device_name: str, ops: int = 30
+                           ) -> List[StrategyCostRow]:
+    """Checker cost with each strategy alone, plus all and none."""
+    spec = train_device_spec(device_name).spec
+    rows: List[StrategyCostRow] = []
+    configs = [("all", ALL_STRATEGIES),
+               ("none", frozenset())]
+    configs += [(s.value, frozenset({s})) for s in Strategy]
+    for label, strategies in configs:
+        prof = PROFILES[device_name]
+        vm, device = prof.make_vm()
+        deploy(vm, device, spec, mode=Mode.ENHANCEMENT,
+               strategies=strategies)
+        driver = prof.make_driver(vm)
+        prof.prepare(vm, driver)
+        rng = random.Random(3)
+        for _ in range(ops):
+            rng.choice(prof.common_ops)(vm, driver, rng)
+        rows.append(StrategyCostRow(label, vm.stats.checker_cycles))
+    return rows
+
+
+@dataclass
+class TrainingVolumeRow:
+    repeats: int
+    spec_blocks: int
+    false_positives: int
+    cases: int
+
+    @property
+    def fpr(self) -> float:
+        return self.false_positives / self.cases if self.cases else 0.0
+
+
+def training_volume_ablation(device_name: str,
+                             repeat_choices: Tuple[int, ...] = (1, 2, 4),
+                             hours: int = 5,
+                             rare_case_rate: float = 0.05
+                             ) -> List[TrainingVolumeRow]:
+    """More training -> bigger spec -> fewer rare-command FPs.
+
+    The rare rate is cranked up so the effect is measurable in a short
+    run; with more repeats the training corpus includes progressively
+    more of the rare-op set (we fold rare ops into training here).
+    """
+    prof = PROFILES[device_name]
+    rows: List[TrainingVolumeRow] = []
+    for repeats in repeat_choices:
+        def workload(vm, device, repeats=repeats):
+            rng = random.Random(7)
+            for i in range(repeats):
+                prof.training(vm, device, rng)
+                # Extended corpora start covering rarer commands.
+                if i >= 2:
+                    driver = prof.make_driver(vm)
+                    for rare in prof.rare_ops:
+                        rare(vm, driver, rng)
+
+        spec = build_execution_spec(
+            lambda: prof.make_vm(), workload).spec
+        report = run_interaction(
+            spec, device_name, InteractionMode.RANDOM, hours=hours,
+            rare_case_rate=rare_case_rate)
+        rows.append(TrainingVolumeRow(
+            repeats=repeats, spec_blocks=spec.block_count(),
+            false_positives=report.false_positives,
+            cases=report.total_cases))
+    return rows
+
+
+def render_reduction(rows: List[ReductionAblation]) -> str:
+    return render_table(
+        ("Device", "Blocks (red.)", "Blocks (unred.)",
+         "Checker cycles (red.)", "Checker cycles (unred.)",
+         "Cycle savings"),
+        [(r.device, r.blocks_reduced, r.blocks_unreduced,
+          r.checker_cycles_reduced, r.checker_cycles_unreduced,
+          f"{100 * r.cycle_savings:.1f}%") for r in rows])

@@ -1,0 +1,165 @@
+"""Figures 3-5: the performance evaluation (Section VII-C).
+
+* Figure 3 — normalized storage *throughput* per record size (read and
+  write), SEDSpec vs baseline, for EHCI/SDHCI/SCSI/FDC.  The paper's
+  claim: less than 5% loss.
+* Figure 4 — normalized storage *latency*, same sweep: less than 5%.
+* Figure 5 — PCNet bandwidth for TCP/UDP x up/down (5.7-7.3% loss) and
+  ping latency (+9.2%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.checker import Mode
+from repro.core import deploy
+from repro.eval.report import render_table
+from repro.spec import ExecutionSpec
+from repro.workloads import (
+    DEFAULT_RECORD_SIZES, IozoneResult, Measurement, PROFILES, iozone,
+    iperf, normalized, overhead_percent, ping, train_device_spec,
+)
+
+STORAGE_DEVICES = ("fdc", "ehci", "sdhci", "scsi")
+
+#: The FDC's 1.44/2.88MB media caps its sweep (as the paper notes).
+FDC_MAX_RECORD = 8192
+
+
+def _measured_pair(device_name: str, spec: ExecutionSpec,
+                   record_sizes: Tuple[int, ...],
+                   records_per_size: int) -> Tuple[IozoneResult,
+                                                   IozoneResult]:
+    prof = PROFILES[device_name]
+    vm, _ = prof.make_vm()
+    driver = prof.make_driver(vm)
+    prof.prepare(vm, driver)
+    base = iozone(device_name, vm, driver, record_sizes=record_sizes,
+                  records_per_size=records_per_size)
+
+    vm2, device2 = prof.make_vm()
+    deploy(vm2, device2, spec, mode=Mode.ENHANCEMENT)
+    driver2 = prof.make_driver(vm2)
+    prof.prepare(vm2, driver2)
+    treated = iozone(device_name, vm2, driver2,
+                     record_sizes=record_sizes,
+                     records_per_size=records_per_size)
+    return base, treated
+
+
+@dataclass
+class StorageFigure:
+    """Data behind Figure 3 (metric="throughput") or 4 ("latency")."""
+
+    metric: str
+    #: device -> record size -> (normalized write, normalized read)
+    series: Dict[str, Dict[int, Tuple[float, float]]] = field(
+        default_factory=dict)
+
+    def max_overhead_percent(self) -> float:
+        worst = 0.0
+        for sizes in self.series.values():
+            for write_n, read_n in sizes.values():
+                for value in (write_n, read_n):
+                    over = (1 - value if self.metric == "throughput"
+                            else value - 1)
+                    worst = max(worst, 100 * over)
+        return worst
+
+    def render(self) -> str:
+        rows = []
+        for device in sorted(self.series):
+            for size, (write_n, read_n) in sorted(
+                    self.series[device].items()):
+                rows.append((device, size, f"{write_n:.3f}",
+                             f"{read_n:.3f}"))
+        return render_table(
+            ("Device", "Record", f"write ({self.metric}, norm.)",
+             f"read ({self.metric}, norm.)"), rows)
+
+
+def generate_storage_figures(
+        specs: Optional[Dict[str, ExecutionSpec]] = None,
+        record_sizes: Tuple[int, ...] = DEFAULT_RECORD_SIZES,
+        records_per_size: int = 2
+        ) -> Tuple[StorageFigure, StorageFigure]:
+    """Figures 3 and 4 in one sweep (shared measurements)."""
+    if specs is None:
+        specs = {name: train_device_spec(name).spec
+                 for name in STORAGE_DEVICES}
+    fig3 = StorageFigure("throughput")
+    fig4 = StorageFigure("latency")
+    for device_name in STORAGE_DEVICES:
+        sizes = tuple(s for s in record_sizes
+                      if device_name != "fdc" or s <= FDC_MAX_RECORD)
+        base, treated = _measured_pair(
+            device_name, specs[device_name], sizes, records_per_size)
+        fig3.series[device_name] = {}
+        fig4.series[device_name] = {}
+        for size in sizes:
+            fig3.series[device_name][size] = (
+                normalized(base.write[size], treated.write[size],
+                           "throughput"),
+                normalized(base.read[size], treated.read[size],
+                           "throughput"))
+            fig4.series[device_name][size] = (
+                normalized(base.write[size], treated.write[size],
+                           "latency"),
+                normalized(base.read[size], treated.read[size],
+                           "latency"))
+    return fig3, fig4
+
+
+@dataclass
+class NetworkFigure:
+    """Data behind Figure 5: PCNet bandwidth bars + ping latency."""
+
+    #: (proto, direction) -> bandwidth overhead percent
+    bandwidth_overhead: Dict[Tuple[str, str], float] = field(
+        default_factory=dict)
+    ping_overhead_percent: float = 0.0
+    ping_base: Optional[Measurement] = None
+    ping_treated: Optional[Measurement] = None
+
+    def render(self) -> str:
+        rows = [(f"{proto.upper()} {direction}stream",
+                 f"{self.bandwidth_overhead[(proto, direction)]:.1f}%")
+                for proto in ("tcp", "udp")
+                for direction in ("up", "down")]
+        rows.append(("ping latency", f"{self.ping_overhead_percent:.1f}%"))
+        return render_table(("PCNet benchmark", "SEDSpec overhead"), rows)
+
+    def max_bandwidth_overhead(self) -> float:
+        return max(self.bandwidth_overhead.values())
+
+
+def generate_network_figure(
+        spec: Optional[ExecutionSpec] = None,
+        frames: int = 24, ping_count: int = 20) -> NetworkFigure:
+    if spec is None:
+        spec = train_device_spec("pcnet").spec
+    prof = PROFILES["pcnet"]
+
+    vm, _ = prof.make_vm()
+    driver = prof.make_driver(vm)
+    prof.prepare(vm, driver)
+    base_bw = iperf(vm, driver, frames=frames)
+    base_ping = ping(vm, driver, count=ping_count)
+
+    vm2, device2 = prof.make_vm()
+    deploy(vm2, device2, spec, mode=Mode.ENHANCEMENT)
+    driver2 = prof.make_driver(vm2)
+    prof.prepare(vm2, driver2)
+    treated_bw = iperf(vm2, driver2, frames=frames)
+    treated_ping = ping(vm2, driver2, count=ping_count)
+
+    figure = NetworkFigure(ping_base=base_ping, ping_treated=treated_ping)
+    for key in base_bw.bandwidth:
+        figure.bandwidth_overhead[key] = overhead_percent(
+            base_bw.bandwidth[key], treated_bw.bandwidth[key],
+            "bandwidth")
+    figure.ping_overhead_percent = overhead_percent(
+        base_ping, treated_ping, "latency")
+    return figure

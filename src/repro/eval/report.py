@@ -1,0 +1,25 @@
+"""Plain-text rendering helpers shared by the evaluation harnesses."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Fixed-width ASCII table, the benches' printable output."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i])
+                          for i, cell in enumerate(row))
+    lines = [fmt(headers), "-+-".join("-" * w for w in widths)]
+    lines.extend(fmt(row) for row in materialized)
+    return "\n".join(lines)
+
+
+def pct(value: float, digits: int = 2) -> str:
+    return f"{100 * value:.{digits}f}%"

@@ -1,0 +1,112 @@
+"""Security evaluation harnesses (Section VII-B).
+
+* :func:`strategy_matrix` — the check-strategy ✓-matrix of Table III: for
+  each CVE, deploy the spec with *one* strategy enabled at a time (as the
+  paper does) and record which strategies detect the exploitation.
+* :func:`defended` — protection-mode end-to-end: does the deployment stop
+  the exploit before the device is compromised?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.checker import Mode, Strategy
+from repro.core import deploy
+from repro.exploits.pocs import (
+    EXPLOITS, AttackOutcome, Exploit, run_exploit,
+)
+from repro.spec import ExecutionSpec
+from repro.workloads.profiles import PROFILES, train_device_spec
+
+
+@dataclass
+class CveResult:
+    """One row of Table III's strategy columns."""
+
+    cve: str
+    device: str
+    qemu_version: str
+    detected_by: FrozenSet[Strategy] = frozenset()
+    expected: FrozenSet[Strategy] = frozenset()
+    expected_miss: bool = False
+
+    @property
+    def matches_paper(self) -> bool:
+        if self.expected_miss:
+            return not self.detected_by
+        return self.expected <= self.detected_by
+
+    def row(self) -> Tuple[str, str, str, str, str]:
+        def mark(strategy: Strategy) -> str:
+            return "Y" if strategy in self.detected_by else ""
+        return (self.device, self.cve, self.qemu_version,
+                mark(Strategy.PARAMETER) + "/"
+                + mark(Strategy.INDIRECT_JUMP) + "/"
+                + mark(Strategy.CONDITIONAL_JUMP),
+                "miss(expected)" if self.expected_miss
+                and not self.detected_by else "")
+
+
+def _spec_for(exploit: Exploit,
+              cache: Dict[Tuple[str, str], ExecutionSpec]) -> ExecutionSpec:
+    key = (exploit.device, exploit.qemu_version)
+    if key not in cache:
+        cache[key] = train_device_spec(
+            exploit.device, qemu_version=exploit.qemu_version).spec
+    return cache[key]
+
+
+def strategy_matrix(exploits: Tuple[Exploit, ...] = EXPLOITS,
+                    cache: Optional[Dict] = None) -> List[CveResult]:
+    """Run every exploit under each single-strategy deployment."""
+    cache = cache if cache is not None else {}
+    results: List[CveResult] = []
+    for exploit in exploits:
+        spec = _spec_for(exploit, cache)
+        detected: set = set()
+        for strategy in Strategy:
+            prof = PROFILES[exploit.device]
+            vm, device = prof.make_vm(exploit.qemu_version)
+            deploy(vm, device, spec, mode=Mode.PROTECTION,
+                   strategies=frozenset({strategy}))
+            outcome = run_exploit(vm, device, exploit)
+            if outcome.detected and strategy in outcome.anomaly_strategies:
+                detected.add(strategy)
+        results.append(CveResult(
+            cve=exploit.cve, device=exploit.device,
+            qemu_version=exploit.qemu_version,
+            detected_by=frozenset(detected),
+            expected=exploit.expected_strategies,
+            expected_miss=exploit.expected_miss))
+    return results
+
+
+@dataclass
+class DefenseResult:
+    cve: str
+    halted: bool
+    device_survived: bool
+    outcome: AttackOutcome
+
+
+def defended(exploit: Exploit,
+             cache: Optional[Dict] = None) -> DefenseResult:
+    """Protection mode, all strategies: is the device still standing?"""
+    cache = cache if cache is not None else {}
+    spec = _spec_for(exploit, cache)
+    prof = PROFILES[exploit.device]
+    vm, device = prof.make_vm(exploit.qemu_version)
+    deploy(vm, device, spec, mode=Mode.PROTECTION)
+    outcome = run_exploit(vm, device, exploit)
+    return DefenseResult(
+        cve=exploit.cve, halted=outcome.detected,
+        device_survived=not device.halted, outcome=outcome)
+
+
+def undefended(exploit: Exploit) -> AttackOutcome:
+    """Baseline: the same exploit with no SEDSpec attached."""
+    prof = PROFILES[exploit.device]
+    vm, device = prof.make_vm(exploit.qemu_version)
+    return run_exploit(vm, device, exploit)

@@ -1,0 +1,11 @@
+"""IR interpreter and trace sink interfaces."""
+
+from repro.interp.machine import (
+    DEFAULT_EXTERN_COST, STMT_COST, TERM_COST, Flags, Machine, eval_binop,
+)
+from repro.interp.sinks import CoverageSink, TraceSink
+
+__all__ = [
+    "DEFAULT_EXTERN_COST", "STMT_COST", "TERM_COST", "Flags", "Machine",
+    "eval_binop", "CoverageSink", "TraceSink",
+]

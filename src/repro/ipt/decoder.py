@@ -1,0 +1,159 @@
+"""Packet decoder: replays a PT packet stream against the static program.
+
+A PT decoder reconstructs the exact path by walking the binary from the PGE
+address and consuming TNT bits at conditional branches / TIP addresses at
+indirect transfers; direct jumps, calls, and returns are followed
+statically.  This module does the same over the IR program and yields, per
+I/O round, the ordered list of executed block addresses plus the resolved
+indirect targets — the inputs to ITC-CFG construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import TraceError
+from repro.ir import (
+    Branch, Call, Goto, ICall, Program, Return, Switch,
+)
+from repro.ipt.packets import (
+    Fup, Packet, Tip, TipPgd, TipPge, Tnt, iter_rounds,
+)
+
+
+@dataclass
+class DecodedRound:
+    """Reconstruction of one I/O round."""
+
+    entry_address: int
+    block_addresses: List[int] = field(default_factory=list)
+    #: (source block address, target address, kind) for each indirect hop.
+    indirect_edges: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: True if the round ended with a FUP (device fault mid-round).
+    faulted: bool = False
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """Consecutive-block edge list of the reconstructed path."""
+        return list(zip(self.block_addresses, self.block_addresses[1:]))
+
+
+class _BitFeed:
+    """Sequential consumer of TNT bits / TIP addresses within one round."""
+
+    def __init__(self, packets: List[Packet]):
+        self._tnt: List[bool] = []
+        self._tips: List[int] = []
+        self.faulted = False
+        for pkt in packets:
+            if isinstance(pkt, Tnt):
+                self._tnt.extend(pkt.bits)
+            elif isinstance(pkt, Tip):
+                self._tips.append(pkt.ip)
+            elif isinstance(pkt, Fup):
+                self.faulted = True
+        self._tnt_pos = 0
+        self._tip_pos = 0
+
+    def next_bit(self) -> Optional[bool]:
+        if self._tnt_pos >= len(self._tnt):
+            return None
+        bit = self._tnt[self._tnt_pos]
+        self._tnt_pos += 1
+        return bit
+
+    def next_tip(self) -> Optional[int]:
+        if self._tip_pos >= len(self._tips):
+            return None
+        ip = self._tips[self._tip_pos]
+        self._tip_pos += 1
+        return ip
+
+    def exhausted(self) -> bool:
+        return (self._tnt_pos >= len(self._tnt)
+                and self._tip_pos >= len(self._tips))
+
+
+class Decoder:
+    """Replays packet rounds against a frozen :class:`Program`."""
+
+    def __init__(self, program: Program, max_blocks: int = 1_000_000):
+        self.program = program
+        self.max_blocks = max_blocks
+
+    def decode_stream(self, packets: Iterable[Packet]) -> List[DecodedRound]:
+        return [self.decode_round(chunk) for chunk in iter_rounds(packets)]
+
+    def decode_round(self, packets: List[Packet]) -> DecodedRound:
+        pge = next((p for p in packets if isinstance(p, TipPge)), None)
+        if pge is None:
+            raise TraceError("round has no TIP.PGE packet")
+        feed = _BitFeed(packets)
+        round_ = DecodedRound(entry_address=pge.ip, faulted=feed.faulted)
+        self._walk(pge.ip, feed, round_)
+        return round_
+
+    # -- path reconstruction ------------------------------------------------
+
+    def _walk(self, entry_addr: int, feed: _BitFeed,
+              round_: DecodedRound) -> None:
+        loc = self.program.addr_to_block.get(entry_addr)
+        if loc is None:
+            raise TraceError(f"PGE address {entry_addr:#x} is not a block")
+        func_name, label = loc
+        #: call stack of (func_name, continuation_label, ...)
+        stack: List[Tuple[str, str]] = []
+        steps = 0
+        while True:
+            steps += 1
+            if steps > self.max_blocks:
+                raise TraceError("decoder runaway (packet/program mismatch)")
+            func = self.program.function(func_name)
+            block = func.block(label)
+            round_.block_addresses.append(block.address)
+            term = block.terminator
+            if isinstance(term, Goto):
+                label = term.target
+            elif isinstance(term, Branch):
+                bit = feed.next_bit()
+                if bit is None:
+                    if round_.faulted or feed.exhausted():
+                        return   # trace ended mid-path (fault / truncation)
+                    raise TraceError(
+                        f"TNT underflow at {func_name}:{label}")
+                label = term.taken if bit else term.not_taken
+            elif isinstance(term, Switch):
+                target_addr = feed.next_tip()
+                if target_addr is None:
+                    return
+                round_.indirect_edges.append(
+                    (block.address, target_addr, "switch"))
+                target_loc = self.program.addr_to_block.get(target_addr)
+                if target_loc is None or target_loc[0] != func_name:
+                    raise TraceError(
+                        f"switch TIP {target_addr:#x} leaves {func_name}")
+                label = target_loc[1]
+            elif isinstance(term, Call):
+                stack.append((func_name, term.cont))
+                func_name = term.func
+                label = self.program.function(func_name).entry
+            elif isinstance(term, ICall):
+                target_addr = feed.next_tip()
+                if target_addr is None:
+                    return
+                round_.indirect_edges.append(
+                    (block.address, target_addr, "icall"))
+                callee = self.program.addr_to_func.get(target_addr)
+                if callee is None:
+                    # Hijack to a wild address: the trace ends in a fault.
+                    return
+                stack.append((func_name, term.cont))
+                func_name = callee
+                label = self.program.function(callee).entry
+            elif isinstance(term, Return):
+                if not stack:
+                    return   # top-level handler returned: round complete
+                func_name, label = stack.pop()
+            else:
+                raise TraceError(
+                    f"unknown terminator in {func_name}:{label}")

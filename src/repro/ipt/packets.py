@@ -1,0 +1,175 @@
+"""Intel-PT-style packet model.
+
+Real IPT emits a compressed packet stream; the packets that matter for
+control-flow reconstruction (and the only ones FlowGuard-style ITC-CFG
+construction consumes) are:
+
+* ``PSB``      — synchronization boundary,
+* ``TIP.PGE``  — tracing enabled at an address (our: I/O entered device),
+* ``TIP.PGD``  — tracing disabled (our: I/O round left the device),
+* ``TNT``      — a run of taken/not-taken bits for conditional branches,
+* ``TIP``      — target address of an indirect transfer,
+* ``FUP``      — flow-update (async event address; we emit it on faults).
+
+We model packets as small dataclasses plus a compact byte encoding, so the
+decoder genuinely works from bytes the way a PT decoder does (and so tests
+can assert round-trips).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple, Union
+
+from repro.errors import TraceError
+
+_MAGIC = {
+    "PSB": 0x01, "PGE": 0x02, "PGD": 0x03, "TNT": 0x04, "TIP": 0x05,
+    "FUP": 0x06,
+}
+_REV_MAGIC = {v: k for k, v in _MAGIC.items()}
+
+#: TNT packets carry at most this many branch bits (real short-TNT holds 6).
+TNT_CAPACITY = 6
+
+
+@dataclass(frozen=True)
+class PSB:
+    """Stream synchronization point."""
+
+
+@dataclass(frozen=True)
+class TipPge:
+    """Tracing began at *ip* (filter matched: I/O request entered device)."""
+
+    ip: int
+
+
+@dataclass(frozen=True)
+class TipPgd:
+    """Tracing ended (I/O round completed or filter exited)."""
+
+    ip: int
+
+
+@dataclass(frozen=True)
+class Tnt:
+    """Up to :data:`TNT_CAPACITY` conditional-branch outcomes, oldest first."""
+
+    bits: Tuple[bool, ...]
+
+    def __post_init__(self) -> None:
+        if not 0 < len(self.bits) <= TNT_CAPACITY:
+            raise TraceError(
+                f"TNT packet must carry 1..{TNT_CAPACITY} bits")
+
+
+@dataclass(frozen=True)
+class Tip:
+    """Indirect transfer to *ip* (switch table jump or funcptr call)."""
+
+    ip: int
+
+
+@dataclass(frozen=True)
+class Fup:
+    """Asynchronous flow update at *ip* (we emit on device faults)."""
+
+    ip: int
+
+
+Packet = Union[PSB, TipPge, TipPgd, Tnt, Tip, Fup]
+
+
+def encode(packets: Iterable[Packet]) -> bytes:
+    """Serialize packets into the byte stream format.
+
+    Layout: 1 magic byte, then for address packets an 8-byte LE ip; for TNT
+    a count byte followed by a bit-packed byte.
+    """
+    out = bytearray()
+    for pkt in packets:
+        if isinstance(pkt, PSB):
+            out.append(_MAGIC["PSB"])
+        elif isinstance(pkt, TipPge):
+            out.append(_MAGIC["PGE"])
+            out += struct.pack("<Q", pkt.ip)
+        elif isinstance(pkt, TipPgd):
+            out.append(_MAGIC["PGD"])
+            out += struct.pack("<Q", pkt.ip)
+        elif isinstance(pkt, Tip):
+            out.append(_MAGIC["TIP"])
+            out += struct.pack("<Q", pkt.ip)
+        elif isinstance(pkt, Fup):
+            out.append(_MAGIC["FUP"])
+            out += struct.pack("<Q", pkt.ip)
+        elif isinstance(pkt, Tnt):
+            out.append(_MAGIC["TNT"])
+            out.append(len(pkt.bits))
+            packed = 0
+            for i, bit in enumerate(pkt.bits):
+                if bit:
+                    packed |= 1 << i
+            out.append(packed)
+        else:
+            raise TraceError(f"cannot encode {type(pkt).__name__}")
+    return bytes(out)
+
+
+def decode(data: bytes) -> List[Packet]:
+    """Parse a byte stream back into packets (inverse of :func:`encode`)."""
+    packets: List[Packet] = []
+    pos = 0
+    size = len(data)
+    while pos < size:
+        magic = data[pos]
+        pos += 1
+        kind = _REV_MAGIC.get(magic)
+        if kind is None:
+            raise TraceError(f"bad magic byte {magic:#x} at offset {pos - 1}")
+        if kind == "PSB":
+            packets.append(PSB())
+        elif kind == "TNT":
+            if pos + 2 > size:
+                raise TraceError("truncated TNT packet")
+            count = data[pos]
+            packed = data[pos + 1]
+            pos += 2
+            bits = tuple(bool(packed >> i & 1) for i in range(count))
+            packets.append(Tnt(bits))
+        else:
+            if pos + 8 > size:
+                raise TraceError(f"truncated {kind} packet")
+            (ip,) = struct.unpack_from("<Q", data, pos)
+            pos += 8
+            if kind == "PGE":
+                packets.append(TipPge(ip))
+            elif kind == "PGD":
+                packets.append(TipPgd(ip))
+            elif kind == "TIP":
+                packets.append(Tip(ip))
+            else:
+                packets.append(Fup(ip))
+    return packets
+
+
+def iter_rounds(packets: Iterable[Packet]) -> Iterator[List[Packet]]:
+    """Split a packet stream into per-I/O-round segments (PGE..PGD)."""
+    current: List[Packet] = []
+    inside = False
+    for pkt in packets:
+        if isinstance(pkt, TipPge):
+            current = [pkt]
+            inside = True
+        elif isinstance(pkt, TipPgd):
+            if inside:
+                current.append(pkt)
+                yield current
+                current = []
+                inside = False
+        elif inside:
+            current.append(pkt)
+    if inside and current:
+        # Trailing partial round (device faulted mid-I/O): still useful.
+        yield current

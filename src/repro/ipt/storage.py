@@ -1,0 +1,75 @@
+"""Trace persistence: PT packet streams and decoded rounds on disk.
+
+The paper's pipeline is file-based (trace capture on one run, analysis
+later); this module gives the packet stream a durable container with a
+small header (magic, version, device, code range) so decoders can check
+they are replaying against the right build.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import TraceError
+from repro.ipt.packets import Packet, decode, encode
+
+MAGIC = b"SEDT"
+VERSION = 1
+
+
+@dataclass
+class TraceFile:
+    """A captured trace: metadata + the raw packet bytes."""
+
+    device: str
+    code_range: Tuple[int, int]
+    packets: List[Packet]
+    qemu_version: str = ""
+
+    def save(self, path: str) -> None:
+        header = json.dumps({
+            "device": self.device,
+            "code_range": list(self.code_range),
+            "qemu_version": self.qemu_version,
+        }).encode()
+        payload = encode(self.packets)
+        with open(path, "wb") as handle:
+            handle.write(MAGIC)
+            handle.write(struct.pack("<HI", VERSION, len(header)))
+            handle.write(header)
+            handle.write(struct.pack("<I", len(payload)))
+            handle.write(payload)
+
+    @classmethod
+    def load(cls, path: str) -> "TraceFile":
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        if blob[:4] != MAGIC:
+            raise TraceError(f"{path}: not a SEDSpec trace file")
+        (version, header_len) = struct.unpack_from("<HI", blob, 4)
+        if version != VERSION:
+            raise TraceError(f"{path}: unsupported trace version "
+                             f"{version}")
+        pos = 4 + 6
+        header = json.loads(blob[pos:pos + header_len].decode())
+        pos += header_len
+        (payload_len,) = struct.unpack_from("<I", blob, pos)
+        pos += 4
+        payload = blob[pos:pos + payload_len]
+        if len(payload) != payload_len:
+            raise TraceError(f"{path}: truncated packet payload")
+        return cls(device=header["device"],
+                   code_range=tuple(header["code_range"]),
+                   packets=decode(payload),
+                   qemu_version=header.get("qemu_version", ""))
+
+    def check_compatible(self, program) -> None:
+        """Refuse to decode a trace against a different build."""
+        if tuple(program.code_range()) != tuple(self.code_range):
+            raise TraceError(
+                "trace was captured against a different build "
+                f"(code range {self.code_range} vs "
+                f"{program.code_range()})")

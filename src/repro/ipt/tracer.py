@@ -1,0 +1,127 @@
+"""The IPT module: configures filtering and records the packet stream.
+
+Mirrors Section IV-A of the paper: tracing starts when the I/O data stream
+enters the emulated device and stops when it exits; an address filter keeps
+only the device's own code range (dropping shared-library and, by
+construction, kernel control flow); the output is the raw packet buffer the
+ITC-CFG builder consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.interp.sinks import TraceSink
+from repro.ipt.packets import (
+    PSB, Fup, Packet, Tip, TipPgd, TipPge, Tnt, TNT_CAPACITY, encode,
+)
+
+#: Emit a PSB sync packet after this many packets, like periodic PSB+ in PT.
+PSB_PERIOD = 256
+
+
+@dataclass
+class FilterConfig:
+    """What the IPT module is configured to record.
+
+    *code_ranges* is the list of [lo, hi) address windows that may appear in
+    the trace (the paper computes the emulated device's code range from the
+    process memory layout).  *trace_kernel* is off by default, matching the
+    paper's "tracing of kernel space control flow is disabled".
+    """
+
+    code_ranges: List[Tuple[int, int]] = field(default_factory=list)
+    trace_kernel: bool = False
+
+    def allows(self, address: int) -> bool:
+        if not self.code_ranges:
+            return True
+        return any(lo <= address < hi for lo, hi in self.code_ranges)
+
+
+class IPTTracer(TraceSink):
+    """Trace sink producing an IPT-style packet stream.
+
+    Attach to a :class:`~repro.interp.Machine`; after running training
+    samples, read ``packets`` (or ``raw()`` for the byte encoding).
+    """
+
+    def __init__(self, config: Optional[FilterConfig] = None):
+        self.config = config or FilterConfig()
+        self.packets: List[Packet] = []
+        self._tnt_bits: List[bool] = []
+        self._enabled = False
+        self._need_pge = False
+        self._since_psb = 0
+
+    # -- sink events --------------------------------------------------------
+
+    def attach(self, machine) -> None:
+        if not self.config.code_ranges:
+            self.config.code_ranges = [machine.program.code_range()]
+
+    def on_io_enter(self, key, args) -> None:
+        self._enabled = True
+        self._need_pge = True
+        self._push(PSB())
+
+    def on_block(self, func, block) -> None:
+        if not self._enabled or not self._need_pge:
+            return
+        # First block of the round: the PGE carries the entry address.
+        if self.config.allows(block.address):
+            self._push(TipPge(block.address))
+            self._need_pge = False
+
+    def on_branch(self, block, taken) -> None:
+        if not self._enabled or not self.config.allows(block.address):
+            return
+        self._tnt_bits.append(taken)
+        if len(self._tnt_bits) >= TNT_CAPACITY:
+            self._flush_tnt()
+
+    def on_tip(self, block, target_addr, kind) -> None:
+        if not self._enabled or not self.config.allows(block.address):
+            return
+        self._flush_tnt()
+        self._push(Tip(target_addr))
+
+    def on_io_exit(self, key, result) -> None:
+        self._flush_tnt()
+        self._push(TipPgd(0))
+        self._enabled = False
+
+    def fault(self, address: int) -> None:
+        """Record an async fault location (FUP), then stop the round."""
+        self._flush_tnt()
+        self._push(Fup(address))
+        self._push(TipPgd(address))
+        self._enabled = False
+
+    # -- output ------------------------------------------------------------
+
+    def raw(self) -> bytes:
+        return encode(self.packets)
+
+    def clear(self) -> None:
+        self.packets.clear()
+        self._tnt_bits.clear()
+        self._since_psb = 0
+
+    def packet_count(self) -> int:
+        return len(self.packets)
+
+    # -- internals -----------------------------------------------------------
+
+    def _flush_tnt(self) -> None:
+        if self._tnt_bits:
+            self._push(Tnt(tuple(self._tnt_bits)))
+            self._tnt_bits.clear()
+
+    def _push(self, pkt: Packet) -> None:
+        self.packets.append(pkt)
+        self._since_psb += 1
+        if self._since_psb >= PSB_PERIOD and not isinstance(pkt, TipPgd):
+            self.packets.append(PSB())
+            self._since_psb = 0

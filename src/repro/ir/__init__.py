@@ -1,0 +1,39 @@
+"""Typed, basic-block IR for emulated-device logic.
+
+Device I/O handlers (written in a restricted Python subset) are compiled
+into this IR by :mod:`repro.compiler`; the interpreter in
+:mod:`repro.interp` executes it while the IPT simulator in :mod:`repro.ipt`
+records its control flow.
+"""
+
+from repro.ir.types import (
+    U8, U16, U32, U64, I8, I16, I32, I64, FUNCPTR,
+    BufType, FuncPtrType, IntType, WrapResult, type_by_name,
+)
+from repro.ir.layout import FieldDecl, StateLayout, StateMemory
+from repro.ir.expr import (
+    BinOp, BufLen, BufLoad, Const, Expr, Local, Param, StateRef, SyncVar,
+    UnOp,
+)
+from repro.ir.stmt import (
+    Assign, Branch, BufStore, Call, ExternCall, Goto, ICall, Intrinsic,
+    Return, StateStore, Stmt, Switch, Terminator,
+    stmt_state_reads, terminator_state_reads,
+)
+from repro.ir.program import (
+    BLOCK_ADDR_STRIDE, CODE_BASE, FUNC_ADDR_STRIDE,
+    BasicBlock, Function, Program,
+)
+
+__all__ = [
+    "U8", "U16", "U32", "U64", "I8", "I16", "I32", "I64", "FUNCPTR",
+    "BufType", "FuncPtrType", "IntType", "WrapResult", "type_by_name",
+    "FieldDecl", "StateLayout", "StateMemory",
+    "BinOp", "BufLen", "BufLoad", "Const", "Expr", "Local", "Param",
+    "StateRef", "SyncVar", "UnOp",
+    "Assign", "Branch", "BufStore", "Call", "ExternCall", "Goto", "ICall",
+    "Intrinsic", "Return", "StateStore", "Stmt", "Switch", "Terminator",
+    "stmt_state_reads", "terminator_state_reads",
+    "BLOCK_ADDR_STRIDE", "CODE_BASE", "FUNC_ADDR_STRIDE",
+    "BasicBlock", "Function", "Program",
+]

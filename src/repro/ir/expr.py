@@ -1,0 +1,172 @@
+"""Expression nodes of the device IR.
+
+Expressions are side-effect free trees evaluated against (locals, device
+state, call parameters).  They appear inside statements and as branch
+conditions, and — crucially for SEDSpec — they are *re-evaluable by the
+ES-Checker* over its shadow device state, which is how DSOD/NBTD execution
+works in the specification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, Tuple
+
+BINOPS = {
+    "+", "-", "*", "//", "%", "&", "|", "^", "<<", ">>",
+    "==", "!=", "<", "<=", ">", ">=", "and", "or",
+}
+UNOPS = {"-", "not", "~"}
+
+
+class Expr:
+    """Base class; subclasses are frozen dataclasses."""
+
+    def children(self) -> Tuple["Expr", ...]:
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def state_refs(self) -> FrozenSet[str]:
+        """Names of control-structure fields this expression reads."""
+        names = set()
+        for node in self.walk():
+            if isinstance(node, StateRef):
+                names.add(node.field)
+            elif isinstance(node, BufLoad):
+                names.add(node.buf)
+        return frozenset(names)
+
+    def local_refs(self) -> FrozenSet[str]:
+        """Names of local variables this expression reads."""
+        return frozenset(n.name for n in self.walk() if isinstance(n, Local))
+
+    def param_refs(self) -> FrozenSet[str]:
+        """Names of function parameters this expression reads."""
+        return frozenset(n.name for n in self.walk() if isinstance(n, Param))
+
+    def sync_refs(self) -> FrozenSet[str]:
+        """Names of sync variables (data-dependency-recovery escape hatch)."""
+        return frozenset(n.name for n in self.walk() if isinstance(n, SyncVar))
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    """Integer literal."""
+
+    value: int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Local(Expr):
+    """Read of a function-local variable."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Param(Expr):
+    """Read of a function parameter (I/O request data for entry handlers)."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+@dataclass(frozen=True)
+class StateRef(Expr):
+    """Read of a scalar field of the device control structure."""
+
+    field: str
+
+    def __str__(self) -> str:
+        return f"dev.{self.field}"
+
+
+@dataclass(frozen=True)
+class BufLoad(Expr):
+    """Load from an inline buffer of the control structure (unchecked)."""
+
+    buf: str
+    index: "Expr"
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.index,)
+
+    def __str__(self) -> str:
+        return f"dev.{self.buf}[{self.index}]"
+
+
+@dataclass(frozen=True)
+class BufLen(Expr):
+    """Declared length of a buffer — compile-time constant (``len(dev.x)``)."""
+
+    buf: str
+    length: int
+
+    def __str__(self) -> str:
+        return f"len(dev.{self.buf})"
+
+
+@dataclass(frozen=True)
+class SyncVar(Expr):
+    """A value not derivable from device state: resolved by a sync point.
+
+    Inserted by data-dependency recovery when an NBTD condition depends on a
+    local the checker cannot compute; at runtime the sync oracle supplies
+    the value (Section V-D of the paper).
+    """
+
+    name: str
+
+    def __str__(self) -> str:
+        return f"sync({self.name})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation; arithmetic is exact, wrapping happens at stores."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in BINOPS:
+            from repro.errors import IRError
+            raise IRError(f"unknown binary operator {self.op!r}")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnOp(Expr):
+    """Unary operation."""
+
+    op: str
+    operand: "Expr"
+
+    def __post_init__(self) -> None:
+        if self.op not in UNOPS:
+            from repro.errors import IRError
+            raise IRError(f"unknown unary operator {self.op!r}")
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"

@@ -1,0 +1,284 @@
+"""Statement and terminator nodes of the device IR.
+
+A basic block holds a straight-line list of statements followed by exactly
+one terminator.  Terminators are where trace packets come from: ``Branch``
+emits a TNT bit, ``Switch`` and indirect calls emit TIP packets — mirroring
+what Intel PT records for conditional and indirect jumps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.ir.expr import Expr
+
+
+class Stmt:
+    """Base class for straight-line statements."""
+
+    lineno: int = 0
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def defined_local(self) -> Optional[str]:
+        return None
+
+    def stored_field(self) -> Optional[str]:
+        """Control-structure field this statement writes, if any."""
+        return None
+
+
+@dataclass
+class Assign(Stmt):
+    """``local = expr``"""
+
+    target: str
+    value: Expr
+    lineno: int = 0
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.value,)
+
+    def defined_local(self) -> Optional[str]:
+        return self.target
+
+    def __str__(self) -> str:
+        return f"{self.target} = {self.value}"
+
+
+@dataclass
+class StateStore(Stmt):
+    """``dev.field = expr`` — wraps to the field width, sets overflow flag."""
+
+    field: str
+    value: Expr
+    lineno: int = 0
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.value,)
+
+    def stored_field(self) -> Optional[str]:
+        return self.field
+
+    def __str__(self) -> str:
+        return f"dev.{self.field} = {self.value}"
+
+
+@dataclass
+class BufStore(Stmt):
+    """``dev.buf[index] = expr`` — unchecked, like the C it stands in for."""
+
+    buf: str
+    index: Expr
+    value: Expr
+    lineno: int = 0
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.index, self.value)
+
+    def stored_field(self) -> Optional[str]:
+        return self.buf
+
+    def __str__(self) -> str:
+        return f"dev.{self.buf}[{self.index}] = {self.value}"
+
+
+@dataclass
+class ExternCall(Stmt):
+    """Call into the host environment (DMA access, IRQ line, log, …).
+
+    Extern calls are the boundary of the traced/analysed world: the paper's
+    IPT address filter drops shared-library control flow, and our CFG
+    analyser treats extern results as opaque (candidates for sync points).
+    """
+
+    func: str
+    args: Tuple[Expr, ...]
+    dest: Optional[str] = None
+    lineno: int = 0
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def defined_local(self) -> Optional[str]:
+        return self.dest
+
+    def __str__(self) -> str:
+        call = f"extern {self.func}({', '.join(map(str, self.args))})"
+        return f"{self.dest} = {call}" if self.dest else call
+
+
+@dataclass
+class Intrinsic(Stmt):
+    """SEDSpec marker pseudo-statement (command decision/end annotations).
+
+    Compiled from ``sed_command_decision(expr)`` / ``sed_command_end()``
+    in device source.  Interpreted as a no-op by the interpreter; consumed
+    by the CFG analyser as the "auxiliary information" the paper's
+    observation points record.
+    """
+
+    kind: str                     # "command_decision" | "command_end"
+    args: Tuple[Expr, ...] = ()
+    lineno: int = 0
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        return f"@{self.kind}({', '.join(map(str, self.args))})"
+
+
+# --------------------------------------------------------------------------
+# Terminators
+# --------------------------------------------------------------------------
+
+class Terminator:
+    """Base class; every block ends with exactly one."""
+
+    lineno: int = 0
+
+    def successors(self) -> Tuple[str, ...]:
+        return ()
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return ()
+
+
+@dataclass
+class Goto(Terminator):
+    """Unconditional fall-through; emits no trace packet."""
+
+    target: str
+    lineno: int = 0
+
+    def successors(self) -> Tuple[str, ...]:
+        return (self.target,)
+
+    def __str__(self) -> str:
+        return f"goto {self.target}"
+
+
+@dataclass
+class Branch(Terminator):
+    """Conditional jump; emits one TNT bit (taken = condition true)."""
+
+    cond: Expr
+    taken: str
+    not_taken: str
+    lineno: int = 0
+
+    def successors(self) -> Tuple[str, ...]:
+        return (self.taken, self.not_taken)
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.cond,)
+
+    def __str__(self) -> str:
+        return f"br {self.cond} ? {self.taken} : {self.not_taken}"
+
+
+@dataclass
+class Switch(Terminator):
+    """Multi-way dispatch (C switch via jump table); emits a TIP packet.
+
+    The common shape of a QEMU device's command dispatch — and therefore
+    the usual carrier of the paper's *command decision block*.
+    """
+
+    scrutinee: Expr
+    table: Dict[int, str] = field(default_factory=dict)
+    default: str = ""
+    lineno: int = 0
+
+    def successors(self) -> Tuple[str, ...]:
+        succ = list(dict.fromkeys(self.table.values()))
+        if self.default and self.default not in succ:
+            succ.append(self.default)
+        return tuple(succ)
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.scrutinee,)
+
+    def __str__(self) -> str:
+        arms = ", ".join(f"{k}->{v}" for k, v in sorted(self.table.items()))
+        return f"switch {self.scrutinee} [{arms}] default {self.default}"
+
+
+@dataclass
+class Call(Terminator):
+    """Direct call; control resumes at *cont* with *dest* bound (if any)."""
+
+    func: str
+    args: Tuple[Expr, ...]
+    dest: Optional[str]
+    cont: str
+    lineno: int = 0
+
+    def successors(self) -> Tuple[str, ...]:
+        return (self.cont,)
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        call = f"call {self.func}({', '.join(map(str, self.args))})"
+        return f"{self.dest + ' = ' if self.dest else ''}{call} -> {self.cont}"
+
+
+@dataclass
+class ICall(Terminator):
+    """Indirect call through a function-pointer field; emits a TIP packet.
+
+    The target is whatever address the (possibly attacker-corrupted) field
+    holds — this is the jump the indirect-jump check strategy guards.
+    """
+
+    ptr_field: str
+    args: Tuple[Expr, ...]
+    dest: Optional[str]
+    cont: str
+    lineno: int = 0
+
+    def successors(self) -> Tuple[str, ...]:
+        return (self.cont,)
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return self.args
+
+    def __str__(self) -> str:
+        call = f"icall dev.{self.ptr_field}({', '.join(map(str, self.args))})"
+        return f"{self.dest + ' = ' if self.dest else ''}{call} -> {self.cont}"
+
+
+@dataclass
+class Return(Terminator):
+    """Function return; for entry handlers this ends the I/O round."""
+
+    value: Optional[Expr] = None
+    lineno: int = 0
+
+    def exprs(self) -> Tuple[Expr, ...]:
+        return (self.value,) if self.value is not None else ()
+
+    def __str__(self) -> str:
+        return f"ret {self.value}" if self.value is not None else "ret"
+
+
+def stmt_state_reads(stmt: Stmt) -> FrozenSet[str]:
+    """All control-structure fields read by *stmt*'s expressions."""
+    names: set = set()
+    for expr in stmt.exprs():
+        names |= expr.state_refs()
+    return frozenset(names)
+
+
+def terminator_state_reads(term: Terminator) -> FrozenSet[str]:
+    names: set = set()
+    for expr in term.exprs():
+        names |= expr.state_refs()
+    if isinstance(term, ICall):
+        names.add(term.ptr_field)
+    return frozenset(names)

@@ -1,0 +1,129 @@
+"""Type system for the device IR.
+
+Device control structures are laid out in flat memory exactly like the C
+structs they stand in for, so every field carries a declared width and
+signedness.  Arithmetic in the IR is exact (Python ints); values are wrapped
+to their declared width at *store* time, and the wrap reports whether an
+overflow occurred — this is the information the paper reads from "relevant
+bits in the flag register".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IRError
+
+
+@dataclass(frozen=True)
+class IntType:
+    """A fixed-width integer type (the C-like scalar of the IR)."""
+
+    bits: int
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.bits not in (8, 16, 32, 64):
+            raise IRError(f"unsupported integer width: {self.bits}")
+
+    @property
+    def size(self) -> int:
+        """Byte size of the type."""
+        return self.bits // 8
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max_value(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+    def contains(self, value: int) -> bool:
+        """Whether *value* is representable without wrapping."""
+        return self.min_value <= value <= self.max_value
+
+    def wrap(self, value: int) -> "WrapResult":
+        """Wrap *value* to this type, reporting overflow.
+
+        Mirrors C's integer conversion: the stored value is ``value`` modulo
+        2**bits, re-interpreted with this type's signedness.
+        """
+        overflowed = not self.contains(value)
+        masked = value & ((1 << self.bits) - 1)
+        if self.signed and masked >= (1 << (self.bits - 1)):
+            masked -= 1 << self.bits
+        return WrapResult(masked, overflowed)
+
+    def __str__(self) -> str:
+        return f"{'i' if self.signed else 'u'}{self.bits}"
+
+
+@dataclass(frozen=True)
+class WrapResult:
+    """Outcome of wrapping a value to a fixed-width type."""
+
+    value: int
+    overflowed: bool
+
+
+@dataclass(frozen=True)
+class BufType:
+    """A fixed-length inline buffer (C array member of the control struct)."""
+
+    elem: IntType
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise IRError(f"buffer length must be positive, got {self.length}")
+
+    @property
+    def size(self) -> int:
+        return self.elem.size * self.length
+
+    def __str__(self) -> str:
+        return f"{self.elem}[{self.length}]"
+
+
+@dataclass(frozen=True)
+class FuncPtrType:
+    """A function pointer stored in the control structure (8 bytes).
+
+    Values are code addresses; the program's address map resolves them back
+    to IR functions.  Attackers corrupt these via buffer overflows, which is
+    what the indirect-jump check strategy exists to catch.
+    """
+
+    @property
+    def size(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return "funcptr"
+
+
+# Canonical instances, used pervasively by device declarations.
+U8 = IntType(8)
+U16 = IntType(16)
+U32 = IntType(32)
+U64 = IntType(64)
+I8 = IntType(8, signed=True)
+I16 = IntType(16, signed=True)
+I32 = IntType(32, signed=True)
+I64 = IntType(64, signed=True)
+FUNCPTR = FuncPtrType()
+
+_BY_NAME = {
+    "u8": U8, "u16": U16, "u32": U32, "u64": U64,
+    "i8": I8, "i16": I16, "i32": I32, "i64": I64,
+    "funcptr": FUNCPTR,
+}
+
+
+def type_by_name(name: str):
+    """Look up a scalar type by its short name (``u8`` … ``i64``)."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise IRError(f"unknown type name: {name!r}") from None

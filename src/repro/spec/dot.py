@@ -1,0 +1,95 @@
+"""Graphviz DOT export of execution specifications.
+
+Not required by the pipeline, but invaluable for inspecting what a spec
+actually learned: block types are colour-coded, one-sided branches and
+indirect call sites (the check strategies' anchors) are highlighted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.ir import Branch, Call, Goto, ICall, Return, Switch
+from repro.spec.escfg import ExecutionSpec
+
+_KIND_COLOURS = {
+    "cond": "lightyellow",
+    "switch": "lightsalmon",
+    "icall": "lightcoral",
+    "call": "lightblue",
+    "ret": "lightgrey",
+    "plain": "white",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\l")
+
+
+def spec_to_dot(spec: ExecutionSpec, function: Optional[str] = None,
+                include_dsod: bool = True) -> str:
+    """Render the spec (or one of its functions) as a DOT digraph."""
+    names = [function] if function else sorted(spec.functions)
+    lines: List[str] = [
+        f'digraph "{spec.device}" {{',
+        "  graph [rankdir=TB, fontname=monospace];",
+        "  node [shape=box, fontname=monospace, fontsize=9];",
+    ]
+    for name in names:
+        es_func = spec.function(name)
+        lines.append(f'  subgraph "cluster_{name}" {{')
+        lines.append(f'    label="{name}";')
+        for label, block in es_func.blocks.items():
+            node_id = f"{name}__{label}"
+            title = f"{label} @{block.address:#x}"
+            tags = []
+            if block.is_entry:
+                tags.append("ENTRY")
+            if block.is_exit:
+                tags.append("EXIT")
+            if block.is_cmd_decision:
+                tags.append("CMD-DEC")
+            if block.is_cmd_end:
+                tags.append("CMD-END")
+            one_sided = spec.branch_is_one_sided(block.address)
+            if one_sided is not None:
+                tags.append("ONE-SIDED")
+            body = [title + ((" [" + ",".join(tags) + "]") if tags else "")]
+            if include_dsod:
+                body.extend(str(stmt) for stmt in block.dsod)
+            colour = _KIND_COLOURS.get(block.kind, "white")
+            border = ("red" if block.kind == "icall"
+                      else "orange" if one_sided is not None else "black")
+            lines.append(
+                f'    "{node_id}" [label="{_escape(chr(10).join(body))}\\l",'
+                f' style=filled, fillcolor={colour}, color={border}];')
+        for label, block in es_func.blocks.items():
+            node_id = f"{name}__{label}"
+            nbtd = block.nbtd
+            if isinstance(nbtd, Goto):
+                _edge(lines, name, node_id, nbtd.target, "")
+            elif isinstance(nbtd, Branch):
+                _edge(lines, name, node_id, nbtd.taken, "T")
+                _edge(lines, name, node_id, nbtd.not_taken, "F")
+            elif isinstance(nbtd, Switch):
+                for value, target in sorted(nbtd.table.items()):
+                    _edge(lines, name, node_id, target, f"={value}")
+                if nbtd.default:
+                    _edge(lines, name, node_id, nbtd.default, "default")
+            elif isinstance(nbtd, (Call, ICall)):
+                callee = (nbtd.func if isinstance(nbtd, Call)
+                          else f"*{nbtd.ptr_field}")
+                _edge(lines, name, node_id, nbtd.cont, f"call {callee}")
+            elif isinstance(nbtd, Return):
+                pass
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _edge(lines: List[str], func: str, src: str, target_label: str,
+          edge_label: str) -> None:
+    dst = f"{func}__{target_label}"
+    label_attr = f' [label="{_escape(edge_label)}"]' if edge_label else ""
+    lines.append(f'    "{src}" -> "{dst}"{label_attr};')

@@ -1,0 +1,156 @@
+"""Merging execution specifications (the paper's false-positive remedy).
+
+Section VIII proposes distributing SEDSpec among device developers and
+testers so their extensive test cases refine the specification.  That
+needs specs trained on different corpora — possibly on different hosts —
+to be *combined*.  Training observations are monotone (sets of visited
+blocks, observed branch outcomes, legitimised targets, command bitmaps),
+so merging is a union provided both specs describe the same build.
+
+The union is taken over the *training facts*; structure (DSOD/NBTD of
+blocks only one side visited) is adopted from whichever side has it.
+Merged specs must come from the same program build — address maps are the
+compatibility witness.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import SpecError
+from repro.ir import Branch, Call, Goto, ICall, Switch
+from repro.spec.escfg import ESFunction, ExecutionSpec
+
+
+def _check_compatible(a: ExecutionSpec, b: ExecutionSpec) -> None:
+    if a.device != b.device:
+        raise SpecError(
+            f"cannot merge specs of different devices: "
+            f"{a.device!r} vs {b.device!r}")
+    if a.func_addr != b.func_addr:
+        raise SpecError(
+            "cannot merge: the specs were trained on different builds "
+            "(function address maps differ)")
+    if a.layout is not None and b.layout is not None \
+            and a.layout.size != b.layout.size:
+        raise SpecError("cannot merge: control structure layouts differ")
+
+
+def merge_specs(base: ExecutionSpec, other: ExecutionSpec
+                ) -> ExecutionSpec:
+    """Union *other*'s training observations into a copy of *base*.
+
+    Returns a new spec; neither input is modified.
+    """
+    _check_compatible(base, other)
+    from repro.spec.serialize import spec_from_json, spec_to_json
+    merged = spec_from_json(spec_to_json(base))   # deep copy via wire fmt
+
+    # Structure: adopt functions/blocks only the other spec visited.
+    for name, es_func in other.functions.items():
+        if name not in merged.functions:
+            merged.functions[name] = _copy_function(es_func)
+            continue
+        mine = merged.functions[name]
+        for label, block in es_func.blocks.items():
+            if label not in mine.blocks:
+                mine.blocks[label] = block
+
+    # Training facts: unions.
+    merged.visited_blocks |= other.visited_blocks
+    for addr, outcomes in other.branch_observed.items():
+        merged.branch_observed.setdefault(addr, set()).update(outcomes)
+    for addr, targets in other.switch_targets.items():
+        merged.switch_targets.setdefault(addr, set()).update(targets)
+    for addr, targets in other.icall_targets.items():
+        merged.icall_targets.setdefault(addr, set()).update(targets)
+    for cmd, blocks in other.cmd_access.table.items():
+        merged.cmd_access.table.setdefault(cmd, set()).update(blocks)
+    for func_name, locals_ in other.sync_locals.items():
+        merged.sync_locals[func_name] = \
+            merged.sync_locals.get(func_name, frozenset()) | locals_
+    merged.entry_handlers.update(other.entry_handlers)
+    _reconcile_targets(merged, other)
+    merged.stats["merged_from"] = merged.stats.get("merged_from", 1) + 1
+    return merged
+
+
+def _reconcile_targets(merged: ExecutionSpec,
+                       other: ExecutionSpec) -> None:
+    """Fix up NBTD targets that dangle after the union.
+
+    Control-flow reduction is *training-dependent*: a block one site
+    reduced away (empty DSOD under its slice) may have been kept — or
+    remapped elsewhere — by the other site.  Where the merged structure
+    inherited a target label that no side retained, adopt the other
+    side's (already-resolved) target when it exists in the merger.
+    """
+    for name, es_func in merged.functions.items():
+        if name not in other.functions:
+            continue
+        other_func = other.functions[name]
+        for label, block in es_func.blocks.items():
+            other_block = other_func.blocks.get(label)
+            if other_block is None:
+                continue
+            nbtd, theirs = block.nbtd, other_block.nbtd
+            if isinstance(nbtd, Switch) and isinstance(theirs, Switch):
+                for value, target in list(nbtd.table.items()):
+                    alt = theirs.table.get(value)
+                    if (target not in es_func.blocks and alt
+                            and alt in es_func.blocks):
+                        nbtd.table[value] = alt
+                if (nbtd.default and nbtd.default not in es_func.blocks
+                        and theirs.default in es_func.blocks):
+                    block.nbtd = Switch(nbtd.scrutinee, nbtd.table,
+                                        theirs.default)
+            elif isinstance(nbtd, Branch) and isinstance(theirs, Branch):
+                taken, not_taken = nbtd.taken, nbtd.not_taken
+                if taken not in es_func.blocks \
+                        and theirs.taken in es_func.blocks:
+                    taken = theirs.taken
+                if not_taken not in es_func.blocks \
+                        and theirs.not_taken in es_func.blocks:
+                    not_taken = theirs.not_taken
+                if (taken, not_taken) != (nbtd.taken, nbtd.not_taken):
+                    block.nbtd = Branch(nbtd.cond, taken, not_taken)
+            elif isinstance(nbtd, Goto) and isinstance(theirs, Goto):
+                if nbtd.target not in es_func.blocks \
+                        and theirs.target in es_func.blocks:
+                    block.nbtd = Goto(theirs.target)
+            elif isinstance(nbtd, Call) and isinstance(theirs, Call):
+                if nbtd.cont not in es_func.blocks \
+                        and theirs.cont in es_func.blocks:
+                    block.nbtd = Call(nbtd.func, nbtd.args, nbtd.dest,
+                                      theirs.cont)
+            elif isinstance(nbtd, ICall) and isinstance(theirs, ICall):
+                if nbtd.cont not in es_func.blocks \
+                        and theirs.cont in es_func.blocks:
+                    block.nbtd = ICall(nbtd.ptr_field, nbtd.args,
+                                       nbtd.dest, theirs.cont)
+
+
+def merge_all(specs: Iterable[ExecutionSpec]) -> ExecutionSpec:
+    """Fold a corpus of specs (e.g. one per test site) into one."""
+    iterator = iter(specs)
+    try:
+        merged = next(iterator)
+    except StopIteration:
+        raise SpecError("merge_all needs at least one spec") from None
+    for spec in iterator:
+        merged = merge_specs(merged, spec)
+    return merged
+
+
+def _copy_function(es_func: ESFunction) -> ESFunction:
+    copy = ESFunction(es_func.name, es_func.entry, es_func.params)
+    copy.blocks = dict(es_func.blocks)
+    return copy
+
+
+def coverage_gain(base: ExecutionSpec, merged: ExecutionSpec) -> float:
+    """Fraction of merged visited blocks that base was missing."""
+    if not merged.visited_blocks:
+        return 0.0
+    new = merged.visited_blocks - base.visited_blocks
+    return len(new) / len(merged.visited_blocks)

@@ -1,0 +1,9 @@
+"""Guest VM substrate: dispatch loop, SEDSpec attachment, drivers."""
+
+from repro.vm.machine import (
+    Attachment, GuestVM, IOStats, SEDSpecHalt, VMEXIT_COST,
+)
+
+__all__ = [
+    "Attachment", "GuestVM", "IOStats", "SEDSpecHalt", "VMEXIT_COST",
+]

@@ -1,0 +1,1 @@
+"""Guest-side device drivers."""

@@ -1,0 +1,88 @@
+"""Guest-side EHCI/USB driver: token-level control transfers + block I/O."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.devices.ehci import (
+    REQ_BLOCK_READ, REQ_BLOCK_WRITE, REQ_GET_DESCRIPTOR, REQ_GET_STATUS,
+    REQ_SET_ADDRESS, REQ_SET_CONFIGURATION, SECTOR, TOKEN_IN, TOKEN_OUT,
+    TOKEN_SETUP,
+)
+from repro.errors import GuestError
+from repro.vm.machine import GuestVM
+
+PORT_USBCMD = 0
+PORT_USBSTS = 1
+PORT_TOKEN = 2
+PORT_DATA = 3
+
+
+class EHCIDriver:
+    """Drives USB control transfers the way the EHCI schedule walker
+    would hand them to the device."""
+
+    def __init__(self, vm: GuestVM, base_port: int = 0x400):
+        self.vm = vm
+        self.base = base_port
+
+    def start_controller(self) -> None:
+        self.vm.mmio_write(self.base + PORT_USBCMD, 1)
+
+    def status(self) -> int:
+        return self.vm.mmio_read(self.base + PORT_USBSTS)
+
+    # -- token plumbing -----------------------------------------------------------
+
+    def _token(self, pid: int) -> None:
+        self.vm.mmio_write(self.base + PORT_TOKEN, pid)
+
+    def _send_setup(self, request_type: int, request: int, value: int,
+                    index: int, length: int) -> None:
+        self._token(TOKEN_SETUP)
+        packet = [request_type & 0xFF, request & 0xFF,
+                  value & 0xFF, (value >> 8) & 0xFF,
+                  index & 0xFF, (index >> 8) & 0xFF,
+                  length & 0xFF, (length >> 8) & 0xFF]
+        for byte in packet:
+            self.vm.mmio_write(self.base + PORT_DATA, byte)
+
+    def control_out(self, request: int, value: int,
+                    data: bytes = b"", request_type: int = 0x00) -> None:
+        self._send_setup(request_type, request, value, 0, len(data))
+        for byte in data:
+            self.vm.mmio_write(self.base + PORT_DATA, byte)
+        self._token(TOKEN_IN)      # status stage
+
+    def control_in(self, request: int, value: int, length: int,
+                   request_type: int = 0x80) -> bytes:
+        self._send_setup(request_type, request, value, 0, length)
+        data = bytes(self.vm.mmio_read(self.base + PORT_DATA) & 0xFF
+                     for _ in range(length))
+        self._token(TOKEN_OUT)     # status stage
+        return data
+
+    # -- chapter 9 ---------------------------------------------------------------------
+
+    def get_descriptor(self) -> bytes:
+        return self.control_in(REQ_GET_DESCRIPTOR, 0x0100, 18)
+
+    def get_status(self) -> bytes:
+        return self.control_in(REQ_GET_STATUS, 0, 2)
+
+    def set_address(self, address: int) -> None:
+        self.control_out(REQ_SET_ADDRESS, address)
+
+    def set_configuration(self, config: int = 1) -> None:
+        self.control_out(REQ_SET_CONFIGURATION, config)
+
+    # -- storage function -----------------------------------------------------------------
+
+    def write_block(self, lba: int, data: bytes) -> None:
+        if len(data) != SECTOR:
+            raise GuestError(f"block payload must be {SECTOR} bytes")
+        self.control_out(REQ_BLOCK_WRITE, lba, data, request_type=0x40)
+
+    def read_block(self, lba: int) -> bytes:
+        return self.control_in(REQ_BLOCK_READ, lba, SECTOR,
+                               request_type=0xC0)

@@ -1,0 +1,111 @@
+"""Guest-side PCnet driver: CSR programming, descriptor rings, frames."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.devices.pcnet import (
+    CSR_MODE, CSR_RCVRL, CSR_RDRA, CSR_STATUS, CSR_TDRA, CSR_XMTRL, LOOP,
+    TDMD,
+)
+from repro.errors import GuestError
+from repro.vm.machine import GuestVM
+
+PORT_RDP = 0
+PORT_RAP = 2
+PORT_RXNOTIFY = 4
+PORT_RXDATA = 6
+
+#: Guest-physical layout of the rings this driver programs.
+TX_RING = 0x2000
+RX_RING = 0x3000
+TX_RING_LEN = 4
+RX_RING_LEN = 4
+PAYLOAD_STRIDE = 256
+
+
+class PCNetDriver:
+    """Speaks the RAP/RDP + descriptor-ring protocol."""
+
+    def __init__(self, vm: GuestVM, base_port: int = 0x300):
+        self.vm = vm
+        self.base = base_port
+
+    # -- CSR access ----------------------------------------------------------
+
+    def write_csr(self, csr: int, value: int) -> None:
+        self.vm.outb(self.base + PORT_RAP, csr)
+        self.vm.outl(self.base + PORT_RDP, value)
+
+    def read_csr(self, csr: int) -> int:
+        self.vm.outb(self.base + PORT_RAP, csr)
+        return self.vm.inl(self.base + PORT_RDP)
+
+    # -- bring-up ------------------------------------------------------------------
+
+    def init_rings(self, loopback: bool = False) -> None:
+        self.write_csr(CSR_TDRA, TX_RING)
+        self.write_csr(CSR_RDRA, RX_RING)
+        self.write_csr(CSR_XMTRL, TX_RING_LEN)
+        self.write_csr(CSR_RCVRL, RX_RING_LEN)
+        self.write_csr(CSR_MODE, LOOP if loopback else 0)
+        for i in range(RX_RING_LEN):
+            self.vm.memory.write_byte(RX_RING + i * 4, 1)   # device-owned
+
+    def init_via_block(self, loopback: bool = False,
+                       block_addr: int = 0x4000) -> None:
+        """Program rings through an in-memory init block + CSR0.INIT,
+        the way the real part is initialized."""
+        mode = LOOP if loopback else 0
+        payload = bytes([
+            mode & 0xFF, (mode >> 8) & 0xFF,
+            RX_RING & 0xFF, (RX_RING >> 8) & 0xFF, 0, 0,
+            TX_RING & 0xFF, (TX_RING >> 8) & 0xFF, 0, 0,
+            RX_RING_LEN & 0xFF, 0,
+            TX_RING_LEN & 0xFF, 0,
+        ])
+        self.vm.memory.write_block(block_addr, payload)
+        self.write_csr(1, block_addr & 0xFFFF)
+        self.write_csr(2, (block_addr >> 16) & 0xFFFF)
+        self.write_csr(0, 0x0001)          # INIT
+        for i in range(RX_RING_LEN):
+            self.vm.memory.write_byte(RX_RING + i * 4, 1)
+
+    # -- transmit --------------------------------------------------------------------
+
+    def send_frame(self, payload: bytes,
+                   chunks: Optional[List[bytes]] = None) -> None:
+        """Queue *payload* (optionally pre-split into chained descriptor
+        chunks) and ring the transmit-demand doorbell."""
+        parts = chunks if chunks is not None else [payload]
+        if len(parts) > TX_RING_LEN:
+            raise GuestError("too many chained descriptors")
+        for i, part in enumerate(parts):
+            if len(part) > PAYLOAD_STRIDE:
+                raise GuestError("descriptor payload too large")
+            base = TX_RING + i * 4
+            last = 2 if i == len(parts) - 1 else 0
+            self.vm.memory.write_byte(base, 1)            # own
+            self.vm.memory.write_byte(base + 1, last)     # flags
+            self.vm.memory.write_byte(base + 2, len(part) & 0xFF)
+            self.vm.memory.write_byte(base + 3, len(part) >> 8)
+            self.vm.memory.write_block(
+                TX_RING + 4 * TX_RING_LEN + PAYLOAD_STRIDE * i, part)
+        self.write_csr(CSR_STATUS, TDMD)
+
+    # -- receive ----------------------------------------------------------------------
+
+    def deliver_frame(self, payload: bytes) -> None:
+        """Host-side: stage a frame and notify the device (what the net
+        backend does when a packet arrives for the guest).  Like a real
+        guest driver, ownership of consumed descriptors is replenished
+        before new traffic arrives."""
+        for i in range(RX_RING_LEN):
+            self.vm.memory.write_byte(RX_RING + i * 4, 1)
+        device = self.vm.devices["pcnet"]
+        device.stage_rx_frame(payload)
+        self.vm.outl(self.base + PORT_RXNOTIFY, len(payload))
+
+    def read_frame(self, length: int) -> bytes:
+        return bytes(self.vm.inb(self.base + PORT_RXDATA)
+                     for _ in range(length))

@@ -1,0 +1,124 @@
+"""Guest-side SCSI (ESP) driver: FIFO CDB assembly + data-phase streaming."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.devices.scsi import (
+    BLOCK, ESP_ICCS, ESP_MSGACC, ESP_RESET, ESP_SEL, ESP_SELDMA,
+    OP_INQUIRY, OP_MODE_SENSE, OP_READ_10, OP_READ_6, OP_READ_CAPACITY,
+    OP_REQUEST_SENSE, OP_TEST_UNIT_READY, OP_WRITE_10, OP_WRITE_6,
+)
+from repro.errors import GuestError
+from repro.vm.machine import GuestVM
+
+PORT_FIFO = 0
+PORT_DATA_R = 0
+PORT_DATA_W = 1
+PORT_CMD = 3
+PORT_STATUS = 3
+PORT_TCLO = 5
+PORT_TCMID = 6
+PORT_DMAADDR = 7
+
+
+class SCSIDriver:
+    """Issues SCSI commands through the ESP front end."""
+
+    def __init__(self, vm: GuestVM, base_port: int = 0x600):
+        self.vm = vm
+        self.base = base_port
+
+    def reset(self) -> None:
+        self.vm.outb(self.base + PORT_CMD, ESP_RESET)
+
+    def _select(self, cdb: List[int]) -> None:
+        for byte in cdb:
+            self.vm.outb(self.base + PORT_FIFO, byte)
+        self.vm.outb(self.base + PORT_CMD, ESP_SEL)
+
+    def _finish(self) -> None:
+        self.vm.outb(self.base + PORT_CMD, ESP_ICCS)
+        self.vm.outb(self.base + PORT_CMD, ESP_MSGACC)
+
+    # -- informational commands ---------------------------------------------------
+
+    def test_unit_ready(self) -> None:
+        self._select([OP_TEST_UNIT_READY, 0, 0, 0, 0, 0])
+        self._finish()
+
+    def inquiry(self) -> bytes:
+        self._select([OP_INQUIRY, 0, 0, 0, 36, 0])
+        data = self._read_data(36)
+        self._finish()
+        return data
+
+    def read_capacity(self) -> bytes:
+        self._select([OP_READ_CAPACITY, 0, 0, 0, 0, 0, 0, 0, 0, 0])
+        data = self._read_data(8)
+        self._finish()
+        return data
+
+    def request_sense(self) -> bytes:
+        self._select([OP_REQUEST_SENSE, 0, 0, 0, 8, 0])
+        data = self._read_data(8)
+        self._finish()
+        return data
+
+    def read6(self, lba: int, blocks: int = 1) -> bytes:
+        cdb = [OP_READ_6, (lba >> 16) & 0x1F, (lba >> 8) & 0xFF,
+               lba & 0xFF, blocks & 0xFF, 0]
+        self._select(cdb)
+        data = self._read_data(blocks * BLOCK)
+        self._finish()
+        return data
+
+    def write6(self, lba: int, data: bytes) -> None:
+        blocks = len(data) // BLOCK
+        cdb = [OP_WRITE_6, (lba >> 16) & 0x1F, (lba >> 8) & 0xFF,
+               lba & 0xFF, blocks & 0xFF, 0]
+        self._select(cdb)
+        for byte in data:
+            self.vm.outb(self.base + PORT_DATA_W, byte)
+        self._finish()
+
+    def mode_sense(self) -> bytes:
+        self._select([OP_MODE_SENSE, 0, 0, 0, 4, 0])
+        data = self._read_data(4)
+        self._finish()
+        return data
+
+    # -- block I/O -------------------------------------------------------------------
+
+    @staticmethod
+    def _cdb10(opcode: int, lba: int, blocks: int) -> List[int]:
+        return [opcode, 0,
+                (lba >> 24) & 0xFF, (lba >> 16) & 0xFF,
+                (lba >> 8) & 0xFF, lba & 0xFF,
+                0, (blocks >> 8) & 0xFF, blocks & 0xFF, 0]
+
+    def read10(self, lba: int, blocks: int = 1) -> bytes:
+        self._select(self._cdb10(OP_READ_10, lba, blocks))
+        data = self._read_data(blocks * BLOCK)
+        self._finish()
+        return data
+
+    def write10(self, lba: int, data: bytes) -> None:
+        if len(data) % BLOCK:
+            raise GuestError("payload must be whole blocks")
+        self._select(self._cdb10(OP_WRITE_10, lba, len(data) // BLOCK))
+        for byte in data:
+            self.vm.outb(self.base + PORT_DATA_W, byte)
+        self._finish()
+
+    def _read_data(self, length: int) -> bytes:
+        return bytes(self.vm.inb(self.base + PORT_DATA_R)
+                     for _ in range(length))
+
+    # -- DMA select (the CVE-2016-4439 surface; benign code avoids it) --------------------
+
+    def select_dma(self, cdb_addr: int, length: int) -> None:
+        self.vm.outl(self.base + PORT_DMAADDR, cdb_addr)
+        self.vm.outb(self.base + PORT_TCLO, length & 0xFF)
+        self.vm.outb(self.base + PORT_TCMID, (length >> 8) & 0xFF)
+        self.vm.outb(self.base + PORT_CMD, ESP_SELDMA)

@@ -1,0 +1,82 @@
+"""Guest-side SDHCI driver: SD command sequencing + data-port streaming."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.devices.sdhci import (
+    CMD_GO_IDLE, CMD_READ_MULTI, CMD_READ_SINGLE, CMD_SEND_CID,
+    CMD_SEND_CSD, CMD_SEND_STATUS, CMD_STOP, CMD_WRITE_MULTI,
+    CMD_WRITE_SINGLE,
+)
+from repro.errors import GuestError
+from repro.vm.machine import GuestVM
+
+PORT_BLKSIZE = 0
+PORT_BLKCNT = 1
+PORT_ARG = 2
+PORT_CMD = 3
+PORT_DATA = 4
+PORT_STATUS = 5
+
+BLOCK = 512
+
+
+class SDHCIDriver:
+    """Single- and multi-block SD card I/O."""
+
+    def __init__(self, vm: GuestVM, base_port: int = 0x500):
+        self.vm = vm
+        self.base = base_port
+
+    def reset_card(self) -> None:
+        self.vm.outb(self.base + PORT_CMD, CMD_GO_IDLE)
+
+    def card_status(self) -> int:
+        self.vm.outb(self.base + PORT_CMD, CMD_SEND_STATUS)
+        return self.vm.inb(self.base + PORT_STATUS)
+
+    def set_block_size(self, size: int = BLOCK) -> None:
+        self.vm.outl(self.base + PORT_BLKSIZE, size)
+
+    def _read_register_block(self, cmd: int) -> bytes:
+        self.vm.outb(self.base + PORT_CMD, cmd)
+        data = bytes(self.vm.inb(self.base + PORT_DATA)
+                     for _ in range(BLOCK))
+        return data[:16]
+
+    def read_cid(self) -> bytes:
+        """Card identification register (16 bytes)."""
+        return self._read_register_block(CMD_SEND_CID)
+
+    def read_csd(self) -> bytes:
+        """Card-specific data register (16 bytes)."""
+        return self._read_register_block(CMD_SEND_CSD)
+
+    def stop_transmission(self) -> None:
+        self.vm.outb(self.base + PORT_CMD, CMD_STOP)
+
+    # -- block I/O -----------------------------------------------------------------
+
+    def write_blocks(self, lba: int, data: bytes) -> None:
+        if len(data) % BLOCK:
+            raise GuestError("payload must be whole blocks")
+        count = len(data) // BLOCK
+        self.set_block_size(BLOCK)
+        self.vm.outl(self.base + PORT_BLKCNT, count)
+        self.vm.outl(self.base + PORT_ARG, lba)
+        cmd = CMD_WRITE_SINGLE if count == 1 else CMD_WRITE_MULTI
+        self.vm.outb(self.base + PORT_CMD, cmd)
+        for byte in data:
+            self.vm.outb(self.base + PORT_DATA, byte)
+
+    def read_blocks(self, lba: int, count: int = 1) -> bytes:
+        self.set_block_size(BLOCK)
+        self.vm.outl(self.base + PORT_BLKCNT, count)
+        self.vm.outl(self.base + PORT_ARG, lba)
+        cmd = CMD_READ_SINGLE if count == 1 else CMD_READ_MULTI
+        self.vm.outb(self.base + PORT_CMD, cmd)
+        out: List[int] = []
+        for _ in range(count * BLOCK):
+            out.append(self.vm.inb(self.base + PORT_DATA))
+        return bytes(out)

@@ -1,0 +1,33 @@
+"""Workloads: training profiles, interaction modes, fuzzing, bench tools."""
+
+from repro.workloads.profiles import (
+    BASE_PORTS, FILESYSTEM_LAYOUTS, PROFILES, DeviceProfile, profile,
+    train_device_spec,
+)
+from repro.workloads.interaction import (
+    CASES_PER_HOUR, OPS_PER_CASE, RARE_CASE_RATE, CaseResult,
+    FalsePositiveTable, InteractionMode, InteractionReport,
+    false_positive_experiment, run_interaction,
+)
+from repro.workloads.fuzz import (
+    FUZZ_ITERATIONS, FuzzResult, fuzz_device, measure_effective_coverage,
+    training_coverage,
+)
+from repro.workloads.benchtools import (
+    CYCLES_PER_SECOND, DEFAULT_RECORD_SIZES, IozoneResult, IperfResult,
+    Measurement, StorageOps, iozone, iperf, normalized, overhead_percent,
+    ping,
+)
+
+__all__ = [
+    "BASE_PORTS", "FILESYSTEM_LAYOUTS", "PROFILES", "DeviceProfile",
+    "profile", "train_device_spec",
+    "CASES_PER_HOUR", "OPS_PER_CASE", "RARE_CASE_RATE", "CaseResult",
+    "FalsePositiveTable", "InteractionMode", "InteractionReport",
+    "false_positive_experiment", "run_interaction",
+    "FUZZ_ITERATIONS", "FuzzResult", "fuzz_device",
+    "measure_effective_coverage", "training_coverage",
+    "CYCLES_PER_SECOND", "DEFAULT_RECORD_SIZES", "IozoneResult",
+    "IperfResult", "Measurement", "StorageOps", "iozone", "iperf",
+    "normalized", "overhead_percent", "ping",
+]

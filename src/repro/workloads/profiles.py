@@ -1,0 +1,421 @@
+"""Per-device workload profiles.
+
+A :class:`DeviceProfile` bundles everything the experiments need to know
+about one device: how to build and attach it, how to drive *training*
+traffic (Section IV-C: varied configurations and parameters), which guest
+operations are *common* (exercised in training), and which are *rare* —
+legitimate commands that training never saw, the paper's stated source of
+false positives.
+
+Scaling note: the paper trains with web/QTest-derived corpora and runs
+30-hour workloads; our interpreted substrate runs the same protocol
+traffic at reduced volume (documented in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.devices.base import Device, create_device
+from repro.vm.machine import GuestVM
+from repro.vm.drivers.ehci import EHCIDriver
+from repro.vm.drivers.fdc import FDCDriver
+from repro.vm.drivers.pcnet import PCNetDriver
+from repro.vm.drivers.scsi import SCSIDriver
+from repro.vm.drivers.sdhci import SDHCIDriver
+
+BASE_PORTS = {"fdc": 0x3F0, "pcnet": 0x300, "ehci": 0x400,
+              "sdhci": 0x500, "scsi": 0x600}
+
+#: Synthetic stand-ins for the paper's storage configurations: each
+#: "filesystem" writes its metadata at characteristic offsets/patterns.
+FILESYSTEM_LAYOUTS = {
+    "FAT32": {"superblock_lba": 0, "meta_stride": 2, "fill": 0xF6},
+    "NTFS": {"superblock_lba": 0, "meta_stride": 4, "fill": 0x00},
+    "EXT4": {"superblock_lba": 2, "meta_stride": 8, "fill": 0xEF},
+}
+
+Op = Callable[[GuestVM, object, random.Random], None]
+
+
+@dataclass
+class DeviceProfile:
+    name: str
+    base_port: int
+    kind: str                      # "storage" | "network"
+    make_driver: Callable[[GuestVM], object]
+    training: Callable[[GuestVM, Device, random.Random], None]
+    prepare: Callable[[GuestVM, object], None]
+    common_ops: List[Op]
+    rare_ops: List[Op]
+    #: sampling weights aligned with common_ops (block I/O is weighted
+    #: down so interaction cases mix light register traffic with data
+    #: transfers the way real guests do)
+    op_weights: Optional[List[float]] = None
+    #: register bus: "pmio" (port I/O) or "mmio" (memory-mapped)
+    bus: str = "pmio"
+
+    def make_vm(self, qemu_version: str = "99.0.0"
+                ) -> Tuple[GuestVM, Device]:
+        vm = GuestVM()
+        device = create_device(self.name, qemu_version=qemu_version)
+        if self.bus == "mmio":
+            vm.attach_mmio_device(device, self.base_port)
+        else:
+            vm.attach_device(device, self.base_port)
+        return vm, device
+
+    def poke(self, vm: GuestVM, offset: int, value: int) -> None:
+        """Raw register write on whichever bus the device uses."""
+        if self.bus == "mmio":
+            vm.mmio_write(self.base_port + offset, value)
+        else:
+            vm.outb(self.base_port + offset, value)
+
+    def peek(self, vm: GuestVM, offset: int) -> int:
+        if self.bus == "mmio":
+            return vm.mmio_read(self.base_port + offset)
+        return vm.inb(self.base_port + offset)
+
+
+# ---------------------------------------------------------------------------
+# FDC
+# ---------------------------------------------------------------------------
+
+def _fdc_prepare(vm: GuestVM, driver: FDCDriver) -> None:
+    driver.controller_reset()
+    driver.specify()
+
+def _fdc_training(vm: GuestVM, device: Device, rng: random.Random) -> None:
+    driver = FDCDriver(vm, BASE_PORTS["fdc"])
+    for layout in FILESYSTEM_LAYOUTS.values():
+        driver.controller_reset()
+        driver.specify()
+        driver.version()
+        driver.recalibrate()
+        # "Format" the filesystem area, then metadata and file I/O.
+        driver.format_track(1, sectors=2, filler=layout["fill"])
+        for k in range(3):
+            lba = layout["superblock_lba"] + k * layout["meta_stride"]
+            driver.write_lba(lba, bytes([layout["fill"]]) * 512)
+        for _ in range(6):
+            lba = rng.randrange(0, 60)
+            payload = bytes(rng.randrange(256) for _ in range(8)) * 64
+            driver.write_lba(lba, payload)
+            assert driver.read_lba(lba) == payload
+        driver.seek(rng.randrange(0, 40))
+        driver.read_id(0)
+        driver.read_id(1)
+        driver.msr()
+        # Benign corner interactions real guests produce: polling the
+        # DOR, probing the data port outside a command cycle (the
+        # controller answers with an error status), sensing the drive.
+        driver._in(2)
+        driver._in(5)
+        driver._command(0x04, [0])
+        driver._results(1)
+        driver._command(0x08, [])
+        driver._out(5, 0x00)          # write during result phase
+        driver._results(2)
+        driver._out(4, 0x80)          # DSR software reset
+        driver.sense_interrupt()
+        driver._command(0x1F, [])     # unknown opcode: error result
+        driver._results(1)
+        driver.dumpreg()
+
+def _fdc_write(vm, driver, rng):
+    driver.write_lba(rng.randrange(0, 60),
+                     bytes([rng.randrange(256)]) * 512)
+
+def _fdc_read(vm, driver, rng):
+    driver.read_lba(rng.randrange(0, 60))
+
+def _fdc_seek(vm, driver, rng):
+    driver.seek(rng.randrange(0, 79))
+
+def _fdc_status(vm, driver, rng):
+    driver.msr()
+
+def _fdc_readid(vm, driver, rng):
+    driver.read_id(rng.randrange(0, 2))
+
+def _fdc_rare_configure(vm, driver, rng):
+    driver.configure()
+
+def _fdc_rare_dumpreg(vm, driver, rng):
+    driver.dumpreg()
+
+
+# ---------------------------------------------------------------------------
+# PCNet
+# ---------------------------------------------------------------------------
+
+def _pcnet_prepare(vm: GuestVM, driver: PCNetDriver) -> None:
+    driver.init_rings()
+
+def _pcnet_training(vm: GuestVM, device: Device,
+                    rng: random.Random) -> None:
+    driver = PCNetDriver(vm, BASE_PORTS["pcnet"])
+    # Vary "IP/MAC/gateway" payload headers, frame sizes incl. jumbo-ish,
+    # and loopback mode — the paper's network training dimensions.
+    for i, loopback in enumerate((False, True, False)):
+        if i == 0:
+            driver.init_via_block(loopback=loopback)
+        else:
+            driver.init_rings(loopback=loopback)
+        for size in (60, 128, 256, 200, 64, 250):
+            header = bytes(rng.randrange(256) for _ in range(14))
+            frame = header + bytes(size - 14)
+            driver.send_frame(frame)
+            if loopback:
+                driver.read_frame(size + 4)
+        if not loopback:
+            for size in (40, 120, 250):
+                driver.deliver_frame(bytes(rng.randrange(256)
+                                           for _ in range(size)))
+                driver.read_frame(size)
+        driver.read_csr(0)
+        driver.read_csr(76)
+        driver.read_csr(15)
+        # Doorbell with nothing queued: the no-work transmit path.
+        driver.write_csr(0, 0x0008)
+
+def _pcnet_tx(vm, driver, rng):
+    size = rng.choice((60, 120, 200, 250))
+    driver.send_frame(bytes(rng.randrange(256) for _ in range(size)))
+
+def _pcnet_rx(vm, driver, rng):
+    size = rng.choice((60, 120, 200))
+    driver.deliver_frame(bytes(size))
+    driver.read_frame(size)
+
+def _pcnet_csr_status(vm, driver, rng):
+    driver.read_csr(0)
+
+def _pcnet_rare_read_xmtrl(vm, driver, rng):
+    driver.read_csr(78)
+
+
+# ---------------------------------------------------------------------------
+# EHCI
+# ---------------------------------------------------------------------------
+
+def _ehci_prepare(vm: GuestVM, driver: EHCIDriver) -> None:
+    driver.start_controller()
+    driver.set_address(1)
+    driver.set_configuration(1)
+
+def _ehci_training(vm: GuestVM, device: Device,
+                   rng: random.Random) -> None:
+    driver = EHCIDriver(vm, BASE_PORTS["ehci"])
+    driver.start_controller()
+    driver.get_descriptor()
+    driver.set_address(rng.randrange(1, 10))
+    driver.set_configuration(1)
+    for layout in FILESYSTEM_LAYOUTS.values():
+        lba = layout["superblock_lba"]
+        driver.write_block(lba, bytes([layout["fill"]]) * 512)
+    for _ in range(6):
+        lba = rng.randrange(0, 50)
+        payload = bytes(rng.randrange(256) for _ in range(16)) * 32
+        driver.write_block(lba, payload)
+        assert driver.read_block(lba) == payload
+    driver.status()
+
+def _ehci_write(vm, driver, rng):
+    driver.write_block(rng.randrange(0, 50),
+                       bytes([rng.randrange(256)]) * 512)
+
+def _ehci_read(vm, driver, rng):
+    driver.read_block(rng.randrange(0, 50))
+
+def _ehci_descriptor(vm, driver, rng):
+    driver.get_descriptor()
+
+def _ehci_hc_status(vm, driver, rng):
+    driver.status()
+
+def _ehci_rare_get_status(vm, driver, rng):
+    driver.get_status()
+
+
+# ---------------------------------------------------------------------------
+# SDHCI
+# ---------------------------------------------------------------------------
+
+def _sdhci_prepare(vm: GuestVM, driver: SDHCIDriver) -> None:
+    driver.reset_card()
+
+def _sdhci_training(vm: GuestVM, device: Device,
+                    rng: random.Random) -> None:
+    driver = SDHCIDriver(vm, BASE_PORTS["sdhci"])
+    driver.reset_card()
+    for layout in FILESYSTEM_LAYOUTS.values():
+        driver.write_blocks(layout["superblock_lba"],
+                            bytes([layout["fill"]]) * 512)
+    for count in (1, 2, 4, 1, 2):
+        lba = rng.randrange(0, 40)
+        payload = bytes(rng.randrange(256) for _ in range(32)) \
+            * (16 * count)
+        driver.write_blocks(lba, payload)
+        assert driver.read_blocks(lba, count) == payload
+    driver.card_status()
+    driver.read_cid()
+    driver.read_csd()
+    # An aborted multi-block read (STOP_TRANSMISSION mid-transfer).
+    vm.outl(BASE_PORTS["sdhci"] + 1, 2)
+    vm.outl(BASE_PORTS["sdhci"] + 2, 5)
+    vm.outb(BASE_PORTS["sdhci"] + 3, 18)
+    for _ in range(40):
+        vm.inb(BASE_PORTS["sdhci"] + 4)
+    driver.stop_transmission()
+    # Benign corner interactions: data-port probes without an active
+    # transfer (the controller reports an error status and carries on).
+    vm.outb(BASE_PORTS["sdhci"] + 4, 0x00)
+    vm.inb(BASE_PORTS["sdhci"] + 4)
+    vm.inb(BASE_PORTS["sdhci"] + 5)
+
+def _sdhci_write(vm, driver, rng):
+    count = rng.choice((1, 2))
+    driver.write_blocks(rng.randrange(0, 40), bytes(512 * count))
+
+def _sdhci_read(vm, driver, rng):
+    driver.read_blocks(rng.randrange(0, 40), rng.choice((1, 2)))
+
+def _sdhci_status(vm, driver, rng):
+    driver.card_status()
+
+def _sdhci_rare_app(vm, driver, rng):
+    vm.outb(BASE_PORTS["sdhci"] + 3, 55)       # CMD_APP
+
+def _sdhci_rare_switch(vm, driver, rng):
+    vm.outb(BASE_PORTS["sdhci"] + 3, 6)        # CMD_SWITCH
+
+
+# ---------------------------------------------------------------------------
+# SCSI
+# ---------------------------------------------------------------------------
+
+def _scsi_prepare(vm: GuestVM, driver: SCSIDriver) -> None:
+    driver.reset()
+    driver.test_unit_ready()
+
+def _scsi_training(vm: GuestVM, device: Device,
+                   rng: random.Random) -> None:
+    driver = SCSIDriver(vm, BASE_PORTS["scsi"])
+    driver.reset()
+    driver.test_unit_ready()
+    driver.inquiry()
+    driver.read_capacity()
+    for layout in FILESYSTEM_LAYOUTS.values():
+        driver.write10(layout["superblock_lba"],
+                       bytes([layout["fill"]]) * 512)
+    for blocks in (1, 2, 4, 1):
+        lba = rng.randrange(0, 40)
+        payload = bytes(rng.randrange(256) for _ in range(64)) \
+            * (8 * blocks)
+        driver.write10(lba, payload)
+        assert driver.read10(lba, blocks) == payload
+    # Benign corner interactions: FIFO overrun handling (gross error
+    # status), data-port probes outside a data phase, ESP maintenance
+    # commands, and an unknown ESP opcode (error-status path).
+    for _ in range(17):
+        vm.outb(BASE_PORTS["scsi"] + 0, 0x00)
+    driver.reset()
+    vm.inb(BASE_PORTS["scsi"] + 0)
+    vm.outb(BASE_PORTS["scsi"] + 1, 0x00)
+    vm.outb(BASE_PORTS["scsi"] + 3, 0x44)   # ENSEL
+    vm.outb(BASE_PORTS["scsi"] + 3, 0x45)   # DISSEL
+    vm.outb(BASE_PORTS["scsi"] + 3, 0x7F)   # unknown -> gross error
+    vm.outb(BASE_PORTS["scsi"] + 3, 0x10)   # TI outside data phase
+    vm.inb(BASE_PORTS["scsi"] + 3)
+    driver.reset()
+    # READ(6)/WRITE(6), the short-CDB forms.
+    blk6 = bytes(rng.randrange(256) for _ in range(64)) * 8
+    driver.write6(12, blk6)
+    assert driver.read6(12) == blk6
+    # An unsupported (but well-formed) opcode, then REQUEST SENSE to
+    # fetch and clear the resulting CHECK CONDITION.
+    driver._select([0x2F, 0, 0, 0, 1, 0])
+    driver.request_sense()
+    driver.reset()
+
+def _scsi_write(vm, driver, rng):
+    driver.write10(rng.randrange(0, 40), bytes(512))
+
+def _scsi_read(vm, driver, rng):
+    driver.read10(rng.randrange(0, 40))
+
+def _scsi_tur(vm, driver, rng):
+    driver.test_unit_ready()
+
+def _scsi_inquiry(vm, driver, rng):
+    driver.inquiry()
+
+def _scsi_rare_mode_sense(vm, driver, rng):
+    driver.mode_sense()
+
+
+# ---------------------------------------------------------------------------
+
+PROFILES: Dict[str, DeviceProfile] = {
+    "fdc": DeviceProfile(
+        name="fdc", base_port=BASE_PORTS["fdc"], kind="storage",
+        make_driver=lambda vm: FDCDriver(vm, BASE_PORTS["fdc"]),
+        training=_fdc_training, prepare=_fdc_prepare,
+        common_ops=[_fdc_write, _fdc_read, _fdc_seek, _fdc_status,
+                    _fdc_readid],
+        op_weights=[0.15, 0.15, 0.2, 0.35, 0.15],
+        rare_ops=[_fdc_rare_configure]),
+    "pcnet": DeviceProfile(
+        name="pcnet", base_port=BASE_PORTS["pcnet"], kind="network",
+        make_driver=lambda vm: PCNetDriver(vm, BASE_PORTS["pcnet"]),
+        training=_pcnet_training, prepare=_pcnet_prepare,
+        common_ops=[_pcnet_tx, _pcnet_rx, _pcnet_csr_status],
+        op_weights=[0.3, 0.3, 0.4],
+        rare_ops=[_pcnet_rare_read_xmtrl]),
+    "ehci": DeviceProfile(
+        name="ehci", base_port=BASE_PORTS["ehci"], kind="storage",
+        make_driver=lambda vm: EHCIDriver(vm, BASE_PORTS["ehci"]),
+        training=_ehci_training, prepare=_ehci_prepare,
+        common_ops=[_ehci_write, _ehci_read, _ehci_descriptor,
+                    _ehci_hc_status],
+        op_weights=[0.15, 0.15, 0.2, 0.5],
+        rare_ops=[_ehci_rare_get_status], bus="mmio"),
+    "sdhci": DeviceProfile(
+        name="sdhci", base_port=BASE_PORTS["sdhci"], kind="storage",
+        make_driver=lambda vm: SDHCIDriver(vm, BASE_PORTS["sdhci"]),
+        training=_sdhci_training, prepare=_sdhci_prepare,
+        common_ops=[_sdhci_write, _sdhci_read, _sdhci_status],
+        op_weights=[0.15, 0.15, 0.7],
+        rare_ops=[_sdhci_rare_app, _sdhci_rare_switch]),
+    "scsi": DeviceProfile(
+        name="scsi", base_port=BASE_PORTS["scsi"], kind="storage",
+        make_driver=lambda vm: SCSIDriver(vm, BASE_PORTS["scsi"]),
+        training=_scsi_training, prepare=_scsi_prepare,
+        common_ops=[_scsi_write, _scsi_read, _scsi_tur, _scsi_inquiry],
+        op_weights=[0.15, 0.15, 0.4, 0.3],
+        rare_ops=[_scsi_rare_mode_sense]),
+}
+
+
+def profile(name: str) -> DeviceProfile:
+    return PROFILES[name]
+
+
+def train_device_spec(name: str, qemu_version: str = "99.0.0",
+                      seed: int = 7, repeats: int = 2):
+    """Convenience: run the full pipeline for one device profile."""
+    from repro.core import build_execution_spec
+
+    prof = PROFILES[name]
+
+    def workload(vm, device):
+        rng = random.Random(seed)
+        for _ in range(repeats):
+            prof.training(vm, device, rng)
+
+    return build_execution_spec(
+        lambda: prof.make_vm(qemu_version), workload)

@@ -1,0 +1,217 @@
+"""Unit tests for the CFG analyzer: taint, params, dataflow, obs logging."""
+
+import pytest
+
+from repro.analysis import (
+    CATEGORY_COUNTER, CATEGORY_FUNCPTR, DeviceStateChangeLog,
+    ObservationLogger, ReachingDefs, analyze_taint, observation_points,
+    select_parameters, slice_function,
+)
+from repro.cfg import build_itc_cfg
+from repro.compiler import compile_device
+from repro.interp import Machine
+from repro.ipt import Decoder, IPTTracer
+
+from tests.toydev import ToyLogic
+
+
+@pytest.fixture(scope="module")
+def program():
+    return compile_device(ToyLogic)
+
+
+class TestTaint:
+    def test_io_written_fields_tainted(self, program):
+        result = analyze_taint(program)
+        assert "cmd" in result.tainted_fields     # written from I/O value
+        # fifo content comes from I/O too, but buffers aren't scalar fields
+
+    def test_command_decision_detected_via_intrinsic(self, program):
+        result = analyze_taint(program)
+        write_cmd = program.function("write_cmd")
+        addrs = {b.address for b in write_cmd.iter_blocks()}
+        assert result.command_decision_blocks & addrs
+
+    def test_command_end_blocks_include_handler_returns(self, program):
+        result = analyze_taint(program)
+        assert result.command_end_blocks
+
+    def test_taint_propagates_through_calls(self, program):
+        result = analyze_taint(program)
+        # on_irq's "level" param receives a constant, not I/O data; but
+        # write_cmd's dispatch target functions receive no args at all.
+        assert result.tainted_params["write_cmd"] == {"value"}
+
+
+class TestParamSelection:
+    def test_registers_selected_by_rule1(self, program):
+        sel = select_parameters(program)
+        assert "status" in sel.registers
+        assert "cmd" in sel.registers
+
+    def test_buffers_and_counters_by_rule2(self, program):
+        sel = select_parameters(program)
+        assert "fifo" in sel.buffers
+        assert "pos" in sel.counters     # indexes the fifo
+        assert "count" in sel.counters   # compared against index/loop bound
+
+    def test_funcptr_selected(self, program):
+        sel = select_parameters(program)
+        assert "irq" in sel.funcptrs
+
+    def test_table_rows_shape(self, program):
+        rows = select_parameters(program).table_rows()
+        assert len(rows) == 4
+        categories = [r[0] for r in rows]
+        assert CATEGORY_COUNTER in categories
+        assert CATEGORY_FUNCPTR in categories
+
+    def test_counters_exclude_registers(self, program):
+        sel = select_parameters(program)
+        assert not (sel.counters & sel.registers)
+
+    def test_selection_with_itc_cfg(self, program):
+        machine = Machine(program)
+        machine.bind_extern("host_log", lambda m, level: None)
+        machine.set_funcptr("irq", "on_irq")
+        tracer = machine.add_sink(IPTTracer())
+        for i in range(10):
+            machine.run_entry("pmio:write:1", (i,))
+        machine.run_entry("pmio:write:0", (3,))
+        rounds = Decoder(program).decode_stream(tracer.packets)
+        itc = build_itc_cfg(program, rounds)
+        sel = select_parameters(program, itc)
+        assert "fifo" in sel.buffers
+        assert "irq" in sel.funcptrs
+
+
+class TestObservationPoints:
+    def test_points_are_jump_blocks(self, program):
+        points = observation_points(program)
+        assert points
+        for addr in points:
+            block = program.block_at(addr)
+            assert type(block.terminator).__name__ in (
+                "Branch", "Switch", "ICall")
+
+
+class TestDataflow:
+    def test_slice_keeps_param_stores(self, program):
+        sel = select_parameters(program)
+        func = program.function("write_data")
+        result = slice_function(func, sel.scalar_params | sel.funcptrs,
+                                sel.buffers)
+        assert result.kept_stmts > 0
+        # every kept root is a store to a param or an intrinsic
+        assert result.kept_stmts <= result.total_stmts
+
+    def test_slice_reduction_on_padded_function(self):
+        """Statements irrelevant to device state get sliced away."""
+        from repro.compiler import DeviceLogic, fld, compile_device
+
+        class Padded(DeviceLogic):
+            STRUCT = "Padded"
+            FIELDS = (fld("x", "u8"), fld("scratch", "u32"))
+            ENTRIES = {"pmio:write:0": "h"}
+
+            def h(self, v):
+                a = v + 1
+                b = a * 2          # noqa: F841 - dead for device state
+                c = b + 3          # noqa: F841 - dead
+                self.scratch = c   # not a selected param
+                self.x = a
+                return 0
+
+        prog = compile_device(Padded)
+        result = slice_function(prog.function("h"), {"x"}, set())
+        # Stores to scratch and the b/c chain are dropped; a is kept.
+        assert result.kept_stmts < result.total_stmts
+        assert result.reduction_ratio > 0
+
+    def test_extern_result_becomes_sync_local(self):
+        from repro.compiler import DeviceLogic, fld, compile_device
+
+        class Ext(DeviceLogic):
+            STRUCT = "Ext"
+            FIELDS = (fld("x", "u8"),)
+            EXTERNS = ("host_time",)
+            ENTRIES = {"pmio:write:0": "h"}
+
+            def h(self, v):
+                t = host_time()      # noqa: F821
+                self.x = t
+                return 0
+
+        prog = compile_device(Ext)
+        result = slice_function(prog.function("h"), {"x"}, set())
+        assert "t" in result.sync_locals
+
+    def test_reaching_defs_unique(self, program):
+        func = program.function("do_sum")
+        rd = ReachingDefs.compute(func)
+        # 'total' is redefined in the loop; at the loop condition both the
+        # init and the loop-body definitions reach -> not unique.
+        loop_labels = [b.label for b in func.iter_blocks()
+                       if b.label.startswith("forc")]
+        assert loop_labels
+        assert rd.unique_def(loop_labels[0], "total") is None
+
+
+class TestObservationLogger:
+    def make_logged_machine(self):
+        program = compile_device(ToyLogic)
+        sel = select_parameters(program)
+        machine = Machine(program)
+        machine.bind_extern("host_log", lambda m, level: None)
+        machine.set_funcptr("irq", "on_irq")
+        logger = machine.add_sink(ObservationLogger(
+            "toy", sel.scalar_params | sel.funcptrs, sel.buffers))
+        return machine, logger
+
+    def test_rounds_recorded(self):
+        machine, logger = self.make_logged_machine()
+        machine.run_entry("pmio:write:1", (9,))
+        machine.run_entry("pmio:read:1")
+        assert len(logger.log.rounds) == 2
+        assert logger.log.rounds[0].io_key == "pmio:write:1"
+        assert logger.log.rounds[0].io_args == (9,)
+
+    def test_param_store_events(self):
+        machine, logger = self.make_logged_machine()
+        machine.run_entry("pmio:write:1", (9,))
+        kinds = {e.kind for e in logger.log.rounds[0].events}
+        assert "store" in kinds       # pos/count updates
+        assert "bufstore" in kinds    # fifo write
+        assert "block" in kinds
+        assert "branch" in kinds
+
+    def test_command_events(self):
+        machine, logger = self.make_logged_machine()
+        machine.run_entry("pmio:write:0", (0,))
+        round_ = logger.log.rounds[0]
+        assert round_.command_values() == [0]
+        assert any(e.kind == "cmd_end" for e in round_.events)
+
+    def test_initial_and_final_state(self):
+        machine, logger = self.make_logged_machine()
+        machine.run_entry("pmio:write:1", (9,))
+        round_ = logger.log.rounds[0]
+        assert round_.initial_state["pos"] == 0
+        assert round_.final_state["pos"] == 1
+
+    def test_json_roundtrip(self):
+        machine, logger = self.make_logged_machine()
+        machine.run_entry("pmio:write:1", (9,))
+        text = logger.log.to_json()
+        restored = DeviceStateChangeLog.from_json(text)
+        assert restored.device == logger.log.device
+        assert len(restored.rounds) == 1
+        assert (restored.rounds[0].block_sequence()
+                == logger.log.rounds[0].block_sequence())
+
+    def test_block_sequence_matches_execution_order(self):
+        machine, logger = self.make_logged_machine()
+        machine.run_entry("pmio:write:1", (1,))
+        seq = logger.log.rounds[0].block_sequence()
+        entry = machine.program.entry_for("pmio:write:1")
+        assert seq[0] == entry.block(entry.entry).address

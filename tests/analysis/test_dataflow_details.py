@@ -1,0 +1,110 @@
+"""Detailed tests for reaching definitions and slicing behaviour."""
+
+from repro.analysis import ReachingDefs, slice_function
+from repro.compiler import DeviceLogic, arr, compile_device, fld
+
+
+def compile_src(source):
+    namespace = {}
+    exec(source, {"DeviceLogic": DeviceLogic, "fld": fld, "arr": arr},
+         namespace)
+    return compile_device(namespace["D"], source=source)
+
+
+LINEAR = (
+    "class D(DeviceLogic):\n"
+    "    STRUCT = 'D'\n"
+    "    FIELDS = (fld('x', 'u8'), fld('scratch', 'u32'))\n"
+    "    ENTRIES = {'pmio:write:0': 'h'}\n"
+    "    def h(self, v):\n"
+    "        a = v + 1\n"
+    "        b = a * 2\n"
+    "        self.scratch = b\n"
+    "        a = v + 9\n"
+    "        self.x = a\n"
+    "        return 0\n")
+
+
+class TestReachingDefs:
+    def test_redefinition_kills_previous(self):
+        program = compile_src(LINEAR)
+        func = program.function("h")
+        rd = ReachingDefs.compute(func)
+        # Within a single block there is no 'in' ambiguity; at entry no
+        # definition of 'a' reaches.
+        assert rd.unique_def(func.entry, "a") is None
+
+    def test_diamond_merges_definitions(self):
+        program = compile_src(
+            "class D(DeviceLogic):\n"
+            "    STRUCT = 'D'\n"
+            "    FIELDS = (fld('x', 'u8'),)\n"
+            "    ENTRIES = {'pmio:write:0': 'h'}\n"
+            "    def h(self, v):\n"
+            "        if v > 4:\n"
+            "            t = 1\n"
+            "        else:\n"
+            "            t = 2\n"
+            "        self.x = t\n"
+            "        return 0\n")
+        func = program.function("h")
+        rd = ReachingDefs.compute(func)
+        join = [b.label for b in func.iter_blocks()
+                if b.label.startswith("join")][0]
+        # Both arms' definitions reach the join: not unique.
+        assert rd.unique_def(join, "t") is None
+
+    def test_single_path_definition_unique(self):
+        program = compile_src(
+            "class D(DeviceLogic):\n"
+            "    STRUCT = 'D'\n"
+            "    FIELDS = (fld('x', 'u8'),)\n"
+            "    ENTRIES = {'pmio:write:0': 'h'}\n"
+            "    def h(self, v):\n"
+            "        t = v + 1\n"
+            "        if v > 4:\n"
+            "            self.x = t\n"
+            "        return 0\n")
+        func = program.function("h")
+        rd = ReachingDefs.compute(func)
+        then = [b.label for b in func.iter_blocks()
+                if b.label.startswith("then")][0]
+        assert rd.unique_def(then, "t") is not None
+
+
+class TestSlicing:
+    def test_dead_chain_dropped_live_chain_kept(self):
+        program = compile_src(LINEAR)
+        result = slice_function(program.function("h"), {"x"}, set())
+        # b and the scratch store are dead for {x}; 'a = v + 9' is live.
+        assert result.kept_stmts < result.total_stmts
+        assert 0 < result.reduction_ratio < 1
+
+    def test_param_buffer_store_is_root(self):
+        program = compile_src(
+            "class D(DeviceLogic):\n"
+            "    STRUCT = 'D'\n"
+            "    FIELDS = (fld('x', 'u8'), arr('buf', 'u8', 4))\n"
+            "    ENTRIES = {'pmio:write:0': 'h'}\n"
+            "    def h(self, v):\n"
+            "        i = v & 3\n"
+            "        self.buf[i] = v\n"
+            "        return 0\n")
+        result = slice_function(program.function("h"), set(), {"buf"})
+        # Both the index computation and the store are kept.
+        assert result.kept_stmts == 2
+
+    def test_terminator_operands_rooted(self):
+        program = compile_src(
+            "class D(DeviceLogic):\n"
+            "    STRUCT = 'D'\n"
+            "    FIELDS = (fld('x', 'u8'),)\n"
+            "    ENTRIES = {'pmio:write:0': 'h'}\n"
+            "    def h(self, v):\n"
+            "        gate = v & 1\n"
+            "        if gate:\n"
+            "            self.x = 1\n"
+            "        return 0\n")
+        result = slice_function(program.function("h"), {"x"}, set())
+        # 'gate' feeds the branch: its definition must be kept.
+        assert result.keeps("entry", 0)

@@ -1,0 +1,120 @@
+"""Tests for the Nioh FSM and VMDec Markov baselines."""
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    DeviceFSM, MarkovModel, VMDecDetector, attach_nioh, tokenize,
+)
+from repro.errors import DeviceFault
+from repro.exploits import exploit_by_cve
+from repro.workloads.profiles import PROFILES
+
+NIOH_CVES = ("CVE-2015-3456", "CVE-2015-5158", "CVE-2016-4439",
+             "CVE-2016-7909", "CVE-2016-1568")
+
+
+class TestDeviceFSM:
+    def make(self):
+        return DeviceFSM("t", "A", {("A", "go"): "B", ("B", "back"): "A"},
+                         selfloop_events=("noise",))
+
+    def test_legal_transitions(self):
+        fsm = self.make()
+        assert fsm.feed("go")
+        assert fsm.state == "B"
+        assert fsm.feed("back")
+        assert fsm.state == "A"
+
+    def test_illegal_transition_recorded_and_refused(self):
+        fsm = self.make()
+        assert not fsm.feed("back")     # not legal from A
+        assert fsm.state == "A"
+        assert len(fsm.violations) == 1
+
+    def test_selfloop_events_always_legal(self):
+        fsm = self.make()
+        assert fsm.feed("noise")
+        assert fsm.state == "A"
+        assert not fsm.violations
+
+    def test_reset(self):
+        fsm = self.make()
+        fsm.feed("go")
+        fsm.reset()
+        assert fsm.state == "A"
+
+
+class TestNiohDetection:
+    @pytest.mark.parametrize("cve", NIOH_CVES)
+    def test_detects_all_five_nioh_cves(self, cve):
+        exploit = exploit_by_cve(cve)
+        prof = PROFILES[exploit.device]
+        vm, device = prof.make_vm(exploit.qemu_version)
+        monitor = attach_nioh(device)
+        try:
+            exploit.run(vm, device)
+        except DeviceFault:
+            pass
+        assert monitor.detected, cve
+
+    @pytest.mark.parametrize("name", ["fdc", "scsi", "pcnet"])
+    def test_benign_and_rare_traffic_clean(self, name):
+        prof = PROFILES[name]
+        vm, device = prof.make_vm()
+        monitor = attach_nioh(device)
+        driver = prof.make_driver(vm)
+        rng = random.Random(5)
+        prof.prepare(vm, driver)
+        for _ in range(30):
+            rng.choice(prof.common_ops)(vm, driver, rng)
+        for rare in prof.rare_ops:
+            rare(vm, driver, rng)
+        assert not monitor.violations, [str(v) for v in monitor.violations]
+
+    def test_unmodelled_device_rejected(self):
+        prof = PROFILES["sdhci"]
+        _, device = prof.make_vm()
+        with pytest.raises(KeyError, match="scalability"):
+            attach_nioh(device)
+
+
+class TestVMDec:
+    def test_tokenize(self):
+        assert tokenize("pmio:write:5") == ("write", 5)
+        assert tokenize("pmio:read:0") == ("read", 0)
+
+    def test_trained_transitions_probable(self):
+        model = MarkovModel()
+        model.train(["pmio:write:1", "pmio:write:1", "pmio:read:1"])
+        assert model.probability(("write", 1), ("write", 1)) == 0.5
+        assert model.probability(("write", 1), ("read", 1)) == 0.5
+
+    def test_unseen_transition_zero(self):
+        model = MarkovModel()
+        model.train(["pmio:write:1", "pmio:read:1"])
+        assert model.probability(("read", 1), ("write", 9)) == 0.0
+
+    def test_detector_flags_novel_sequence(self):
+        detector = VMDecDetector()
+        detector.train_sequences(
+            [["pmio:write:1", "pmio:read:1"]] * 10)
+        assert not detector.is_anomalous(["pmio:write:1", "pmio:read:1"])
+        assert detector.is_anomalous(["pmio:write:7"])
+
+    def test_flagged_positions(self):
+        detector = VMDecDetector()
+        detector.train_sequences([["pmio:write:1", "pmio:read:1"]] * 3)
+        positions = detector.flagged_positions(
+            ["pmio:write:1", "pmio:write:7", "pmio:read:1"])
+        assert 1 in positions
+
+    def test_statistically_ordinary_attack_slips_through(self):
+        """Venom's flood of data-port writes looks like normal traffic to
+        a Markov model — the imprecision the paper cites."""
+        detector = VMDecDetector()
+        detector.train_sequences(
+            [["pmio:write:5"] * 6 + ["pmio:read:5"] * 2] * 5)
+        flood = ["pmio:write:5"] * 600
+        assert not detector.is_anomalous(flood)

@@ -1,0 +1,117 @@
+"""Unit tests for ITC-CFG construction and coverage accounting."""
+
+from repro.cfg import (
+    CoverageReport, build_itc_cfg, build_static, effective_coverage,
+)
+from repro.compiler import compile_device
+from repro.interp import Machine
+from repro.ipt import Decoder, IPTTracer
+
+from tests.toydev import ToyLogic
+
+
+def run_training(inputs):
+    program = compile_device(ToyLogic)
+    machine = Machine(program)
+    machine.bind_extern("host_log", lambda m, level: None)
+    machine.set_funcptr("irq", "on_irq")
+    tracer = machine.add_sink(IPTTracer())
+    for key, args in inputs:
+        machine.run_entry(key, args)
+    rounds = Decoder(program).decode_stream(tracer.packets)
+    return program, rounds
+
+
+class TestStaticCFG:
+    def test_every_block_is_a_node(self):
+        program = compile_device(ToyLogic)
+        graph = build_static(program)
+        assert len(graph.nodes) == program.block_count()
+
+    def test_node_kinds_assigned(self):
+        program = compile_device(ToyLogic)
+        graph = build_static(program)
+        kinds = {n.kind for n in graph.nodes.values()}
+        assert {"cond", "icall", "call", "ret"} <= kinds
+
+    def test_direct_call_edge_to_callee_entry(self):
+        program = compile_device(ToyLogic)
+        graph = build_static(program)
+        write_cmd = program.function("write_cmd")
+        do_reset = program.function("do_reset")
+        entry_addr = do_reset.block(do_reset.entry).address
+        call_blocks = [b.address for b in write_cmd.iter_blocks()
+                       if (b.address, entry_addr) in graph.edges]
+        assert call_blocks
+
+    def test_nothing_executed_initially(self):
+        program = compile_device(ToyLogic)
+        graph = build_static(program)
+        assert not graph.executed_nodes()
+        assert not graph.executed_edges
+
+
+class TestConnectedCFG:
+    def test_training_marks_nodes_executed(self):
+        program, rounds = run_training([("pmio:write:1", (1,))])
+        graph = build_itc_cfg(program, rounds)
+        executed = graph.executed_nodes()
+        assert executed
+        entry = program.entry_for("pmio:write:1")
+        assert entry.block(entry.entry).address in executed
+
+    def test_indirect_targets_collected(self):
+        program, rounds = run_training(
+            [("pmio:write:0", (ToyLogic.CONSTS["CMD_SUM"],))])
+        graph = build_itc_cfg(program, rounds)
+        targets = set()
+        for addrs in graph.indirect_targets.values():
+            targets |= addrs
+        assert program.func_addr["on_irq"] in targets
+
+    def test_one_sided_branch_detection(self):
+        """Pushing only in-bounds bytes never takes the overflow branch."""
+        inputs = [("pmio:write:1", (i,)) for i in range(4)]
+        program, rounds = run_training(inputs)
+        graph = build_itc_cfg(program, rounds)
+        one_sided = graph.one_sided_branches()
+        assert one_sided, "bounds check should be one-sided in training"
+
+    def test_both_sides_seen_not_one_sided(self):
+        """Overfilling the FIFO exercises both sides of the bounds check."""
+        inputs = [("pmio:write:1", (i,)) for i in range(12)]
+        program, rounds = run_training(inputs)
+        graph = build_itc_cfg(program, rounds)
+        write_data = program.function("write_data")
+        cond_addrs = {b.address for b in write_data.iter_blocks()
+                      if graph.nodes[b.address].kind == "cond"}
+        flagged = {a for a, _ in graph.one_sided_branches()}
+        assert not (cond_addrs & flagged)
+
+    def test_executed_edges_subset_of_edges(self):
+        program, rounds = run_training([("pmio:read:1", ())])
+        graph = build_itc_cfg(program, rounds)
+        assert graph.executed_edges <= graph.edges
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        edges = {(1, 2), (2, 3)}
+        report = effective_coverage(edges, edges)
+        assert report.ratio == 1.0
+
+    def test_partial_coverage(self):
+        report = effective_coverage({(1, 2)}, {(1, 2), (2, 3), (3, 4)})
+        assert abs(report.ratio - 1 / 3) < 1e-9
+        assert "33.3%" in str(report)
+
+    def test_empty_reference_is_full(self):
+        assert effective_coverage({(1, 2)}, set()).ratio == 1.0
+
+    def test_training_cannot_exceed_reference(self):
+        report = effective_coverage({(1, 2), (9, 9)}, {(1, 2)})
+        assert report.covered == 1
+        assert report.ratio == 1.0
+
+    def test_report_is_dataclass(self):
+        assert CoverageReport(1, 2).percent == 50.0

@@ -1,0 +1,63 @@
+"""Unit tests for the anomaly taxonomy and working-mode policy."""
+
+import pytest
+
+from repro.checker import (
+    ALL_STRATEGIES, Action, Anomaly, CheckReport, Mode, Strategy,
+    decide_action,
+)
+
+
+def anomaly(strategy):
+    return Anomaly(strategy=strategy, kind="k", message="m",
+                   block_address=0x1234, io_key="pmio:write:0")
+
+
+class TestDecideAction:
+    def test_no_anomalies_allows(self):
+        for mode in Mode:
+            assert decide_action([], mode) is Action.ALLOW
+
+    def test_protection_halts_on_anything(self):
+        for strategy in Strategy:
+            assert decide_action([anomaly(strategy)],
+                                 Mode.PROTECTION) is Action.HALT
+
+    def test_enhancement_halts_only_on_parameter(self):
+        assert decide_action([anomaly(Strategy.PARAMETER)],
+                             Mode.ENHANCEMENT) is Action.HALT
+        assert decide_action([anomaly(Strategy.INDIRECT_JUMP)],
+                             Mode.ENHANCEMENT) is Action.WARN
+        assert decide_action([anomaly(Strategy.CONDITIONAL_JUMP)],
+                             Mode.ENHANCEMENT) is Action.WARN
+
+    def test_mixed_anomalies_take_strictest(self):
+        mixed = [anomaly(Strategy.CONDITIONAL_JUMP),
+                 anomaly(Strategy.PARAMETER)]
+        assert decide_action(mixed, Mode.ENHANCEMENT) is Action.HALT
+
+
+class TestReport:
+    def test_ok_property(self):
+        report = CheckReport(io_key="x")
+        assert report.ok
+        report.anomalies.append(anomaly(Strategy.PARAMETER))
+        assert not report.ok
+
+    def test_first_anomaly(self):
+        report = CheckReport(io_key="x")
+        assert report.first_anomaly() is None
+        a1 = anomaly(Strategy.PARAMETER)
+        report.anomalies.append(a1)
+        report.anomalies.append(anomaly(Strategy.INDIRECT_JUMP))
+        assert report.first_anomaly() is a1
+
+    def test_anomaly_str_mentions_strategy_and_block(self):
+        text = str(anomaly(Strategy.INDIRECT_JUMP))
+        assert "indirect_jump" in text
+        assert "0x1234" in text
+
+    def test_all_strategies_frozen(self):
+        assert ALL_STRATEGIES == frozenset(Strategy)
+        with pytest.raises(AttributeError):
+            ALL_STRATEGIES.add  # frozenset has no add

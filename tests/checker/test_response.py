@@ -1,0 +1,143 @@
+"""Tests for anomaly response: alert levels, rollback, quarantine."""
+
+import pytest
+
+from repro.checker import (
+    Action, AlertLevel, AlertManager, Anomaly, CheckReport,
+    DeviceQuarantine, ResponsePolicy, RollbackManager, Strategy, classify,
+)
+from repro.devices.fdc import FDC
+from repro.errors import DeviceFault
+
+
+def anomaly(strategy: Strategy, kind: str = "k") -> Anomaly:
+    return Anomaly(strategy=strategy, kind=kind, message="m",
+                   block_address=0x40, io_key="pmio:write:5")
+
+
+def report_with(*strategies: Strategy) -> CheckReport:
+    report = CheckReport(io_key="pmio:write:5")
+    report.anomalies = [anomaly(s) for s in strategies]
+    return report
+
+
+class TestAlerts:
+    def test_classification_ladder(self):
+        assert classify(anomaly(Strategy.CONDITIONAL_JUMP)) \
+            is AlertLevel.WARNING
+        assert classify(anomaly(Strategy.INDIRECT_JUMP)) \
+            is AlertLevel.SEVERE
+        assert classify(anomaly(Strategy.PARAMETER)) \
+            is AlertLevel.CRITICAL
+
+    def test_manager_collects_and_ranks(self):
+        manager = AlertManager()
+        manager.ingest(report_with(Strategy.CONDITIONAL_JUMP))
+        manager.next_round()
+        manager.ingest(report_with(Strategy.PARAMETER))
+        assert manager.worst() is AlertLevel.CRITICAL
+        assert len(manager.at_level(AlertLevel.WARNING)) == 1
+
+    def test_empty_manager(self):
+        assert AlertManager().worst() is None
+
+
+class TestRollback:
+    def test_checkpoint_and_restore(self):
+        device = FDC()
+        manager = RollbackManager(device, interval=2)
+        device.state.write_field("track", 9)
+        manager.on_round()
+        manager.on_round()          # checkpoint at round 2 (track=9)
+        device.state.write_field("track", 77)   # "corruption"
+        restored = manager.rollback()
+        assert device.state.read_field("track") == 9
+        assert restored.round_index == 2
+        assert manager.rollbacks == 1
+
+    def test_rollback_unhalts_device(self):
+        device = FDC(qemu_version="2.3.0")
+        manager = RollbackManager(device, interval=1)
+        device.handle_io("pmio:write:5", (0x4A,))
+        manager.on_round()
+        device.handle_io("pmio:write:5", (0x80,))
+        with pytest.raises(DeviceFault):
+            for i in range(4000):
+                device.handle_io("pmio:write:5", (0x41,))
+        assert device.halted
+        manager.rollback()
+        assert not device.halted
+        assert device.handle_io("pmio:read:4", ()) is not None
+
+    def test_rollback_before_round(self):
+        device = FDC()
+        manager = RollbackManager(device, interval=1)
+        for track in (1, 2, 3):
+            device.state.write_field("track", track)
+            manager.on_round()      # checkpoints at rounds 1,2,3
+        chosen = manager.rollback(before_round=3)
+        assert chosen.round_index == 2
+        assert device.state.read_field("track") == 2
+
+    def test_boot_checkpoint_always_available(self):
+        device = FDC()
+        manager = RollbackManager(device, interval=100)
+        device.state.write_field("track", 50)
+        manager.rollback()
+        assert device.state.read_field("track") == 0
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            RollbackManager(FDC(), interval=0)
+
+
+class TestQuarantine:
+    def test_quarantine_halts_device(self):
+        device = FDC()
+        quarantine = DeviceQuarantine()
+        quarantine.quarantine(device, "test")
+        assert quarantine.is_quarantined("fdc")
+        with pytest.raises(DeviceFault, match="halted"):
+            device.handle_io("pmio:read:4", ())
+
+    def test_release(self):
+        device = FDC()
+        quarantine = DeviceQuarantine()
+        quarantine.quarantine(device, "test")
+        quarantine.release(device)
+        assert not quarantine.is_quarantined("fdc")
+        device.handle_io("pmio:read:4", ())
+
+
+class TestResponsePolicy:
+    def test_critical_rolls_back_and_quarantines(self):
+        device = FDC()
+        policy = ResponsePolicy(device)
+        device.state.write_field("track", 5)
+        policy.on_clean_round()
+        policy.rollback.checkpoint()
+        device.state.write_field("track", 66)
+        policy.on_report(report_with(Strategy.PARAMETER))
+        assert device.state.read_field("track") == 5    # rolled back
+        assert policy.quarantine.is_quarantined("fdc")
+
+    def test_severe_rolls_back_only(self):
+        device = FDC()
+        policy = ResponsePolicy(device)
+        policy.on_report(report_with(Strategy.INDIRECT_JUMP))
+        assert policy.rollback.rollbacks == 1
+        assert not policy.quarantine.is_quarantined("fdc")
+
+    def test_warning_alerts_only(self):
+        device = FDC()
+        policy = ResponsePolicy(device)
+        policy.on_report(report_with(Strategy.CONDITIONAL_JUMP))
+        assert policy.rollback.rollbacks == 0
+        assert policy.alerts.worst() is AlertLevel.WARNING
+
+    def test_clean_rounds_advance_checkpoints(self):
+        device = FDC()
+        policy = ResponsePolicy(device, RollbackManager(device, interval=2))
+        for _ in range(4):
+            policy.on_clean_round()
+        assert len(policy.rollback.checkpoints) >= 2

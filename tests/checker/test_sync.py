@@ -1,0 +1,76 @@
+"""Unit tests for the sync-point oracles."""
+
+from collections import deque
+
+import pytest
+
+from repro.checker import (
+    ExternHarvestSink, FieldSyncOracle, MappingSyncOracle, NullSyncOracle,
+    QueueSyncOracle,
+)
+from repro.errors import CheckerError
+from repro.ir import StateLayout, StateMemory, U8, U32
+
+
+def make_memory():
+    layout = StateLayout("T")
+    layout.add("phase", U8)
+    layout.add("count", U32)
+    memory = StateMemory(layout)
+    memory.write_field("phase", 3)
+    memory.write_field("count", 77)
+    return memory
+
+
+class TestOracles:
+    def test_null_refuses(self):
+        with pytest.raises(CheckerError):
+            NullSyncOracle().resolve("anything")
+
+    def test_mapping(self):
+        oracle = MappingSyncOracle({"a": 5})
+        assert oracle.resolve("a") == 5
+        with pytest.raises(CheckerError):
+            oracle.resolve("b")
+
+    def test_field_oracle_reads_live_memory(self):
+        oracle = FieldSyncOracle(make_memory())
+        assert oracle.resolve("field:phase") == 3
+        assert oracle.resolve("field:count") == 77
+
+    def test_field_oracle_falls_back(self):
+        oracle = FieldSyncOracle(make_memory(),
+                                 fallback=MappingSyncOracle({"x": 9}))
+        assert oracle.resolve("x") == 9
+
+    def test_queue_oracle_pops_in_order(self):
+        queues = {"extern:f:byte": deque([10, 20, 30])}
+        oracle = QueueSyncOracle(queues)
+        assert [oracle.resolve("extern:f:byte") for _ in range(3)] \
+            == [10, 20, 30]
+
+    def test_queue_exhaustion_is_divergence(self):
+        oracle = QueueSyncOracle({"extern:f:b": deque([1])})
+        oracle.resolve("extern:f:b")
+        with pytest.raises(CheckerError, match="diverged"):
+            oracle.resolve("extern:f:b")
+
+    def test_queue_falls_back_for_fields(self):
+        oracle = QueueSyncOracle({}, fallback=FieldSyncOracle(
+            make_memory()))
+        assert oracle.resolve("field:phase") == 3
+
+
+class TestHarvestSink:
+    def test_keys_by_caller_and_dest(self):
+        sink = ExternHarvestSink()
+        sink.on_extern("fill_fifo", "disk_read", "byte", (0,), 0xAA)
+        sink.on_extern("fill_fifo", "disk_read", "byte", (1,), 0xBB)
+        sink.on_extern("other", "disk_read", "byte", (2,), 0xCC)
+        assert list(sink.queues["extern:fill_fifo:byte"]) == [0xAA, 0xBB]
+        assert list(sink.queues["extern:other:byte"]) == [0xCC]
+
+    def test_destless_externs_not_harvested(self):
+        sink = ExternHarvestSink()
+        sink.on_extern("f", "set_irq", None, (1,), 0)
+        assert not sink.queues

@@ -1,0 +1,153 @@
+"""Unit tests for the restricted-Python front end."""
+
+import pytest
+
+from repro.compiler import DeviceLogic, arr, compile_device, fld, ptr, reg
+from repro.errors import CompileError
+from repro.ir import Branch, Call, Goto, ICall, Intrinsic, Return
+
+from tests.toydev import ToyLogic
+
+
+class TestCompileToy:
+    def setup_method(self):
+        self.program = compile_device(ToyLogic)
+
+    def test_all_public_methods_compiled(self):
+        names = set(self.program.functions)
+        assert {"write_cmd", "do_reset", "do_sum", "raise_irq", "on_irq",
+                "write_data", "read_data"} <= names
+
+    def test_entries_registered(self):
+        assert self.program.entry_for("pmio:write:0").name == "write_cmd"
+        assert self.program.entry_for("pmio:read:1").name == "read_data"
+
+    def test_frozen_with_addresses(self):
+        assert self.program.frozen
+        lo, hi = self.program.code_range()
+        assert lo < hi
+        for func in self.program.functions.values():
+            for block in func.iter_blocks():
+                assert lo <= block.address < hi
+
+    def test_layout_matches_fields(self):
+        layout = self.program.layout
+        assert layout.field("status").register
+        assert layout.field("fifo").is_buffer
+        assert layout.field("irq").is_funcptr
+
+    def test_direct_call_compiles_to_call_terminator(self):
+        func = self.program.function("write_cmd")
+        calls = [b.terminator for b in func.iter_blocks()
+                 if isinstance(b.terminator, Call)]
+        assert {t.func for t in calls} == {"do_reset", "do_sum"}
+
+    def test_funcptr_call_compiles_to_icall(self):
+        func = self.program.function("raise_irq")
+        terms = [b.terminator for b in func.iter_blocks()]
+        icalls = [t for t in terms if isinstance(t, ICall)]
+        assert len(icalls) == 1
+        assert icalls[0].ptr_field == "irq"
+
+    def test_intrinsics_preserved(self):
+        func = self.program.function("write_cmd")
+        kinds = [s.kind for b in func.iter_blocks() for s in b.stmts
+                 if isinstance(s, Intrinsic)]
+        assert "command_decision" in kinds
+        assert "command_end" in kinds
+
+    def test_vulnerable_variant_has_no_bounds_branch(self):
+        """Dead-branch elimination: the vulnerable build drops the check."""
+        vuln = compile_device(ToyLogic,
+                              const_overrides={"VULN_UNCHECKED_PUSH": 1})
+        patched_blocks = self.program.function("write_data").blocks
+        vuln_blocks = vuln.function("write_data").blocks
+        assert len(vuln_blocks) < len(patched_blocks)
+        assert not any(isinstance(b.terminator, Branch)
+                       for b in vuln_blocks.values())
+
+    def test_loop_desugared(self):
+        func = self.program.function("do_sum")
+        branches = [b for b in func.iter_blocks()
+                    if isinstance(b.terminator, Branch)]
+        assert branches, "for-range should produce a loop branch"
+
+    def test_every_block_has_valid_successors(self):
+        for func in self.program.functions.values():
+            func.validate()
+
+
+class TestRejections:
+    def _compile_method(self, body, params="self, v"):
+        """Build a device class from source lines and compile it.
+
+        The class object is exec'd with a trivially valid body (so Python's
+        own compiler doesn't get in the way); the real method source is fed
+        to compile_device via its ``source`` override.
+        """
+        method = f"def m({params}):\n" + "".join(
+            f"    {line}\n" for line in body)
+        header = (
+            "class D(DeviceLogic):\n"
+            "    STRUCT = 'D'\n"
+            "    FIELDS = (fld('x', 'u8'), arr('b', 'u8', 4))\n")
+        source = header + "".join(
+            "    " + line + "\n" for line in method.splitlines())
+        namespace = {}
+        exec(header + "    pass\n",  # noqa: S102 - dynamic test class
+             {"DeviceLogic": DeviceLogic, "fld": fld, "arr": arr}, namespace)
+        return compile_device(namespace["D"], source=source)
+
+    def test_missing_struct_rejected(self):
+        class NoStruct(DeviceLogic):
+            FIELDS = ()
+        with pytest.raises(CompileError):
+            compile_device(NoStruct)
+
+    def test_float_literal_rejected(self):
+        with pytest.raises(CompileError, match="literal"):
+            self._compile_method(["self.x = 1.5"])
+
+    def test_chained_comparison_rejected(self):
+        with pytest.raises(CompileError, match="chained"):
+            self._compile_method(["y = 0 < v < 5", "self.x = y"])
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(CompileError, match="unknown field"):
+            self._compile_method(["self.nope = 1"])
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(CompileError, match="unknown function"):
+            self._compile_method(["whatever(1)"])
+
+    def test_slice_rejected(self):
+        with pytest.raises(CompileError):
+            self._compile_method(["self.b[0:2] = v"])
+
+    def test_nested_call_rejected(self):
+        with pytest.raises(CompileError):
+            self._compile_method(["self.x = 1 + self.m2()"])
+
+    def test_param_write_rejected(self):
+        with pytest.raises(CompileError, match="read-only"):
+            self._compile_method(["v = 1"])
+
+    def test_break_outside_loop_rejected(self):
+        with pytest.raises(CompileError, match="break outside"):
+            self._compile_method(["break"])
+
+    def test_bad_entry_name_rejected(self):
+        class BadEntry(DeviceLogic):
+            STRUCT = "E"
+            FIELDS = (fld("x", "u8"),)
+            ENTRIES = {"pmio:write:0": "missing"}
+
+            def m(self):
+                return 0
+        with pytest.raises(CompileError, match="unknown method"):
+            compile_device(BadEntry)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(CompileError) as exc:
+            self._compile_method(["self.x = 0", "self.nope = 1"])
+        assert exc.value.lineno > 0

@@ -1,0 +1,133 @@
+"""Unit tests for the device framework and host backends."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices import (
+    DiskImage, GuestMemory, IRQLine, NetBackend, create_device,
+    device_names, version_lt,
+)
+from repro.devices.base import CveGate
+from repro.devices.fdc import FDC
+from repro.errors import DeviceFault, WorkloadError
+
+
+class TestVersions:
+    def test_version_lt(self):
+        assert version_lt("2.3.0", "2.4.0")
+        assert version_lt("2.4.0", "2.4.1")
+        assert not version_lt("2.4.0", "2.4.0")
+        assert version_lt("2.9.0", "2.10.0")   # numeric, not lexical
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(WorkloadError):
+            version_lt("2.x", "2.4.0")
+
+    def test_cve_gate(self):
+        gate = CveGate("CVE-X", "VULN_X", "2.5.0")
+        assert gate.active_in("2.4.0")
+        assert not gate.active_in("2.5.0")
+        assert not gate.active_in("3.0.0")
+
+
+class TestDeviceLifecycle:
+    def test_registry_lists_devices(self):
+        assert "fdc" in device_names()
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown device"):
+            create_device("gpu")
+
+    def test_fault_latches_device(self):
+        fdc = FDC(qemu_version="2.3.0")
+        fdc.handle_io("pmio:write:5", (0x4A,))      # READ_ID
+        fdc.handle_io("pmio:write:5", (0x80,))      # invalid head
+        with pytest.raises(DeviceFault):
+            for i in range(4000):
+                fdc.handle_io("pmio:write:5", (0x41,))
+        assert fdc.halted
+        with pytest.raises(DeviceFault, match="halted"):
+            fdc.handle_io("pmio:read:4", ())
+
+    def test_speculative_machine_isolated(self):
+        fdc = FDC()
+        spec_machine = fdc.speculative_machine()
+        spec_machine.state.write_field("msr", 0x11)
+        assert fdc.state.read_field("msr") != 0x11
+
+    def test_io_keys(self):
+        assert "pmio:write:5" in FDC().io_keys()
+
+
+class TestDiskImage:
+    def test_roundtrip(self):
+        disk = DiskImage(4096)
+        disk.write_block(100, b"hello")
+        assert disk.read_block(100, 5) == b"hello"
+
+    def test_out_of_range_reads_zero(self):
+        disk = DiskImage(64)
+        assert disk.read_byte(1000) == 0
+
+    def test_out_of_range_write_ignored(self):
+        disk = DiskImage(64)
+        disk.write_byte(1000, 7)    # like writing past a sparse image
+        assert disk.read_byte(1000) == 0
+
+    def test_counters(self):
+        disk = DiskImage(64)
+        disk.write_byte(0, 1)
+        disk.read_byte(0)
+        assert disk.writes == 1 and disk.reads == 1
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            DiskImage(0)
+
+    @given(st.integers(0, 63), st.integers(0, 255))
+    def test_byte_roundtrip(self, offset, value):
+        disk = DiskImage(64)
+        disk.write_byte(offset, value)
+        assert disk.read_byte(offset) == value
+
+
+class TestGuestMemory:
+    def test_block_roundtrip(self):
+        memory = GuestMemory(1024)
+        memory.write_block(10, b"abc")
+        assert memory.read_block(10, 3) == b"abc"
+
+    def test_dma_counters(self):
+        memory = GuestMemory(64)
+        memory.write_byte(0, 1)
+        memory.read_byte(0)
+        assert memory.dma_writes == 1 and memory.dma_reads == 1
+
+    def test_out_of_range_safe(self):
+        memory = GuestMemory(64)
+        memory.write_byte(9999, 1)
+        assert memory.read_byte(9999) == 0
+
+
+class TestIRQAndNet:
+    def test_irq_counts_raises(self):
+        line = IRQLine()
+        line.set_level(1)
+        line.set_level(1)
+        line.set_level(0)
+        assert line.raise_count == 2
+        assert line.level == 0
+
+    def test_net_backend_queues(self):
+        net = NetBackend()
+        net.inject(b"abc")
+        frame = net.pop_rx()
+        assert frame.payload == b"abc"
+        assert net.pop_rx() is None
+        assert net.rx_bytes == 3
+
+    def test_net_transmit(self):
+        net = NetBackend()
+        net.transmit(b"xyzw")
+        assert net.tx_bytes == 4
+        assert net.tx_frames[0].payload == b"xyzw"

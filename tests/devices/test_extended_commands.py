@@ -1,0 +1,141 @@
+"""Tests for the secondary device commands (format/CID/CSD/sense/rw6/
+init-block) and their interaction with SEDSpec."""
+
+import pytest
+
+from repro.devices.fdc import FDC
+from repro.devices.pcnet import PCNet
+from repro.devices.scsi import SCSI
+from repro.devices.sdhci import SDHCI
+from repro.vm import GuestVM
+from repro.vm.drivers.fdc import FDCDriver
+from repro.vm.drivers.pcnet import PCNetDriver, RX_RING, TX_RING
+from repro.vm.drivers.scsi import SCSIDriver
+from repro.vm.drivers.sdhci import SDHCIDriver
+
+
+class TestFDCFormat:
+    def make(self):
+        vm = GuestVM()
+        fdc = vm.attach_device(FDC(), 0x3F0)
+        driver = FDCDriver(vm)
+        driver.controller_reset()
+        return vm, fdc, driver
+
+    def test_format_fills_track(self):
+        _, fdc, driver = self.make()
+        driver.format_track(3, filler=0x5A)
+        for sector in range(3):
+            assert driver.read_lba(3 * 36 + sector) == bytes([0x5A]) * 512
+
+    def test_format_respects_sector_count(self):
+        _, fdc, driver = self.make()
+        driver.write_lba(4 * 36 + 17, bytes([0x11]) * 512)
+        driver.format_track(4, sectors=2, filler=0x00)
+        # Sector 18 (index 17) was beyond the 2 formatted sectors.
+        assert driver.read_lba(4 * 36 + 17) == bytes([0x11]) * 512
+
+    def test_format_produces_result_phase_and_irq(self):
+        _, fdc, driver = self.make()
+        before = fdc.irq_line.raise_count
+        results = driver.format_track(1)
+        assert len(results) == 7
+        assert fdc.irq_line.raise_count > before
+
+
+class TestSDHCIRegisters:
+    def make(self):
+        vm = GuestVM()
+        sd = vm.attach_device(SDHCI(), 0x500)
+        driver = SDHCIDriver(vm)
+        driver.reset_card()
+        return vm, sd, driver
+
+    def test_cid_and_csd_distinct(self):
+        _, _, driver = self.make()
+        cid, csd = driver.read_cid(), driver.read_csd()
+        assert cid != csd
+        assert cid[0] == 0xCD and csd[0] == 0xC5
+        assert cid[3] == 0xCD ^ 3
+
+    def test_stop_transmission_aborts_multiblock(self):
+        vm, sd, driver = self.make()
+        vm.outl(0x501, 4)            # 4 blocks
+        vm.outl(0x502, 8)
+        vm.outb(0x503, 18)           # READ_MULTI
+        for _ in range(100):
+            vm.inb(0x504)
+        driver.stop_transmission()
+        assert sd.state.read_field("transfer_mode") == 0
+        # Normal I/O works again afterwards.
+        driver.write_blocks(1, bytes(512))
+        assert driver.read_blocks(1) == bytes(512)
+
+
+class TestSCSISecondary:
+    def make(self):
+        vm = GuestVM()
+        scsi = vm.attach_device(SCSI(), 0x600)
+        driver = SCSIDriver(vm)
+        driver.reset()
+        return vm, scsi, driver
+
+    def test_rw6_roundtrip(self):
+        _, _, driver = self.make()
+        payload = bytes((i * 3) & 0xFF for i in range(1024))
+        driver.write6(20, payload)
+        assert driver.read6(20, 2) == payload
+
+    def test_rw6_and_rw10_share_media(self):
+        _, _, driver = self.make()
+        driver.write6(30, bytes([0x77]) * 512)
+        assert driver.read10(30) == bytes([0x77]) * 512
+
+    def test_request_sense_reports_and_clears(self):
+        _, scsi, driver = self.make()
+        driver._select([0x2F, 0, 0, 0, 1, 0])   # unsupported opcode
+        assert scsi.state.read_field("scsi_status") == 2
+        sense = driver.request_sense()
+        assert sense[0] == 0x70
+        assert sense[2] == 2
+        assert scsi.state.read_field("scsi_status") == 0
+
+    def test_clean_sense_after_good_command(self):
+        _, _, driver = self.make()
+        driver.test_unit_ready()
+        assert driver.request_sense()[2] == 0
+
+
+class TestPCNetInitBlock:
+    def make(self):
+        vm = GuestVM()
+        nic = vm.attach_device(PCNet(), 0x300)
+        driver = PCNetDriver(vm)
+        return vm, nic, driver
+
+    def test_init_block_programs_rings(self):
+        _, nic, driver = self.make()
+        driver.init_via_block()
+        assert nic.state.read_field("rdra") == RX_RING
+        assert nic.state.read_field("tdra") == TX_RING
+        assert nic.state.read_field("rcvrl") == 4
+        assert nic.state.read_field("xmtrl") == 4
+
+    def test_init_done_bit_set(self):
+        _, nic, driver = self.make()
+        driver.init_via_block()
+        assert nic.state.read_field("csr0") & 0x0100
+
+    def test_init_block_loopback_mode(self):
+        _, nic, driver = self.make()
+        driver.init_via_block(loopback=True)
+        driver.send_frame(b"ping")
+        assert driver.read_frame(8)[:4] == b"ping"
+
+    def test_traffic_after_init_block(self):
+        _, nic, driver = self.make()
+        driver.init_via_block()
+        driver.send_frame(b"hello")
+        assert nic.net.tx_frames[0].payload == b"hello"
+        driver.deliver_frame(b"reply")
+        assert driver.read_frame(5) == b"reply"

@@ -1,0 +1,134 @@
+"""Unit tests for the FDC device model."""
+
+import pytest
+
+from repro.devices.fdc import FDC, SECTOR_LEN
+from repro.errors import DeviceFault, GuestError
+from repro.vm import GuestVM
+from repro.vm.drivers.fdc import FDCDriver
+
+
+def make(version="99.0.0"):
+    vm = GuestVM()
+    fdc = vm.attach_device(FDC(qemu_version=version), 0x3F0)
+    driver = FDCDriver(vm)
+    driver.controller_reset()
+    return vm, fdc, driver
+
+
+class TestBasicProtocol:
+    def test_msr_ready_after_reset(self):
+        _, _, driver = make()
+        assert driver.msr() & 0x80
+
+    def test_version_command(self):
+        _, _, driver = make()
+        assert driver.version() == 0x90
+
+    def test_sense_interrupt_clears_pending(self):
+        _, fdc, driver = make()
+        driver.recalibrate()
+        assert fdc.state.read_field("int_pending") == 0
+
+    def test_seek_sets_track(self):
+        _, fdc, driver = make()
+        driver.seek(17)
+        assert fdc.state.read_field("track") == 17
+
+    def test_recalibrate_resets_track(self):
+        _, fdc, driver = make()
+        driver.seek(20)
+        driver.recalibrate()
+        assert fdc.state.read_field("track") == 0
+
+    def test_dumpreg_result_length(self):
+        _, _, driver = make()
+        regs = driver.dumpreg()
+        assert len(regs) == 10
+
+    def test_unknown_command_yields_error_byte(self):
+        vm, _, driver = make()
+        driver._command(0x1F, [])
+        assert driver._results(1)[0] == 0x80
+
+
+class TestSectorIO:
+    def test_write_read_roundtrip_through_disk(self):
+        _, fdc, driver = make()
+        a = bytes([0xAA]) * SECTOR_LEN
+        b = bytes([0xBB]) * SECTOR_LEN
+        driver.write_lba(3, a)
+        driver.write_lba(4, b)
+        assert driver.read_lba(3) == a      # disk, not the bounce buffer
+        assert driver.read_lba(4) == b
+
+    def test_disk_backend_actually_written(self):
+        _, fdc, driver = make()
+        payload = bytes(range(256)) * 2
+        driver.write_lba(0, payload)
+        assert fdc.disk.read_block(0, SECTOR_LEN) == payload
+
+    def test_bad_sector_payload_rejected(self):
+        _, _, driver = make()
+        with pytest.raises(GuestError):
+            driver.write_sector(0, 0, 1, b"short")
+
+    def test_irq_raised_on_transfer(self):
+        _, fdc, driver = make()
+        before = fdc.irq_line.raise_count
+        driver.write_lba(1, bytes(SECTOR_LEN))
+        assert fdc.irq_line.raise_count > before
+
+
+class TestVenom:
+    def test_patched_build_masks_cursor(self):
+        vm, fdc, driver = make("2.4.0")
+        driver._command(0x4A, [0x80])     # invalid head: patched resets ok
+        # In the patched build READ_ID completes normally.
+        assert fdc.state.read_field("phase") != 1 or \
+            fdc.state.read_field("data_pos") <= fdc.state.read_field(
+                "data_len")
+
+    def test_vulnerable_build_unbounded_cursor(self):
+        vm, fdc, driver = make("2.3.0")
+        driver._command(0x4A, [0x80])     # early return, no FIFO reset
+        for i in range(40):
+            driver._out(5, 0x41)
+        assert fdc.state.read_field("data_pos") > 40
+
+    def test_vulnerable_build_eventually_faults(self):
+        vm, fdc, driver = make("2.3.0")
+        driver._command(0x4A, [0x80])
+        with pytest.raises(DeviceFault):
+            for i in range(4000):
+                driver._out(5, 0x41)
+
+    def test_active_cves_reflect_version(self):
+        assert "CVE-2015-3456" in FDC(qemu_version="2.3.0").active_cves()
+        assert "CVE-2015-3456" not in FDC(
+            qemu_version="2.4.0").active_cves()
+        assert "CVE-2016-1568" in FDC(qemu_version="2.5.0").active_cves()
+
+
+class TestUAFMissCase:
+    def exploit(self, version):
+        vm, fdc, driver = make(version)
+        before = fdc.irq_line.raise_count
+        # Begin a WRITE command (marks a transfer in flight)...
+        driver._out(5, 0x45)
+        driver._out(5, 0)
+        driver._out(5, 1)
+        # ... then yank the controller into reset and back out.
+        driver._out(2, 0x00)
+        driver._out(2, 0x0C)
+        return fdc, before
+
+    def test_vulnerable_build_fires_stale_callback(self):
+        fdc, before = self.exploit("2.5.0")
+        # The leaked completion callback raised a *spurious* interrupt
+        # beyond the legitimate reset interrupt.
+        assert fdc.irq_line.raise_count >= before + 2
+
+    def test_patched_build_cancels_cleanly(self):
+        fdc, before = self.exploit("2.6.0")
+        assert fdc.irq_line.raise_count == before + 1   # reset IRQ only

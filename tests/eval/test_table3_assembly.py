@@ -1,0 +1,52 @@
+"""Tests for Table3 assembly/rendering (without the heavy sub-runs)."""
+
+from repro.checker import Strategy
+from repro.eval.security import CveResult
+from repro.eval.table3 import Table3
+
+
+def make_table():
+    rows = [
+        CveResult("CVE-2015-3456", "fdc", "2.3.0",
+                  detected_by=frozenset({Strategy.PARAMETER,
+                                         Strategy.CONDITIONAL_JUMP}),
+                  expected=frozenset({Strategy.PARAMETER,
+                                      Strategy.CONDITIONAL_JUMP})),
+        CveResult("CVE-2016-1568", "fdc", "2.5.0",
+                  detected_by=frozenset(), expected=frozenset(),
+                  expected_miss=True),
+        CveResult("CVE-2021-3409", "sdhci", "5.2.0",
+                  detected_by=frozenset(),
+                  expected=frozenset({Strategy.PARAMETER})),
+    ]
+    return Table3(cve_rows=rows,
+                  fpr={"fdc": 0.0014, "sdhci": 0.0009},
+                  fp_counts={"fdc": {10: 1, 20: 2, 30: 5}},
+                  coverage={"fdc": 0.959, "sdhci": 0.935})
+
+
+class TestTable3:
+    def test_render_contains_everything(self):
+        text = make_table().render()
+        assert "CVE-2015-3456" in text
+        assert "0.14%" in text
+        assert "95.9%" in text
+        assert "(expected miss)" in text
+
+    def test_match_detection(self):
+        table = make_table()
+        rows = {r.cve: r for r in table.cve_rows}
+        assert rows["CVE-2015-3456"].matches_paper
+        assert rows["CVE-2016-1568"].matches_paper    # miss expected
+        assert not rows["CVE-2021-3409"].matches_paper  # missed wrongly
+        assert not table.all_match_paper
+
+    def test_superset_detection_still_matches(self):
+        row = CveResult("X", "fdc", "1.0",
+                        detected_by=frozenset(Strategy),
+                        expected=frozenset({Strategy.PARAMETER}))
+        assert row.matches_paper
+
+    def test_row_marks(self):
+        row = make_table().cve_rows[0].row()
+        assert row[3] == "Y//Y"     # param yes, indirect no, cond yes

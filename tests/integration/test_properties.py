@@ -1,0 +1,135 @@
+"""Property-based integration tests on the toy device.
+
+Hypothesis generates arbitrary benign interaction sequences; invariants:
+
+* the IPT-decoded path always equals the ground-truth execution,
+* a specification trained on a superset workload never flags a benign
+  replay drawn from the training distribution,
+* the checker's shadow state equals the device state after every clean
+  round.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.analysis import ObservationLogger, select_parameters
+from repro.checker import Action, ESChecker
+from repro.compiler import compile_device
+from repro.interp import Machine, TraceSink
+from repro.ipt import Decoder, IPTTracer
+from repro.spec import build_spec
+
+from tests.toydev import ToyLogic
+
+CMD = ToyLogic.CONSTS
+
+#: A benign op: (io key, args builder).  Bounded so the FIFO (8 slots)
+#: never overflows: pushes only when the model says there is room.
+op_strategy = st.lists(
+    st.sampled_from(["push", "pop", "reset", "sum"]),
+    min_size=1, max_size=40)
+
+
+def make_machine():
+    program = compile_device(ToyLogic)
+    machine = Machine(program)
+    machine.bind_extern("host_log", lambda m, level: None)
+    machine.set_funcptr("irq", "on_irq")
+    return machine
+
+
+def drive(machine, script, sinks_cb=None):
+    """Run a bounded-benign interpretation of *script*."""
+    depth = 0
+    for op in script:
+        if op == "push":
+            if depth < 8:
+                machine.run_entry("pmio:write:1", (depth + 1,))
+                depth += 1
+        elif op == "pop":
+            machine.run_entry("pmio:read:1", ())
+            depth = max(0, depth - 1)
+        elif op == "reset":
+            machine.run_entry("pmio:write:0", (CMD["CMD_RESET"],))
+            depth = 0
+        elif op == "sum":
+            machine.run_entry("pmio:write:0", (CMD["CMD_SUM"],))
+
+
+class _Truth(TraceSink):
+    def __init__(self):
+        self.rounds = []
+        self._cur = None
+
+    def on_io_enter(self, key, args):
+        self._cur = []
+
+    def on_block(self, func, block):
+        if self._cur is not None:
+            self._cur.append(block.address)
+
+    def on_io_exit(self, key, result):
+        self.rounds.append(self._cur)
+        self._cur = None
+
+
+class TestDecoderFidelity:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(op_strategy)
+    def test_decoded_paths_equal_ground_truth(self, script):
+        machine = make_machine()
+        tracer = machine.add_sink(IPTTracer())
+        truth = machine.add_sink(_Truth())
+        drive(machine, script)
+        decoded = Decoder(machine.program).decode_stream(tracer.packets)
+        assert [r.block_addresses for r in decoded] == truth.rounds
+
+
+def _train_full_spec():
+    """Training that covers every benign behaviour of the toy device."""
+    machine = make_machine()
+    selection = select_parameters(machine.program)
+    logger = machine.add_sink(ObservationLogger(
+        "toy", selection.scalar_params | selection.funcptrs,
+        selection.buffers))
+    drive(machine, ["push"] * 8 + ["pop"] * 9 + ["sum", "reset",
+                                                 "push", "sum", "pop",
+                                                 "reset"])
+    return build_spec(machine.program, logger.log, selection)
+
+
+FULL_SPEC = _train_full_spec()
+
+
+class TestCheckerSoundness:
+    @settings(max_examples=30, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(op_strategy)
+    def test_benign_scripts_never_flagged(self, script):
+        machine = make_machine()
+        checker = ESChecker(FULL_SPEC)
+        checker.boot_sync(machine.state)
+
+        depth = 0
+        for op in script:
+            if op == "push":
+                if depth >= 8:
+                    continue
+                key, args = "pmio:write:1", (depth + 1,)
+                depth += 1
+            elif op == "pop":
+                key, args = "pmio:read:1", ()
+                depth = max(0, depth - 1)
+            elif op == "reset":
+                key, args = "pmio:write:0", (CMD["CMD_RESET"],)
+                depth = 0
+            else:
+                key, args = "pmio:write:0", (CMD["CMD_SUM"],)
+            report = checker.check_io(key, args)
+            assert report.action is Action.ALLOW, (op, report.anomalies)
+            machine.run_entry(key, args)
+
+        # Shadow and device agree on every tracked scalar parameter.
+        shadow = checker.device_state.dump()
+        for name, value in shadow.items():
+            assert value == machine.state.read_field(name), name

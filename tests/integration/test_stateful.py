@@ -1,0 +1,87 @@
+"""Hypothesis stateful test: the SDHCI device + SEDSpec vs a pure-Python
+model of an SD card.
+
+A RuleBasedStateMachine interleaves writes, reads, register probes, and
+status polls; invariants checked continuously:
+
+* data integrity — reads return exactly what the model says,
+* zero false positives — every step is legitimate traffic,
+* shadow fidelity — the checker's tracked scalars match the device.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine, initialize, invariant, precondition, rule,
+)
+from hypothesis import strategies as st
+
+from repro.checker import Mode
+from repro.core import deploy
+from repro.workloads import train_device_spec
+from repro.workloads.profiles import PROFILES
+
+SPEC = train_device_spec("sdhci").spec
+BLOCKS = 16
+
+
+class SDCardModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.model = {}
+
+    @initialize()
+    def boot(self):
+        prof = PROFILES["sdhci"]
+        self.vm, self.device = prof.make_vm()
+        self.attachment = deploy(self.vm, self.device, SPEC,
+                                 mode=Mode.ENHANCEMENT)
+        self.driver = prof.make_driver(self.vm)
+        self.driver.reset_card()
+
+    @rule(lba=st.integers(0, BLOCKS - 1), fill=st.integers(0, 255),
+          count=st.integers(1, 2))
+    def write(self, lba, fill, count):
+        payload = bytes([fill]) * (512 * count)
+        self.driver.write_blocks(lba, payload)
+        for i in range(count):
+            self.model[lba + i] = bytes([fill]) * 512
+
+    @rule(lba=st.integers(0, BLOCKS - 1), count=st.integers(1, 2))
+    def read(self, lba, count):
+        data = self.driver.read_blocks(lba, count)
+        for i in range(count):
+            expected = self.model.get(lba + i, bytes(512))
+            assert data[i * 512:(i + 1) * 512] == expected
+
+    @rule()
+    def poll_status(self):
+        self.driver.card_status()
+
+    @rule()
+    def read_identification(self):
+        assert self.driver.read_cid()[0] == 0xCD
+
+    @rule()
+    def reset(self):
+        self.driver.reset_card()
+
+    @invariant()
+    def no_false_positives(self):
+        if hasattr(self, "attachment"):
+            assert not self.attachment.warnings, \
+                [str(a) for r in self.attachment.warnings
+                 for a in r.anomalies]
+            assert not self.attachment.halts
+
+    @invariant()
+    def shadow_tracks_device(self):
+        if hasattr(self, "attachment"):
+            shadow = self.attachment.checker.device_state
+            for name in ("blksize", "blkcnt", "data_count"):
+                assert shadow.read_field(name) \
+                    == self.device.state.read_field(name), name
+
+
+SDCardModel.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=12, deadline=None)
+TestSDCardStateful = SDCardModel.TestCase

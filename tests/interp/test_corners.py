@@ -1,0 +1,171 @@
+"""Interpreter and compiler corner cases beyond the happy path."""
+
+import pytest
+
+from repro.compiler import DeviceLogic, arr, compile_device, fld, ptr
+from repro.errors import DeviceFault, InterpError
+from repro.interp import Machine
+from repro.ir import Switch
+
+
+def compile_src(source, consts=None):
+    namespace = {}
+    exec(source, {"DeviceLogic": DeviceLogic, "fld": fld, "arr": arr,
+                  "ptr": ptr}, namespace)
+    return compile_device(namespace["D"], const_overrides=consts,
+                          source=source)
+
+
+class TestControlFlowCorners:
+    def test_nested_loops(self):
+        program = compile_src(
+            "class D(DeviceLogic):\n"
+            "    STRUCT = 'D'\n"
+            "    FIELDS = (fld('out', 'u32'),)\n"
+            "    ENTRIES = {'pmio:write:0': 'h'}\n"
+            "    def h(self, n):\n"
+            "        total = 0\n"
+            "        for i in range(n):\n"
+            "            for j in range(i):\n"
+            "                total = total + 1\n"
+            "        self.out = total\n"
+            "        return 0\n")
+        machine = Machine(program)
+        machine.run_entry("pmio:write:0", (6,))
+        assert machine.state.read_field("out") == sum(range(6))
+
+    def test_break_and_continue(self):
+        program = compile_src(
+            "class D(DeviceLogic):\n"
+            "    STRUCT = 'D'\n"
+            "    FIELDS = (fld('out', 'u32'),)\n"
+            "    ENTRIES = {'pmio:write:0': 'h'}\n"
+            "    def h(self, n):\n"
+            "        total = 0\n"
+            "        i = 0\n"
+            "        while 1:\n"
+            "            i = i + 1\n"
+            "            if i > 100:\n"
+            "                break\n"
+            "            if i % 2 == 0:\n"
+            "                continue\n"
+            "            total = total + i\n"
+            "        self.out = total\n"
+            "        return 0\n")
+        machine = Machine(program)
+        machine.run_entry("pmio:write:0", (0,))
+        assert machine.state.read_field("out") \
+            == sum(i for i in range(1, 101) if i % 2)
+
+    def test_range_with_negative_step(self):
+        program = compile_src(
+            "class D(DeviceLogic):\n"
+            "    STRUCT = 'D'\n"
+            "    FIELDS = (fld('out', 'u32'),)\n"
+            "    ENTRIES = {'pmio:write:0': 'h'}\n"
+            "    def h(self, n):\n"
+            "        total = 0\n"
+            "        for i in range(n, 0, -1):\n"
+            "            total = total + i\n"
+            "        self.out = total\n"
+            "        return 0\n")
+        machine = Machine(program)
+        machine.run_entry("pmio:write:0", (5,))
+        assert machine.state.read_field("out") == 15
+
+    def test_recursion_depth_guard(self):
+        program = compile_src(
+            "class D(DeviceLogic):\n"
+            "    STRUCT = 'D'\n"
+            "    FIELDS = (fld('out', 'u32'),)\n"
+            "    ENTRIES = {'pmio:write:0': 'h'}\n"
+            "    def h(self, n):\n"
+            "        self.h(n)\n"
+            "        return 0\n")
+        machine = Machine(program)
+        with pytest.raises(DeviceFault) as exc:
+            machine.run_entry("pmio:write:0", (1,))
+        assert exc.value.kind == "stack-overflow"
+
+    def test_division_by_zero_is_fault(self):
+        program = compile_src(
+            "class D(DeviceLogic):\n"
+            "    STRUCT = 'D'\n"
+            "    FIELDS = (fld('out', 'u32'),)\n"
+            "    ENTRIES = {'pmio:write:0': 'h'}\n"
+            "    def h(self, n):\n"
+            "        self.out = 10 // n\n"
+            "        return 0\n")
+        machine = Machine(program)
+        with pytest.raises(DeviceFault):
+            machine.run_entry("pmio:write:0", (0,))
+        machine2 = Machine(program)
+        machine2.run_entry("pmio:write:0", (5,))
+        assert machine2.state.read_field("out") == 2
+
+    def test_switch_lowering_triggers_at_three_arms(self):
+        def src(n_arms):
+            arms = "".join(
+                f"        {'if' if i == 0 else 'elif'} n == {i}:\n"
+                f"            self.out = {i * 10}\n"
+                for i in range(n_arms))
+            return ("class D(DeviceLogic):\n"
+                    "    STRUCT = 'D'\n"
+                    "    FIELDS = (fld('out', 'u32'),)\n"
+                    "    ENTRIES = {'pmio:write:0': 'h'}\n"
+                    "    def h(self, n):\n"
+                    + arms +
+                    "        else:\n"
+                    "            self.out = 999\n"
+                    "        return 0\n")
+
+        two = compile_src(src(2))
+        three = compile_src(src(3))
+        def has_switch(program):
+            return any(isinstance(b.terminator, Switch)
+                       for f in program.functions.values()
+                       for b in f.iter_blocks())
+        assert not has_switch(two)
+        assert has_switch(three)
+        # semantics identical either way
+        for program in (two, three):
+            machine = Machine(program)
+            machine.run_entry("pmio:write:0", (1,))
+            assert machine.state.read_field("out") == 10
+            machine.run_entry("pmio:write:0", (77,))
+            assert machine.state.read_field("out") == 999
+
+    def test_signed_field_arithmetic(self):
+        program = compile_src(
+            "class D(DeviceLogic):\n"
+            "    STRUCT = 'D'\n"
+            "    FIELDS = (fld('pos', 'i32'),)\n"
+            "    ENTRIES = {'pmio:write:0': 'h'}\n"
+            "    def h(self, n):\n"
+            "        self.pos = self.pos - n\n"
+            "        return 0\n")
+        machine = Machine(program)
+        machine.run_entry("pmio:write:0", (5,))
+        assert machine.state.read_field("pos") == -5
+
+    def test_funcptr_comparison_and_null(self):
+        program = compile_src(
+            "class D(DeviceLogic):\n"
+            "    STRUCT = 'D'\n"
+            "    FIELDS = (fld('out', 'u32'), ptr('cb'))\n"
+            "    ENTRIES = {'pmio:write:0': 'h'}\n"
+            "    def h(self, n):\n"
+            "        if self.cb != 0:\n"
+            "            self.cb(n)\n"
+            "        else:\n"
+            "            self.out = 1\n"
+            "        return 0\n"
+            "    def target(self, n):\n"
+            "        self.out = n\n"
+            "        return 0\n")
+        machine = Machine(program)
+        machine.run_entry("pmio:write:0", (9,))
+        assert machine.state.read_field("out") == 1   # null guard
+        machine.set_funcptr("cb", "target")
+        machine.run_entry("pmio:write:0", (9,))
+        assert machine.state.read_field("out") == 9

@@ -1,0 +1,199 @@
+"""Unit tests for the IR interpreter."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.compiler import compile_device
+from repro.errors import DeviceFault, InterpError
+from repro.interp import CoverageSink, Machine, TraceSink, eval_binop
+
+from tests.toydev import ToyLogic
+
+
+def make_machine(vuln=False):
+    overrides = {"VULN_UNCHECKED_PUSH": 1} if vuln else None
+    program = compile_device(ToyLogic, const_overrides=overrides)
+    machine = Machine(program)
+    machine.bind_extern("host_log", lambda m, level: None, cost=2)
+    machine.set_funcptr("irq", "on_irq")
+    return machine
+
+
+class TestBasicExecution:
+    def test_push_then_pop(self):
+        m = make_machine()
+        m.run_entry("pmio:write:1", (0x41,))
+        m.run_entry("pmio:write:1", (0x42,))
+        assert m.run_entry("pmio:read:1") == 0x42
+        assert m.run_entry("pmio:read:1") == 0x41
+
+    def test_pop_empty_sets_status(self):
+        m = make_machine()
+        m.run_entry("pmio:read:1")
+        assert m.state.read_field("status") == 0xFE
+
+    def test_reset_command(self):
+        m = make_machine()
+        m.run_entry("pmio:write:1", (1,))
+        m.run_entry("pmio:write:0", (ToyLogic.CONSTS["CMD_RESET"],))
+        assert m.state.read_field("pos") == 0
+        assert m.state.read_field("count") == 0
+
+    def test_sum_command_fires_irq(self):
+        m = make_machine()
+        for byte in (10, 20, 30):
+            m.run_entry("pmio:write:1", (byte,))
+        m.run_entry("pmio:write:0", (ToyLogic.CONSTS["CMD_SUM"],))
+        assert m.state.read_field("status") == 60
+        assert m.state.read_field("irq_level") == 1
+
+    def test_patched_build_tolerates_overflow_attempts(self):
+        m = make_machine()
+        for i in range(20):
+            m.run_entry("pmio:write:1", (i,))
+        assert m.state.read_field("status") == 0xFF
+        assert m.state.read_field("pos") == 8
+
+    def test_vulnerable_build_corrupts_state(self):
+        """Pushing past the FIFO clobbers pos itself (adjacent field)."""
+        m = make_machine(vuln=True)
+        for i in range(9):
+            m.run_entry("pmio:write:1", (0x60 + i,))
+        # The 9th write landed on the first byte of pos.
+        assert m.state.read_field("pos") != 9
+
+    def test_cycles_accumulate(self):
+        m = make_machine()
+        before = m.cycles
+        m.run_entry("pmio:write:1", (1,))
+        assert m.cycles > before
+
+    def test_unbound_extern_raises(self):
+        program = compile_device(ToyLogic)
+        m = Machine(program)
+        m.set_funcptr("irq", "on_irq")
+        for byte in (1,):
+            m.run_entry("pmio:write:1", (byte,))
+        with pytest.raises(InterpError, match="extern"):
+            m.run_entry("pmio:write:0", (ToyLogic.CONSTS["CMD_SUM"],))
+
+    def test_wrong_arity_raises(self):
+        m = make_machine()
+        with pytest.raises(InterpError, match="expects"):
+            m.run_entry("pmio:write:1", ())
+
+    def test_run_function_directly(self):
+        m = make_machine()
+        m.run_function("do_reset")
+        assert m.state.read_field("status") == 0
+
+
+class TestFaults:
+    def test_wild_indirect_jump_faults(self):
+        m = make_machine()
+        m.state.write_field("irq", 0xDEAD)
+        m.run_entry("pmio:write:1", (5,))
+        with pytest.raises(DeviceFault) as exc:
+            m.run_entry("pmio:write:0", (ToyLogic.CONSTS["CMD_SUM"],))
+        assert exc.value.kind == "wild-jump"
+
+    def test_hijacked_pointer_runs_other_function(self):
+        """Corrupting irq to point at do_reset is a successful hijack...
+
+        ...except do_reset takes no args while the call passes one, so the
+        interpreter reports the arity mismatch — either way, not on_irq.
+        """
+        m = make_machine()
+        m.set_funcptr("irq", "do_reset")
+        m.run_entry("pmio:write:1", (5,))
+        with pytest.raises(InterpError):
+            m.run_entry("pmio:write:0", (ToyLogic.CONSTS["CMD_SUM"],))
+
+    def test_watchdog_trips_on_runaway(self):
+        m = make_machine()
+        m.max_steps = 10
+        with pytest.raises(DeviceFault) as exc:
+            m.run_entry("pmio:write:0", (ToyLogic.CONSTS["CMD_SUM"],))
+        assert exc.value.kind == "watchdog"
+
+
+class _Recorder(TraceSink):
+    def __init__(self):
+        self.events = []
+
+    def on_io_enter(self, key, args):
+        self.events.append(("enter", key))
+
+    def on_io_exit(self, key, result):
+        self.events.append(("exit", key))
+
+    def on_branch(self, block, taken):
+        self.events.append(("tnt", taken))
+
+    def on_tip(self, block, target, kind):
+        self.events.append(("tip", kind))
+
+    def on_intrinsic(self, kind, values):
+        self.events.append(("intr", kind, values))
+
+
+class TestSinks:
+    def test_io_enter_exit_bracketing(self):
+        m = make_machine()
+        rec = m.add_sink(_Recorder())
+        m.run_entry("pmio:write:1", (1,))
+        assert rec.events[0] == ("enter", "pmio:write:1")
+        assert rec.events[-1] == ("exit", "pmio:write:1")
+
+    def test_branches_recorded(self):
+        m = make_machine()
+        rec = m.add_sink(_Recorder())
+        m.run_entry("pmio:write:1", (1,))
+        assert ("tnt", True) in rec.events
+
+    def test_icall_emits_tip(self):
+        m = make_machine()
+        rec = m.add_sink(_Recorder())
+        m.run_entry("pmio:write:0", (ToyLogic.CONSTS["CMD_SUM"],))
+        assert ("tip", "icall") in rec.events
+
+    def test_intrinsic_carries_command_value(self):
+        m = make_machine()
+        rec = m.add_sink(_Recorder())
+        m.run_entry("pmio:write:0", (ToyLogic.CONSTS["CMD_RESET"],))
+        assert ("intr", "command_decision", (0,)) in rec.events
+
+    def test_remove_sink(self):
+        m = make_machine()
+        rec = m.add_sink(_Recorder())
+        m.remove_sink(rec)
+        m.run_entry("pmio:write:1", (1,))
+        assert rec.events == []
+
+    def test_coverage_sink_collects_blocks_and_edges(self):
+        m = make_machine()
+        cov = m.add_sink(CoverageSink())
+        m.run_entry("pmio:write:1", (1,))
+        assert cov.blocks
+        assert cov.edges
+        lo, hi = m.program.code_range()
+        assert all(lo <= a < hi for a in cov.blocks)
+
+
+class TestEvalBinop:
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_arith_matches_python(self, a, b):
+        assert eval_binop("+", a, b) == a + b
+        assert eval_binop("-", a, b) == a - b
+        assert eval_binop("*", a, b) == a * b
+        if b != 0:
+            assert eval_binop("//", a, b) == a // b
+
+    def test_division_by_zero_is_device_fault(self):
+        with pytest.raises(DeviceFault):
+            eval_binop("//", 1, 0)
+
+    @given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+    def test_comparisons_are_zero_one(self, a, b):
+        for op in ("==", "!=", "<", "<=", ">", ">="):
+            assert eval_binop(op, a, b) in (0, 1)

@@ -1,0 +1,75 @@
+"""Unit tests for IPT packet encode/decode."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TraceError
+from repro.ipt import (
+    PSB, Fup, Tip, TipPgd, TipPge, Tnt, decode, encode, iter_rounds,
+)
+
+
+def packet_strategy():
+    addresses = st.integers(min_value=0, max_value=2**64 - 1)
+    return st.one_of(
+        st.just(PSB()),
+        st.builds(TipPge, addresses),
+        st.builds(TipPgd, addresses),
+        st.builds(Tip, addresses),
+        st.builds(Fup, addresses),
+        st.builds(Tnt, st.lists(st.booleans(), min_size=1, max_size=6)
+                  .map(tuple)),
+    )
+
+
+class TestRoundTrip:
+    @given(st.lists(packet_strategy(), max_size=50))
+    def test_encode_decode_roundtrip(self, packets):
+        assert decode(encode(packets)) == packets
+
+    def test_empty_stream(self):
+        assert decode(b"") == []
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(TraceError, match="magic"):
+            decode(b"\xff")
+
+    def test_truncated_tip_rejected(self):
+        data = encode([Tip(0x1234)])
+        with pytest.raises(TraceError, match="truncated"):
+            decode(data[:-1])
+
+    def test_truncated_tnt_rejected(self):
+        data = encode([Tnt((True,))])
+        with pytest.raises(TraceError, match="truncated"):
+            decode(data[:-1])
+
+    def test_tnt_capacity_enforced(self):
+        with pytest.raises(TraceError):
+            Tnt(tuple([True] * 7))
+        with pytest.raises(TraceError):
+            Tnt(())
+
+
+class TestIterRounds:
+    def test_splits_on_pge_pgd(self):
+        stream = [
+            PSB(), TipPge(1), Tnt((True,)), TipPgd(0),
+            PSB(), TipPge(2), Tip(99), TipPgd(0),
+        ]
+        rounds = list(iter_rounds(stream))
+        assert len(rounds) == 2
+        assert rounds[0][0] == TipPge(1)
+        assert rounds[1][1] == Tip(99)
+
+    def test_partial_trailing_round_kept(self):
+        stream = [TipPge(1), Tnt((False,)), Fup(5)]
+        rounds = list(iter_rounds(stream))
+        assert len(rounds) == 1
+        assert rounds[0][-1] == Fup(5)
+
+    def test_packets_outside_rounds_dropped(self):
+        stream = [Tnt((True,)), PSB(), TipPge(1), TipPgd(0)]
+        rounds = list(iter_rounds(stream))
+        assert len(rounds) == 1
+        assert rounds[0] == [TipPge(1), TipPgd(0)]

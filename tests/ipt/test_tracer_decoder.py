@@ -1,0 +1,116 @@
+"""Integration tests: trace execution, decode packets, compare to ground truth."""
+
+import pytest
+
+from repro.compiler import compile_device
+from repro.errors import DeviceFault
+from repro.interp import Machine, TraceSink
+from repro.ipt import Decoder, FilterConfig, IPTTracer, Tip, TipPge, Tnt
+
+from tests.toydev import ToyLogic
+
+
+class _BlockRecorder(TraceSink):
+    """Ground-truth block address log (what the decoder must reproduce)."""
+
+    def __init__(self):
+        self.rounds = []
+        self._cur = None
+
+    def on_io_enter(self, key, args):
+        self._cur = []
+
+    def on_block(self, func, block):
+        if self._cur is not None:
+            self._cur.append(block.address)
+
+    def on_io_exit(self, key, result):
+        self.rounds.append(self._cur)
+        self._cur = None
+
+
+def make_traced_machine(vuln=False):
+    overrides = {"VULN_UNCHECKED_PUSH": 1} if vuln else None
+    program = compile_device(ToyLogic, const_overrides=overrides)
+    machine = Machine(program)
+    machine.bind_extern("host_log", lambda m, level: None)
+    machine.set_funcptr("irq", "on_irq")
+    tracer = machine.add_sink(IPTTracer())
+    truth = machine.add_sink(_BlockRecorder())
+    return machine, tracer, truth
+
+
+class TestTraceDecodeRoundTrip:
+    def test_simple_write_reconstructed_exactly(self):
+        m, tracer, truth = make_traced_machine()
+        m.run_entry("pmio:write:1", (7,))
+        rounds = Decoder(m.program).decode_stream(tracer.packets)
+        assert len(rounds) == 1
+        assert rounds[0].block_addresses == truth.rounds[0]
+
+    def test_multi_round_session(self):
+        m, tracer, truth = make_traced_machine()
+        for byte in (1, 2, 3):
+            m.run_entry("pmio:write:1", (byte,))
+        m.run_entry("pmio:write:0", (ToyLogic.CONSTS["CMD_SUM"],))
+        m.run_entry("pmio:read:1")
+        rounds = Decoder(m.program).decode_stream(tracer.packets)
+        assert len(rounds) == 5
+        for decoded, expected in zip(rounds, truth.rounds):
+            assert decoded.block_addresses == expected
+
+    def test_icall_target_recorded(self):
+        m, tracer, truth = make_traced_machine()
+        m.run_entry("pmio:write:0", (ToyLogic.CONSTS["CMD_SUM"],))
+        rounds = Decoder(m.program).decode_stream(tracer.packets)
+        icalls = [e for e in rounds[0].indirect_edges if e[2] == "icall"]
+        assert len(icalls) == 1
+        assert icalls[0][1] == m.program.func_addr["on_irq"]
+
+    def test_loop_iterations_visible_in_tnt(self):
+        """Summing N queued bytes produces N+1 loop-branch outcomes."""
+        m, tracer, truth = make_traced_machine()
+        for byte in (5, 5, 5, 5):
+            m.run_entry("pmio:write:1", (byte,))
+        tracer.clear()
+        m.run_entry("pmio:write:0", (ToyLogic.CONSTS["CMD_SUM"],))
+        bits = [b for p in tracer.packets if isinstance(p, Tnt)
+                for b in p.bits]
+        assert bits.count(True) >= 4
+
+    def test_filter_drops_out_of_range(self):
+        m, _, _ = make_traced_machine()
+        lo, hi = m.program.code_range()
+        narrow = FilterConfig(code_ranges=[(lo, lo + 1)])
+        tracer = m.add_sink(IPTTracer(narrow))
+        # attach() must not overwrite an explicit filter
+        assert tracer.config.code_ranges == [(lo, lo + 1)]
+        m.run_entry("pmio:write:1", (1,))
+        assert not any(isinstance(p, (Tnt, Tip)) for p in tracer.packets)
+
+    def test_fault_round_marked(self):
+        m, tracer, _ = make_traced_machine(vuln=True)
+        # Fill well past the fifo to reach the segfault analogue.
+        with pytest.raises(DeviceFault):
+            for i in range(64):
+                try:
+                    m.run_entry("pmio:write:1", (i,))
+                except DeviceFault:
+                    tracer.fault(0xBAD)
+                    raise
+        rounds = Decoder(m.program).decode_stream(tracer.packets)
+        assert rounds[-1].faulted
+
+    def test_decoder_edges_are_consecutive(self):
+        m, tracer, _ = make_traced_machine()
+        m.run_entry("pmio:write:1", (1,))
+        round_ = Decoder(m.program).decode_stream(tracer.packets)[0]
+        assert round_.edges() == list(
+            zip(round_.block_addresses, round_.block_addresses[1:]))
+
+    def test_pge_carries_entry_block(self):
+        m, tracer, _ = make_traced_machine()
+        m.run_entry("pmio:read:1")
+        pge = next(p for p in tracer.packets if isinstance(p, TipPge))
+        entry_func = m.program.entry_for("pmio:read:1")
+        assert pge.ip == entry_func.block(entry_func.entry).address

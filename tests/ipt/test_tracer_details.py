@@ -1,0 +1,93 @@
+"""Detailed tests of the IPT tracer's filtering and packetization."""
+
+from repro.compiler import compile_device
+from repro.interp import Machine
+from repro.ipt import (
+    PSB, PSB_PERIOD, FilterConfig, Fup, IPTTracer, TipPgd, TipPge, Tnt,
+)
+
+from tests.toydev import ToyLogic
+
+
+def make_machine():
+    program = compile_device(ToyLogic)
+    machine = Machine(program)
+    machine.bind_extern("host_log", lambda m, level: None)
+    machine.set_funcptr("irq", "on_irq")
+    return machine
+
+
+class TestFilterConfig:
+    def test_empty_ranges_allow_everything(self):
+        assert FilterConfig().allows(0xDEADBEEF)
+
+    def test_ranges_are_half_open(self):
+        config = FilterConfig(code_ranges=[(0x100, 0x200)])
+        assert config.allows(0x100)
+        assert config.allows(0x1FF)
+        assert not config.allows(0x200)
+        assert not config.allows(0xFF)
+
+    def test_multiple_ranges(self):
+        config = FilterConfig(code_ranges=[(0, 10), (100, 110)])
+        assert config.allows(5) and config.allows(105)
+        assert not config.allows(50)
+
+    def test_attach_fills_default_range_from_program(self):
+        machine = make_machine()
+        tracer = machine.add_sink(IPTTracer())
+        assert tracer.config.code_ranges == [machine.program.code_range()]
+
+
+class TestPacketization:
+    def test_every_round_bracketed_by_pge_pgd(self):
+        machine = make_machine()
+        tracer = machine.add_sink(IPTTracer())
+        for i in range(5):
+            machine.run_entry("pmio:write:1", (i,))
+        pges = [p for p in tracer.packets if isinstance(p, TipPge)]
+        pgds = [p for p in tracer.packets if isinstance(p, TipPgd)]
+        assert len(pges) == 5 and len(pgds) == 5
+
+    def test_psb_opens_every_round(self):
+        machine = make_machine()
+        tracer = machine.add_sink(IPTTracer())
+        machine.run_entry("pmio:read:1", ())
+        assert isinstance(tracer.packets[0], PSB)
+
+    def test_tnt_bits_capped_per_packet(self):
+        machine = make_machine()
+        tracer = machine.add_sink(IPTTracer())
+        for i in range(6):
+            machine.run_entry("pmio:write:1", (i,))
+        machine.run_entry("pmio:write:0", (ToyLogic.CONSTS["CMD_SUM"],))
+        for packet in tracer.packets:
+            if isinstance(packet, Tnt):
+                assert 1 <= len(packet.bits) <= 6
+
+    def test_fault_emits_fup_then_pgd(self):
+        machine = make_machine()
+        tracer = machine.add_sink(IPTTracer())
+        machine.run_entry("pmio:write:1", (1,))
+        tracer.fault(0xBAD0)
+        kinds = [type(p).__name__ for p in tracer.packets[-2:]]
+        assert kinds == ["Fup", "TipPgd"]
+
+    def test_clear_resets_buffer(self):
+        machine = make_machine()
+        tracer = machine.add_sink(IPTTracer())
+        machine.run_entry("pmio:read:1", ())
+        tracer.clear()
+        assert tracer.packet_count() == 0
+
+    def test_long_sessions_insert_periodic_psb(self):
+        machine = make_machine()
+        tracer = machine.add_sink(IPTTracer())
+        for i in range(600):
+            machine.run_entry("pmio:read:4" if False else "pmio:read:1",
+                              ())
+        psb_count = sum(1 for p in tracer.packets if isinstance(p, PSB))
+        # At least the per-round PSBs; periodic insertion adds more once
+        # the stream passes PSB_PERIOD packets.
+        assert psb_count >= 600
+        assert tracer.packet_count() > PSB_PERIOD

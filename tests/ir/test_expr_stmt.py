@@ -1,0 +1,121 @@
+"""Unit + property tests for IR expressions, statements, terminators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IRError
+from repro.ir import (
+    Assign, BinOp, Branch, BufLen, BufLoad, BufStore, Call, Const,
+    ExternCall, Goto, ICall, Intrinsic, Local, Param, Return, StateRef,
+    StateStore, Switch, SyncVar, UnOp, stmt_state_reads,
+    terminator_state_reads,
+)
+
+
+def leaf_exprs():
+    return st.one_of(
+        st.integers(-1000, 1000).map(Const),
+        st.sampled_from("abcxyz").map(Local),
+        st.sampled_from(["value", "addr"]).map(Param),
+        st.sampled_from(["msr", "pos", "len"]).map(StateRef),
+        st.sampled_from(["f1", "f2"]).map(lambda n: SyncVar(n)),
+    )
+
+
+def exprs(depth=3):
+    return st.recursive(
+        leaf_exprs(),
+        lambda children: st.one_of(
+            st.tuples(st.sampled_from(["+", "-", "*", "&", "|", "==",
+                                       "<", "and"]),
+                      children, children).map(lambda t: BinOp(*t)),
+            st.tuples(st.sampled_from(["-", "not", "~"]),
+                      children).map(lambda t: UnOp(*t)),
+            st.tuples(st.sampled_from(["fifo", "buf"]),
+                      children).map(lambda t: BufLoad(*t)),
+        ),
+        max_leaves=8)
+
+
+class TestExprQueries:
+    @given(exprs())
+    def test_walk_includes_self(self, expr):
+        assert expr in list(expr.walk())
+
+    @given(exprs())
+    def test_ref_sets_disjoint_name_spaces(self, expr):
+        # state refs name fields; locals name locals; no crossing
+        assert expr.local_refs() <= {"a", "b", "c", "x", "y", "z"}
+        assert expr.param_refs() <= {"value", "addr"}
+
+    def test_state_refs_include_bufload(self):
+        expr = BinOp("+", StateRef("pos"), BufLoad("fifo", Const(0)))
+        assert expr.state_refs() == {"pos", "fifo"}
+
+    def test_sync_refs(self):
+        expr = BinOp("+", SyncVar("field:phase"), Const(1))
+        assert expr.sync_refs() == {"field:phase"}
+
+    def test_bad_binop_rejected(self):
+        with pytest.raises(IRError):
+            BinOp("**", Const(1), Const(2))
+
+    def test_bad_unop_rejected(self):
+        with pytest.raises(IRError):
+            UnOp("!", Const(1))
+
+    def test_str_forms(self):
+        assert str(BufLoad("fifo", StateRef("pos"))) == "dev.fifo[dev.pos]"
+        assert str(BufLen("fifo", 512)) == "len(dev.fifo)"
+        assert str(SyncVar("x")) == "sync(x)"
+
+
+class TestStatements:
+    def test_assign_defines_local(self):
+        stmt = Assign("x", Const(1))
+        assert stmt.defined_local() == "x"
+        assert stmt.stored_field() is None
+
+    def test_statestore_stores_field(self):
+        stmt = StateStore("msr", Const(0x80))
+        assert stmt.stored_field() == "msr"
+
+    def test_bufstore_reads(self):
+        stmt = BufStore("fifo", StateRef("pos"), Param("value"))
+        assert stmt_state_reads(stmt) == {"pos"}
+        assert stmt.stored_field() == "fifo"
+
+    def test_extern_call_defines_dest(self):
+        stmt = ExternCall("dma_read", (Const(0),), dest="byte")
+        assert stmt.defined_local() == "byte"
+        assert "extern" in str(stmt)
+
+    def test_intrinsic_str(self):
+        stmt = Intrinsic("command_decision", (Param("value"),))
+        assert "@command_decision" in str(stmt)
+
+
+class TestTerminators:
+    def test_goto_successors(self):
+        assert Goto("b1").successors() == ("b1",)
+
+    def test_branch_successors_and_reads(self):
+        term = Branch(StateRef("msr"), "t", "f")
+        assert term.successors() == ("t", "f")
+        assert terminator_state_reads(term) == {"msr"}
+
+    def test_switch_successors_dedupe(self):
+        term = Switch(Local("x"), {1: "a", 2: "a", 3: "b"}, default="d")
+        assert term.successors() == ("a", "b", "d")
+
+    def test_icall_reads_ptr_field(self):
+        term = ICall("irq", (Const(1),), None, "cont")
+        assert "irq" in terminator_state_reads(term)
+        assert term.successors() == ("cont",)
+
+    def test_call_successor_is_continuation(self):
+        term = Call("helper", (), "r", "cont")
+        assert term.successors() == ("cont",)
+
+    def test_return_no_successors(self):
+        assert Return(Const(0)).successors() == ()

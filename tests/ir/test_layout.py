@@ -1,0 +1,140 @@
+"""Unit tests for control-structure layout and flat-memory semantics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DeviceFault, IRError
+from repro.ir import (
+    FUNCPTR, I32, U8, U16, U32, BufType, StateLayout, StateMemory,
+)
+
+
+def make_layout():
+    layout = StateLayout("TestCtrl")
+    layout.add("msr", U8, register=True)
+    layout.add("fifo", BufType(U8, 16))
+    layout.add("data_pos", I32)
+    layout.add("irq", FUNCPTR)
+    return layout
+
+
+class TestStateLayout:
+    def test_offsets_packed(self):
+        layout = make_layout()
+        assert layout.field("msr").offset == 0
+        assert layout.field("fifo").offset == 1
+        assert layout.field("data_pos").offset == 17
+        assert layout.field("irq").offset == 21
+        assert layout.size == 29
+
+    def test_duplicate_field_rejected(self):
+        layout = make_layout()
+        with pytest.raises(IRError):
+            layout.add("msr", U8)
+
+    def test_unknown_field(self):
+        with pytest.raises(IRError):
+            make_layout().field("nope")
+
+    def test_field_at(self):
+        layout = make_layout()
+        assert layout.field_at(0).name == "msr"
+        assert layout.field_at(5).name == "fifo"
+        assert layout.field_at(18).name == "data_pos"
+        assert layout.field_at(layout.size) is None
+
+    def test_neighbours(self):
+        layout = make_layout()
+        before, after = layout.neighbours("data_pos")
+        assert before.name == "fifo"
+        assert after.name == "irq"
+
+    def test_describe_mentions_all_fields(self):
+        text = make_layout().describe()
+        for name in ("msr", "fifo", "data_pos", "irq"):
+            assert name in text
+
+
+class TestStateMemory:
+    def test_scalar_roundtrip(self):
+        mem = StateMemory(make_layout())
+        mem.write_field("msr", 0x80)
+        assert mem.read_field("msr") == 0x80
+
+    def test_signed_roundtrip(self):
+        mem = StateMemory(make_layout())
+        mem.write_field("data_pos", -7)
+        assert mem.read_field("data_pos") == -7
+
+    def test_write_reports_overflow(self):
+        mem = StateMemory(make_layout())
+        assert mem.write_field("msr", 256) is True
+        assert mem.read_field("msr") == 0
+        assert mem.write_field("msr", 255) is False
+
+    def test_buffer_roundtrip(self):
+        mem = StateMemory(make_layout())
+        mem.write_buf("fifo", 3, 0xAB)
+        assert mem.read_buf("fifo", 3) == 0xAB
+
+    def test_oob_write_corrupts_neighbour(self):
+        """The Venom-style bug: running past fifo clobbers data_pos."""
+        mem = StateMemory(make_layout())
+        mem.write_field("data_pos", 0)
+        mem.write_buf("fifo", 16, 0x7F)   # one past the end
+        assert mem.read_field("data_pos") == 0x7F
+
+    def test_negative_index_corrupts_predecessor(self):
+        """CVE-2020-14364 style: negative index hits the field before."""
+        mem = StateMemory(make_layout())
+        mem.write_buf("fifo", -1, 0x55)
+        assert mem.read_field("msr") == 0x55
+
+    def test_far_oob_faults(self):
+        mem = StateMemory(make_layout())
+        with pytest.raises(DeviceFault) as exc:
+            mem.write_buf("fifo", 1000, 1)
+        assert exc.value.kind == "oob-segfault"
+
+    def test_scalar_access_to_buffer_rejected(self):
+        mem = StateMemory(make_layout())
+        with pytest.raises(IRError):
+            mem.read_field("fifo")
+        with pytest.raises(IRError):
+            mem.write_field("fifo", 0)
+
+    def test_buffer_access_to_scalar_rejected(self):
+        mem = StateMemory(make_layout())
+        with pytest.raises(IRError):
+            mem.read_buf("msr", 0)
+
+    def test_snapshot_restore(self):
+        mem = StateMemory(make_layout())
+        mem.write_field("msr", 1)
+        snap = mem.snapshot()
+        mem.write_field("msr", 2)
+        assert snap.read_field("msr") == 1
+        mem.restore(snap)
+        assert mem.read_field("msr") == 1
+
+    def test_snapshot_is_independent(self):
+        mem = StateMemory(make_layout())
+        snap = mem.snapshot()
+        snap.write_field("msr", 9)
+        assert mem.read_field("msr") == 0
+
+    def test_dump_fields_skips_buffers(self):
+        fields = StateMemory(make_layout()).dump_fields()
+        assert "fifo" not in fields
+        assert set(fields) == {"msr", "data_pos", "irq"}
+
+    @given(st.integers(min_value=0, max_value=15),
+           st.integers(min_value=0, max_value=255))
+    def test_in_bounds_buffer_never_touches_scalars(self, idx, value):
+        mem = StateMemory(make_layout())
+        mem.write_field("msr", 0x11)
+        mem.write_field("data_pos", 42)
+        mem.write_buf("fifo", idx, value)
+        assert mem.read_field("msr") == 0x11
+        assert mem.read_field("data_pos") == 42
+        assert mem.read_buf("fifo", idx) == value

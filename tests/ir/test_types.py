@@ -1,0 +1,100 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import IRError
+from repro.ir import (
+    I8, I16, I32, U8, U16, U32, U64, BufType, FuncPtrType, IntType,
+    type_by_name,
+)
+
+
+class TestIntType:
+    def test_sizes(self):
+        assert U8.size == 1
+        assert U16.size == 2
+        assert U32.size == 4
+        assert U64.size == 8
+
+    def test_bounds_unsigned(self):
+        assert U8.min_value == 0
+        assert U8.max_value == 255
+        assert U32.max_value == 2**32 - 1
+
+    def test_bounds_signed(self):
+        assert I8.min_value == -128
+        assert I8.max_value == 127
+        assert I32.min_value == -(2**31)
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(IRError):
+            IntType(12)
+
+    def test_wrap_in_range_no_overflow(self):
+        result = U8.wrap(200)
+        assert result.value == 200
+        assert not result.overflowed
+
+    def test_wrap_unsigned_overflow(self):
+        result = U8.wrap(256)
+        assert result.value == 0
+        assert result.overflowed
+
+    def test_wrap_unsigned_negative(self):
+        result = U8.wrap(-1)
+        assert result.value == 255
+        assert result.overflowed
+
+    def test_wrap_signed_overflow(self):
+        result = I8.wrap(128)
+        assert result.value == -128
+        assert result.overflowed
+
+    def test_wrap_signed_negative_ok(self):
+        result = I16.wrap(-5)
+        assert result.value == -5
+        assert not result.overflowed
+
+    def test_str(self):
+        assert str(U16) == "u16"
+        assert str(I32) == "i32"
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_wrap_is_mod_2n(self, value):
+        """Wrapped value always equals value mod 2^bits (as unsigned)."""
+        wrapped = U16.wrap(value).value
+        assert wrapped == value % (1 << 16)
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_signed_wrap_in_declared_range(self, value):
+        wrapped = I16.wrap(value)
+        assert I16.min_value <= wrapped.value <= I16.max_value
+        assert wrapped.overflowed == (not I16.contains(value))
+
+
+class TestBufType:
+    def test_size(self):
+        assert BufType(U8, 512).size == 512
+        assert BufType(U32, 4).size == 16
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(IRError):
+            BufType(U8, 0)
+
+    def test_str(self):
+        assert str(BufType(U8, 16)) == "u8[16]"
+
+
+class TestLookup:
+    def test_by_name(self):
+        assert type_by_name("u8") is U8
+        assert type_by_name("i32") is I32
+        assert isinstance(type_by_name("funcptr"), FuncPtrType)
+
+    def test_unknown_name(self):
+        with pytest.raises(IRError):
+            type_by_name("u12")
+
+    def test_funcptr_size(self):
+        assert FuncPtrType().size == 8

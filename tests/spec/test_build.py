@@ -1,0 +1,169 @@
+"""Tests for ES-CFG construction (Algorithm 1), reduction, and serialization."""
+
+import pytest
+
+from repro.analysis import ObservationLogger, analyze_taint, select_parameters
+from repro.compiler import compile_device
+from repro.errors import SpecError
+from repro.interp import Machine
+from repro.ir import Branch, Goto
+from repro.spec import build_spec, spec_from_json, spec_to_json
+
+from tests.toydev import ToyLogic
+
+CMD = ToyLogic.CONSTS
+
+
+def train(inputs, vuln=False):
+    """Run a training workload and return (program, log, selection)."""
+    overrides = {"VULN_UNCHECKED_PUSH": 1} if vuln else None
+    program = compile_device(ToyLogic, const_overrides=overrides)
+    selection = select_parameters(program)
+    machine = Machine(program)
+    machine.bind_extern("host_log", lambda m, level: None)
+    machine.set_funcptr("irq", "on_irq")
+    logger = machine.add_sink(ObservationLogger(
+        "toy", selection.scalar_params | selection.funcptrs,
+        selection.buffers))
+    for key, args in inputs:
+        machine.run_entry(key, args)
+    return program, logger.log, selection
+
+
+BENIGN = (
+    [("pmio:write:1", (i,)) for i in range(4)]
+    + [("pmio:write:0", (CMD["CMD_SUM"],))]
+    + [("pmio:read:1", ())] * 2
+    + [("pmio:write:0", (CMD["CMD_RESET"],))]
+    + [("pmio:write:1", (9,))]
+)
+
+
+class TestBuildSpec:
+    def setup_method(self):
+        self.program, self.log, self.selection = train(BENIGN)
+        self.spec = build_spec(self.program, self.log, self.selection)
+
+    def test_functions_present(self):
+        assert self.spec.has_function("write_data")
+        assert self.spec.has_function("do_sum")
+        assert self.spec.has_function("on_irq")
+
+    def test_entry_handlers_carried_over(self):
+        assert self.spec.entry_for("pmio:write:1").name == "write_data"
+
+    def test_unvisited_functions_absent(self):
+        # All toy functions run in BENIGN; a narrower workload drops some.
+        program, log, selection = train([("pmio:read:1", ())])
+        spec = build_spec(program, log, selection)
+        assert not spec.has_function("do_sum")
+
+    def test_branch_observations_recorded(self):
+        assert self.spec.branch_observed
+        one_sided = [a for a in self.spec.branch_observed
+                     if self.spec.branch_is_one_sided(a) is not None]
+        assert one_sided, "bounds check never failed in training"
+
+    def test_icall_targets_recorded(self):
+        targets = set()
+        for addrs in self.spec.icall_targets.values():
+            targets |= addrs
+        assert self.program.func_addr["on_irq"] in targets
+
+    def test_command_access_table(self):
+        assert self.spec.cmd_access.knows(CMD["CMD_SUM"])
+        assert self.spec.cmd_access.knows(CMD["CMD_RESET"])
+        assert not self.spec.cmd_access.knows(CMD["CMD_POP"])
+
+    def test_reduction_shrinks_graph(self):
+        unreduced = build_spec(self.program, self.log, self.selection,
+                               reduce_cfg=False)
+        assert self.spec.block_count() <= unreduced.block_count()
+        assert (self.spec.stats["blocks_after_reduction"]
+                <= self.spec.stats["blocks_before_reduction"])
+
+    def test_dsod_smaller_than_source(self):
+        assert (self.spec.stats["dsod_stmts"]
+                <= self.spec.stats["stmts_before_slicing"])
+
+    def test_entry_exit_marked(self):
+        write_data = self.spec.function("write_data")
+        entries = [b for b in write_data.blocks.values() if b.is_entry]
+        exits = [b for b in write_data.blocks.values() if b.is_exit]
+        assert len(entries) == 1
+        assert exits
+
+    def test_faulted_rounds_excluded(self):
+        program, log, selection = train(BENIGN)
+        log.rounds[0].faulted = True
+        spec = build_spec(program, log, selection)
+        assert spec.block_count() > 0
+
+    def test_empty_log_rejected(self):
+        program, log, selection = train(BENIGN)
+        log.rounds = []
+        with pytest.raises(SpecError):
+            build_spec(program, log, selection)
+
+    def test_describe_mentions_device(self):
+        assert "ToyCtrl" in self.spec.describe()
+
+
+class TestReduction:
+    def test_goto_chains_bypassed(self):
+        program, log, selection = train(BENIGN)
+        spec = build_spec(program, log, selection, reduce_cfg=True)
+        for es_func in spec.functions.values():
+            for block in es_func.blocks.values():
+                if isinstance(block.nbtd, Goto):
+                    succ = es_func.block(block.nbtd.target)
+                    # A retained Goto successor must carry information.
+                    assert (succ.dsod or not isinstance(succ.nbtd, Goto)
+                            or succ.is_entry or succ.is_exit
+                            or succ.is_cmd_decision or succ.is_cmd_end)
+
+    def test_successors_still_resolve(self):
+        program, log, selection = train(BENIGN)
+        spec = build_spec(program, log, selection)
+        for es_func in spec.functions.values():
+            for block in es_func.blocks.values():
+                if isinstance(block.nbtd, Branch):
+                    # At least the trained side must exist in the spec.
+                    sides = [es_func.has_block(block.nbtd.taken),
+                             es_func.has_block(block.nbtd.not_taken)]
+                    assert any(sides)
+
+
+class TestSerialization:
+    def test_json_roundtrip_preserves_structure(self):
+        program, log, selection = train(BENIGN)
+        spec = build_spec(program, log, selection)
+        restored = spec_from_json(spec_to_json(spec))
+        assert restored.device == spec.device
+        assert set(restored.functions) == set(spec.functions)
+        assert restored.block_count() == spec.block_count()
+        assert restored.branch_observed == spec.branch_observed
+        assert restored.icall_targets == spec.icall_targets
+        assert restored.cmd_access.table == spec.cmd_access.table
+        assert restored.visited_blocks == spec.visited_blocks
+        assert restored.layout.size == spec.layout.size
+
+    def test_restored_spec_builds_device_state(self):
+        program, log, selection = train(BENIGN)
+        spec = build_spec(program, log, selection)
+        restored = spec_from_json(spec_to_json(spec))
+        state = restored.make_device_state()
+        state.write_field("pos", 3)
+        assert state.read_field("pos") == 3
+        assert state.buffer_length("fifo") == 8
+
+    def test_dsod_expressions_roundtrip(self):
+        program, log, selection = train(BENIGN)
+        spec = build_spec(program, log, selection)
+        restored = spec_from_json(spec_to_json(spec))
+        for name, es_func in spec.functions.items():
+            for label, block in es_func.blocks.items():
+                other = restored.function(name).block(label)
+                assert [str(s) for s in block.dsod] \
+                    == [str(s) for s in other.dsod]
+                assert str(block.nbtd) == str(other.nbtd)

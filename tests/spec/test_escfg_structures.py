@@ -1,0 +1,100 @@
+"""Unit tests for ES-CFG data structures."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.ir import Const, Goto, Return
+from repro.spec import CommandAccessTable, ESBlock, ESFunction, ExecutionSpec
+
+
+class TestCommandAccessTable:
+    def test_record_and_query(self):
+        table = CommandAccessTable()
+        table.record(0x46, 0x100)
+        table.record(0x46, 0x140)
+        table.record(0x45, 0x100)
+        assert table.knows(0x46)
+        assert not table.knows(0x99)
+        assert table.allows(0x46, 0x140)
+        assert not table.allows(0x45, 0x140)
+        assert table.commands() == [0x45, 0x46]
+
+    def test_unknown_command_allows_nothing(self):
+        assert not CommandAccessTable().allows(1, 0x100)
+
+
+class TestESFunction:
+    def make(self):
+        func = ESFunction("h", "entry", ("value",))
+        func.blocks["entry"] = ESBlock(0x100, "h", "entry",
+                                       nbtd=Goto("end"))
+        func.blocks["end"] = ESBlock(0x140, "h", "end",
+                                     nbtd=Return(Const(0)))
+        return func
+
+    def test_block_lookup(self):
+        func = self.make()
+        assert func.block("entry").address == 0x100
+        assert func.has_block("end")
+        assert not func.has_block("ghost")
+
+    def test_missing_block_is_spec_error(self):
+        with pytest.raises(SpecError, match="left the execution"):
+            self.make().block("ghost")
+
+
+class TestESBlockDisplay:
+    def test_tags_in_str(self):
+        block = ESBlock(0x200, "h", "b0", kind="cond", is_entry=True,
+                        is_cmd_decision=True, nbtd=Return(None))
+        text = str(block)
+        assert "entry" in text and "cmd-dec" in text and "cond" in text
+
+
+class TestExecutionSpecQueries:
+    def make(self):
+        spec = ExecutionSpec(device="T")
+        func = ESFunction("h", "entry", ())
+        func.blocks["entry"] = ESBlock(0x100, "h", "entry",
+                                       nbtd=Return(None))
+        spec.functions["h"] = func
+        spec.entry_handlers["pmio:write:0"] = "h"
+        spec.branch_observed[0x100] = {True}
+        spec.branch_observed[0x140] = {True, False}
+        spec.icall_targets[0x180] = {0x9999}
+        return spec
+
+    def test_entry_resolution(self):
+        spec = self.make()
+        assert spec.entry_for("pmio:write:0").name == "h"
+        with pytest.raises(SpecError):
+            spec.entry_for("pmio:write:9")
+
+    def test_unknown_function_is_spec_error(self):
+        with pytest.raises(SpecError, match="never executed"):
+            self.make().function("ghost")
+
+    def test_one_sided_branch_queries(self):
+        spec = self.make()
+        assert spec.branch_is_one_sided(0x100) is True
+        assert spec.branch_is_one_sided(0x140) is None
+        assert spec.branch_is_one_sided(0xFFFF) is None
+
+    def test_legit_target_queries(self):
+        spec = self.make()
+        assert spec.legit_icall_targets(0x180) == {0x9999}
+        assert spec.legit_icall_targets(0x1) == set()
+        assert spec.legit_switch_targets(0x1) == set()
+
+    def test_counts(self):
+        spec = self.make()
+        assert spec.block_count() == 1
+        assert spec.dsod_stmt_count() == 0
+
+    def test_make_device_state_requires_layout(self):
+        with pytest.raises(SpecError, match="layout"):
+            self.make().make_device_state()
+
+    def test_describe(self):
+        text = self.make().describe()
+        assert "T" in text and "functions: 1" in text

@@ -1,0 +1,56 @@
+"""Merge tests on real device specs (distributed-training fidelity)."""
+
+import random
+
+import pytest
+
+from repro.checker import Mode
+from repro.core import build_execution_spec, deploy
+from repro.spec import merge_specs
+from repro.workloads.profiles import PROFILES
+
+
+def train_slice(prof, ops, seed=11, rounds=20):
+    def workload(vm, device):
+        rng = random.Random(seed)
+        driver = prof.make_driver(vm)
+        prof.prepare(vm, driver)
+        for _ in range(rounds):
+            rng.choice(ops)(vm, driver, rng)
+
+    return build_execution_spec(lambda: prof.make_vm(), workload).spec
+
+
+@pytest.mark.parametrize("device_name", ("sdhci", "scsi"))
+def test_merged_real_specs_accept_union_traffic(device_name):
+    prof = PROFILES[device_name]
+    heavy = train_slice(prof, prof.common_ops[:2])     # block I/O ops
+    light = train_slice(prof, prof.common_ops)          # everything
+    merged = merge_specs(heavy, light)
+
+    vm, device = prof.make_vm()
+    attachment = deploy(vm, device, merged, mode=Mode.PROTECTION)
+    driver = prof.make_driver(vm)
+    rng = random.Random(5)
+    prof.prepare(vm, driver)
+    for _ in range(25):
+        rng.choice(prof.common_ops)(vm, driver, rng)
+    assert not attachment.halts
+    assert not attachment.warnings
+
+
+def test_merge_preserves_exploit_detection():
+    """Union of benign corpora must not launder an exploit."""
+    from repro.exploits import exploit_by_cve, run_exploit
+    from repro.workloads import train_device_spec
+
+    exploit = exploit_by_cve("CVE-2021-3409")
+    prof = PROFILES["sdhci"]
+    spec_a = train_device_spec("sdhci", qemu_version="5.2.0", seed=1).spec
+    spec_b = train_device_spec("sdhci", qemu_version="5.2.0", seed=2).spec
+    merged = merge_specs(spec_a, spec_b)
+
+    vm, device = prof.make_vm("5.2.0")
+    deploy(vm, device, merged, mode=Mode.PROTECTION)
+    outcome = run_exploit(vm, device, exploit)
+    assert outcome.detected

@@ -1,0 +1,128 @@
+"""Tests for spec merging (distributed training) and DOT export."""
+
+import random
+
+import pytest
+
+from repro.checker import Action, ESChecker
+from repro.errors import SpecError
+from repro.spec import coverage_gain, merge_all, merge_specs, spec_to_dot
+from repro.workloads.profiles import PROFILES
+
+from tests.checker.test_escheck import (
+    BENIGN, build_toy_spec, checked_machine, CMD,
+)
+
+
+def narrow_spec(keys):
+    """A spec trained on a narrow slice of the benign workload."""
+    return build_toy_spec(workload=[op for op in BENIGN if op[0] in keys])
+
+
+class TestMergeSpecs:
+    def test_merge_unions_visited_blocks(self):
+        writes = narrow_spec({"pmio:write:1"})
+        reads = narrow_spec({"pmio:read:1"})
+        merged = merge_specs(writes, reads)
+        assert merged.visited_blocks \
+            == writes.visited_blocks | reads.visited_blocks
+
+    def test_merge_adopts_missing_functions(self):
+        writes = narrow_spec({"pmio:write:1"})
+        reads = narrow_spec({"pmio:read:1"})
+        assert not writes.has_function("read_data")
+        merged = merge_specs(writes, reads)
+        assert merged.has_function("read_data")
+        assert merged.has_function("write_data")
+
+    def test_merge_unions_command_tables(self):
+        full = build_toy_spec()
+        sums = build_toy_spec(workload=[
+            ("pmio:write:1", (1,)),
+            ("pmio:write:0", (CMD["CMD_SUM"],))])
+        resets = build_toy_spec(workload=[
+            ("pmio:write:0", (CMD["CMD_RESET"],))])
+        merged = merge_specs(sums, resets)
+        assert merged.cmd_access.knows(CMD["CMD_SUM"])
+        assert merged.cmd_access.knows(CMD["CMD_RESET"])
+        assert set(full.cmd_access.table) >= set(merged.cmd_access.table)
+
+    def test_merged_spec_accepts_union_traffic(self):
+        """Traffic needing both corpora passes only under the merger."""
+        writes_only = narrow_spec({"pmio:write:1"})
+        full = build_toy_spec()
+        merged = merge_specs(writes_only, full)
+
+        machine, checker = checked_machine(merged)
+        for key, args in (("pmio:write:1", (5,)), ("pmio:read:1", ())):
+            report = checker.check_io(key, args)
+            assert report.action is Action.ALLOW, report.anomalies
+            machine.run_entry(key, args)
+
+        _, narrow_checker = checked_machine(writes_only)
+        assert not narrow_checker.check_io("pmio:read:1", ()).ok
+
+    def test_merge_does_not_mutate_inputs(self):
+        writes = narrow_spec({"pmio:write:1"})
+        reads = narrow_spec({"pmio:read:1"})
+        before = set(writes.visited_blocks)
+        merge_specs(writes, reads)
+        assert writes.visited_blocks == before
+
+    def test_merge_all_folds(self):
+        parts = [narrow_spec({k}) for k in
+                 ("pmio:write:1", "pmio:read:1", "pmio:write:0")]
+        merged = merge_all(parts)
+        assert merged.stats["merged_from"] == 3
+
+    def test_merge_all_empty_rejected(self):
+        with pytest.raises(SpecError):
+            merge_all([])
+
+    def test_incompatible_devices_rejected(self):
+        toy = build_toy_spec()
+        prof = PROFILES["fdc"]
+        from repro.workloads import train_device_spec
+        fdc = train_device_spec("fdc").spec
+        with pytest.raises(SpecError, match="different"):
+            merge_specs(toy, fdc)
+
+    def test_coverage_gain(self):
+        writes = narrow_spec({"pmio:write:1"})
+        reads = narrow_spec({"pmio:read:1"})
+        merged = merge_specs(writes, reads)
+        assert coverage_gain(writes, merged) > 0
+        assert coverage_gain(merged, merged) == 0
+
+
+class TestDotExport:
+    def test_dot_contains_blocks_and_edges(self):
+        spec = build_toy_spec()
+        dot = spec_to_dot(spec)
+        assert dot.startswith("digraph")
+        assert "cluster_write_data" in dot
+        assert "->" in dot
+        assert "ENTRY" in dot and "EXIT" in dot
+
+    def test_single_function_export(self):
+        spec = build_toy_spec()
+        dot = spec_to_dot(spec, function="do_sum")
+        assert "cluster_do_sum" in dot
+        assert "cluster_write_data" not in dot
+
+    def test_one_sided_branches_highlighted(self):
+        spec = build_toy_spec()
+        assert "ONE-SIDED" in spec_to_dot(spec)
+
+    def test_dsod_optional(self):
+        spec = build_toy_spec()
+        with_dsod = spec_to_dot(spec, include_dsod=True)
+        without = spec_to_dot(spec, include_dsod=False)
+        assert len(without) < len(with_dsod)
+
+    def test_quotes_escaped(self):
+        spec = build_toy_spec()
+        dot = spec_to_dot(spec)
+        # No raw unescaped quote sequences that would break Graphviz.
+        for line in dot.splitlines():
+            assert line.count('"') % 2 == 0, line

@@ -1,0 +1,83 @@
+"""Property tests: spec expression/statement serialization round-trips."""
+
+from hypothesis import given, strategies as st
+
+from repro.ir import (
+    Assign, BinOp, Branch, BufLen, BufLoad, BufStore, Call, Const, Goto,
+    ICall, Intrinsic, Local, Param, Return, StateRef, StateStore, Switch,
+    SyncVar, UnOp,
+)
+from repro.spec.serialize import (
+    expr_from_obj, expr_to_obj, stmt_from_obj, stmt_to_obj, term_from_obj,
+    term_to_obj,
+)
+
+import json
+
+
+def expr_strategy():
+    leaves = st.one_of(
+        st.integers(-(2**40), 2**40).map(Const),
+        st.text(alphabet="abcdef_", min_size=1, max_size=6).map(Local),
+        st.text(alphabet="pqr", min_size=1, max_size=4).map(Param),
+        st.text(alphabet="xyz_", min_size=1, max_size=6).map(StateRef),
+        st.text(alphabet="sv:", min_size=1, max_size=8).map(SyncVar),
+        st.tuples(st.just("fifo"),
+                  st.integers(1, 4096)).map(lambda t: BufLen(*t)),
+    )
+    return st.recursive(
+        leaves,
+        lambda children: st.one_of(
+            st.tuples(st.sampled_from(["+", "-", "*", "//", "%", "&",
+                                       "|", "^", "<<", ">>", "==", "!=",
+                                       "<", "<=", ">", ">=", "and",
+                                       "or"]),
+                      children, children).map(lambda t: BinOp(*t)),
+            st.tuples(st.sampled_from(["-", "not", "~"]),
+                      children).map(lambda t: UnOp(*t)),
+            st.tuples(st.just("buf"), children).map(
+                lambda t: BufLoad(*t)),
+        ),
+        max_leaves=10)
+
+
+class TestExprRoundTrip:
+    @given(expr_strategy())
+    def test_roundtrip_identity(self, expr):
+        obj = expr_to_obj(expr)
+        # Must survive a real JSON hop, not just the object encoding.
+        restored = expr_from_obj(json.loads(json.dumps(obj)))
+        assert restored == expr
+
+    def test_none_roundtrip(self):
+        assert expr_from_obj(expr_to_obj(None)) is None
+
+
+class TestStmtRoundTrip:
+    @given(expr_strategy(), expr_strategy())
+    def test_stmts(self, a, b):
+        for stmt in (Assign("x", a), StateStore("f", a),
+                     BufStore("buf", a, b),
+                     Intrinsic("command_decision", (a,))):
+            restored = stmt_from_obj(
+                json.loads(json.dumps(stmt_to_obj(stmt))))
+            assert str(restored) == str(stmt)
+
+
+class TestTerminatorRoundTrip:
+    @given(expr_strategy())
+    def test_terminators(self, cond):
+        for term in (Goto("b1"),
+                     Branch(cond, "t", "f"),
+                     Switch(cond, {0: "a", 5: "b"}, "d"),
+                     Call("fn", (cond,), "r", "cont"),
+                     ICall("irq", (cond,), None, "cont"),
+                     Return(cond), Return(None)):
+            restored = term_from_obj(
+                json.loads(json.dumps(term_to_obj(term))))
+            assert str(restored) == str(term)
+
+    def test_switch_keys_survive_json_stringification(self):
+        term = Switch(Const(1), {0: "a", 255: "b"}, "d")
+        restored = term_from_obj(json.loads(json.dumps(term_to_obj(term))))
+        assert restored.table == {0: "a", 255: "b"}

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_devices_listing(self, capsys):
+        assert main(["devices"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fdc", "pcnet", "ehci", "sdhci", "scsi"):
+            assert name in out
+        assert "CVE-2015-3456" in out
+
+    def test_devices_active_at_old_version(self, capsys):
+        main(["devices", "--qemu-version", "2.3.0"])
+        out = capsys.readouterr().out
+        assert "CVE-2015-3456" in out
+
+    def test_train_writes_spec(self, tmp_path, capsys):
+        out_file = tmp_path / "fdc.spec.json"
+        assert main(["train", "--device", "fdc",
+                     "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["device"] == "FDCtrl"
+        assert "execution specification" in capsys.readouterr().out
+
+    def test_inspect_and_dot(self, tmp_path, capsys):
+        spec_file = tmp_path / "s.json"
+        main(["train", "--device", "sdhci", "--out", str(spec_file)])
+        capsys.readouterr()
+        dot_file = tmp_path / "s.dot"
+        assert main(["inspect", "--spec", str(spec_file),
+                     "--dot", str(dot_file)]) == 0
+        assert dot_file.read_text().startswith("digraph")
+
+    def test_exploit_unprotected(self, capsys):
+        assert main(["exploit", "--cve", "CVE-2021-3409"]) == 0
+        out = capsys.readouterr().out
+        assert "detected:  False" in out
+
+    def test_exploit_protected(self, capsys):
+        assert main(["exploit", "--cve", "CVE-2021-3409",
+                     "--protect"]) == 0
+        out = capsys.readouterr().out
+        assert "detected:  True" in out
+        assert "parameter" in out
+
+    def test_tables_1(self, capsys):
+        assert main(["tables", "--which", "1"]) == 0
+        assert "Variable category" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestSpecDiff:
+    def test_diff_and_merge(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        merged = tmp_path / "m.json"
+        main(["train", "--device", "sdhci", "--seed", "1",
+              "--repeats", "1", "--out", str(a)])
+        main(["train", "--device", "sdhci", "--seed", "2",
+              "--repeats", "2", "--out", str(b)])
+        capsys.readouterr()
+        assert main(["spec-diff", "--base", str(a), "--other", str(b),
+                     "--out", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "coverage gain" in out
+        assert merged.exists()

@@ -1,0 +1,123 @@
+"""Protocol-level unit tests for the guest drivers."""
+
+import pytest
+
+from repro.devices.ehci import EHCI
+from repro.devices.fdc import FDC
+from repro.devices.pcnet import PCNet
+from repro.devices.scsi import SCSI
+from repro.devices.sdhci import SDHCI
+from repro.errors import GuestError
+from repro.vm import GuestVM
+from repro.vm.drivers.ehci import EHCIDriver
+from repro.vm.drivers.fdc import FDCDriver, _lba_to_chs
+from repro.vm.drivers.pcnet import PCNetDriver
+from repro.vm.drivers.scsi import SCSIDriver
+from repro.vm.drivers.sdhci import SDHCIDriver
+
+
+class TestFDCDriverProtocol:
+    def test_lba_chs_mapping(self):
+        assert _lba_to_chs(0) == (0, 0, 1)
+        assert _lba_to_chs(17) == (0, 0, 18)
+        assert _lba_to_chs(18) == (0, 1, 1)
+        assert _lba_to_chs(36) == (1, 0, 1)
+
+    def test_lba_chs_bijective_over_media(self):
+        seen = set()
+        for lba in range(2880):
+            chs = _lba_to_chs(lba)
+            assert chs not in seen
+            seen.add(chs)
+            track, head, sector = chs
+            assert 0 <= track < 80 and head in (0, 1) and 1 <= sector <= 18
+
+    def test_command_refused_when_not_ready(self):
+        vm = GuestVM()
+        fdc = vm.attach_device(FDC(), 0x3F0)
+        driver = FDCDriver(vm)
+        fdc.state.write_field("msr", 0)     # not RQM
+        with pytest.raises(GuestError, match="not ready"):
+            driver.version()
+
+    def test_sense_interrupt_returns_st0_track(self):
+        vm = GuestVM()
+        vm.attach_device(FDC(), 0x3F0)
+        driver = FDCDriver(vm)
+        driver.controller_reset()
+        driver.seek(12)
+        st0, track = driver.sense_interrupt()
+        assert track == 12
+
+
+class TestSCSIDriverProtocol:
+    def test_cdb10_encoding(self):
+        cdb = SCSIDriver._cdb10(0x28, 0x01020304, 0x0506)
+        assert cdb == [0x28, 0, 0x01, 0x02, 0x03, 0x04, 0, 0x05, 0x06, 0]
+
+    def test_partial_block_write_rejected(self):
+        vm = GuestVM()
+        vm.attach_device(SCSI(), 0x600)
+        driver = SCSIDriver(vm)
+        driver.reset()
+        with pytest.raises(GuestError):
+            driver.write10(0, b"not-a-block")
+
+
+class TestSDHCIDriverProtocol:
+    def test_partial_block_rejected(self):
+        vm = GuestVM()
+        vm.attach_device(SDHCI(), 0x500)
+        driver = SDHCIDriver(vm)
+        with pytest.raises(GuestError):
+            driver.write_blocks(0, b"x" * 100)
+
+    def test_single_vs_multi_command_selection(self):
+        vm = GuestVM()
+        sd = vm.attach_device(SDHCI(), 0x500)
+        driver = SDHCIDriver(vm)
+        driver.reset_card()
+        driver.write_blocks(0, bytes(512))
+        assert sd.state.read_field("cmdreg") & 0x3F == 24   # single
+        driver.write_blocks(0, bytes(1024))
+        assert sd.state.read_field("cmdreg") & 0x3F == 25   # multi
+
+
+class TestPCNetDriverProtocol:
+    def test_oversized_descriptor_chunk_rejected(self):
+        vm = GuestVM()
+        vm.attach_device(PCNet(), 0x300)
+        driver = PCNetDriver(vm)
+        driver.init_rings()
+        with pytest.raises(GuestError, match="too large"):
+            driver.send_frame(b"", chunks=[b"x" * 300])
+
+    def test_too_many_chunks_rejected(self):
+        vm = GuestVM()
+        vm.attach_device(PCNet(), 0x300)
+        driver = PCNetDriver(vm)
+        driver.init_rings()
+        with pytest.raises(GuestError, match="too many"):
+            driver.send_frame(b"", chunks=[b"a"] * 5)
+
+
+class TestEHCIDriverProtocol:
+    def test_block_size_enforced(self):
+        vm = GuestVM()
+        vm.attach_mmio_device(EHCI(), 0x400)
+        driver = EHCIDriver(vm)
+        driver.start_controller()
+        with pytest.raises(GuestError):
+            driver.write_block(0, b"short")
+
+    def test_setup_packet_encoding(self):
+        vm = GuestVM()
+        usb = vm.attach_mmio_device(EHCI(), 0x400)
+        driver = EHCIDriver(vm)
+        driver.start_controller()
+        driver._send_setup(0x80, 0x06, 0x0100, 0, 18)
+        state = usb.state
+        assert state.read_buf("setup_buf", 0) == 0x80
+        assert state.read_buf("setup_buf", 1) == 0x06
+        assert state.read_buf("setup_buf", 3) == 0x01   # wValue high
+        assert state.read_buf("setup_buf", 6) == 18     # wLength low

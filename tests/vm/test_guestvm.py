@@ -1,0 +1,141 @@
+"""Unit tests for the guest VM substrate and the SEDSpec attachment."""
+
+import pytest
+
+from repro.checker import Mode, Strategy
+from repro.core import deploy
+from repro.devices.fdc import FDC
+from repro.devices.sdhci import SDHCI
+from repro.errors import WorkloadError
+from repro.vm import GuestVM, SEDSpecHalt, VMEXIT_COST
+from repro.vm.drivers.fdc import FDCDriver
+from repro.vm.drivers.sdhci import SDHCIDriver
+from repro.workloads import train_device_spec
+
+
+class TestTopology:
+    def test_port_ranges_route_to_devices(self):
+        vm = GuestVM()
+        fdc = vm.attach_device(FDC(), 0x3F0)
+        sd = vm.attach_device(SDHCI(), 0x500)
+        assert vm.device_at(0x3F5)[0] is fdc
+        assert vm.device_at(0x504)[0] is sd
+
+    def test_port_clash_rejected(self):
+        vm = GuestVM()
+        vm.attach_device(FDC(), 0x3F0)
+        with pytest.raises(WorkloadError, match="clash"):
+            vm.attach_device(SDHCI(), 0x3F8)
+
+    def test_unmapped_port_rejected(self):
+        vm = GuestVM()
+        with pytest.raises(WorkloadError, match="no device"):
+            vm.inb(0x999)
+
+    def test_shared_guest_memory(self):
+        vm = GuestVM()
+        fdc = vm.attach_device(FDC(), 0x3F0)
+        assert fdc.memory is vm.memory
+
+
+class TestAccounting:
+    def test_every_io_pays_vmexit(self):
+        vm = GuestVM()
+        vm.attach_device(FDC(), 0x3F0)
+        driver = FDCDriver(vm)
+        driver.msr()
+        driver.msr()
+        assert vm.stats.io_rounds == 2
+        assert vm.stats.vmexit_cycles == 2 * VMEXIT_COST
+
+    def test_device_cycles_accrue(self):
+        vm = GuestVM()
+        vm.attach_device(FDC(), 0x3F0)
+        FDCDriver(vm).controller_reset()
+        assert vm.stats.device_cycles > 0
+        assert vm.stats.checker_cycles == 0     # nothing attached
+
+    def test_stats_delta(self):
+        vm = GuestVM()
+        vm.attach_device(FDC(), 0x3F0)
+        driver = FDCDriver(vm)
+        driver.msr()
+        snap = vm.stats.snapshot()
+        driver.msr()
+        delta = vm.stats.delta(snap)
+        assert delta.io_rounds == 1
+        assert delta.vmexit_cycles == VMEXIT_COST
+
+
+@pytest.fixture(scope="module")
+def sdhci_spec():
+    return train_device_spec("sdhci").spec
+
+
+class TestAttachment:
+    def test_checker_cycles_accrue_when_attached(self, sdhci_spec):
+        vm = GuestVM()
+        vm.attach_device(SDHCI(), 0x500)
+        deploy(vm, vm.devices["sdhci"], sdhci_spec)
+        driver = SDHCIDriver(vm)
+        driver.reset_card()
+        driver.write_blocks(1, bytes(512))
+        assert vm.stats.checker_cycles > 0
+
+    def test_checker_cheaper_than_device(self, sdhci_spec):
+        vm = GuestVM()
+        vm.attach_device(SDHCI(), 0x500)
+        deploy(vm, vm.devices["sdhci"], sdhci_spec)
+        driver = SDHCIDriver(vm)
+        driver.reset_card()
+        driver.write_blocks(1, bytes(1024))
+        assert vm.stats.checker_cycles < vm.stats.device_cycles
+
+    def test_detach_stops_checking(self, sdhci_spec):
+        vm = GuestVM()
+        vm.attach_device(SDHCI(), 0x500)
+        deploy(vm, vm.devices["sdhci"], sdhci_spec)
+        vm.detach_sedspec("sdhci")
+        before = vm.stats.checker_cycles
+        SDHCIDriver(vm).reset_card()
+        assert vm.stats.checker_cycles == before
+
+    def test_sync_keys_computed(self, sdhci_spec):
+        vm = GuestVM()
+        vm.attach_device(SDHCI(), 0x500)
+        attachment = deploy(vm, vm.devices["sdhci"], sdhci_spec)
+        # The read path stages media bytes into the control structure:
+        # it must be a co-execution key; plain register writes must not.
+        assert attachment.sync_keys["pmio:read:4"] is True
+        assert attachment.sync_keys["pmio:write:0"] is False
+
+    def test_protection_halt_raises(self, sdhci_spec):
+        vm = GuestVM()
+        vm.attach_device(SDHCI(), 0x500)
+        deploy(vm, vm.devices["sdhci"], sdhci_spec,
+               mode=Mode.PROTECTION)
+        with pytest.raises(SEDSpecHalt):
+            # CMD_APP was never trained: unknown command.
+            vm.outb(0x503, 55)
+        assert vm.halt_count("sdhci") == 1
+
+    def test_enhancement_warns_and_continues(self, sdhci_spec):
+        vm = GuestVM()
+        vm.attach_device(SDHCI(), 0x500)
+        deploy(vm, vm.devices["sdhci"], sdhci_spec,
+               mode=Mode.ENHANCEMENT)
+        vm.outb(0x503, 55)          # rare command: warn, not halt
+        assert vm.warning_count("sdhci") == 1
+        assert vm.halt_count("sdhci") == 0
+
+    def test_benign_traffic_unflagged(self, sdhci_spec):
+        vm = GuestVM()
+        vm.attach_device(SDHCI(), 0x500)
+        deploy(vm, vm.devices["sdhci"], sdhci_spec,
+               mode=Mode.PROTECTION)
+        driver = SDHCIDriver(vm)
+        driver.reset_card()
+        data = bytes(range(256)) * 4
+        driver.write_blocks(3, data)
+        assert driver.read_blocks(3, 2) == data
+        assert vm.warning_count("sdhci") == 0

@@ -1,0 +1,45 @@
+"""Tests for profile bus abstraction (PMIO vs MMIO) and layouts."""
+
+import pytest
+
+from repro.workloads.profiles import FILESYSTEM_LAYOUTS, PROFILES
+
+
+class TestBusAbstraction:
+    def test_ehci_is_mmio(self):
+        assert PROFILES["ehci"].bus == "mmio"
+
+    def test_others_are_pmio(self):
+        for name in ("fdc", "pcnet", "sdhci", "scsi"):
+            assert PROFILES[name].bus == "pmio"
+
+    def test_poke_peek_pmio(self):
+        prof = PROFILES["fdc"]
+        vm, device = prof.make_vm()
+        assert prof.peek(vm, 4) & 0x80       # MSR RQM after reset
+        prof.poke(vm, 2, 0x0C)               # DOR write routes through
+        assert device.state.read_field("dor") == 0x0C
+
+    def test_poke_peek_mmio(self):
+        prof = PROFILES["ehci"]
+        vm, device = prof.make_vm()
+        prof.poke(vm, 0, 1)                  # USBCMD run
+        assert device.state.read_field("usbcmd") == 1
+        assert prof.peek(vm, 1) == device.state.read_field("usbsts")
+
+    def test_mmio_device_not_reachable_via_ports(self):
+        from repro.errors import WorkloadError
+        prof = PROFILES["ehci"]
+        vm, _ = prof.make_vm()
+        with pytest.raises(WorkloadError, match="no device"):
+            vm.inb(prof.base_port + 1)
+
+
+class TestFilesystemLayouts:
+    def test_three_filesystems(self):
+        assert set(FILESYSTEM_LAYOUTS) == {"FAT32", "NTFS", "EXT4"}
+
+    def test_layouts_are_distinct(self):
+        signatures = {(v["superblock_lba"], v["meta_stride"], v["fill"])
+                      for v in FILESYSTEM_LAYOUTS.values()}
+        assert len(signatures) == 3

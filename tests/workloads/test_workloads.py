@@ -1,0 +1,157 @@
+"""Tests for workload profiles, interaction modes, fuzzing, bench tools."""
+
+import random
+
+import pytest
+
+from repro.checker import Mode
+from repro.core import deploy
+from repro.workloads import (
+    InteractionMode, Measurement, PROFILES, fuzz_device, iozone, iperf,
+    measure_effective_coverage, normalized, overhead_percent, ping,
+    run_interaction, train_device_spec, training_coverage,
+)
+
+
+@pytest.fixture(scope="module")
+def sdhci_art():
+    return train_device_spec("sdhci")
+
+
+class TestProfiles:
+    def test_all_five_devices_profiled(self):
+        assert set(PROFILES) == {"fdc", "pcnet", "ehci", "sdhci", "scsi"}
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_training_runs_clean(self, name):
+        prof = PROFILES[name]
+        vm, device = prof.make_vm()
+        prof.training(vm, device, random.Random(1))
+        assert not device.halted
+
+    @pytest.mark.parametrize("name", sorted(PROFILES))
+    def test_common_and_rare_ops_run_clean(self, name):
+        prof = PROFILES[name]
+        vm, device = prof.make_vm()
+        driver = prof.make_driver(vm)
+        rng = random.Random(2)
+        prof.prepare(vm, driver)
+        for op in prof.common_ops + prof.rare_ops:
+            op(vm, driver, rng)
+        assert not device.halted
+
+    def test_weights_align_with_ops(self):
+        for prof in PROFILES.values():
+            if prof.op_weights is not None:
+                assert len(prof.op_weights) == len(prof.common_ops)
+
+
+class TestInteraction:
+    def test_report_shape(self, sdhci_art):
+        report = run_interaction(sdhci_art.spec, "sdhci",
+                                 InteractionMode.SEQUENTIAL, hours=1,
+                                 cases_per_hour=4)
+        assert report.total_cases == 4
+        assert report.total_rounds > 0
+        assert 0.0 <= report.fpr <= 1.0
+
+    def test_benign_modes_have_zero_fp_without_rare_ops(self, sdhci_art):
+        for mode in InteractionMode:
+            report = run_interaction(sdhci_art.spec, "sdhci", mode,
+                                     hours=1, cases_per_hour=3,
+                                     rare_case_rate=0.0)
+            assert report.false_positives == 0, mode
+
+    def test_rare_commands_cause_fp(self, sdhci_art):
+        report = run_interaction(sdhci_art.spec, "sdhci",
+                                 InteractionMode.RANDOM, hours=1,
+                                 cases_per_hour=6, rare_case_rate=1.0)
+        # Every case contains a rare command: every case is flagged.
+        assert report.false_positives == report.total_cases
+
+    def test_deterministic_given_seed(self, sdhci_art):
+        a = run_interaction(sdhci_art.spec, "sdhci",
+                            InteractionMode.RANDOM, hours=1,
+                            cases_per_hour=3, seed=9)
+        b = run_interaction(sdhci_art.spec, "sdhci",
+                            InteractionMode.RANDOM, hours=1,
+                            cases_per_hour=3, seed=9)
+        assert [c.rounds for c in a.cases] == [c.rounds for c in b.cases]
+
+
+class TestFuzz:
+    def test_fuzz_collects_edges(self):
+        result = fuzz_device("sdhci", iterations=60)
+        assert result.legitimate_edges
+        assert result.iterations == 60
+
+    def test_training_coverage_subset_relation(self):
+        trained = training_coverage("sdhci")
+        assert trained
+
+    def test_effective_coverage_in_paper_regime(self):
+        report = measure_effective_coverage("sdhci", iterations=200)
+        assert 0.75 <= report.ratio <= 1.0
+
+
+class TestBenchtools:
+    def test_measurement_math(self):
+        m = Measurement("x", payload_bytes=1000, cycles=2_000_000,
+                        operations=4)
+        assert m.seconds == 0.002
+        assert m.throughput_bytes_per_sec == 500_000
+        assert m.latency_sec_per_op == 0.0005
+
+    def test_normalized_and_overhead(self):
+        base = Measurement("b", 1000, 1_000_000, 1)
+        slow = Measurement("s", 1000, 1_100_000, 1)
+        assert abs(normalized(base, slow, "throughput") - 1 / 1.1) < 1e-9
+        assert abs(overhead_percent(base, slow, "latency") - 10.0) < 1e-6
+
+    def test_iozone_sweep(self):
+        prof = PROFILES["sdhci"]
+        vm, _ = prof.make_vm()
+        driver = prof.make_driver(vm)
+        prof.prepare(vm, driver)
+        result = iozone("sdhci", vm, driver, record_sizes=(512, 1024),
+                        records_per_size=1)
+        assert set(result.write) == {512, 1024}
+        assert result.write[1024].cycles > result.write[512].cycles
+
+    def test_iperf_four_bars(self):
+        prof = PROFILES["pcnet"]
+        vm, _ = prof.make_vm()
+        driver = prof.make_driver(vm)
+        prof.prepare(vm, driver)
+        result = iperf(vm, driver, frames=4)
+        assert set(result.bandwidth) == {
+            ("tcp", "up"), ("tcp", "down"), ("udp", "up"), ("udp", "down")}
+        for m in result.bandwidth.values():
+            assert m.cycles > 0
+
+    def test_ping_roundtrips(self):
+        prof = PROFILES["pcnet"]
+        vm, _ = prof.make_vm()
+        driver = prof.make_driver(vm)
+        prof.prepare(vm, driver)
+        m = ping(vm, driver, count=5)
+        assert m.operations == 5
+        assert m.latency_sec_per_op > 0
+
+    def test_sedspec_costs_more_than_baseline(self, sdhci_art):
+        prof = PROFILES["sdhci"]
+        vm, _ = prof.make_vm()
+        drv = prof.make_driver(vm)
+        prof.prepare(vm, drv)
+        base = iozone("sdhci", vm, drv, record_sizes=(512,),
+                      records_per_size=1)
+        vm2, dev2 = prof.make_vm()
+        deploy(vm2, dev2, sdhci_art.spec, mode=Mode.ENHANCEMENT)
+        drv2 = prof.make_driver(vm2)
+        prof.prepare(vm2, drv2)
+        treated = iozone("sdhci", vm2, drv2, record_sizes=(512,),
+                         records_per_size=1)
+        assert treated.write[512].cycles > base.write[512].cycles
+        # ... but within the paper's bound.
+        assert overhead_percent(base.write[512], treated.write[512],
+                                "throughput") < 5.0
