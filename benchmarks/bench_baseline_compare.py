@@ -9,12 +9,10 @@ exploits whose port traffic looks unusual.
 
 from repro.eval import compare_baselines
 
-_CACHE = {}
 
-
-def bench_baseline_comparison(benchmark):
+def bench_baseline_comparison(benchmark, spec_cache):
     comparison = benchmark.pedantic(
-        compare_baselines, kwargs=dict(spec_cache=_CACHE),
+        compare_baselines, kwargs=dict(spec_cache=spec_cache),
         rounds=1, iterations=1)
     print("\n" + comparison.render())
     assert comparison.matches_paper()

@@ -9,8 +9,11 @@ from conftest import spec_for
 
 import random
 
+import pytest
+
 from repro.analysis import ObservationLogger, select_parameters
 from repro.checker import ESChecker
+from repro.checker.sync import FieldSyncOracle
 from repro.compiler import compile_device
 from repro.core import deploy
 from repro.devices.fdc import FDC, FDCLogic
@@ -60,25 +63,65 @@ def bench_spec_serialization_roundtrip(benchmark):
     assert restored.block_count() == spec.block_count()
 
 
-def bench_checker_per_round(benchmark):
-    """The online cost that every guest I/O pays: one check_io round."""
+_FDC_SEQUENCES = None
+
+
+def _fdc_sequences():
+    """The I/O rounds of FDC bring-up plus one full read_lba command —
+    the representative workload both hot benches replay.  A command
+    cycle ends back in the idle state, so replaying it is repeatable."""
+    global _FDC_SEQUENCES
+    if _FDC_SEQUENCES is None:
+        prof = PROFILES["fdc"]
+        vm, device = prof.make_vm()
+        driver = prof.make_driver(vm)
+        seq = []
+        orig = vm._io
+
+        def spy(dev, key, args):
+            seq.append((key, args))
+            return orig(dev, key, args)
+
+        vm._io = spy
+        prof.prepare(vm, driver)
+        prepare_seq = tuple(seq)
+        seq.clear()
+        driver.read_lba(3)
+        vm._io = orig
+        _FDC_SEQUENCES = (prepare_seq, tuple(seq), device.snapshot())
+    return _FDC_SEQUENCES
+
+
+@pytest.mark.parametrize("backend", ["compiled", "reference"])
+def bench_checker_per_round(benchmark, backend):
+    """The online cost guest I/O pays: the check_io rounds of one full
+    read_lba command (22 rounds, ~1100 ES blocks walked)."""
     spec = spec_for("fdc")
-    device = FDC()
-    checker = ESChecker(spec)
-    checker.boot_sync(device.state)
+    _, command_seq, prepared_state = _fdc_sequences()
+    checker = ESChecker(spec, backend=backend)
+    checker.boot_sync(prepared_state)
+    oracle = FieldSyncOracle(prepared_state)
 
-    def one_round():
-        return checker.check_io("pmio:read:4", ())
+    def one_command():
+        checker.history.clear()
+        ok = True
+        for key, args in command_seq:
+            ok &= checker.check_io(key, args, oracle=oracle).ok
+        return ok
 
-    report = benchmark(one_round)
-    assert report.ok
+    assert benchmark(one_command)
 
 
-def bench_device_round_uncached(benchmark):
-    """Raw device-side cost of the same round, for comparison."""
-    device = FDC()
+@pytest.mark.parametrize("backend", ["compiled", "reference"])
+def bench_device_round_uncached(benchmark, backend):
+    """Raw device-side cost of the same command, for comparison."""
+    prepare_seq, command_seq, _ = _fdc_sequences()
+    device = FDC(backend=backend)
+    for key, args in prepare_seq:
+        device.handle_io(key, args)
 
-    def one_round():
-        return device.handle_io("pmio:read:4", ())
+    def one_command():
+        for key, args in command_seq:
+            device.handle_io(key, args)
 
-    benchmark(one_round)
+    benchmark(one_command)

@@ -6,7 +6,7 @@ the detection ✓-matrix matches the paper exactly, including the
 CVE-2016-1568 miss.)
 """
 
-from conftest import ALL_DEVICES, FUZZ_ITERATIONS, spec_cache, spec_for
+from conftest import ALL_DEVICES, FUZZ_ITERATIONS
 
 import pytest
 
@@ -15,12 +15,10 @@ from repro.eval import render_table, strategy_matrix
 from repro.exploits import EXPLOITS
 from repro.workloads import measure_effective_coverage
 
-_CACHE = {}
 
-
-def bench_strategy_matrix(benchmark):
+def bench_strategy_matrix(benchmark, spec_cache):
     results = benchmark.pedantic(strategy_matrix,
-                                 kwargs=dict(cache=_CACHE),
+                                 kwargs=dict(cache=spec_cache),
                                  rounds=1, iterations=1)
     print("\n" + render_table(
         ("Device", "CVE", "QEMU", "Param", "IndJmp", "CondJmp", "Note"),

@@ -21,6 +21,9 @@ FP_HOURS = tuple(int(h) for h in
 FP_CASES_PER_HOUR = int(os.environ.get("REPRO_FP_CPH", "8"))
 FUZZ_ITERATIONS = int(os.environ.get("REPRO_FUZZ_ITERS", "300"))
 
+#: One training run per (device, version) for the whole session — keyed
+#: exactly like ``eval.security._spec_for`` so the security/baseline
+#: benches share it instead of retraining vulnerable-build specs.
 _SPEC_CACHE = {}
 
 
@@ -39,6 +42,5 @@ def patched_specs():
 
 @pytest.fixture(scope="session")
 def spec_cache():
-    """Vulnerable-build spec cache keyed like eval.security expects."""
-    cache = {}
-    return cache
+    """The session spec cache, keyed like eval.security expects."""
+    return _SPEC_CACHE

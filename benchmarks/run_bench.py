@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Run the micro-benchmark suite and record per-benchmark medians.
+
+Writes ``BENCH_micro.json`` (repo root by default): the median/mean/
+stddev of every benchmark in ``benchmarks/bench_micro.py`` plus the
+compiled-over-reference speedup for each backend-parametrized pair.
+This file is the perf trajectory — regenerate it whenever the hot paths
+change and commit the result alongside the change.
+
+Usage::
+
+    python benchmarks/run_bench.py [--out BENCH_micro.json] [--quick]
+
+``--quick`` caps calibration for CI smoke runs (one round per bench);
+the numbers are noisy but the ratios still have to clear sanity floors.
+"""
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.dirname(HERE)
+
+
+def run_suite(quick: bool) -> dict:
+    """Run bench_micro.py under pytest-benchmark, return its raw JSON."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        raw_path = tmp.name
+    cmd = [
+        sys.executable, "-m", "pytest",
+        os.path.join(HERE, "bench_micro.py"),
+        "--benchmark-only", "-q", "-p", "no:cacheprovider",
+        f"--benchmark-json={raw_path}",
+    ]
+    if quick:
+        cmd += ["--benchmark-disable-gc", "--benchmark-warmup=off",
+                "--benchmark-min-rounds=1"]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(ROOT, "src"),
+                    env.get("PYTHONPATH", "")) if p)
+    try:
+        proc = subprocess.run(cmd, cwd=ROOT, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(f"benchmark run failed (rc={proc.returncode})")
+        with open(raw_path) as handle:
+            return json.load(handle)
+    finally:
+        os.unlink(raw_path)
+
+
+def summarize(raw: dict) -> dict:
+    """Per-benchmark medians plus backend speedup ratios."""
+    benches = {}
+    for entry in raw["benchmarks"]:
+        stats = entry["stats"]
+        benches[entry["name"]] = {
+            "median_s": stats["median"],
+            "mean_s": stats["mean"],
+            "stddev_s": stats["stddev"],
+            "rounds": stats["rounds"],
+        }
+    speedups = {}
+    for name, stats in benches.items():
+        if not name.endswith("[compiled]"):
+            continue
+        group = name[:-len("[compiled]")]
+        reference = benches.get(group + "[reference]")
+        if reference:
+            speedups[group] = round(
+                reference["median_s"] / stats["median_s"], 2)
+    return {
+        "generated": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "machine": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "unit": "seconds",
+        "benchmarks": benches,
+        "speedups_compiled_over_reference": speedups,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=os.path.join(ROOT,
+                                                      "BENCH_micro.json"))
+    parser.add_argument("--quick", action="store_true",
+                        help="one round per bench (CI smoke)")
+    args = parser.parse_args()
+    summary = summarize(run_suite(quick=args.quick))
+    with open(args.out, "w") as handle:
+        json.dump(summary, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for group, ratio in sorted(
+            summary["speedups_compiled_over_reference"].items()):
+        print(f"{group}: compiled is {ratio}x faster than reference")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

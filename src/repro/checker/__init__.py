@@ -4,8 +4,9 @@ from repro.checker.anomalies import (
     ALL_STRATEGIES, Action, Anomaly, CheckReport, Mode, Strategy,
     decide_action,
 )
+from repro.checker.compile import CompiledSpec, compiled_spec_for
 from repro.checker.escheck import (
-    CHECK_BLOCK_COST, CHECK_STMT_COST, ESChecker,
+    BACKENDS, CHECK_BLOCK_COST, CHECK_STMT_COST, ESChecker,
 )
 from repro.checker.response import (
     Alert, AlertLevel, AlertManager, Checkpoint, DeviceQuarantine,
@@ -19,7 +20,8 @@ from repro.checker.sync import (
 __all__ = [
     "ALL_STRATEGIES", "Action", "Anomaly", "CheckReport", "Mode",
     "Strategy", "decide_action",
-    "CHECK_BLOCK_COST", "CHECK_STMT_COST", "ESChecker",
+    "BACKENDS", "CHECK_BLOCK_COST", "CHECK_STMT_COST",
+    "CompiledSpec", "ESChecker", "compiled_spec_for",
     "Alert", "AlertLevel", "AlertManager", "Checkpoint",
     "DeviceQuarantine", "ResponsePolicy", "RollbackManager", "classify",
     "ExternHarvestSink", "FieldSyncOracle", "MappingSyncOracle",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 
 class Strategy(enum.Enum):
@@ -66,7 +66,30 @@ class CheckReport:
     #: walk ended early without verdict (e.g. strategy disabled at the
     #: point where the path left the spec)
     incomplete: bool = False
-    final_state: Dict[str, int] = field(default_factory=dict)
+    #: lazily-dumped shadow state — ``final_state`` is O(device state) to
+    #: materialize, and only eval/report code reads it, so the checker
+    #: binds a source instead of dumping on the hot path
+    _final_state: Optional[Dict[str, int]] = field(
+        default=None, repr=False, compare=False)
+    _final_state_source: Optional[Callable[[], Dict[str, int]]] = field(
+        default=None, repr=False, compare=False)
+
+    @property
+    def final_state(self) -> Dict[str, int]:
+        """Scalar shadow-state parameters after this round (lazy)."""
+        if self._final_state is None:
+            source = self._final_state_source
+            self._final_state = source() if source is not None else {}
+        return self._final_state
+
+    @final_state.setter
+    def final_state(self, value: Dict[str, int]) -> None:
+        self._final_state = value
+
+    def bind_final_state(self,
+                         source: Callable[[], Dict[str, int]]) -> None:
+        """Defer the state dump until someone actually reads it."""
+        self._final_state_source = source
 
     @property
     def ok(self) -> bool:

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.errors import CheckerError, DeviceFault, SpecError
-from repro.interp.machine import eval_binop
+from repro.interp.machine import eval_binop, eval_unop
 from repro.ir import (
     Assign, BinOp, Branch, BufLen, BufLoad, BufStore, Call, Const, Expr,
     Goto, ICall, Intrinsic, Local, Param, Return, StateMemory, StateRef,
@@ -33,6 +33,9 @@ from repro.ir import (
 from repro.checker.anomalies import (
     ALL_STRATEGIES, Action, Anomaly, CheckReport, Mode, Strategy,
     decide_action,
+)
+from repro.checker.compile import (
+    _WalkContext, _WalkStop, compiled_spec_for,
 )
 from repro.checker.sync import NullSyncOracle, SyncOracle
 from repro.spec.escfg import ESBlock, ESFunction, ExecutionSpec
@@ -45,12 +48,7 @@ from repro.spec.escfg import ESBlock, ESFunction, ExecutionSpec
 CHECK_BLOCK_COST = 0.5
 CHECK_STMT_COST = 0.5
 
-
-class _WalkStop(Exception):
-    """Internal: the walk cannot or need not continue."""
-
-    def __init__(self, incomplete: bool = False):
-        self.incomplete = incomplete
+BACKENDS = ("compiled", "reference")
 
 
 @dataclass
@@ -65,11 +63,18 @@ class ESChecker:
 
     def __init__(self, spec: ExecutionSpec, mode: Mode = Mode.ENHANCEMENT,
                  strategies: FrozenSet[Strategy] = ALL_STRATEGIES,
-                 max_walk_blocks: int = 500_000):
+                 max_walk_blocks: int = 500_000,
+                 backend: str = "compiled"):
+        if backend not in BACKENDS:
+            raise CheckerError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}")
         self.spec = spec
         self.mode = mode
         self.strategies = frozenset(strategies)
         self.max_walk_blocks = max_walk_blocks
+        self.backend = backend
+        self._compiled = (compiled_spec_for(spec)
+                          if backend == "compiled" else None)
         self.device_state = spec.make_device_state()
         self.cycles = 0
         #: anomaly history across the session (for FPR accounting)
@@ -108,10 +113,16 @@ class ESChecker:
 
         # Walk on a scratch copy: only a clean round updates the state.
         scratch = self.device_state.clone()
-        walker = _Walker(self, report, scratch, oracle)
+        if self._compiled is not None:
+            walker = _WalkContext(self, report, scratch, oracle)
+            run = lambda: self._compiled.run(         # noqa: E731
+                walker, self._compiled.funcs[handler], args)
+        else:
+            walker = _Walker(self, report, scratch, oracle)
+            run = lambda: walker.run(                 # noqa: E731
+                self.spec.entry_for(io_key), args)
         try:
-            entry = self.spec.entry_for(io_key)
-            walker.run(entry, args)
+            run()
         except _WalkStop as stop:
             report.incomplete = stop.incomplete
         except CheckerError as exc:
@@ -124,7 +135,10 @@ class ESChecker:
         if report.action is Action.ALLOW and not report.incomplete:
             # The simulated final device state seeds the next round.
             self.device_state = scratch
-        report.final_state = self.device_state.dump()
+        # Lazy: dumping is O(device state) and only eval/report readers
+        # want it.  The value reflects the shadow state at *read* time —
+        # read it before the next resync if exactness matters.
+        report.bind_final_state(self.device_state.dump)
         return report
 
     # -- internals --------------------------------------------------------------
@@ -422,12 +436,7 @@ class _Walker:
             return eval_binop(expr.op, self._eval(frame, expr.left),
                               self._eval(frame, expr.right))
         if isinstance(expr, UnOp):
-            operand = self._eval(frame, expr.operand)
-            if expr.op == "-":
-                return -operand
-            if expr.op == "~":
-                return ~operand
-            return int(not operand)
+            return eval_unop(expr.op, self._eval(frame, expr.operand))
         raise CheckerError(f"cannot evaluate {type(expr).__name__}")
 
 

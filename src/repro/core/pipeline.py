@@ -70,7 +70,8 @@ def build_execution_spec(make_vm: MakeVM, workload: Workload,
 
 def deploy(vm: GuestVM, device: Device, spec: ExecutionSpec,
            mode: Mode = Mode.ENHANCEMENT,
-           strategies=ALL_STRATEGIES) -> Attachment:
+           strategies=ALL_STRATEGIES,
+           backend: str = "compiled") -> Attachment:
     """Phase ③: put the ES-Checker in front of the device."""
     return vm.attach_sedspec(device.NAME, spec, mode=mode,
-                             strategies=strategies)
+                             strategies=strategies, backend=backend)

@@ -63,13 +63,14 @@ class Device:
     EXTERN_COSTS: Dict[str, int] = {}
 
     def __init__(self, qemu_version: str = "99.0.0",
-                 max_steps: int = 200_000):
+                 max_steps: int = 200_000, backend: str = "compiled"):
         self.qemu_version = qemu_version
         overrides = {gate.const: int(gate.active_in(qemu_version))
                      for gate in self.CVES}
         self.program: Program = compile_device(self.LOGIC,
                                                const_overrides=overrides)
-        self.machine = Machine(self.program, max_steps=max_steps)
+        self.machine = Machine(self.program, max_steps=max_steps,
+                               backend=backend)
         self.halted = False
         self.fault: Optional[DeviceFault] = None
         self.bind_externs()
@@ -120,7 +121,8 @@ class Device:
         """A machine sharing the program but running on a state snapshot,
         with side-effecting externs neutered — used by the sync oracle."""
         spec_machine = Machine(self.program, state=self.snapshot(),
-                               max_steps=self.machine.max_steps)
+                               max_steps=self.machine.max_steps,
+                               backend=self.machine.backend)
         self._bind_externs_for(spec_machine, speculative=True)
         return spec_machine
 

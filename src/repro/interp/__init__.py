@@ -1,11 +1,16 @@
-"""IR interpreter and trace sink interfaces."""
+"""IR interpreter, its execution backends, and trace sink interfaces."""
 
-from repro.interp.machine import (
-    DEFAULT_EXTERN_COST, STMT_COST, TERM_COST, Flags, Machine, eval_binop,
+from repro.interp.machine import BACKENDS, Flags, Machine
+from repro.interp.ops import (
+    BINOP_FUNCS, DEFAULT_EXTERN_COST, STMT_COST, TERM_COST, UNOP_FUNCS,
+    eval_binop, eval_unop,
 )
+from repro.interp.compile import CompiledProgram, compiled_program_for
 from repro.interp.sinks import CoverageSink, TraceSink
 
 __all__ = [
-    "DEFAULT_EXTERN_COST", "STMT_COST", "TERM_COST", "Flags", "Machine",
-    "eval_binop", "CoverageSink", "TraceSink",
+    "BACKENDS", "BINOP_FUNCS", "DEFAULT_EXTERN_COST", "STMT_COST",
+    "TERM_COST", "UNOP_FUNCS", "Flags", "Machine", "CompiledProgram",
+    "compiled_program_for", "eval_binop", "eval_unop", "CoverageSink",
+    "TraceSink",
 ]

@@ -5,6 +5,15 @@ dispatches extern calls into host helpers, notifies trace sinks, counts
 cycles for the performance model, and maintains the flag register whose
 overflow bit the parameter check strategy reads.
 
+Two execution backends share this front door:
+
+* ``backend="compiled"`` (default) — each block is lowered once into a
+  pre-dispatched closure chain (:mod:`repro.interp.compile`); the
+  per-round loop runs direct calls with zero ``isinstance`` tests, and
+  sink fan-out is elided entirely while no sinks are attached;
+* ``backend="reference"`` — the original tree walker, kept as the oracle
+  the differential test suite compares the compiled backend against.
+
 A watchdog (``max_steps``) converts runaway loops — the CVE-2016-7909
 failure mode — into a :class:`DeviceFault`, the analogue of a hung QEMU
 worker being reaped.
@@ -22,17 +31,14 @@ from repro.ir import (
     Program, Return, StateMemory, StateRef, StateStore, Switch, SyncVar,
     UnOp,
 )
+from repro.interp.ops import (
+    DEFAULT_EXTERN_COST, STMT_COST, TERM_COST, eval_binop, eval_unop,
+)
 from repro.interp.sinks import TraceSink
 
 ExternFn = Callable[..., Optional[int]]
 
-#: Per-operation cycle costs of the performance model.  Extern costs are
-#: configurable per helper (DMA is far more expensive than a register poke).
-STMT_COST = 1
-TERM_COST = {
-    "Goto": 1, "Branch": 2, "Switch": 3, "Call": 4, "ICall": 6, "Return": 2,
-}
-DEFAULT_EXTERN_COST = 8
+BACKENDS = ("compiled", "reference")
 
 
 @dataclass
@@ -56,13 +62,18 @@ class Machine:
     def __init__(self, program: Program,
                  state: Optional[StateMemory] = None,
                  max_steps: int = 200_000,
-                 max_depth: int = 64):
+                 max_depth: int = 64,
+                 backend: str = "compiled"):
         if not program.frozen:
             raise InterpError("program must be frozen before execution")
+        if backend not in BACKENDS:
+            raise InterpError(
+                f"unknown backend {backend!r}; choose from {BACKENDS}")
         self.program = program
         self.state = state if state is not None else StateMemory(program.layout)
         self.max_steps = max_steps
         self.max_depth = max_depth
+        self.backend = backend
         self.flags = Flags()
         self.cycles = 0
         self.steps = 0
@@ -70,6 +81,11 @@ class Machine:
         self._externs: Dict[str, ExternFn] = {}
         self._extern_cost: Dict[str, int] = {}
         self._depth = 0
+        if backend == "compiled":
+            from repro.interp.compile import compiled_program_for
+            self._compiled = compiled_program_for(program)
+        else:
+            self._compiled = None
 
     # -- configuration -----------------------------------------------------
 
@@ -120,11 +136,43 @@ class Machine:
             self._depth -= 1
             raise DeviceFault("call stack exhausted",
                               device=self.program.name, kind="stack-overflow")
-        frame = _Frame(func, params=dict(zip(func.params, args)))
         try:
-            return self._exec_blocks(frame)
+            if self._compiled is not None:
+                return self._exec_blocks_compiled(
+                    self._compiled.funcs[func.name],
+                    dict(zip(func.params, args)))
+            return self._exec_blocks(
+                _Frame(func, params=dict(zip(func.params, args))))
         finally:
             self._depth -= 1
+
+    def _exec_blocks_compiled(self, cfunc,
+                              params: Dict[str, int]) -> Optional[int]:
+        """Compiled-backend driver: direct calls, no isinstance dispatch.
+
+        Sink presence is re-checked per block so sinks attached or removed
+        between rounds (tracers, harvest sinks) always see a full round.
+        """
+        env: Dict[str, int] = {}
+        blocks = cfunc.blocks
+        label = cfunc.entry
+        max_steps = self.max_steps
+        while True:
+            cblock = blocks[label]
+            self.steps += 1
+            if self.steps > max_steps:
+                raise DeviceFault(
+                    f"watchdog: {max_steps} blocks without completing "
+                    f"the I/O round (infinite loop?)",
+                    device=self.program.name, kind="watchdog")
+            if self._sinks:
+                for sink in self._sinks:
+                    sink.on_block(cblock.func, cblock.block)
+                label = cblock.traced(self, env, params)
+            else:
+                label = cblock.fast(self, env, params)
+            if label is None:
+                return env.get("__retval__")
 
     def _exec_blocks(self, frame: _Frame) -> Optional[int]:
         label = frame.func.entry
@@ -277,59 +325,9 @@ class Machine:
             return eval_binop(expr.op, self._eval(frame, expr.left),
                               self._eval(frame, expr.right))
         if isinstance(expr, UnOp):
-            operand = self._eval(frame, expr.operand)
-            if expr.op == "-":
-                return -operand
-            if expr.op == "~":
-                return ~operand
-            return int(not operand)
+            return eval_unop(expr.op, self._eval(frame, expr.operand))
         if isinstance(expr, SyncVar):
             raise InterpError(
                 f"SyncVar {expr.name!r} in a device program (sync vars "
                 f"belong to execution specifications)")
         raise InterpError(f"unknown expression {type(expr).__name__}")
-
-
-def eval_binop(op: str, a: int, b: int) -> int:
-    """Exact integer semantics shared by interpreter, folder, and checker."""
-    if op == "+":
-        return a + b
-    if op == "-":
-        return a - b
-    if op == "*":
-        return a * b
-    if op == "//":
-        if b == 0:
-            raise DeviceFault("division by zero", kind="div0")
-        return a // b
-    if op == "%":
-        if b == 0:
-            raise DeviceFault("modulo by zero", kind="div0")
-        return a % b
-    if op == "&":
-        return a & b
-    if op == "|":
-        return a | b
-    if op == "^":
-        return a ^ b
-    if op == "<<":
-        return a << (b & 63)
-    if op == ">>":
-        return a >> (b & 63)
-    if op == "==":
-        return int(a == b)
-    if op == "!=":
-        return int(a != b)
-    if op == "<":
-        return int(a < b)
-    if op == "<=":
-        return int(a <= b)
-    if op == ">":
-        return int(a > b)
-    if op == ">=":
-        return int(a >= b)
-    if op == "and":
-        return int(bool(a) and bool(b))
-    if op == "or":
-        return int(bool(a) or bool(b))
-    raise InterpError(f"unknown operator {op!r}")

@@ -97,6 +97,21 @@ class CommandAccessTable:
     def commands(self) -> List[int]:
         return sorted(self.table)
 
+    def known_commands(self) -> FrozenSet[int]:
+        """All commands any training run decided on (frozen for the
+        compiled checker backend's per-site tables)."""
+        return frozenset(self.table)
+
+    def commands_allowing(self, address: int) -> FrozenSet[int]:
+        """Inverted row: the commands under which *address* is reachable.
+
+        This is the compiled backend's per-block access row — resolved
+        once at spec-compile time so the per-round gate is a single
+        ``cmd in row`` test instead of two dict lookups per block.
+        """
+        return frozenset(cmd for cmd, addrs in self.table.items()
+                         if address in addrs)
+
 
 @dataclass
 class ExecutionSpec:
@@ -180,6 +195,14 @@ class ExecutionSpec:
 
     def legit_switch_targets(self, address: int) -> Set[int]:
         return self.switch_targets.get(address, set())
+
+    def frozen_icall_targets(self, address: int) -> FrozenSet[int]:
+        """Immutable per-site legit-target row (compiled-backend table)."""
+        return frozenset(self.icall_targets.get(address, ()))
+
+    def frozen_switch_targets(self, address: int) -> FrozenSet[int]:
+        """Immutable per-site legit-arm row (compiled-backend table)."""
+        return frozenset(self.switch_targets.get(address, ()))
 
     def describe(self) -> str:
         lines = [f"execution specification for {self.device}",

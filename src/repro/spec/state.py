@@ -87,8 +87,17 @@ class DeviceState:
         self.memory.data[:] = memory.data
 
     def clone(self) -> "DeviceState":
-        return DeviceState(self.layout, self.param_fields,
-                           self.param_buffers, self.memory.snapshot())
+        """Checker hot path: one clone per I/O round.  The type metadata
+        is immutable after construction, so share it and copy only the
+        backing memory instead of re-deriving everything via __init__."""
+        twin = DeviceState.__new__(DeviceState)
+        twin.layout = self.layout
+        twin.param_fields = self.param_fields
+        twin.param_buffers = self.param_buffers
+        twin.memory = self.memory.snapshot()
+        twin.fields = self.fields
+        twin.buffers = self.buffers
+        return twin
 
     # -- access (range checks are the ES-Checker's job) ------------------------
 

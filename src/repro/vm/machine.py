@@ -141,10 +141,12 @@ class GuestVM:
 
     def attach_sedspec(self, device_name: str, spec: ExecutionSpec,
                        mode: Mode = Mode.ENHANCEMENT,
-                       strategies=ALL_STRATEGIES) -> Attachment:
+                       strategies=ALL_STRATEGIES,
+                       backend: str = "compiled") -> Attachment:
         """Deploy an execution specification in front of a device."""
         device = self.devices[device_name]
-        checker = ESChecker(spec, mode=mode, strategies=strategies)
+        checker = ESChecker(spec, mode=mode, strategies=strategies,
+                            backend=backend)
         checker.boot_sync(device.state)
         sync_keys = {key: handler_needs_sync(spec, key)
                      for key in spec.entry_handlers}

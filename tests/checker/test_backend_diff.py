@@ -1,0 +1,144 @@
+"""Differential tests: the compiled ES-Checker backend vs the
+reference spec walker.
+
+The compiled checker's contract mirrors the compiled Machine's:
+bit-exact observables.  Every ``CheckReport`` (action, anomaly list,
+walk counters, incompleteness, final shadow state), the checker's cycle
+accounting, and the shadow device state must be identical whichever
+backend walked the spec — across all five device profiles under benign
+workloads, and across every seeded CVE PoC.  In particular, every
+detection the reference walker fires must still fire compiled.
+"""
+
+import random
+
+import pytest
+
+from repro.checker import Mode
+from repro.core import deploy
+from repro.exploits.pocs import EXPLOITS, run_exploit
+from repro.vm.machine import SEDSpecHalt
+from repro.workloads.profiles import PROFILES, train_device_spec
+
+ALL_DEVICES = ("fdc", "ehci", "pcnet", "sdhci", "scsi")
+BACKENDS = ("reference", "compiled")
+
+
+@pytest.fixture(scope="module")
+def spec_cache():
+    """Specs are expensive to train; share them across every test in the
+    module, keyed exactly like eval.security's cache."""
+    return {}
+
+
+def _spec(cache, device, qemu_version="99.0.0"):
+    key = (device, qemu_version)
+    if key not in cache:
+        cache[key] = train_device_spec(
+            device, qemu_version=qemu_version).spec
+    return cache[key]
+
+
+def _assert_checkers_identical(ref, com):
+    """Full observable equality between two checker deployments."""
+    assert len(ref.history) == len(com.history)
+    for ref_report, com_report in zip(ref.history, com.history):
+        # dataclass equality covers io_key, action, anomalies,
+        # blocks_walked, dsod_stmts_executed and incomplete
+        assert ref_report == com_report
+        assert ref_report.final_state == com_report.final_state
+    assert ref.cycles == com.cycles
+    assert ref.device_state.dump() == com.device_state.dump()
+
+
+@pytest.mark.parametrize("name", ALL_DEVICES)
+class TestProfileDifferential:
+    """Benign traffic through a deployed checker, one run per backend."""
+
+    def test_workload_reports_identical(self, name, spec_cache):
+        spec = _spec(spec_cache, name)
+        prof = PROFILES[name]
+        attachments = []
+        for backend in BACKENDS:
+            vm, device = prof.make_vm()
+            attachment = deploy(vm, device, spec,
+                                mode=Mode.ENHANCEMENT, backend=backend)
+            driver = prof.make_driver(vm)
+            prof.prepare(vm, driver)
+            rng = random.Random(2024)
+            for op in prof.common_ops + prof.rare_ops:
+                op(vm, driver, rng)
+            attachments.append((attachment, device))
+        (ref_att, ref_dev), (com_att, com_dev) = attachments
+        _assert_checkers_identical(ref_att.checker, com_att.checker)
+        assert ref_att.checked_rounds == com_att.checked_rounds
+        assert ref_att.warnings == com_att.warnings
+        assert ref_att.halts == com_att.halts
+        assert bytes(ref_dev.state.data) == bytes(com_dev.state.data)
+
+    def test_rounds_were_actually_checked(self, name, spec_cache):
+        """Guard against the differential passing vacuously."""
+        spec = _spec(spec_cache, name)
+        prof = PROFILES[name]
+        vm, device = prof.make_vm()
+        attachment = deploy(vm, device, spec, mode=Mode.ENHANCEMENT,
+                            backend="compiled")
+        driver = prof.make_driver(vm)
+        prof.prepare(vm, driver)
+        assert attachment.checked_rounds > 0
+        assert attachment.checker.cycles > 0
+
+
+@pytest.mark.parametrize("exploit", EXPLOITS, ids=lambda e: e.cve)
+class TestExploitDifferential:
+    """Every seeded CVE PoC, protection mode, all strategies."""
+
+    def _run(self, exploit, spec, backend):
+        prof = PROFILES[exploit.device]
+        vm, device = prof.make_vm(exploit.qemu_version)
+        attachment = deploy(vm, device, spec, mode=Mode.PROTECTION,
+                            backend=backend)
+        outcome = run_exploit(vm, device, exploit)
+        return outcome, attachment, device
+
+    def test_outcome_and_reports_identical(self, exploit, spec_cache):
+        spec = _spec(spec_cache, exploit.device, exploit.qemu_version)
+        ref_out, ref_att, ref_dev = self._run(exploit, spec, "reference")
+        com_out, com_att, com_dev = self._run(exploit, spec, "compiled")
+        assert ref_out == com_out
+        _assert_checkers_identical(ref_att.checker, com_att.checker)
+        assert ref_att.halts == com_att.halts
+        assert ref_dev.halted == com_dev.halted
+
+    def test_detection_still_fires_compiled(self, exploit, spec_cache):
+        """The point of the whole exercise: no CVE goes undetected just
+        because the fast backend walked the spec."""
+        spec = _spec(spec_cache, exploit.device, exploit.qemu_version)
+        outcome, attachment, _ = self._run(exploit, spec, "compiled")
+        if exploit.expected_miss:
+            assert not outcome.detected
+        else:
+            assert outcome.detected
+            assert attachment.halts
+
+
+class TestHaltParity:
+    """A protection-mode halt raises through vm._io identically."""
+
+    def test_halt_raised_on_both_backends(self, spec_cache):
+        from repro.exploits import exploit_by_cve
+
+        exploit = exploit_by_cve("CVE-2015-3456")
+        spec = _spec(spec_cache, exploit.device, exploit.qemu_version)
+        messages = []
+        for backend in BACKENDS:
+            prof = PROFILES[exploit.device]
+            vm, device = prof.make_vm(exploit.qemu_version)
+            deploy(vm, device, spec, mode=Mode.PROTECTION,
+                   backend=backend)
+            with pytest.raises(SEDSpecHalt) as exc:
+                exploit.run(vm, device)
+            report = exc.value.report
+            messages.append((report.io_key, report.action,
+                             tuple(report.anomalies)))
+        assert messages[0] == messages[1]

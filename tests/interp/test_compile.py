@@ -1,0 +1,218 @@
+"""Differential tests: the compiled Machine backend vs the reference
+tree-walker.
+
+The compiled backend's contract is bit-exactness — same final state
+bytes, same cycle/step accounting, same sink event stream (order
+included), same faults with the same kinds and messages.  Every test
+here runs the identical workload on one machine per backend and demands
+identical observables, on the toy device and on all five real device
+models.
+"""
+
+import random
+
+import pytest
+
+from repro.compiler import compile_device
+from repro.devices.base import create_device
+from repro.errors import DeviceFault
+from repro.interp import Machine, TraceSink, compiled_program_for
+from repro.interp.compile import CompiledProgram
+from repro.ir import StateMemory
+from repro.vm.machine import GuestVM
+from repro.workloads.profiles import PROFILES
+
+from tests.toydev import ToyLogic
+
+ALL_DEVICES = ("fdc", "ehci", "pcnet", "sdhci", "scsi")
+
+
+class EventRecorder(TraceSink):
+    """Records every sink event, normalized to comparable tuples."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_io_enter(self, key, args):
+        self.events.append(("io_enter", key, tuple(args)))
+
+    def on_io_exit(self, key, result):
+        self.events.append(("io_exit", key, result))
+
+    def on_block(self, func, block):
+        self.events.append(("block", func.name, block.label,
+                            block.address))
+
+    def on_branch(self, block, taken):
+        self.events.append(("branch", block.address, taken))
+
+    def on_tip(self, block, target_addr, kind):
+        self.events.append(("tip", block.address, target_addr, kind))
+
+    def on_switch(self, block, value, target_addr):
+        self.events.append(("switch", block.address, value, target_addr))
+
+    def on_call(self, caller, callee):
+        self.events.append(("call", caller.name, callee.name))
+
+    def on_return(self, func):
+        self.events.append(("return", func.name))
+
+    def on_intrinsic(self, kind, values):
+        self.events.append(("intrinsic", kind, tuple(values)))
+
+    def on_extern(self, caller, func, dest, args, result):
+        self.events.append(("extern", caller, func, dest, tuple(args),
+                            result))
+
+    def on_state_store(self, field, value, overflowed):
+        self.events.append(("state_store", field, value, overflowed))
+
+    def on_buf_store(self, buf, index, value):
+        self.events.append(("buf_store", buf, index, value))
+
+
+def _toy_machines(vuln=False, traced=False):
+    overrides = {"VULN_UNCHECKED_PUSH": 1} if vuln else None
+    pair = []
+    for backend in ("reference", "compiled"):
+        program = compile_device(ToyLogic, const_overrides=overrides)
+        machine = Machine(program, backend=backend)
+        machine.bind_extern("host_log", lambda m, level: None, cost=2)
+        machine.set_funcptr("irq", "on_irq")
+        recorder = machine.add_sink(EventRecorder()) if traced else None
+        pair.append((machine, recorder))
+    return pair
+
+
+TOY_SCRIPT = (
+    [("pmio:write:1", (b,)) for b in (10, 20, 30, 255, 0)]
+    + [("pmio:write:0", (ToyLogic.CONSTS["CMD_SUM"],)),
+       ("pmio:read:1", ()),
+       ("pmio:read:1", ()),
+       ("pmio:write:0", (ToyLogic.CONSTS["CMD_RESET"],)),
+       ("pmio:read:1", ())]
+)
+
+
+class TestToyDifferential:
+    @pytest.mark.parametrize("traced", [False, True],
+                             ids=["fast", "traced"])
+    def test_state_cycles_and_results_identical(self, traced):
+        (ref, ref_rec), (com, com_rec) = _toy_machines(traced=traced)
+        for key, args in TOY_SCRIPT:
+            assert ref.run_entry(key, args) == com.run_entry(key, args)
+        assert bytes(ref.state.data) == bytes(com.state.data)
+        assert ref.cycles == com.cycles
+        assert ref.steps == com.steps
+        if traced:
+            assert ref_rec.events == com_rec.events
+
+    def test_vulnerable_build_corruption_identical(self):
+        """Near-OOB writes corrupt the same neighbour on both backends,
+        and the eventual far-OOB segfault matches kind and message."""
+        (ref, _), (com, _) = _toy_machines(vuln=True)
+        for i in range(12):
+            outcomes = []
+            for machine in (ref, com):
+                try:
+                    machine.run_entry("pmio:write:1", (0x60 + i,))
+                    outcomes.append(None)
+                except DeviceFault as fault:
+                    outcomes.append((fault.kind, str(fault)))
+            assert outcomes[0] == outcomes[1]
+            assert bytes(ref.state.data) == bytes(com.state.data)
+            assert ref.cycles == com.cycles
+            if outcomes[0] is not None:
+                break
+        else:
+            pytest.fail("vulnerable build never segfaulted")
+
+    def test_wild_jump_fault_identical(self):
+        (ref, _), (com, _) = _toy_machines()
+        faults = []
+        for machine in (ref, com):
+            machine.state.write_field("irq", 0xDEAD)
+            machine.run_entry("pmio:write:1", (5,))
+            with pytest.raises(DeviceFault) as exc:
+                machine.run_entry("pmio:write:0",
+                                  (ToyLogic.CONSTS["CMD_SUM"],))
+            faults.append((exc.value.kind, str(exc.value)))
+        assert faults[0] == faults[1]
+
+    def test_watchdog_fault_identical(self):
+        (ref, _), (com, _) = _toy_machines()
+        faults = []
+        for machine in (ref, com):
+            machine.max_steps = 10
+            with pytest.raises(DeviceFault) as exc:
+                machine.run_entry("pmio:write:0",
+                                  (ToyLogic.CONSTS["CMD_SUM"],))
+            faults.append((exc.value.kind, str(exc.value),
+                           machine.steps, machine.cycles))
+        assert faults[0] == faults[1]
+
+
+def _vm_pair(name):
+    """One (vm, device, recorder) per backend, identically wired."""
+    prof = PROFILES[name]
+    out = []
+    for backend in ("reference", "compiled"):
+        vm = GuestVM()
+        device = create_device(name, backend=backend)
+        if prof.bus == "mmio":
+            vm.attach_mmio_device(device, prof.base_port)
+        else:
+            vm.attach_device(device, prof.base_port)
+        recorder = device.machine.add_sink(EventRecorder())
+        out.append((vm, device, recorder))
+    return prof, out
+
+
+@pytest.mark.parametrize("name", ALL_DEVICES)
+class TestRealDeviceDifferential:
+    def test_workload_identical(self, name):
+        """prepare + a sample of each common op, event-for-event."""
+        prof, pair = _vm_pair(name)
+        for vm, device, _ in pair:
+            driver = prof.make_driver(vm)
+            prof.prepare(vm, driver)
+            rng = random.Random(1234)
+            for op in prof.common_ops:
+                op(vm, driver, rng)
+        (_, ref_dev, ref_rec), (_, com_dev, com_rec) = pair
+        assert bytes(ref_dev.state.data) == bytes(com_dev.state.data)
+        assert ref_dev.machine.cycles == com_dev.machine.cycles
+        assert ref_dev.machine.steps == com_dev.machine.steps
+        assert ref_rec.events == com_rec.events
+
+    def test_rare_ops_identical(self, name):
+        prof, pair = _vm_pair(name)
+        for vm, device, _ in pair:
+            driver = prof.make_driver(vm)
+            prof.prepare(vm, driver)
+            rng = random.Random(99)
+            for op in prof.rare_ops:
+                op(vm, driver, rng)
+        (_, ref_dev, _, ), (_, com_dev, _) = pair
+        assert bytes(ref_dev.state.data) == bytes(com_dev.state.data)
+        assert ref_dev.machine.cycles == com_dev.machine.cycles
+
+
+class TestCompiledArtifactSharing:
+    def test_compiled_program_cached_per_program(self):
+        program = compile_device(ToyLogic)
+        first = compiled_program_for(program)
+        assert compiled_program_for(program) is first
+        assert isinstance(first, CompiledProgram)
+
+    def test_machines_share_the_artifact(self):
+        program = compile_device(ToyLogic)
+        a = Machine(program)
+        b = Machine(program, state=StateMemory(program.layout))
+        assert a._compiled is b._compiled
+
+    def test_unknown_backend_rejected(self):
+        program = compile_device(ToyLogic)
+        with pytest.raises(Exception, match="backend"):
+            Machine(program, backend="jit")

@@ -1,0 +1,180 @@
+"""Unit tests for the shared operator tables (repro.interp.ops).
+
+One module owns the integer semantics of every IR operator; these tests
+pin those semantics directly AND through each lowering that consumes the
+tables — the reference ``eval_binop``/``eval_unop`` entry points, the
+device-side closure compiler, and the checker-side closure compiler — so
+no backend can drift from another.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.checker.compile import _compile_expr as checker_compile_expr
+from repro.errors import DeviceFault, InterpError
+from repro.interp.compile import compile_expr as device_compile_expr
+from repro.interp.ops import (
+    BINOP_FUNCS, UNOP_FUNCS, binop_fn, eval_binop, eval_unop, unop_fn,
+)
+from repro.ir.expr import BINOPS, UNOPS, BinOp, Const, Param, UnOp
+
+#: ground truth for each operator at sample operands
+CASES = {
+    "+": [((3, 4), 7), ((-3, 4), 1)],
+    "-": [((3, 4), -1), ((10, 4), 6)],
+    "*": [((3, 4), 12), ((-3, 4), -12)],
+    "//": [((9, 4), 2), ((-9, 4), -3)],
+    "%": [((9, 4), 1), ((-9, 4), 3)],
+    "&": [((0b1100, 0b1010), 0b1000)],
+    "|": [((0b1100, 0b1010), 0b1110)],
+    "^": [((0b1100, 0b1010), 0b0110)],
+    "<<": [((1, 4), 16), ((1, 64), 1), ((1, 65), 2)],
+    ">>": [((16, 4), 1), ((16, 64), 16), ((16, 65), 8)],
+    "==": [((3, 3), 1), ((3, 4), 0)],
+    "!=": [((3, 3), 0), ((3, 4), 1)],
+    "<": [((3, 4), 1), ((4, 3), 0), ((3, 3), 0)],
+    "<=": [((3, 4), 1), ((4, 3), 0), ((3, 3), 1)],
+    ">": [((3, 4), 0), ((4, 3), 1), ((3, 3), 0)],
+    ">=": [((3, 4), 0), ((4, 3), 1), ((3, 3), 1)],
+    "and": [((2, 3), 1), ((2, 0), 0), ((0, 3), 0), ((0, 0), 0)],
+    "or": [((2, 3), 1), ((2, 0), 1), ((0, 3), 1), ((0, 0), 0)],
+}
+UNOP_CASES = {
+    "-": [(5, -5), (-5, 5), (0, 0)],
+    "~": [(0, -1), (5, -6), (-1, 0)],
+    "not": [(0, 1), (5, 0), (-5, 0)],
+}
+
+
+def _run_device_compiled(op, a, b):
+    fn = device_compile_expr(BinOp(op, Param("a"), Param("b")),
+                             "test", _FakeProgram())
+    return fn(None, {}, {"a": a, "b": b})
+
+
+def _run_checker_compiled(op, a, b):
+    fn = checker_compile_expr(BinOp(op, Param("a"), Param("b")),
+                              _FakeSpec(), 0)
+    return fn(None, {}, {"a": a, "b": b})
+
+
+class _FakeProgram:
+    """compile_expr only touches the program for state accesses."""
+    layout = None
+
+
+class _FakeSpec:
+    layout = None
+
+
+class TestTableCompleteness:
+    def test_every_ir_binop_has_a_table_entry(self):
+        assert set(BINOP_FUNCS) == BINOPS
+
+    def test_every_ir_unop_has_a_table_entry(self):
+        assert set(UNOP_FUNCS) == UNOPS
+
+    def test_unknown_binop_raises(self):
+        with pytest.raises(InterpError, match="unknown operator"):
+            eval_binop("**", 2, 3)
+        with pytest.raises(InterpError, match="unknown operator"):
+            binop_fn("**")
+
+    def test_unknown_unop_raises(self):
+        with pytest.raises(InterpError, match="unknown unary"):
+            eval_unop("!", 1)
+        with pytest.raises(InterpError, match="unknown unary"):
+            unop_fn("!")
+
+
+@pytest.mark.parametrize("op", sorted(BINOPS))
+class TestEveryBinop:
+    def test_reference_eval(self, op):
+        for (a, b), expected in CASES[op]:
+            assert eval_binop(op, a, b) == expected
+
+    def test_device_compiled(self, op):
+        for (a, b), expected in CASES[op]:
+            assert _run_device_compiled(op, a, b) == expected
+
+    def test_checker_compiled(self, op):
+        for (a, b), expected in CASES[op]:
+            assert _run_checker_compiled(op, a, b) == expected
+
+    def test_const_folding_matches_runtime(self, op):
+        for (a, b), expected in CASES[op]:
+            folded = device_compile_expr(
+                BinOp(op, Const(a), Const(b)), "test", _FakeProgram())
+            assert folded(None, {}, {}) == expected
+
+
+@pytest.mark.parametrize("op", sorted(UNOPS))
+class TestEveryUnop:
+    def test_reference_eval(self, op):
+        for a, expected in UNOP_CASES[op]:
+            assert eval_unop(op, a) == expected
+
+    def test_device_compiled(self, op):
+        for a, expected in UNOP_CASES[op]:
+            fn = device_compile_expr(UnOp(op, Param("a")),
+                                     "test", _FakeProgram())
+            assert fn(None, {}, {"a": a}) == expected
+
+    def test_checker_compiled(self, op):
+        for a, expected in UNOP_CASES[op]:
+            fn = checker_compile_expr(UnOp(op, Param("a")),
+                                      _FakeSpec(), 0)
+            assert fn(None, {}, {"a": a}) == expected
+
+
+class TestDivisionByZero:
+    @pytest.mark.parametrize("op", ["//", "%"])
+    def test_reference_faults(self, op):
+        with pytest.raises(DeviceFault) as exc:
+            eval_binop(op, 1, 0)
+        assert exc.value.kind == "div0"
+
+    @pytest.mark.parametrize("op", ["//", "%"])
+    def test_compiled_faults_at_runtime(self, op):
+        fn = device_compile_expr(BinOp(op, Param("a"), Param("b")),
+                                 "test", _FakeProgram())
+        with pytest.raises(DeviceFault) as exc:
+            fn(None, {}, {"a": 1, "b": 0})
+        assert exc.value.kind == "div0"
+
+    @pytest.mark.parametrize("op", ["//", "%"])
+    def test_const_div0_folds_to_runtime_fault(self, op):
+        """Constant folding must not turn a runtime crash into a
+        compile-time one."""
+        fn = device_compile_expr(BinOp(op, Const(1), Const(0)),
+                                 "test", _FakeProgram())
+        with pytest.raises(DeviceFault) as exc:
+            fn(None, {}, {})
+        assert exc.value.kind == "div0"
+
+
+class TestCrossBackendAgreement:
+    @given(st.sampled_from(sorted(BINOPS)),
+           st.integers(-(2 ** 40), 2 ** 40),
+           st.integers(-(2 ** 40), 2 ** 40))
+    def test_all_three_lowerings_agree(self, op, a, b):
+        try:
+            reference = eval_binop(op, a, b)
+        except DeviceFault:
+            with pytest.raises(DeviceFault):
+                _run_device_compiled(op, a, b)
+            with pytest.raises(DeviceFault):
+                _run_checker_compiled(op, a, b)
+            return
+        assert _run_device_compiled(op, a, b) == reference
+        assert _run_checker_compiled(op, a, b) == reference
+
+    @given(st.sampled_from(sorted(UNOPS)),
+           st.integers(-(2 ** 40), 2 ** 40))
+    def test_unop_lowerings_agree(self, op, a):
+        reference = eval_unop(op, a)
+        fn = device_compile_expr(UnOp(op, Param("a")),
+                                 "test", _FakeProgram())
+        cfn = checker_compile_expr(UnOp(op, Param("a")), _FakeSpec(), 0)
+        assert fn(None, {}, {"a": a}) == reference
+        assert cfn(None, {}, {"a": a}) == reference
