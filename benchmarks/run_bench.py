@@ -7,12 +7,19 @@ compiled-over-reference speedup for each backend-parametrized pair.
 This file is the perf trajectory — regenerate it whenever the hot paths
 change and commit the result alongside the change.
 
+Also drives ``python -m repro bench-fleet`` to produce
+``BENCH_fleet.json`` — the fleet service's worker-scaling and
+security-isolation numbers — unless ``--no-fleet`` is given.
+
 Usage::
 
-    python benchmarks/run_bench.py [--out BENCH_micro.json] [--quick]
+    python benchmarks/run_bench.py [--out BENCH_micro.json]
+                                   [--fleet-out BENCH_fleet.json]
+                                   [--quick] [--no-fleet]
 
-``--quick`` caps calibration for CI smoke runs (one round per bench);
-the numbers are noisy but the ratios still have to clear sanity floors.
+``--quick`` caps calibration for CI smoke runs (one round per bench,
+smaller fleet workload); the numbers are noisy but the ratios still
+have to clear sanity floors.
 """
 
 import argparse
@@ -55,6 +62,22 @@ def run_suite(quick: bool) -> dict:
         os.unlink(raw_path)
 
 
+def run_fleet(out_path: str, quick: bool) -> None:
+    """Run the fleet benchmark CLI; it writes *out_path* itself."""
+    cmd = [sys.executable, "-m", "repro", "bench-fleet",
+           "--out", out_path]
+    if quick:
+        cmd.append("--quick")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(ROOT, "src"),
+                    env.get("PYTHONPATH", "")) if p)
+    proc = subprocess.run(cmd, cwd=ROOT, env=env)
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"fleet benchmark failed (rc={proc.returncode})")
+
+
 def summarize(raw: dict) -> dict:
     """Per-benchmark medians plus backend speedup ratios."""
     benches = {}
@@ -92,8 +115,12 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--out", default=os.path.join(ROOT,
                                                       "BENCH_micro.json"))
+    parser.add_argument("--fleet-out",
+                        default=os.path.join(ROOT, "BENCH_fleet.json"))
     parser.add_argument("--quick", action="store_true",
                         help="one round per bench (CI smoke)")
+    parser.add_argument("--no-fleet", action="store_true",
+                        help="skip the fleet scaling benchmark")
     args = parser.parse_args()
     summary = summarize(run_suite(quick=args.quick))
     with open(args.out, "w") as handle:
@@ -103,6 +130,8 @@ def main() -> None:
             summary["speedups_compiled_over_reference"].items()):
         print(f"{group}: compiled is {ratio}x faster than reference")
     print(f"wrote {args.out}")
+    if not args.no_fleet:
+        run_fleet(args.fleet_out, quick=args.quick)
 
 
 if __name__ == "__main__":

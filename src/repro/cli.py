@@ -7,6 +7,8 @@
     python -m repro exploit --cve CVE-2015-3456 [--protect]
     python -m repro tables  [--which 1|3]
     python -m repro devices
+    python -m repro serve   --workers 2 --tenants 4 [--inject CVE-...]
+    python -m repro bench-fleet [--workers 1,2,4,8] [--out BENCH_fleet.json]
 """
 
 from __future__ import annotations
@@ -40,7 +42,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     artifacts = train_device_spec(args.device,
                                   qemu_version=args.qemu_version,
                                   seed=args.seed,
-                                  repeats=args.repeats)
+                                  repeats=args.repeats,
+                                  backend=args.backend)
     print(artifacts.spec.describe())
     if args.out:
         with open(args.out, "w") as handle:
@@ -72,11 +75,14 @@ def _cmd_exploit(args: argparse.Namespace) -> int:
 
     exploit = exploit_by_cve(args.cve)
     prof = PROFILES[exploit.device]
-    vm, device = prof.make_vm(exploit.qemu_version)
+    vm, device = prof.make_vm(exploit.qemu_version,
+                              backend=args.backend)
     if args.protect:
         spec = train_device_spec(
-            exploit.device, qemu_version=exploit.qemu_version).spec
-        deploy(vm, device, spec, mode=Mode.PROTECTION)
+            exploit.device, qemu_version=exploit.qemu_version,
+            backend=args.backend).spec
+        deploy(vm, device, spec, mode=Mode.PROTECTION,
+               backend=args.backend)
     outcome = run_exploit(vm, device, exploit)
     print(f"{exploit.cve} against {exploit.device} "
           f"(qemu {exploit.qemu_version}): {exploit.description}")
@@ -114,6 +120,82 @@ def _cmd_spec_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.checker import Mode
+    from repro.eval.report import render_table
+    from repro.fleet import (
+        FleetConfig, FleetSupervisor, build_load,
+    )
+
+    devices = args.devices.split(",")
+    plans, schedule = build_load(
+        devices, args.tenants, args.batches, args.ops,
+        inject_cves=args.inject, inject_fraction=args.inject_fraction,
+        qemu_version=args.qemu_version, seed=args.seed)
+    cache_dir = args.spec_cache
+    owned_tmp = None
+    if cache_dir is None and not args.inline:
+        import tempfile
+        owned_tmp = tempfile.TemporaryDirectory(prefix="sedspec-serve-")
+        cache_dir = owned_tmp.name
+    config = FleetConfig(workers=args.workers, inline=args.inline,
+                         queue_depth=args.queue_depth,
+                         mode=Mode(args.mode), backend=args.backend,
+                         cache_dir=cache_dir)
+    try:
+        result = FleetSupervisor(config).run(schedule, plans)
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+    rows = [(s.tenant, s.device, "yes" if s.attacked else "-",
+             f"{s.completed}/{s.submitted}", s.rejected, s.detections,
+             s.quarantine_reason if s.quarantined else "-")
+            for s in result.tenants.values()]
+    print(render_table(("Tenant", "Device", "Attacked", "Served",
+                        "Rejected", "Detections", "Quarantine"), rows))
+    print(result.stats.describe())
+    if result.stats.lost:
+        print(f"ERROR: {result.stats.lost} requests lost")
+        return 1
+    if result.stats.detections < args.min_detections:
+        print(f"ERROR: expected >= {args.min_detections} detections, "
+              f"saw {result.stats.detections}")
+        return 1
+    return 0
+
+
+def _cmd_bench_fleet(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.fleet import run_fleet_bench
+
+    worker_counts = tuple(int(w) for w in args.workers.split(","))
+    kwargs = dict(worker_counts=worker_counts,
+                  devices=tuple(args.devices.split(",")),
+                  tenants=args.tenants, batches=args.batches,
+                  ops=args.ops, backend=args.backend,
+                  inline=args.inline, cache_dir=args.spec_cache,
+                  seed=args.seed)
+    if args.quick:
+        kwargs.update(batches=2, ops=3)
+    payload = run_fleet_bench(**kwargs)
+    with open(args.out, "w") as handle:
+        json_mod.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for workers, point in sorted(payload["scaling"].items(),
+                                 key=lambda kv: int(kv[0])):
+        print(f"{workers} worker(s): "
+              f"{point['rounds_per_sec']:,.0f} rounds/s (simulated), "
+              f"p95 {point['p95_request_ms']:.3f} ms, "
+              f"wall {point['wall_s']:.2f}s")
+    sec = payload["security"]
+    print(f"security: attacked={sec['attacked']} "
+          f"quarantined={sec['quarantined']} "
+          f"detections={sec['detections']} lost={sec['lost']}")
+    print(f"wrote {args.out}")
+    return 0 if sec["ok"] else 1
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     if args.which in ("1", "all"):
         from repro.eval import generate_table1
@@ -146,6 +228,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--qemu-version", default="99.0.0")
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--repeats", type=int, default=2)
+    p.add_argument("--backend", choices=("compiled", "reference"),
+                   default="compiled",
+                   help="execution backend for the training device")
     p.add_argument("--out", help="write the spec JSON here")
     p.set_defaults(fn=_cmd_train)
 
@@ -159,7 +244,65 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cve", required=True)
     p.add_argument("--protect", action="store_true",
                    help="deploy SEDSpec (protection mode) first")
+    p.add_argument("--backend", choices=("compiled", "reference"),
+                   default="compiled",
+                   help="execution backend for device and checker")
     p.set_defaults(fn=_cmd_exploit)
+
+    p = sub.add_parser(
+        "serve", help="run the fleet enforcement service over a "
+                      "generated workload")
+    p.add_argument("--devices", default="fdc,sdhci",
+                   help="comma-separated device mix")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--tenants", type=int, default=4)
+    p.add_argument("--batches", type=int, default=4,
+                   help="batches per tenant")
+    p.add_argument("--ops", type=int, default=4,
+                   help="requests per batch")
+    p.add_argument("--inject", action="append", default=[],
+                   metavar="CVE", help="attack one tenant with this CVE "
+                                       "PoC (repeatable)")
+    p.add_argument("--inject-fraction", type=float, default=0.0,
+                   help="fraction of tenants to attack with CVE PoCs")
+    p.add_argument("--qemu-version", default="99.0.0")
+    p.add_argument("--mode", choices=("protection", "enhancement"),
+                   default="protection")
+    p.add_argument("--backend", choices=("compiled", "reference"),
+                   default="compiled")
+    p.add_argument("--inline", action="store_true",
+                   help="in-process worker pool (no multiprocessing)")
+    p.add_argument("--queue-depth", type=int, default=4,
+                   help="outstanding batches per worker (backpressure)")
+    p.add_argument("--spec-cache", default=None,
+                   help="spec cache dir (required for multiprocessing "
+                        "unless --inline)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--min-detections", type=int, default=0,
+                   help="exit nonzero unless at least this many "
+                        "detections were recorded")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "bench-fleet", help="fleet throughput scaling + security run; "
+                            "writes BENCH_fleet.json")
+    p.add_argument("--workers", default="1,2,4,8",
+                   help="comma-separated worker counts")
+    p.add_argument("--devices", default="fdc,sdhci,scsi,ehci")
+    p.add_argument("--tenants", type=int, default=8)
+    p.add_argument("--batches", type=int, default=4)
+    p.add_argument("--ops", type=int, default=4)
+    p.add_argument("--backend", choices=("compiled", "reference"),
+                   default="compiled")
+    p.add_argument("--inline", action="store_true",
+                   help="in-process worker pool (no multiprocessing)")
+    p.add_argument("--spec-cache", default=None,
+                   help="persistent spec cache dir (default: temp dir)")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--quick", action="store_true",
+                   help="smaller workload for CI smoke")
+    p.add_argument("--out", default="BENCH_fleet.json")
+    p.set_defaults(fn=_cmd_bench_fleet)
 
     p = sub.add_parser("spec-diff",
                        help="compare/merge two trained specs")

@@ -66,3 +66,8 @@ class WorkloadError(ReproError):
 
 class GuestError(ReproError):
     """A guest driver observed a protocol violation from its device."""
+
+
+class FleetError(ReproError):
+    """The fleet enforcement service hit a control-plane failure
+    (misconfiguration, stalled workers, respawn budget exhausted)."""

@@ -1,0 +1,44 @@
+"""repro.fleet: a multi-worker enforcement service for guarded devices.
+
+Scales SEDSpec's one-device/one-VM runtime protection out to fleets:
+execution specs are trained once and shared through a content-addressed
+:class:`SpecRegistry`; a pool of workers (multiprocessing, with an
+in-process fallback) hosts guarded tenant instances and drains batched
+I/O with backpressure; a supervisor respawns crashed workers, fences off
+quarantined tenants, and aggregates fleet-wide statistics.
+"""
+
+from repro.fleet.bench import (
+    DEFAULT_DEVICES, DEFAULT_INJECT, DEFAULT_WORKER_COUNTS,
+    run_fleet_bench,
+)
+from repro.fleet.instance import GuardedInstance, OpOutcome, portable_report
+from repro.fleet.loadgen import (
+    DEFAULT_QEMU_VERSION, OpRequest, RequestBatch, TenantPlan, build_load,
+    detectable_cves, make_schedule, plan_tenants,
+)
+from repro.fleet.registry import (
+    CACHE_FORMAT, RegistryStats, SpecRegistry, program_fingerprint,
+)
+from repro.fleet.supervisor import (
+    FleetConfig, FleetResult, FleetStats, FleetSupervisor, TenantSummary,
+    percentile,
+)
+from repro.fleet.worker import (
+    BatchResult, FleetWorker, batch_wants_crash, tombstone_crashes,
+    worker_main,
+)
+
+__all__ = [
+    "DEFAULT_DEVICES", "DEFAULT_INJECT", "DEFAULT_WORKER_COUNTS",
+    "run_fleet_bench",
+    "GuardedInstance", "OpOutcome", "portable_report",
+    "DEFAULT_QEMU_VERSION", "OpRequest", "RequestBatch", "TenantPlan",
+    "build_load", "detectable_cves", "make_schedule", "plan_tenants",
+    "CACHE_FORMAT", "RegistryStats", "SpecRegistry",
+    "program_fingerprint",
+    "FleetConfig", "FleetResult", "FleetStats", "FleetSupervisor",
+    "TenantSummary", "percentile",
+    "BatchResult", "FleetWorker", "batch_wants_crash",
+    "tombstone_crashes", "worker_main",
+]

@@ -1,0 +1,128 @@
+"""Fleet benchmark: rounds/sec vs worker count + a security run.
+
+Two parts, both written into ``BENCH_fleet.json``:
+
+* **scaling** — the *same* benign workload served with 1/2/4/8 workers.
+  Throughput and latency come from the substrate's deterministic cycle
+  model (workers are parallel lanes; makespan = busiest lane), so the
+  scaling curve is exact and machine-independent; host wall time is
+  recorded alongside for transparency.
+* **security** — a mixed run with an injected fraction of CVE PoCs; the
+  payload records that exactly the attacked instances were quarantined,
+  every benign tenant completed every request, and nothing was lost.
+"""
+
+from __future__ import annotations
+
+import datetime
+import platform
+import tempfile
+from typing import Dict, List, Optional, Sequence
+
+from repro.fleet.loadgen import build_load, make_schedule, plan_tenants
+from repro.fleet.registry import SpecRegistry
+from repro.fleet.supervisor import FleetConfig, FleetResult, FleetSupervisor
+
+DEFAULT_WORKER_COUNTS = (1, 2, 4, 8)
+DEFAULT_DEVICES = ("fdc", "sdhci", "scsi", "ehci")
+DEFAULT_INJECT = ("CVE-2015-3456", "CVE-2021-3409")
+
+
+def _config(workers: int, inline: bool, backend: str,
+            cache_dir: Optional[str]) -> FleetConfig:
+    return FleetConfig(workers=workers, inline=inline, backend=backend,
+                       cache_dir=cache_dir)
+
+
+def _scaling_point(result: FleetResult) -> Dict[str, object]:
+    stats = result.stats
+    return {
+        "workers": stats.workers,
+        "requests": stats.requests,
+        "io_rounds": stats.io_rounds,
+        "rounds_per_sec": round(stats.rounds_per_sec, 1),
+        "makespan_s": stats.makespan_seconds,
+        "p50_request_ms": round(stats.p50_request_ms, 4),
+        "p95_request_ms": round(stats.p95_request_ms, 4),
+        "lost": stats.lost,
+        "wall_s": round(stats.wall_seconds, 3),
+    }
+
+
+def run_fleet_bench(worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+                    devices: Sequence[str] = DEFAULT_DEVICES,
+                    tenants: int = 8, batches: int = 4, ops: int = 4,
+                    inject_cves: Sequence[str] = DEFAULT_INJECT,
+                    backend: str = "compiled", inline: bool = False,
+                    cache_dir: Optional[str] = None,
+                    seed: int = 7) -> Dict[str, object]:
+    """Run both parts; returns the ``BENCH_fleet.json`` payload."""
+    owned_tmp = None
+    if cache_dir is None and not inline:
+        owned_tmp = tempfile.TemporaryDirectory(prefix="sedspec-fleet-")
+        cache_dir = owned_tmp.name
+    registry = SpecRegistry(cache_dir=cache_dir)
+    try:
+        # -- scaling: identical benign schedule per worker count ----------
+        plans = plan_tenants(devices, tenants, seed=seed)
+        scaling: Dict[str, object] = {}
+        for workers in worker_counts:
+            schedule = make_schedule(plans, batches, ops, seed=seed)
+            supervisor = FleetSupervisor(
+                _config(workers, inline, backend, cache_dir), registry)
+            scaling[str(workers)] = _scaling_point(
+                supervisor.run(schedule, plans))
+        base = scaling.get(str(min(worker_counts)), {})
+        base_rps = base.get("rounds_per_sec", 0) or 1
+        speedups = {w: round(point["rounds_per_sec"] / base_rps, 2)
+                    for w, point in scaling.items()}
+
+        # -- security: mixed traffic with injected CVE PoCs ----------------
+        sec_plans, sec_schedule = build_load(
+            devices, tenants, batches, ops, inject_cves=inject_cves,
+            seed=seed + 1)
+        supervisor = FleetSupervisor(
+            _config(min(2, max(worker_counts)), inline, backend,
+                    cache_dir), registry)
+        sec = supervisor.run(sec_schedule, sec_plans)
+        benign = [s for s in sec.tenants.values() if not s.attacked]
+        benign_ok = all(s.completed == s.submitted and s.rejected == 0
+                        and not s.quarantined for s in benign)
+        security = {
+            "tenants": len(sec.tenants),
+            "injected_cves": list(inject_cves),
+            "attacked": sec.attacked_tenants(),
+            "quarantined": sec.quarantined_tenants(),
+            "detections": sec.stats.detections,
+            "lost": sec.stats.lost,
+            "benign_all_completed": benign_ok,
+            "exact_quarantine": (sec.quarantined_tenants()
+                                 == sec.attacked_tenants()),
+            "ok": (benign_ok and sec.stats.lost == 0
+                   and sec.stats.detections >= len(inject_cves)
+                   and sec.quarantined_tenants()
+                   == sec.attacked_tenants()),
+        }
+        return {
+            "generated": datetime.datetime.now(
+                datetime.timezone.utc).isoformat(timespec="seconds"),
+            "machine": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+            },
+            "clock": ("simulated: cycle model over "
+                      "workloads.benchtools.CYCLES_PER_SECOND; workers "
+                      "are parallel lanes, makespan = busiest lane"),
+            "config": {
+                "devices": list(devices), "tenants": tenants,
+                "batches_per_tenant": batches, "ops_per_batch": ops,
+                "backend": backend,
+                "pool": "inline" if inline else "multiprocessing",
+            },
+            "scaling": scaling,
+            "speedup_over_min_workers": speedups,
+            "security": security,
+        }
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()

@@ -1,0 +1,121 @@
+"""One guarded tenant: a guest VM + device + deployed ES-Checker.
+
+A :class:`GuardedInstance` is the fleet's unit of isolation.  It owns a
+private :class:`~repro.vm.machine.GuestVM` with the tenant's device
+attached and an execution specification deployed in front of it, and it
+applies :class:`~repro.fleet.loadgen.OpRequest` records one at a time.
+A SEDSpec detection *quarantines* the instance — the fleet analogue of
+the paper's targeted termination: the offending tenant is fenced off, its
+`CheckReport` recorded, and every other tenant keeps being served.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.checker import CheckReport, Mode
+from repro.core import deploy
+from repro.errors import DeviceFault
+from repro.exploits import exploit_by_cve
+from repro.fleet.loadgen import OpRequest
+from repro.vm.machine import SEDSpecHalt
+from repro.spec import ExecutionSpec
+
+
+def portable_report(report: CheckReport) -> CheckReport:
+    """A copy safe to pickle across process boundaries: the lazy
+    final-state *source* is a closure over live checker state, so
+    materialize it once (detections are rare) and drop the binding."""
+    return dataclasses.replace(report, _final_state=dict(report.final_state),
+                               _final_state_source=None)
+
+
+@dataclass
+class OpOutcome:
+    """What one applied request did to the instance."""
+
+    status: str                 # "ok" | "detected" | "fault" | "rejected"
+    cycles: int = 0
+    io_rounds: int = 0
+    report: Optional[CheckReport] = None
+    detail: str = ""
+    quarantined: bool = False   # did *this* op trip the quarantine
+
+
+class GuardedInstance:
+    def __init__(self, tenant: str, device_name: str, qemu_version: str,
+                 spec: ExecutionSpec, mode: Mode = Mode.PROTECTION,
+                 backend: str = "compiled"):
+        from repro.workloads.profiles import PROFILES
+
+        self.tenant = tenant
+        self.device_name = device_name
+        self.qemu_version = qemu_version
+        self.mode = mode
+        self.profile = PROFILES[device_name]
+        self.vm, self.device = self.profile.make_vm(qemu_version,
+                                                    backend=backend)
+        self.attachment = deploy(self.vm, self.device, spec, mode=mode,
+                                 backend=backend)
+        self.driver = self.profile.make_driver(self.vm)
+        self.profile.prepare(self.vm, self.driver)
+        self.quarantined = False
+        self.quarantine_reason = ""
+        self.reports: List[CheckReport] = []
+
+    def quarantine(self, reason: str) -> None:
+        self.quarantined = True
+        self.quarantine_reason = reason
+
+    def apply(self, op: OpRequest) -> OpOutcome:
+        if self.quarantined:
+            return OpOutcome("rejected", detail=self.quarantine_reason)
+        before = self.vm.stats.snapshot()
+        warned = len(self.attachment.warnings)
+        try:
+            self._run(op)
+        except SEDSpecHalt as halt:
+            report = portable_report(halt.report)
+            self.reports.append(report)
+            self.quarantine(str(halt.report.first_anomaly()))
+            return self._outcome("detected", before, report=report,
+                                 detail=self.quarantine_reason,
+                                 quarantined=True)
+        except DeviceFault as fault:
+            return self._outcome("fault", before,
+                                 detail=f"{fault.kind}: {fault}")
+        if len(self.attachment.warnings) > warned:
+            # Enhancement mode warned-and-allowed: a detection on the
+            # record, but the round completed and the tenant stays live.
+            report = portable_report(self.attachment.warnings[-1])
+            self.reports.append(report)
+            return self._outcome("detected", before, report=report,
+                                 detail=str(report.first_anomaly()))
+        return self._outcome("ok", before)
+
+    def _run(self, op: OpRequest) -> None:
+        import random
+
+        if op.kind == "exploit":
+            exploit_by_cve(op.cve).run(self.vm, self.device)
+        elif op.kind == "common":
+            fn = self.profile.common_ops[op.index
+                                         % len(self.profile.common_ops)]
+            fn(self.vm, self.driver, random.Random(op.seed))
+        elif op.kind == "rare":
+            fn = self.profile.rare_ops[op.index
+                                       % len(self.profile.rare_ops)]
+            fn(self.vm, self.driver, random.Random(op.seed))
+        elif op.kind == "crash":
+            pass                # tombstoned crash op: already handled
+        else:
+            raise ValueError(f"unknown op kind {op.kind!r}")
+
+    def _outcome(self, status: str, before, report=None, detail: str = "",
+                 quarantined: bool = False) -> OpOutcome:
+        delta = self.vm.stats.delta(before)
+        return OpOutcome(status, delta.total_cycles, delta.io_rounds,
+                         report=report, detail=detail,
+                         quarantined=quarantined)

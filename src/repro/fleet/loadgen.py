@@ -1,0 +1,154 @@
+"""Fleet load generation: pure-data request schedules.
+
+Work items must cross process boundaries, so they are plain picklable
+records: an :class:`OpRequest` names a guest operation by *index* into the
+tenant's :class:`~repro.workloads.profiles.DeviceProfile` op lists (plus a
+seed), and the worker resolves it locally.  Benign traffic is sampled with
+the profile's op weights — the same mix the interaction experiments use —
+and an injectable fraction of tenants receives one of the nine CVE
+proofs-of-concept mid-stream, with the tenant's device built at that
+CVE's vulnerable ``qemu_version``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import WorkloadError
+from repro.exploits import EXPLOITS, exploit_by_cve
+
+DEFAULT_QEMU_VERSION = "99.0.0"
+
+#: Request kinds a worker understands.  ``crash`` is a fault-injection
+#: hook: a worker *process* receiving a live crash op dies on the spot
+#: (supervisor fault-tolerance tests); a tombstoned one (seed < 0) is a
+#: no-op so the respawned worker can drain the requeued batch.
+OP_KINDS = ("common", "rare", "exploit", "crash")
+
+
+@dataclass(frozen=True)
+class OpRequest:
+    kind: str                   # one of OP_KINDS
+    index: int = 0              # op index within the profile's op list
+    seed: int = 0               # per-op RNG seed (< 0: tombstoned crash)
+    cve: str = ""               # for kind == "exploit"
+
+
+@dataclass(frozen=True)
+class RequestBatch:
+    """One unit of dispatch: a slice of one tenant's request stream."""
+
+    tenant: str
+    device: str
+    qemu_version: str
+    seq: int                    # globally unique, per-tenant monotonic
+    ops: Tuple[OpRequest, ...]
+
+
+@dataclass(frozen=True)
+class TenantPlan:
+    """One fleet tenant: a guarded device instance and its traffic."""
+
+    tenant: str
+    device: str
+    qemu_version: str = DEFAULT_QEMU_VERSION
+    attack_cve: str = ""        # "" means benign
+
+    @property
+    def attacked(self) -> bool:
+        return bool(self.attack_cve)
+
+
+def detectable_cves(devices: Sequence[str]) -> List[str]:
+    """CVEs the fraction-based injector may draw from: hosted on one of
+    *devices* and not a documented miss (we inject to see detections)."""
+    return [e.cve for e in EXPLOITS
+            if e.device in devices and not e.expected_miss]
+
+
+def plan_tenants(devices: Sequence[str], tenants: int,
+                 inject_cves: Sequence[str] = (),
+                 inject_fraction: float = 0.0,
+                 qemu_version: str = DEFAULT_QEMU_VERSION,
+                 seed: int = 0) -> List[TenantPlan]:
+    """Lay out *tenants* across *devices* round-robin, then mark some as
+    attacked: every explicitly requested CVE plus enough fraction-drawn
+    ones to reach ``round(inject_fraction * tenants)``."""
+    if not devices:
+        raise WorkloadError("need at least one device for a fleet plan")
+    plans = [TenantPlan(f"t{i:02d}-{devices[i % len(devices)]}",
+                        devices[i % len(devices)], qemu_version)
+             for i in range(tenants)]
+    rng = random.Random(seed)
+    attacks = list(inject_cves)
+    want = round(inject_fraction * tenants)
+    pool = [c for c in detectable_cves(devices) if c not in attacks]
+    rng.shuffle(pool)
+    while len(attacks) < want and pool:
+        attacks.append(pool.pop())
+    for cve in attacks:
+        exploit = exploit_by_cve(cve)
+        for i, plan in enumerate(plans):
+            if plan.device == exploit.device and not plan.attacked:
+                plans[i] = replace(plan, attack_cve=cve,
+                                   qemu_version=exploit.qemu_version)
+                break
+        else:
+            raise WorkloadError(
+                f"no free tenant hosts a {exploit.device} for {cve}")
+    return plans
+
+
+def make_schedule(plans: Sequence[TenantPlan], batches_per_tenant: int,
+                  ops_per_batch: int, seed: int = 0,
+                  attack_batch: Optional[int] = None
+                  ) -> List[RequestBatch]:
+    """Benign streams per tenant (weighted common ops), the attacked
+    tenants' PoC spliced into batch *attack_batch* (default: midway),
+    interleaved round-robin the way concurrent guests arrive."""
+    from repro.workloads.profiles import PROFILES
+
+    rng = random.Random(seed)
+    if attack_batch is None:
+        attack_batch = batches_per_tenant // 2
+    per_tenant: Dict[str, List[List[OpRequest]]] = {}
+    for plan in plans:
+        prof = PROFILES[plan.device]
+        indices = range(len(prof.common_ops))
+        batches = []
+        for b in range(batches_per_tenant):
+            ops = [OpRequest("common",
+                             rng.choices(indices,
+                                         weights=prof.op_weights)[0],
+                             rng.randrange(1 << 31))
+                   for _ in range(ops_per_batch)]
+            if plan.attacked and b == attack_batch:
+                ops[0] = OpRequest("exploit", cve=plan.attack_cve)
+            batches.append(ops)
+        per_tenant[plan.tenant] = batches
+    schedule: List[RequestBatch] = []
+    seq = 0
+    for b in range(batches_per_tenant):
+        for plan in plans:
+            schedule.append(RequestBatch(
+                plan.tenant, plan.device, plan.qemu_version, seq,
+                tuple(per_tenant[plan.tenant][b])))
+            seq += 1
+    return schedule
+
+
+def build_load(devices: Sequence[str], tenants: int,
+               batches_per_tenant: int, ops_per_batch: int,
+               inject_cves: Sequence[str] = (),
+               inject_fraction: float = 0.0,
+               qemu_version: str = DEFAULT_QEMU_VERSION,
+               seed: int = 0
+               ) -> Tuple[List[TenantPlan], List[RequestBatch]]:
+    """Convenience: plan tenants and generate their whole schedule."""
+    plans = plan_tenants(devices, tenants, inject_cves=inject_cves,
+                         inject_fraction=inject_fraction,
+                         qemu_version=qemu_version, seed=seed)
+    return plans, make_schedule(plans, batches_per_tenant,
+                                ops_per_batch, seed=seed)

@@ -1,0 +1,169 @@
+"""Shared execution-spec registry: train once, deploy everywhere.
+
+Specification-guided systems only pay off at fleet scale if the expensive
+offline phase (trace, analyse, construct — seconds per device here, hours
+against real QEMU) runs **once** per device build and every worker reuses
+the result.  The registry provides that: an in-memory memo backed by an
+optional on-disk cache of ``spec_to_json`` payloads that multiple worker
+processes share.
+
+Cache keys are **content hashes**: the fingerprint digests the compiled
+device program (every block, statement, terminator and address), the state
+layout, the entry-handler map and the ``qemu_version`` it was built at.
+Change anything about the device model — patch a CVE, add a handler,
+re-order a block — and the fingerprint moves, so a stale persisted spec
+can never be deployed against a device it was not trained on.  Stale
+files are simply never looked up again (and an envelope check rejects a
+tampered or hand-renamed file that lies about its fingerprint).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.devices.base import Device, create_device
+from repro.spec import ExecutionSpec, spec_from_json, spec_to_json
+from repro.spec.serialize import layout_to_obj
+
+#: Bumping this invalidates every persisted spec (format evolution).
+CACHE_FORMAT = 1
+
+
+def program_fingerprint(device: Device) -> str:
+    """Content hash of one built device: program + layout + version."""
+    payload = "\n".join((
+        f"format:{CACHE_FORMAT}",
+        f"device:{device.NAME}",
+        f"qemu:{device.qemu_version}",
+        "layout:" + json.dumps(layout_to_obj(device.program.layout),
+                               sort_keys=True),
+        "entries:" + json.dumps(device.program.entry_handlers,
+                                sort_keys=True),
+        str(device.program),
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+@dataclass
+class RegistryStats:
+    """Where each ``get`` was served from."""
+
+    trains: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    stale_rejected: int = 0
+
+
+class SpecRegistry:
+    """Train-or-load execution specs keyed by (device, qemu_version).
+
+    With a ``cache_dir`` the registry persists every trained spec and
+    serves later requests — including from other processes — from disk;
+    without one it degrades to a per-process memo.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None,
+                 seed: int = 7, repeats: int = 2):
+        self.cache_dir = cache_dir
+        self.seed = seed
+        self.repeats = repeats
+        self.stats = RegistryStats()
+        self._memory: Dict[Tuple[str, str], ExecutionSpec] = {}
+        self._fingerprints: Dict[Tuple[str, str], str] = {}
+
+    # -- keys ---------------------------------------------------------------
+
+    def fingerprint(self, device_name: str, qemu_version: str) -> str:
+        key = (device_name, qemu_version)
+        if key not in self._fingerprints:
+            device = create_device(device_name, qemu_version=qemu_version)
+            self._fingerprints[key] = program_fingerprint(device)
+        return self._fingerprints[key]
+
+    def cache_path(self, device_name: str,
+                   qemu_version: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        digest = self.fingerprint(device_name, qemu_version)
+        return os.path.join(
+            self.cache_dir,
+            f"{device_name}-{qemu_version}-{digest[:16]}.spec.json")
+
+    # -- the train-or-load path --------------------------------------------
+
+    def get(self, device_name: str,
+            qemu_version: str = "99.0.0") -> ExecutionSpec:
+        key = (device_name, qemu_version)
+        spec = self._memory.get(key)
+        if spec is not None:
+            self.stats.memory_hits += 1
+            return spec
+        spec = self._load(device_name, qemu_version)
+        if spec is None:
+            spec = self._train(device_name, qemu_version)
+        self._memory[key] = spec
+        return spec
+
+    def prime(self, pairs: Iterable[Tuple[str, str]]) -> None:
+        """Train/load every (device, qemu_version) pair up front, so
+        worker processes find a warm disk cache instead of retraining."""
+        for device_name, qemu_version in pairs:
+            self.get(device_name, qemu_version)
+
+    def _load(self, device_name: str,
+              qemu_version: str) -> Optional[ExecutionSpec]:
+        path = self.cache_path(device_name, qemu_version)
+        if path is None or not os.path.exists(path):
+            return None
+        with open(path) as handle:
+            envelope = json.load(handle)
+        if (envelope.get("format") != CACHE_FORMAT
+                or envelope.get("fingerprint")
+                != self.fingerprint(device_name, qemu_version)):
+            self.stats.stale_rejected += 1
+            return None
+        self.stats.disk_hits += 1
+        return spec_from_json(envelope["spec"])
+
+    def _train(self, device_name: str, qemu_version: str) -> ExecutionSpec:
+        from repro.workloads.profiles import train_device_spec
+
+        spec = train_device_spec(device_name, qemu_version=qemu_version,
+                                 seed=self.seed,
+                                 repeats=self.repeats).spec
+        self.stats.trains += 1
+        self._persist(device_name, qemu_version, spec)
+        return spec
+
+    def _persist(self, device_name: str, qemu_version: str,
+                 spec: ExecutionSpec) -> None:
+        path = self.cache_path(device_name, qemu_version)
+        if path is None:
+            return
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        envelope = {
+            "format": CACHE_FORMAT,
+            "device": device_name,
+            "qemu_version": qemu_version,
+            "fingerprint": self.fingerprint(device_name, qemu_version),
+            "train_seed": self.seed,
+            "train_repeats": self.repeats,
+            "spec": spec_to_json(spec),
+        }
+        # Atomic publish: concurrent workers either see the whole file
+        # or none of it, never a torn write.
+        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
+                                   suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(envelope, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise

@@ -1,0 +1,418 @@
+"""Fleet supervisor: worker pool, backpressure, fault tolerance, stats.
+
+The supervisor owns the enforcement service's control plane:
+
+* **placement** — tenants are pinned to workers (instances are stateful),
+  assigned round-robin in order of first appearance;
+* **backpressure** — at most ``queue_depth`` batches are outstanding per
+  worker; dispatch is credit-based, so a slow worker never accumulates an
+  unbounded queue;
+* **fault tolerance** — a dead worker process is respawned (bounded by
+  ``max_worker_respawns``) with a *fresh* inbox, and every batch it had
+  not acknowledged is requeued (crash ops tombstoned), so nothing is
+  silently dropped; once the respawn budget is spent the worker's
+  remaining requests are counted ``lost`` rather than hidden;
+* **quarantine bookkeeping** — SEDSpec detections recorded per tenant
+  with their :class:`CheckReport`s while other tenants keep being served.
+
+Throughput and latency are reported on the substrate's **simulated
+clock**: every request accrues deterministic cycles (vmexit + device +
+checker), workers are parallel lanes, and the fleet makespan is the
+busiest worker's cycle count — so scaling numbers are exact and
+machine-independent, while wall-clock time is recorded alongside.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.checker import CheckReport, Mode
+from repro.errors import FleetError
+from repro.fleet.loadgen import RequestBatch, TenantPlan
+from repro.fleet.registry import SpecRegistry
+from repro.fleet.worker import (
+    BatchResult, FleetWorker, batch_wants_crash, tombstone_crashes,
+    worker_main,
+)
+from repro.workloads.benchtools import CYCLES_PER_SECOND
+
+
+@dataclass
+class FleetConfig:
+    workers: int = 2
+    inline: bool = False            # in-process fallback (tests, 1-cpu)
+    queue_depth: int = 4            # outstanding batches per worker
+    mode: Mode = Mode.PROTECTION
+    backend: str = "compiled"
+    cache_dir: Optional[str] = None
+    max_worker_respawns: int = 2
+    max_instance_respawns: int = 1
+    train_seed: int = 7
+    train_repeats: int = 2
+    #: no result and no worker death for this long -> supervisor error
+    stall_timeout: float = 120.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile; 0.0 on an empty sample."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+@dataclass
+class FleetStats:
+    workers: int = 0
+    requests: int = 0
+    completed: int = 0
+    rejected: int = 0
+    faults: int = 0
+    lost: int = 0
+    detections: int = 0
+    quarantined_instances: int = 0
+    worker_respawns: int = 0
+    instance_respawns: int = 0
+    io_rounds: int = 0
+    total_cycles: int = 0
+    makespan_cycles: int = 0
+    p50_request_cycles: float = 0.0
+    p95_request_cycles: float = 0.0
+    wall_seconds: float = 0.0
+
+    @property
+    def makespan_seconds(self) -> float:
+        """Simulated service time: the busiest worker lane's cycles."""
+        return self.makespan_cycles / CYCLES_PER_SECOND
+
+    @property
+    def rounds_per_sec(self) -> float:
+        """Aggregate I/O rounds per simulated second across the fleet."""
+        if self.makespan_cycles == 0:
+            return 0.0
+        return self.io_rounds / self.makespan_seconds
+
+    @property
+    def p50_request_ms(self) -> float:
+        return 1e3 * self.p50_request_cycles / CYCLES_PER_SECOND
+
+    @property
+    def p95_request_ms(self) -> float:
+        return 1e3 * self.p95_request_cycles / CYCLES_PER_SECOND
+
+    def describe(self) -> str:
+        return (f"fleet: {self.workers} workers, {self.requests} requests "
+                f"({self.completed} completed, {self.rejected} rejected, "
+                f"{self.faults} faults, {self.lost} lost)\n"
+                f"  detections={self.detections} "
+                f"quarantined={self.quarantined_instances} "
+                f"respawns={self.worker_respawns}w/"
+                f"{self.instance_respawns}i\n"
+                f"  throughput={self.rounds_per_sec:,.0f} rounds/s "
+                f"(simulated) latency p50={self.p50_request_ms:.3f}ms "
+                f"p95={self.p95_request_ms:.3f}ms "
+                f"wall={self.wall_seconds:.2f}s")
+
+
+@dataclass
+class TenantSummary:
+    tenant: str
+    device: str
+    attacked: bool = False
+    submitted: int = 0
+    completed: int = 0
+    rejected: int = 0
+    faults: int = 0
+    detections: int = 0
+    quarantined: bool = False
+    quarantine_reason: str = ""
+
+
+@dataclass
+class FleetResult:
+    stats: FleetStats
+    tenants: Dict[str, TenantSummary]
+    #: every recorded CheckReport, tagged with its tenant
+    reports: List[Tuple[str, CheckReport]] = field(default_factory=list)
+    worker_busy_cycles: Dict[int, int] = field(default_factory=dict)
+
+    def quarantined_tenants(self) -> List[str]:
+        return sorted(t for t, s in self.tenants.items() if s.quarantined)
+
+    def attacked_tenants(self) -> List[str]:
+        return sorted(t for t, s in self.tenants.items() if s.attacked)
+
+
+class _WorkerHandle:
+    """Supervisor-side view of one worker process."""
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.process: Optional[multiprocessing.process.BaseProcess] = None
+        self.inbox = None
+        self.outstanding: Dict[int, RequestBatch] = {}
+        self.respawns = 0
+        self.dead = False           # respawn budget exhausted
+
+
+class FleetSupervisor:
+    def __init__(self, config: Optional[FleetConfig] = None,
+                 registry: Optional[SpecRegistry] = None):
+        self.config = config or FleetConfig()
+        if self.config.workers < 1:
+            raise FleetError("a fleet needs at least one worker")
+        self.registry = registry or SpecRegistry(
+            cache_dir=self.config.cache_dir,
+            seed=self.config.train_seed,
+            repeats=self.config.train_repeats)
+
+    # -- public entry -------------------------------------------------------
+
+    def run(self, schedule: Sequence[RequestBatch],
+            plans: Sequence[TenantPlan] = ()) -> FleetResult:
+        """Serve the whole schedule; returns aggregated fleet results."""
+        start = time.perf_counter()
+        self.registry.prime(sorted({(b.device, b.qemu_version)
+                                    for b in schedule}))
+        pending = self._assign(schedule)
+        if self.config.inline:
+            results, lost, respawns = self._run_inline(pending)
+        else:
+            results, lost, respawns = self._run_pool(pending)
+        wall = time.perf_counter() - start
+        return self._aggregate(schedule, plans, results, lost, respawns,
+                               wall)
+
+    # -- placement ----------------------------------------------------------
+
+    def _assign(self, schedule: Sequence[RequestBatch]
+                ) -> Dict[int, Deque[RequestBatch]]:
+        """Pin each tenant to a worker; preserve per-tenant batch order."""
+        tenant_worker: Dict[str, int] = {}
+        pending: Dict[int, Deque[RequestBatch]] = {
+            w: deque() for w in range(self.config.workers)}
+        for batch in schedule:
+            worker = tenant_worker.setdefault(
+                batch.tenant, len(tenant_worker) % self.config.workers)
+            pending[worker].append(batch)
+        return pending
+
+    # -- in-process fallback -------------------------------------------------
+
+    def _make_worker(self, worker_id: int) -> FleetWorker:
+        return FleetWorker(worker_id, self.registry,
+                           mode=self.config.mode,
+                           backend=self.config.backend,
+                           max_instance_respawns=self.config
+                           .max_instance_respawns)
+
+    def _run_inline(self, pending: Dict[int, Deque[RequestBatch]]
+                    ) -> Tuple[List[BatchResult], int, int]:
+        """Single-process execution with identical semantics: crash ops
+        still cost the worker its in-memory instances and a respawn."""
+        results: List[BatchResult] = []
+        lost = 0
+        respawns = 0
+        for worker_id, batches in pending.items():
+            worker = self._make_worker(worker_id)
+            budget = self.config.max_worker_respawns
+            while batches:
+                batch = batches[0]
+                if batch_wants_crash(batch):
+                    if budget <= 0:
+                        lost += sum(len(b.ops) for b in batches)
+                        batches.clear()
+                        break
+                    budget -= 1
+                    respawns += 1
+                    worker = self._make_worker(worker_id)
+                    batches[0] = tombstone_crashes(batch)
+                    continue
+                results.append(worker.run_batch(batches.popleft()))
+        return results, lost, respawns
+
+    # -- multiprocessing pool -----------------------------------------------
+
+    def _context(self):
+        methods = multiprocessing.get_all_start_methods()
+        return multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0])
+
+    def _spawn(self, ctx, handle: _WorkerHandle, outbox) -> None:
+        handle.inbox = ctx.Queue()
+        handle.process = ctx.Process(
+            target=worker_main,
+            args=(handle.worker_id, self.registry.cache_dir,
+                  self.config.mode, self.config.backend,
+                  self.config.max_instance_respawns,
+                  handle.inbox, outbox),
+            daemon=True)
+        handle.process.start()
+
+    def _run_pool(self, pending: Dict[int, Deque[RequestBatch]]
+                  ) -> Tuple[List[BatchResult], int, int]:
+        if self.registry.cache_dir is None:
+            raise FleetError(
+                "worker processes share specs via the disk cache; "
+                "set FleetConfig.cache_dir (or use inline=True)")
+        ctx = self._context()
+        outbox = ctx.Queue()
+        handles = {w: _WorkerHandle(w) for w in pending}
+        for handle in handles.values():
+            self._spawn(ctx, handle, outbox)
+        results: List[BatchResult] = []
+        lost = 0
+        respawns = 0
+        last_progress = time.monotonic()
+        try:
+            while any(not h.dead and (pending[w] or h.outstanding)
+                      for w, h in handles.items()):
+                self._dispatch(handles, pending)
+                if self._collect(outbox, handles, results, timeout=0.05):
+                    last_progress = time.monotonic()
+                died = self._reap(ctx, outbox, handles, pending, results)
+                if died:
+                    respawns += died[0]
+                    lost += died[1]
+                    last_progress = time.monotonic()
+                if (time.monotonic() - last_progress
+                        > self.config.stall_timeout):
+                    raise FleetError("fleet stalled: no results and no "
+                                     "worker exits within stall_timeout")
+        finally:
+            self._shutdown(handles)
+        return results, lost, respawns
+
+    def _dispatch(self, handles: Dict[int, _WorkerHandle],
+                  pending: Dict[int, Deque[RequestBatch]]) -> None:
+        for worker_id, handle in handles.items():
+            if handle.dead:
+                continue
+            while (pending[worker_id] and
+                   len(handle.outstanding) < self.config.queue_depth):
+                batch = pending[worker_id].popleft()
+                handle.outstanding[batch.seq] = batch
+                handle.inbox.put(("batch", batch))
+
+    def _collect(self, outbox, handles: Dict[int, _WorkerHandle],
+                 results: List[BatchResult],
+                 timeout: Optional[float] = None) -> bool:
+        """Drain the shared outbox; returns True if anything arrived."""
+        got = False
+        while True:
+            try:
+                message = outbox.get(timeout=timeout if not got else 0)
+            except queue_mod.Empty:
+                return got
+            got = True
+            if message[0] == "result":
+                _, worker_id, result = message
+                handles[worker_id].outstanding.pop(result.seq, None)
+                results.append(result)
+
+    def _reap(self, ctx, outbox, handles: Dict[int, _WorkerHandle],
+              pending: Dict[int, Deque[RequestBatch]],
+              results: List[BatchResult]) -> Tuple[int, int]:
+        """Respawn dead workers, requeue their unacknowledged batches."""
+        respawned = 0
+        lost = 0
+        for worker_id, handle in handles.items():
+            if handle.dead or handle.process is None \
+                    or handle.process.is_alive():
+                continue
+            if not handle.outstanding and not pending[worker_id]:
+                continue
+            # Late results may have been posted before death.
+            self._collect(outbox, handles, results, timeout=0.05)
+            requeue = [tombstone_crashes(b) for _, b in
+                       sorted(handle.outstanding.items())]
+            handle.outstanding.clear()
+            if handle.respawns >= self.config.max_worker_respawns:
+                handle.dead = True
+                lost += sum(len(b.ops) for b in requeue)
+                lost += sum(len(b.ops) for b in pending[worker_id])
+                pending[worker_id].clear()
+                continue
+            handle.respawns += 1
+            respawned += 1
+            pending[worker_id].extendleft(reversed(requeue))
+            # A fresh inbox: anything buffered for the dead process is
+            # covered by the requeue and must not double-deliver.
+            self._spawn(ctx, handle, outbox)
+        return respawned, lost
+
+    def _shutdown(self, handles: Dict[int, _WorkerHandle]) -> None:
+        for handle in handles.values():
+            if handle.process is None:
+                continue
+            if handle.process.is_alive():
+                try:
+                    handle.inbox.put(("stop",))
+                except (OSError, ValueError):
+                    pass
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=5)
+
+    # -- aggregation ---------------------------------------------------------
+
+    def _aggregate(self, schedule: Sequence[RequestBatch],
+                   plans: Sequence[TenantPlan],
+                   results: List[BatchResult], lost: int,
+                   worker_respawns: int, wall: float) -> FleetResult:
+        attacked = {p.tenant for p in plans if p.attacked}
+        if not plans:
+            attacked = {b.tenant for b in schedule
+                        if any(op.kind == "exploit" for op in b.ops)}
+        tenants: Dict[str, TenantSummary] = {}
+        for batch in schedule:
+            summary = tenants.setdefault(
+                batch.tenant, TenantSummary(batch.tenant, batch.device,
+                                            batch.tenant in attacked))
+            summary.submitted += len(batch.ops)
+        busy: Dict[int, int] = {}
+        request_cycles: List[float] = []
+        reports: List[Tuple[str, CheckReport]] = []
+        stats = FleetStats(workers=self.config.workers,
+                           requests=sum(len(b.ops) for b in schedule),
+                           lost=lost, worker_respawns=worker_respawns,
+                           wall_seconds=wall)
+        for result in results:
+            summary = tenants[result.tenant]
+            summary.completed += result.completed
+            summary.rejected += result.rejected
+            summary.faults += result.faults
+            summary.detections += result.detections
+            if result.quarantined:
+                summary.quarantined = True
+                summary.quarantine_reason = result.quarantine_reason
+            stats.completed += result.completed
+            stats.rejected += result.rejected
+            stats.faults += result.faults
+            stats.detections += result.detections
+            stats.instance_respawns += result.instance_respawns
+            stats.io_rounds += result.io_rounds
+            stats.total_cycles += result.cycles
+            busy[result.worker_id] = (busy.get(result.worker_id, 0)
+                                      + result.cycles)
+            request_cycles.extend(result.op_cycles)
+            reports.extend((result.tenant, r) for r in result.reports)
+        unaccounted = (stats.requests - stats.completed - stats.rejected
+                       - stats.faults - stats.lost)
+        if unaccounted > 0:       # batches that never produced a result
+            stats.lost += unaccounted
+        stats.quarantined_instances = sum(
+            1 for s in tenants.values() if s.quarantined)
+        stats.makespan_cycles = max(busy.values(), default=0)
+        stats.p50_request_cycles = percentile(request_cycles, 0.50)
+        stats.p95_request_cycles = percentile(request_cycles, 0.95)
+        return FleetResult(stats=stats, tenants=tenants, reports=reports,
+                           worker_busy_cycles=busy)

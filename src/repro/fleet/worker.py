@@ -1,0 +1,154 @@
+"""Fleet workers: each hosts N guarded instances and drains batches.
+
+:class:`FleetWorker` is the execution core, used identically by the
+in-process fallback and by :func:`worker_main`, the multiprocessing entry
+point.  Instances are built lazily on a tenant's first batch (specs come
+from the shared :class:`~repro.fleet.registry.SpecRegistry`, so a worker
+process never retrains); a device fault respawns the instance in place
+with bounded retries, after which the tenant is fenced off.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.checker import CheckReport, Mode
+from repro.fleet.instance import GuardedInstance
+from repro.fleet.loadgen import OpRequest, RequestBatch
+from repro.fleet.registry import SpecRegistry
+
+
+def batch_wants_crash(batch: RequestBatch) -> bool:
+    """A live (non-tombstoned) crash-injection op in this batch?"""
+    return any(op.kind == "crash" and op.seed >= 0 for op in batch.ops)
+
+
+def tombstone_crashes(batch: RequestBatch) -> RequestBatch:
+    """Neutralize crash ops so a requeued batch can drain normally."""
+    if not batch_wants_crash(batch):
+        return batch
+    ops = tuple(OpRequest("crash", op.index, -1, op.cve)
+                if op.kind == "crash" else op for op in batch.ops)
+    return RequestBatch(batch.tenant, batch.device, batch.qemu_version,
+                        batch.seq, ops)
+
+
+@dataclass
+class BatchResult:
+    """Per-batch accounting, aggregated by the supervisor."""
+
+    tenant: str
+    device: str
+    seq: int
+    worker_id: int
+    submitted: int = 0
+    completed: int = 0          # ok + detected rounds
+    rejected: int = 0           # refused: instance quarantined
+    faults: int = 0             # device crashed serving the request
+    detections: int = 0
+    instance_respawns: int = 0
+    quarantined: bool = False   # instance quarantined after this batch
+    quarantine_reason: str = ""
+    cycles: int = 0
+    io_rounds: int = 0
+    #: simulated cycles per completed request (latency percentiles)
+    op_cycles: Tuple[int, ...] = ()
+    wall_seconds: float = 0.0
+    reports: Tuple[CheckReport, ...] = ()
+
+
+@dataclass
+class FleetWorker:
+    """Hosts the guarded instances of the tenants assigned to it."""
+
+    worker_id: int
+    registry: SpecRegistry
+    mode: Mode = Mode.PROTECTION
+    backend: str = "compiled"
+    max_instance_respawns: int = 1
+    instances: Dict[str, GuardedInstance] = field(default_factory=dict)
+    _respawns: Dict[str, int] = field(default_factory=dict)
+
+    def _build(self, batch: RequestBatch) -> GuardedInstance:
+        spec = self.registry.get(batch.device, batch.qemu_version)
+        return GuardedInstance(batch.tenant, batch.device,
+                               batch.qemu_version, spec, mode=self.mode,
+                               backend=self.backend)
+
+    def instance_for(self, batch: RequestBatch) -> GuardedInstance:
+        instance = self.instances.get(batch.tenant)
+        if instance is None:
+            instance = self._build(batch)
+            self.instances[batch.tenant] = instance
+        return instance
+
+    def run_batch(self, batch: RequestBatch) -> BatchResult:
+        start = time.perf_counter()
+        instance = self.instance_for(batch)
+        result = BatchResult(batch.tenant, batch.device, batch.seq,
+                             self.worker_id, submitted=len(batch.ops))
+        op_cycles = []
+        reports = []
+        for op in batch.ops:
+            outcome = instance.apply(op)
+            result.cycles += outcome.cycles
+            result.io_rounds += outcome.io_rounds
+            if outcome.report is not None:
+                reports.append(outcome.report)
+            if outcome.status == "rejected":
+                result.rejected += 1
+                continue
+            if outcome.status == "fault":
+                result.faults += 1
+                instance = self._respawn_or_fence(batch, outcome.detail,
+                                                  result)
+                continue
+            result.completed += 1
+            op_cycles.append(outcome.cycles)
+            if outcome.status == "detected":
+                result.detections += 1
+        result.quarantined = instance.quarantined
+        result.quarantine_reason = instance.quarantine_reason
+        result.op_cycles = tuple(op_cycles)
+        result.reports = tuple(reports)
+        result.wall_seconds = time.perf_counter() - start
+        return result
+
+    def _respawn_or_fence(self, batch: RequestBatch, detail: str,
+                          result: BatchResult) -> GuardedInstance:
+        """An unhandled device fault killed the instance: rebuild it from
+        the shared spec (bounded), else quarantine the tenant."""
+        spent = self._respawns.get(batch.tenant, 0)
+        if spent < self.max_instance_respawns:
+            self._respawns[batch.tenant] = spent + 1
+            result.instance_respawns += 1
+            instance = self._build(batch)
+        else:
+            instance = self.instances[batch.tenant]
+            instance.quarantine(f"fault budget exhausted: {detail}")
+        self.instances[batch.tenant] = instance
+        return instance
+
+
+def worker_main(worker_id: int, cache_dir: Optional[str], mode: Mode,
+                backend: str, max_instance_respawns: int,
+                inbox, outbox) -> None:
+    """Multiprocessing entry: drain ("batch", RequestBatch) messages
+    until ("stop",).  Specs are loaded from the shared disk cache."""
+    registry = SpecRegistry(cache_dir=cache_dir)
+    worker = FleetWorker(worker_id, registry, mode=mode, backend=backend,
+                         max_instance_respawns=max_instance_respawns)
+    outbox.put(("ready", worker_id))
+    while True:
+        message = inbox.get()
+        if message[0] == "stop":
+            break
+        batch: RequestBatch = message[1]
+        if batch_wants_crash(batch):
+            # Fault-injection hook: die the way a segfaulting QEMU
+            # worker would — no goodbye message, exit code and all.
+            os._exit(13)
+        outbox.put(("result", worker_id, worker.run_batch(batch)))

@@ -57,10 +57,11 @@ class DeviceProfile:
     #: register bus: "pmio" (port I/O) or "mmio" (memory-mapped)
     bus: str = "pmio"
 
-    def make_vm(self, qemu_version: str = "99.0.0"
-                ) -> Tuple[GuestVM, Device]:
+    def make_vm(self, qemu_version: str = "99.0.0",
+                backend: str = "compiled") -> Tuple[GuestVM, Device]:
         vm = GuestVM()
-        device = create_device(self.name, qemu_version=qemu_version)
+        device = create_device(self.name, qemu_version=qemu_version,
+                               backend=backend)
         if self.bus == "mmio":
             vm.attach_mmio_device(device, self.base_port)
         else:
@@ -406,7 +407,8 @@ def profile(name: str) -> DeviceProfile:
 
 
 def train_device_spec(name: str, qemu_version: str = "99.0.0",
-                      seed: int = 7, repeats: int = 2):
+                      seed: int = 7, repeats: int = 2,
+                      backend: str = "compiled"):
     """Convenience: run the full pipeline for one device profile."""
     from repro.core import build_execution_spec
 
@@ -418,4 +420,4 @@ def train_device_spec(name: str, qemu_version: str = "99.0.0",
             prof.training(vm, device, rng)
 
     return build_execution_spec(
-        lambda: prof.make_vm(qemu_version), workload)
+        lambda: prof.make_vm(qemu_version, backend=backend), workload)

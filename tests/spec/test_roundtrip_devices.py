@@ -1,0 +1,73 @@
+"""Spec persistence round-trips for every device profile.
+
+A persisted spec must be a faithful replacement for the freshly trained
+one: train at the CVE's vulnerable QEMU version, serialize, reload, and
+deploy both against the same PoC — the loaded spec must produce the same
+CheckReport, anomaly for anomaly.  This is what the fleet's SpecRegistry
+relies on when worker processes load specs from the disk cache.
+"""
+
+import pytest
+
+from repro.checker import Mode
+from repro.core import deploy
+from repro.exploits import exploit_by_cve
+from repro.spec import spec_from_json, spec_to_json
+from repro.vm.machine import SEDSpecHalt
+from repro.workloads.profiles import PROFILES, train_device_spec
+
+# One detectable CVE per device profile, pinned to its vulnerable build.
+DEVICE_CVES = [
+    ("fdc", "CVE-2015-3456"),
+    ("ehci", "CVE-2020-14364"),
+    ("pcnet", "CVE-2015-7512"),
+    ("sdhci", "CVE-2021-3409"),
+    ("scsi", "CVE-2015-5158"),
+]
+
+
+@pytest.fixture(scope="module")
+def trained():
+    """Train each device's spec once for the whole module."""
+    specs = {}
+    for device, cve in DEVICE_CVES:
+        exploit = exploit_by_cve(cve)
+        specs[device] = train_device_spec(
+            device, qemu_version=exploit.qemu_version, seed=7,
+            repeats=2).spec
+    return specs
+
+
+def poc_report(device, spec, cve):
+    """Deploy *spec* on a fresh VM and run the PoC; return its halt
+    report."""
+    exploit = exploit_by_cve(cve)
+    prof = PROFILES[device]
+    vm, dev = prof.make_vm(exploit.qemu_version)
+    deploy(vm, dev, spec, mode=Mode.PROTECTION)
+    driver = prof.make_driver(vm)
+    prof.prepare(vm, driver)
+    with pytest.raises(SEDSpecHalt) as excinfo:
+        exploit.run(vm, dev)
+    return excinfo.value.report
+
+
+@pytest.mark.parametrize("device,cve", DEVICE_CVES,
+                         ids=[d for d, _ in DEVICE_CVES])
+class TestRoundTrip:
+    def test_json_round_trip_is_stable(self, trained, device, cve):
+        blob = spec_to_json(trained[device])
+        assert spec_to_json(spec_from_json(blob)) == blob
+
+    def test_loaded_spec_reproduces_the_check_report(self, trained,
+                                                     device, cve):
+        spec = trained[device]
+        loaded = spec_from_json(spec_to_json(spec))
+        original = poc_report(device, spec, cve)
+        replayed = poc_report(device, loaded, cve)
+        # CheckReport equality covers action, anomalies (strategy, kind,
+        # message, block, io key), walk counters, and completeness.
+        assert replayed == original
+        assert original.anomalies
+        strategies = {a.strategy for a in original.anomalies}
+        assert strategies <= exploit_by_cve(cve).expected_strategies

@@ -49,6 +49,18 @@ class TestCli:
         assert "detected:  True" in out
         assert "parameter" in out
 
+    def test_exploit_reference_backend(self, capsys):
+        assert main(["exploit", "--cve", "CVE-2021-3409", "--protect",
+                     "--backend", "reference"]) == 0
+        assert "detected:  True" in capsys.readouterr().out
+
+    def test_train_reference_backend(self, tmp_path, capsys):
+        out_file = tmp_path / "fdc.spec.json"
+        assert main(["train", "--device", "fdc", "--backend",
+                     "reference", "--out", str(out_file)]) == 0
+        payload = json.loads(out_file.read_text())
+        assert payload["device"] == "FDCtrl"
+
     def test_tables_1(self, capsys):
         assert main(["tables", "--which", "1"]) == 0
         assert "Variable category" in capsys.readouterr().out
@@ -56,6 +68,30 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestServe:
+    def test_serve_inline_benign(self, capsys):
+        assert main(["serve", "--inline", "--devices", "fdc",
+                     "--tenants", "2", "--batches", "2",
+                     "--ops", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Tenant" in out
+        assert "0 lost" in out
+
+    def test_serve_inline_detects_injected_cve(self, capsys):
+        assert main(["serve", "--inline", "--devices", "fdc",
+                     "--tenants", "2", "--batches", "3", "--ops", "2",
+                     "--inject", "CVE-2015-3456",
+                     "--min-detections", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "detections=1" in out
+
+    def test_serve_min_detections_enforced(self, capsys):
+        assert main(["serve", "--inline", "--devices", "fdc",
+                     "--tenants", "1", "--batches", "1", "--ops", "1",
+                     "--min-detections", "1"]) == 1
+        assert "ERROR" in capsys.readouterr().out
 
 
 class TestSpecDiff:
