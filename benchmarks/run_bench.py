@@ -9,13 +9,17 @@ change and commit the result alongside the change.
 
 Also drives ``python -m repro bench-fleet`` to produce
 ``BENCH_fleet.json`` — the fleet service's worker-scaling and
-security-isolation numbers — unless ``--no-fleet`` is given.
+security-isolation numbers — unless ``--no-fleet`` is given, and
+``python -m repro bench-telemetry`` to produce ``BENCH_telemetry.json``
+— the telemetry-off vs telemetry-on overhead of the enforcement
+pipeline on the compiled backend — unless ``--no-telemetry`` is given.
 
 Usage::
 
     python benchmarks/run_bench.py [--out BENCH_micro.json]
                                    [--fleet-out BENCH_fleet.json]
-                                   [--quick] [--no-fleet]
+                                   [--telemetry-out BENCH_telemetry.json]
+                                   [--quick] [--no-fleet] [--no-telemetry]
 
 ``--quick`` caps calibration for CI smoke runs (one round per bench,
 smaller fleet workload); the numbers are noisy but the ratios still
@@ -78,6 +82,22 @@ def run_fleet(out_path: str, quick: bool) -> None:
             f"fleet benchmark failed (rc={proc.returncode})")
 
 
+def run_telemetry(out_path: str, quick: bool) -> None:
+    """Run the telemetry overhead CLI; it writes *out_path* itself."""
+    cmd = [sys.executable, "-m", "repro", "bench-telemetry",
+           "--out", out_path, "--max-overhead-pct", "5"]
+    if quick:
+        cmd.append("--quick")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.path.join(ROOT, "src"),
+                    env.get("PYTHONPATH", "")) if p)
+    proc = subprocess.run(cmd, cwd=ROOT, env=env)
+    if proc.returncode != 0:
+        raise SystemExit(
+            f"telemetry benchmark failed (rc={proc.returncode})")
+
+
 def summarize(raw: dict) -> dict:
     """Per-benchmark medians plus backend speedup ratios."""
     benches = {}
@@ -117,10 +137,15 @@ def main() -> None:
                                                       "BENCH_micro.json"))
     parser.add_argument("--fleet-out",
                         default=os.path.join(ROOT, "BENCH_fleet.json"))
+    parser.add_argument("--telemetry-out",
+                        default=os.path.join(ROOT,
+                                             "BENCH_telemetry.json"))
     parser.add_argument("--quick", action="store_true",
                         help="one round per bench (CI smoke)")
     parser.add_argument("--no-fleet", action="store_true",
                         help="skip the fleet scaling benchmark")
+    parser.add_argument("--no-telemetry", action="store_true",
+                        help="skip the telemetry overhead benchmark")
     args = parser.parse_args()
     summary = summarize(run_suite(quick=args.quick))
     with open(args.out, "w") as handle:
@@ -132,6 +157,8 @@ def main() -> None:
     print(f"wrote {args.out}")
     if not args.no_fleet:
         run_fleet(args.fleet_out, quick=args.quick)
+    if not args.no_telemetry:
+        run_telemetry(args.telemetry_out, quick=args.quick)
 
 
 if __name__ == "__main__":

@@ -66,6 +66,13 @@ class CheckReport:
     #: walk ended early without verdict (e.g. strategy disabled at the
     #: point where the path left the spec)
     incomplete: bool = False
+    #: check-site executions per enabled strategy this round.  Both
+    #: checker backends maintain these identically (the differential
+    #: tests hold them to dataclass equality), so they double as a
+    #: behavioural fingerprint of the walk.
+    param_checks: int = 0
+    indirect_checks: int = 0
+    conditional_checks: int = 0
     #: lazily-dumped shadow state — ``final_state`` is O(device state) to
     #: materialize, and only eval/report code reads it, so the checker
     #: binds a source instead of dumping on the hot path

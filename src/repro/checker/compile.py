@@ -63,8 +63,9 @@ class _WalkContext:
     """Per-round mutable state threaded through the compiled closures."""
 
     __slots__ = ("checker", "report", "state", "oracle", "strategies",
-                 "param_on", "current_address", "current_cmd", "blocks",
-                 "dsod")
+                 "param_on", "ijump_on", "cond_on", "current_address",
+                 "current_cmd", "blocks", "dsod", "pchecks", "ichecks",
+                 "cchecks")
 
     def __init__(self, checker, report, state, oracle):
         self.checker = checker
@@ -73,10 +74,18 @@ class _WalkContext:
         self.oracle = oracle
         self.strategies = checker.strategies
         self.param_on = Strategy.PARAMETER in checker.strategies
+        self.ijump_on = Strategy.INDIRECT_JUMP in checker.strategies
+        self.cond_on = Strategy.CONDITIONAL_JUMP in checker.strategies
         self.current_address = 0
         self.current_cmd: Optional[int] = None
         self.blocks = 0
         self.dsod = 0
+        # Check-site executions per enabled strategy; flushed into the
+        # report with the walk counters (mirrors the reference walker's
+        # direct report increments).
+        self.pchecks = 0
+        self.ichecks = 0
+        self.cchecks = 0
 
 
 def _flag(w: _WalkContext, strategy: Strategy, kind: str, message: str,
@@ -202,11 +211,13 @@ def _compile_buf_load(expr: BufLoad, spec: ExecutionSpec,
 
     def run_load(w, env, params):
         index = index_fn(w, env, params)
-        if checked and w.param_on and not 0 <= index < length:
-            _flag(w, Strategy.PARAMETER, "buffer-overflow",
-                  f"read at dev.{buf}[{index}] is outside the "
-                  f"buffer's {length} elements", block_address)
-            raise _WalkStop()
+        if checked and w.param_on:
+            w.pchecks += 1
+            if not 0 <= index < length:
+                _flag(w, Strategy.PARAMETER, "buffer-overflow",
+                      f"read at dev.{buf}[{index}] is outside the "
+                      f"buffer's {length} elements", block_address)
+                raise _WalkStop()
         off = base + index * esize
         if off < 0 or off + esize > struct_size:
             # Far OOB: the shadow cannot follow (segfault analogue).
@@ -229,6 +240,8 @@ def _compile_set_command(spec: ExecutionSpec,
     known = spec.cmd_access.known_commands()
 
     def set_command(w, cmd):
+        if w.cond_on:
+            w.cchecks += 1
         if cmd not in known:
             recorded = _flag(
                 w, Strategy.CONDITIONAL_JUMP, "unknown-command",
@@ -267,8 +280,10 @@ def _compile_dsod_stmt(stmt: Stmt, spec: ExecutionSpec,
             def run_store_malformed(w, env, params):
                 w.dsod += 1
                 value = value_fn(w, env, params)
-                if w.param_on and not w.state.in_range(field_name, value):
-                    raise AssertionError("unreachable")
+                if w.param_on:
+                    w.pchecks += 1
+                    if not w.state.in_range(field_name, value):
+                        raise AssertionError("unreachable")
                 w.state.write_field(field_name, value)
             return run_store_malformed
 
@@ -281,12 +296,14 @@ def _compile_dsod_stmt(stmt: Stmt, spec: ExecutionSpec,
         def run_store(w, env, params):
             w.dsod += 1
             value = value_fn(w, env, params)
-            if w.param_on and not lo <= value <= hi:
-                _flag(w, Strategy.PARAMETER, "integer-overflow",
-                      f"storing {value} into dev.{field_name} "
-                      f"({type_name}) overflows its declared range",
-                      address)
-                raise _WalkStop()
+            if w.param_on:
+                w.pchecks += 1
+                if not lo <= value <= hi:
+                    _flag(w, Strategy.PARAMETER, "integer-overflow",
+                          f"storing {value} into dev.{field_name} "
+                          f"({type_name}) overflows its declared range",
+                          address)
+                    raise _WalkStop()
             w.state.memory.data[off:end] = (value & mask).to_bytes(
                 size, "little")
         return run_store
@@ -306,11 +323,13 @@ def _compile_dsod_stmt(stmt: Stmt, spec: ExecutionSpec,
             w.dsod += 1
             index = index_fn(w, env, params)
             value = value_fn(w, env, params)
-            if checked and w.param_on and not 0 <= index < length:
-                _flag(w, Strategy.PARAMETER, "buffer-overflow",
-                      f"write at dev.{buf}[{index}] is outside the "
-                      f"buffer's {length} elements", address)
-                raise _WalkStop()
+            if checked and w.param_on:
+                w.pchecks += 1
+                if not 0 <= index < length:
+                    _flag(w, Strategy.PARAMETER, "buffer-overflow",
+                          f"write at dev.{buf}[{index}] is outside the "
+                          f"buffer's {length} elements", address)
+                    raise _WalkStop()
             # Flat-layout shadow: near-OOB corrupts the same neighbour
             # the real device would (prediction!).  Leaving the struct
             # entirely with the check disabled is the segfault analogue:
@@ -374,6 +393,8 @@ def _compile_nbtd(block: ESBlock, func: ESFunction, spec: ExecutionSpec,
 
         def run_one_sided(w, env, params):
             outcome = bool(cond_fn(w, env, params))
+            if w.cond_on:
+                w.cchecks += 1
             if outcome != one_sided:
                 recorded = _flag(
                     w, Strategy.CONDITIONAL_JUMP, "unobserved-branch",
@@ -399,6 +420,8 @@ def _compile_nbtd(block: ESBlock, func: ESFunction, spec: ExecutionSpec,
             if is_cmd_decision:
                 # Auto-detected dispatch: the scrutinee names the command.
                 set_command(w, value)
+            if w.cond_on:
+                w.cchecks += 1
             label = table.get(value, default)
             if not label:
                 recorded = _flag(
@@ -406,12 +429,15 @@ def _compile_nbtd(block: ESBlock, func: ESFunction, spec: ExecutionSpec,
                     f"switch at {address:#x} has no arm for {value}",
                     address)
                 raise _WalkStop(incomplete=not recorded)
-            if legit and addr_of.get(label) not in legit:
-                recorded = _flag(
-                    w, Strategy.CONDITIONAL_JUMP, "unobserved-arm",
-                    f"switch arm for {value} at {address:#x} was never "
-                    f"observed in training", address)
-                raise _WalkStop(incomplete=not recorded)
+            if legit:
+                if w.cond_on:
+                    w.cchecks += 1
+                if addr_of.get(label) not in legit:
+                    recorded = _flag(
+                        w, Strategy.CONDITIONAL_JUMP, "unobserved-arm",
+                        f"switch arm for {value} at {address:#x} was "
+                        f"never observed in training", address)
+                    raise _WalkStop(incomplete=not recorded)
             return label
         return run_switch
 
@@ -448,6 +474,8 @@ def _compile_nbtd(block: ESBlock, func: ESFunction, spec: ExecutionSpec,
         }
 
         def run_icall(w, env, params):
+            if w.ijump_on:
+                w.ichecks += 1
             ptr = w.state.read_field(ptr_field)
             if ptr not in legit:
                 recorded = _flag(
@@ -547,8 +575,12 @@ class CompiledSpec:
         try:
             return self._run(w, cfunc, args)
         finally:
-            w.report.blocks_walked += w.blocks
-            w.report.dsod_stmts_executed += w.dsod
+            report = w.report
+            report.blocks_walked += w.blocks
+            report.dsod_stmts_executed += w.dsod
+            report.param_checks += w.pchecks
+            report.indirect_checks += w.ichecks
+            report.conditional_checks += w.cchecks
 
     def _run(self, w: _WalkContext, cfunc: CompiledESFunction,
              args: Tuple[int, ...]) -> Optional[int]:
@@ -577,13 +609,15 @@ class CompiledSpec:
             if cblock.is_cmd_end:
                 w.current_cmd = None
             cmd = w.current_cmd
-            if (cmd is not None and not cblock.is_cmd_decision
-                    and cmd not in cblock.gate_cmds):
-                recorded = _flag(
-                    w, Strategy.CONDITIONAL_JUMP, "command-access",
-                    f"block {cblock.address:#x} is not accessible under "
-                    f"command {cmd:#x}", cblock.address)
-                raise _WalkStop(incomplete=not recorded)
+            if cmd is not None and not cblock.is_cmd_decision:
+                if w.cond_on:
+                    w.cchecks += 1
+                if cmd not in cblock.gate_cmds:
+                    recorded = _flag(
+                        w, Strategy.CONDITIONAL_JUMP, "command-access",
+                        f"block {cblock.address:#x} is not accessible "
+                        f"under command {cmd:#x}", cblock.address)
+                    raise _WalkStop(incomplete=not recorded)
 
             result = cblock.run(w, env, params)
             if type(result) is str:

@@ -64,7 +64,8 @@ class ESChecker:
     def __init__(self, spec: ExecutionSpec, mode: Mode = Mode.ENHANCEMENT,
                  strategies: FrozenSet[Strategy] = ALL_STRATEGIES,
                  max_walk_blocks: int = 500_000,
-                 backend: str = "compiled"):
+                 backend: str = "compiled",
+                 recorder=None):
         if backend not in BACKENDS:
             raise CheckerError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}")
@@ -79,6 +80,34 @@ class ESChecker:
         self.cycles = 0
         #: anomaly history across the session (for FPR accounting)
         self.history: List[CheckReport] = []
+        # Telemetry is opt-in per checker: no recorder, no cost beyond
+        # one None test per round (see repro.telemetry.recorder).
+        self._telemetry = None
+        self._telemetry_cache = None
+        self._clock = None
+        if recorder is not None:
+            self.set_recorder(recorder)
+
+    def set_recorder(self, recorder) -> None:
+        """Attach (or, with ``None``, detach) a telemetry recorder.
+
+        Metric handles resolve against the recorder and re-attaching the
+        same recorder reuses the cached instrument bundle, so toggling
+        telemetry resumes accumulating into the same counters.
+        """
+        if recorder is None:
+            self._telemetry = None
+            self._clock = None
+            return
+        cached = self._telemetry_cache
+        if cached is not None and cached[0] is recorder:
+            self._telemetry = cached[1]
+        else:
+            from repro.telemetry.instruments import CheckerTelemetry
+            self._telemetry = CheckerTelemetry(recorder, self.spec.device,
+                                               self.backend)
+            self._telemetry_cache = (recorder, self._telemetry)
+        self._clock = recorder.clock
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -100,6 +129,17 @@ class ESChecker:
     def check_io(self, io_key: str, args: Tuple[int, ...] = (),
                  oracle: Optional[SyncOracle] = None) -> CheckReport:
         """Simulate one I/O round over the ES-CFG and report anomalies."""
+        telemetry = self._telemetry
+        if telemetry is None:
+            return self._check_io(io_key, args, oracle)
+        clock = self._clock
+        start = clock()
+        report = self._check_io(io_key, args, oracle)
+        telemetry.record_round(report, clock() - start)
+        return report
+
+    def _check_io(self, io_key: str, args: Tuple[int, ...],
+                  oracle: Optional[SyncOracle]) -> CheckReport:
         report = CheckReport(io_key=io_key)
         oracle = oracle or NullSyncOracle()
 
@@ -177,6 +217,11 @@ class _Walker:
         self.current_address = 0
         self.current_cmd: Optional[int] = None
         self.blocks = 0
+        # Check counts track *enabled* strategies only (a disabled
+        # strategy's sites are traversed but not enforced).
+        self.param_on = Strategy.PARAMETER in checker.strategies
+        self.ijump_on = Strategy.INDIRECT_JUMP in checker.strategies
+        self.cond_on = Strategy.CONDITIONAL_JUMP in checker.strategies
 
     # -- driving ------------------------------------------------------------
 
@@ -249,6 +294,8 @@ class _Walker:
             self.current_cmd = None
         if self.current_cmd is None or block.is_cmd_decision:
             return
+        if self.cond_on:
+            self.report.conditional_checks += 1
         if not self.spec.cmd_access.allows(self.current_cmd,
                                            block.address):
             recorded = self.checker._flag(
@@ -260,6 +307,8 @@ class _Walker:
     def _set_command(self, block: ESBlock, cmd: int) -> None:
         """A command-decision point resolved: derive the accessible-block
         subgraph (reject commands training never saw)."""
+        if self.cond_on:
+            self.report.conditional_checks += 1
         if not self.spec.cmd_access.knows(cmd):
             recorded = self.checker._flag(
                 self.report, Strategy.CONDITIONAL_JUMP, "unknown-command",
@@ -307,8 +356,9 @@ class _Walker:
                            value: int) -> None:
         """Integer-overflow arm of the parameter check (UBSan-inspired:
         declared type metadata + the would-be overflow)."""
-        if not self.checker.enabled(Strategy.PARAMETER):
+        if not self.param_on:
             return
+        self.report.param_checks += 1
         if not self.state.in_range(field_name, value):
             type_name = str(self.state.layout.field(field_name).type)
             self.checker._flag(
@@ -320,8 +370,9 @@ class _Walker:
     def _param_check_index(self, block: ESBlock, buf: str, index: int,
                            direction: str) -> None:
         """Buffer-overflow arm of the parameter check."""
-        if not self.checker.enabled(Strategy.PARAMETER):
+        if not self.param_on:
             return
+        self.report.param_checks += 1
         if not self.state.index_in_bounds(buf, index):
             self.checker._flag(
                 self.report, Strategy.PARAMETER, "buffer-overflow",
@@ -336,6 +387,8 @@ class _Walker:
                 nbtd: Branch) -> str:
         outcome = bool(self._eval(frame, nbtd.cond))
         one_sided = self.spec.branch_is_one_sided(block.address)
+        if one_sided is not None and self.cond_on:
+            self.report.conditional_checks += 1
         if one_sided is not None and outcome != one_sided:
             recorded = self.checker._flag(
                 self.report, Strategy.CONDITIONAL_JUMP,
@@ -352,6 +405,8 @@ class _Walker:
         if block.is_cmd_decision:
             # Auto-detected dispatch: the scrutinee names the command.
             self._set_command(block, value)
+        if self.cond_on:
+            self.report.conditional_checks += 1
         label = nbtd.table.get(value, nbtd.default)
         if not label:
             recorded = self.checker._flag(
@@ -361,6 +416,8 @@ class _Walker:
             raise _WalkStop(incomplete=not recorded)
         target_block = frame.func.blocks.get(label)
         legit = self.spec.legit_switch_targets(block.address)
+        if legit and self.cond_on:
+            self.report.conditional_checks += 1
         if legit and (target_block is None
                       or target_block.address not in legit):
             recorded = self.checker._flag(
@@ -383,6 +440,8 @@ class _Walker:
                nbtd: ICall) -> ESFunction:
         """Indirect-jump check: the pointer must target a block the
         specification knows to be legitimate for this site."""
+        if self.ijump_on:
+            self.report.indirect_checks += 1
         ptr = self.state.read_field(nbtd.ptr_field)
         legit = self.spec.legit_icall_targets(block.address)
         if ptr not in legit:

@@ -9,6 +9,8 @@
     python -m repro devices
     python -m repro serve   --workers 2 --tenants 4 [--inject CVE-...]
     python -m repro bench-fleet [--workers 1,2,4,8] [--out BENCH_fleet.json]
+    python -m repro stats   --device fdc --rounds 200
+    python -m repro bench-telemetry [--quick] [--max-overhead-pct 5]
 """
 
 from __future__ import annotations
@@ -196,6 +198,81 @@ def _cmd_bench_fleet(args: argparse.Namespace) -> int:
     return 0 if sec["ok"] else 1
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.checker import Mode
+    from repro.eval.report import render_table
+    from repro.telemetry import prometheus_text, write_jsonl
+    from repro.telemetry.stats import (
+        interp_summary, latency_rows, run_stats, strategy_rows,
+    )
+
+    run = run_stats(device=args.device, rounds=args.rounds,
+                    backend=args.backend, qemu_version=args.qemu_version,
+                    mode=Mode(args.mode), seed=args.seed)
+    print(f"device {run.device} ({args.qemu_version}), "
+          f"backend {run.backend}, mode {args.mode}: "
+          f"{run.rounds} checked I/O rounds")
+    print()
+    print(render_table(("Strategy", "Checks", "Violations"),
+                       strategy_rows(run.snapshot)))
+    print()
+    print(render_table(
+        ("Histogram", "Count", "Mean", "p50", "p95", "p99", "Max"),
+        latency_rows(run.snapshot)))
+    interp = interp_summary(run.snapshot)
+    print()
+    print(f"interp: {interp['io_rounds']} I/O rounds, "
+          f"{interp['blocks']} blocks executed, "
+          f"{interp['faults']} faults")
+    if args.json_out:
+        lines = write_jsonl(run.snapshot, args.json_out)
+        print(f"wrote {lines} metric lines to {args.json_out}")
+    if args.prom_out:
+        with open(args.prom_out, "w") as handle:
+            handle.write(prometheus_text(run.snapshot))
+        print(f"wrote {args.prom_out}")
+    return 0
+
+
+def _cmd_bench_telemetry(args: argparse.Namespace) -> int:
+    import datetime
+    import json as json_mod
+    import platform
+
+    from repro.telemetry.bench import measure_overhead
+
+    kwargs = dict(device=args.device, backend=args.backend,
+                  qemu_version=args.qemu_version, seed=args.seed)
+    if args.quick:
+        kwargs.update(passes=5, reps=1, ops=10)
+    payload = measure_overhead(**kwargs)
+    payload["generated"] = datetime.datetime.now(
+        datetime.timezone.utc).isoformat(timespec="seconds")
+    payload["machine"] = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    with open(args.out, "w") as handle:
+        json_mod.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    off = payload["telemetry_off"]
+    record = payload["record_path_ns_per_round"]
+    print(f"{payload['device']} [{payload['backend']}] "
+          f"{payload['io_rounds_per_pass']} guarded rounds/pass: "
+          f"round {off['ns_per_round']:.0f} ns, telemetry "
+          f"{payload['overhead_ns_per_round']:.0f} ns/round "
+          f"(checker {record['checker']:.0f} + "
+          f"machine {record['machine']:.0f}) "
+          f"= {payload['overhead_pct']:.2f}% overhead")
+    print(f"wrote {args.out}")
+    if (args.max_overhead_pct is not None
+            and payload["overhead_pct"] > args.max_overhead_pct):
+        print(f"ERROR: telemetry overhead {payload['overhead_pct']:.2f}% "
+              f"exceeds the {args.max_overhead_pct:.2f}% budget")
+        return 1
+    return 0
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     if args.which in ("1", "all"):
         from repro.eval import generate_table1
@@ -303,6 +380,40 @@ def build_parser() -> argparse.ArgumentParser:
                    help="smaller workload for CI smoke")
     p.add_argument("--out", default="BENCH_fleet.json")
     p.set_defaults(fn=_cmd_bench_fleet)
+
+    p = sub.add_parser(
+        "stats", help="run an instrumented benign workload and print "
+                      "the per-strategy telemetry breakdown")
+    p.add_argument("--device", default="fdc")
+    p.add_argument("--rounds", type=int, default=200,
+                   help="checked I/O rounds to drive (at least)")
+    p.add_argument("--backend", choices=("compiled", "reference"),
+                   default="compiled")
+    p.add_argument("--qemu-version", default="99.0.0")
+    p.add_argument("--mode", choices=("protection", "enhancement"),
+                   default="enhancement")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--json-out",
+                   help="also export the snapshot as JSON lines")
+    p.add_argument("--prom-out",
+                   help="also export Prometheus-style text")
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "bench-telemetry",
+        help="measure telemetry-on vs -off pipeline overhead; writes "
+             "BENCH_telemetry.json")
+    p.add_argument("--device", default="fdc")
+    p.add_argument("--backend", choices=("compiled", "reference"),
+                   default="compiled")
+    p.add_argument("--qemu-version", default="99.0.0")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--quick", action="store_true",
+                   help="fewer, shorter passes for CI smoke")
+    p.add_argument("--max-overhead-pct", type=float, default=None,
+                   help="exit nonzero if overhead exceeds this")
+    p.add_argument("--out", default="BENCH_telemetry.json")
+    p.set_defaults(fn=_cmd_bench_telemetry)
 
     p = sub.add_parser("spec-diff",
                        help="compare/merge two trained specs")

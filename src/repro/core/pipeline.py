@@ -71,7 +71,13 @@ def build_execution_spec(make_vm: MakeVM, workload: Workload,
 def deploy(vm: GuestVM, device: Device, spec: ExecutionSpec,
            mode: Mode = Mode.ENHANCEMENT,
            strategies=ALL_STRATEGIES,
-           backend: str = "compiled") -> Attachment:
-    """Phase ③: put the ES-Checker in front of the device."""
+           backend: str = "compiled",
+           recorder=None) -> Attachment:
+    """Phase ③: put the ES-Checker in front of the device.
+
+    Pass a :class:`repro.telemetry.Recorder` to observe the deployed
+    checker (per-strategy check counts, round latency); telemetry stays
+    off otherwise."""
     return vm.attach_sedspec(device.NAME, spec, mode=mode,
-                             strategies=strategies, backend=backend)
+                             strategies=strategies, backend=backend,
+                             recorder=recorder)

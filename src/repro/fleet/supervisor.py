@@ -80,6 +80,11 @@ class FleetStats:
     quarantined_instances: int = 0
     worker_respawns: int = 0
     instance_respawns: int = 0
+    #: late results for a seq already counted (requeue race), dropped
+    duplicate_results: int = 0
+    #: op_cycles samples feeding the latency percentiles; invariant:
+    #: equals ``completed`` (each completed request is timed exactly once)
+    latency_samples: int = 0
     io_rounds: int = 0
     total_cycles: int = 0
     makespan_cycles: int = 0
@@ -164,7 +169,8 @@ class _WorkerHandle:
 
 class FleetSupervisor:
     def __init__(self, config: Optional[FleetConfig] = None,
-                 registry: Optional[SpecRegistry] = None):
+                 registry: Optional[SpecRegistry] = None,
+                 recorder=None):
         self.config = config or FleetConfig()
         if self.config.workers < 1:
             raise FleetError("a fleet needs at least one worker")
@@ -172,6 +178,11 @@ class FleetSupervisor:
             cache_dir=self.config.cache_dir,
             seed=self.config.train_seed,
             repeats=self.config.train_repeats)
+        self._duplicates = 0
+        self._telemetry = None
+        if recorder is not None:
+            from repro.telemetry.instruments import FleetTelemetry
+            self._telemetry = FleetTelemetry(recorder)
 
     # -- public entry -------------------------------------------------------
 
@@ -182,6 +193,7 @@ class FleetSupervisor:
         self.registry.prime(sorted({(b.device, b.qemu_version)
                                     for b in schedule}))
         pending = self._assign(schedule)
+        self._duplicates = 0
         if self.config.inline:
             results, lost, respawns = self._run_inline(pending)
         else:
@@ -268,6 +280,7 @@ class FleetSupervisor:
         for handle in handles.values():
             self._spawn(ctx, handle, outbox)
         results: List[BatchResult] = []
+        done: set = set()
         lost = 0
         respawns = 0
         last_progress = time.monotonic()
@@ -275,9 +288,11 @@ class FleetSupervisor:
             while any(not h.dead and (pending[w] or h.outstanding)
                       for w, h in handles.items()):
                 self._dispatch(handles, pending)
-                if self._collect(outbox, handles, results, timeout=0.05):
+                if self._collect(outbox, handles, results, done,
+                                 timeout=0.05):
                     last_progress = time.monotonic()
-                died = self._reap(ctx, outbox, handles, pending, results)
+                died = self._reap(ctx, outbox, handles, pending, results,
+                                  done)
                 if died:
                     respawns += died[0]
                     lost += died[1]
@@ -300,11 +315,22 @@ class FleetSupervisor:
                 batch = pending[worker_id].popleft()
                 handle.outstanding[batch.seq] = batch
                 handle.inbox.put(("batch", batch))
+                if self._telemetry is not None:
+                    self._telemetry.record_dispatch(
+                        worker_id, len(handle.outstanding))
 
     def _collect(self, outbox, handles: Dict[int, _WorkerHandle],
-                 results: List[BatchResult],
+                 results: List[BatchResult], done: set,
                  timeout: Optional[float] = None) -> bool:
-        """Drain the shared outbox; returns True if anything arrived."""
+        """Drain the shared outbox; returns True if anything arrived.
+
+        *done* holds every batch seq already counted.  A result can
+        arrive twice for one seq: the outbox is shared, so a dying
+        worker's result may still be buffered in the queue pipe when
+        ``_reap``'s drain times out, after which the batch is requeued
+        and re-executed by the respawned worker.  First result wins;
+        the late duplicate is dropped (and counted) so latency stats and
+        completion counts see each request exactly once."""
         got = False
         while True:
             try:
@@ -315,11 +341,15 @@ class FleetSupervisor:
             if message[0] == "result":
                 _, worker_id, result = message
                 handles[worker_id].outstanding.pop(result.seq, None)
+                if result.seq in done:
+                    self._duplicates += 1
+                    continue
+                done.add(result.seq)
                 results.append(result)
 
     def _reap(self, ctx, outbox, handles: Dict[int, _WorkerHandle],
               pending: Dict[int, Deque[RequestBatch]],
-              results: List[BatchResult]) -> Tuple[int, int]:
+              results: List[BatchResult], done: set) -> Tuple[int, int]:
         """Respawn dead workers, requeue their unacknowledged batches."""
         respawned = 0
         lost = 0
@@ -330,7 +360,7 @@ class FleetSupervisor:
             if not handle.outstanding and not pending[worker_id]:
                 continue
             # Late results may have been posted before death.
-            self._collect(outbox, handles, results, timeout=0.05)
+            self._collect(outbox, handles, results, done, timeout=0.05)
             requeue = [tombstone_crashes(b) for _, b in
                        sorted(handle.outstanding.items())]
             handle.outstanding.clear()
@@ -384,6 +414,7 @@ class FleetSupervisor:
         stats = FleetStats(workers=self.config.workers,
                            requests=sum(len(b.ops) for b in schedule),
                            lost=lost, worker_respawns=worker_respawns,
+                           duplicate_results=self._duplicates,
                            wall_seconds=wall)
         for result in results:
             summary = tenants[result.tenant]
@@ -412,7 +443,25 @@ class FleetSupervisor:
         stats.quarantined_instances = sum(
             1 for s in tenants.values() if s.quarantined)
         stats.makespan_cycles = max(busy.values(), default=0)
+        stats.latency_samples = len(request_cycles)
         stats.p50_request_cycles = percentile(request_cycles, 0.50)
         stats.p95_request_cycles = percentile(request_cycles, 0.95)
+        telemetry = self._telemetry
+        if telemetry is not None:
+            # Result-level recording happens here, once per counted
+            # result, so the dedup in _collect also protects telemetry.
+            for result in results:
+                telemetry.record_result(result)
+            for tenant, report in reports:
+                telemetry.record_report(tenant, report)
+            for summary in tenants.values():
+                if summary.quarantined:
+                    telemetry.record_quarantine(summary.tenant)
+            if worker_respawns:
+                telemetry.worker_respawns.inc(worker_respawns)
+            if stats.lost:
+                telemetry.lost.inc(stats.lost)
+            if stats.duplicate_results:
+                telemetry.duplicates.inc(stats.duplicate_results)
         return FleetResult(stats=stats, tenants=tenants, reports=reports,
                            worker_busy_cycles=busy)

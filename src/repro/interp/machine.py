@@ -81,6 +81,8 @@ class Machine:
         self._externs: Dict[str, ExternFn] = {}
         self._extern_cost: Dict[str, int] = {}
         self._depth = 0
+        self._telemetry = None
+        self._telemetry_cache = None
         if backend == "compiled":
             from repro.interp.compile import compiled_program_for
             self._compiled = compiled_program_for(program)
@@ -106,6 +108,21 @@ class Machine:
         """Point a function-pointer field at a compiled function."""
         self.state.write_field(field_name, self.program.func_addr[func_name])
 
+    def set_recorder(self, recorder) -> None:
+        """Opt into telemetry (``None`` detaches).  Recording happens per
+        I/O round, not per block, so the interpreter hot loop is
+        untouched either way."""
+        if recorder is None:
+            self._telemetry = None
+            return
+        cached = self._telemetry_cache
+        if cached is not None and cached[0] is recorder:
+            self._telemetry = cached[1]
+            return
+        from repro.telemetry.instruments import MachineTelemetry
+        self._telemetry = MachineTelemetry(recorder, self.program.name)
+        self._telemetry_cache = (recorder, self._telemetry)
+
     # -- entry points --------------------------------------------------------
 
     def run_entry(self, key: str, args: Tuple[int, ...] = ()) -> Optional[int]:
@@ -114,7 +131,18 @@ class Machine:
         for sink in self._sinks:
             sink.on_io_enter(key, args)
         self.steps = 0
-        result = self._call(func, args)
+        telemetry = self._telemetry
+        if telemetry is None:
+            result = self._call(func, args)
+        else:
+            try:
+                result = self._call(func, args)
+            except DeviceFault as fault:
+                telemetry.record_fault(fault.kind, self.steps)
+                raise
+            # Inlined MachineTelemetry.record_round: staged slot adds.
+            telemetry.n_rounds += 1
+            telemetry.n_blocks += self.steps
         for sink in self._sinks:
             sink.on_io_exit(key, result)
         return result

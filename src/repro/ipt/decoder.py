@@ -77,9 +77,14 @@ class _BitFeed:
 class Decoder:
     """Replays packet rounds against a frozen :class:`Program`."""
 
-    def __init__(self, program: Program, max_blocks: int = 1_000_000):
+    def __init__(self, program: Program, max_blocks: int = 1_000_000,
+                 recorder=None):
         self.program = program
         self.max_blocks = max_blocks
+        self._telemetry = None
+        if recorder is not None:
+            from repro.telemetry.instruments import PacketTelemetry
+            self._telemetry = PacketTelemetry(recorder, "decoded")
 
     def decode_stream(self, packets: Iterable[Packet]) -> List[DecodedRound]:
         return [self.decode_round(chunk) for chunk in iter_rounds(packets)]
@@ -91,6 +96,13 @@ class Decoder:
         feed = _BitFeed(packets)
         round_ = DecodedRound(entry_address=pge.ip, faulted=feed.faulted)
         self._walk(pge.ip, feed, round_)
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.rounds.inc()
+            if round_.faulted:
+                telemetry.faulted.inc()
+            for pkt in packets:
+                telemetry.count(pkt)
         return round_
 
     # -- path reconstruction ------------------------------------------------

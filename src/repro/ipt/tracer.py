@@ -47,13 +47,18 @@ class IPTTracer(TraceSink):
     samples, read ``packets`` (or ``raw()`` for the byte encoding).
     """
 
-    def __init__(self, config: Optional[FilterConfig] = None):
+    def __init__(self, config: Optional[FilterConfig] = None,
+                 recorder=None):
         self.config = config or FilterConfig()
         self.packets: List[Packet] = []
         self._tnt_bits: List[bool] = []
         self._enabled = False
         self._need_pge = False
         self._since_psb = 0
+        self._telemetry = None
+        if recorder is not None:
+            from repro.telemetry.instruments import PacketTelemetry
+            self._telemetry = PacketTelemetry(recorder, "emitted")
 
     # -- sink events --------------------------------------------------------
 
@@ -64,6 +69,8 @@ class IPTTracer(TraceSink):
     def on_io_enter(self, key, args) -> None:
         self._enabled = True
         self._need_pge = True
+        if self._telemetry is not None:
+            self._telemetry.rounds.inc()
         self._push(PSB())
 
     def on_block(self, func, block) -> None:
@@ -94,6 +101,8 @@ class IPTTracer(TraceSink):
 
     def fault(self, address: int) -> None:
         """Record an async fault location (FUP), then stop the round."""
+        if self._telemetry is not None:
+            self._telemetry.faulted.inc()
         self._flush_tnt()
         self._push(Fup(address))
         self._push(TipPgd(address))
@@ -121,7 +130,13 @@ class IPTTracer(TraceSink):
 
     def _push(self, pkt: Packet) -> None:
         self.packets.append(pkt)
+        telemetry = self._telemetry
+        if telemetry is not None:
+            telemetry.count(pkt)
         self._since_psb += 1
         if self._since_psb >= PSB_PERIOD and not isinstance(pkt, TipPgd):
-            self.packets.append(PSB())
+            psb = PSB()
+            self.packets.append(psb)
+            if telemetry is not None:
+                telemetry.count(psb)
             self._since_psb = 0

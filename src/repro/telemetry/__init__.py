@@ -1,0 +1,40 @@
+"""repro.telemetry — enforcement-pipeline observability.
+
+Zero-dependency counters/histograms/span timers with explicit
+:class:`Recorder` threading (no ambient globals), immutable mergeable
+snapshots, and JSON-lines / Prometheus-style exporters.  See DESIGN.md's
+telemetry section for the architecture rationale.
+"""
+
+from repro.telemetry.metrics import (
+    DEFAULT_CYCLE_BUCKETS, DEFAULT_DEPTH_BUCKETS, DEFAULT_NS_BUCKETS,
+    EMPTY_SNAPSHOT, Counter, Histogram, HistogramSnapshot, MetricKey,
+    TelemetryError, TelemetrySnapshot, labels_key, merge_snapshots,
+)
+from repro.telemetry.recorder import Clock, Recorder, Span
+from repro.telemetry.registry import TelemetryRegistry
+from repro.telemetry.export import (
+    iter_jsonl, prometheus_text, write_jsonl,
+)
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "DEFAULT_CYCLE_BUCKETS",
+    "DEFAULT_DEPTH_BUCKETS",
+    "DEFAULT_NS_BUCKETS",
+    "EMPTY_SNAPSHOT",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricKey",
+    "Recorder",
+    "Span",
+    "TelemetryError",
+    "TelemetryRegistry",
+    "TelemetrySnapshot",
+    "iter_jsonl",
+    "labels_key",
+    "merge_snapshots",
+    "prometheus_text",
+    "write_jsonl",
+]

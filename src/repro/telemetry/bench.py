@@ -1,0 +1,217 @@
+"""Telemetry overhead measurement: the <2% acceptance gate.
+
+Replays a captured benign I/O sequence through the full enforcement
+pipeline (``vm._io`` with a deployed ES-Checker) on ONE session.  The
+full pipeline is the honest denominator: telemetry rides on rounds that
+already pay guest exit + device interpretation + checking, which is
+exactly what a production deployment pays.
+
+Measuring the numerator needs care.  The per-round record-path cost is
+~1 microsecond against a ~90 microsecond round, and shared hosts show a
+multi-percent wall-clock noise floor — an A-vs-A null experiment with
+this harness's own pass sizes measured +-2.7% — so directly differencing
+off/on pass times cannot resolve a ~1% effect.  Instead the harness
+*amplifies* the instrumentation: an ``_Amplified`` shim invokes the real
+record path (its own clock pair plus ``record_round``) ``amplify`` times
+per round, lifting the signal to ~10% where drift-cancelling ABBA quads
+(off, amplified, amplified, off) measure it reliably; dividing the
+paired median by the amplification factor recovers the per-round cost.
+The interpreter-side cost (two staged slot adds per round) is far below
+even the amplified resolution and is measured with a tight loop.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+import time
+from typing import Tuple
+
+
+def capture_sequence(device: str = "fdc", qemu_version: str = "99.0.0",
+                     backend: str = "compiled", ops: int = 24,
+                     seed: int = 7) -> Tuple[tuple, tuple]:
+    """Record the (io_key, args) rounds of device bring-up plus *ops*
+    benign driver operations, via a spy on ``vm._io``.  Driver
+    operations are complete command cycles that return to the idle
+    state, so the captured command sequence replays repeatably."""
+    from repro.workloads.profiles import PROFILES
+
+    prof = PROFILES[device]
+    vm, dev = prof.make_vm(qemu_version, backend=backend)
+    driver = prof.make_driver(vm)
+    seq = []
+    orig = vm._io
+
+    def spy(target, key, args):
+        seq.append((key, args))
+        return orig(target, key, args)
+
+    vm._io = spy
+    prof.prepare(vm, driver)
+    prepare_seq = tuple(seq)
+    seq.clear()
+    rng = random.Random(seed)
+    ops_list = prof.common_ops
+    weights = prof.op_weights
+    for _ in range(ops):
+        if weights:
+            op = rng.choices(ops_list, weights=weights, k=1)[0]
+        else:
+            op = rng.choice(ops_list)
+        op(vm, driver, rng)
+    vm._io = orig
+    return prepare_seq, tuple(seq)
+
+
+class _Amplified:
+    """Bench-only shim standing in for a CheckerTelemetry bundle: runs
+    the real record path (clock pair + ``record_round``) *factor* times
+    per round so its cost rises above the host's noise floor."""
+
+    __slots__ = ("bundle", "clock", "factor")
+
+    def __init__(self, bundle, clock, factor: int):
+        self.bundle = bundle
+        self.clock = clock
+        self.factor = factor
+
+    def record_round(self, report, elapsed_ns) -> None:
+        bundle = self.bundle
+        clock = self.clock
+        for _ in range(self.factor):
+            start = clock()
+            bundle.record_round(report, clock() - start + elapsed_ns)
+
+
+def _machine_record_ns(recorder, name: str, rounds: int = 200_000) -> float:
+    """Tight-loop cost of the interpreter's inlined staged adds."""
+    from repro.telemetry.instruments import MachineTelemetry
+
+    telemetry = MachineTelemetry(recorder, name)
+    clock = time.perf_counter_ns
+    start = clock()
+    for _ in range(rounds):
+        telemetry.n_rounds += 1
+        telemetry.n_blocks += 55
+    return (clock() - start) / rounds
+
+
+def measure_overhead(device: str = "fdc", backend: str = "compiled",
+                     qemu_version: str = "99.0.0", passes: int = 8,
+                     reps: int = 3, ops: int = 24, seed: int = 7,
+                     amplify: int = 8, spec=None) -> dict:
+    """Per-round telemetry cost over the full guarded I/O pipeline,
+    via the amplified-differential method (see module docstring).
+    Returns the BENCH_telemetry payload body."""
+    from repro.checker import Mode
+    from repro.core import deploy
+    from repro.telemetry.recorder import Recorder
+    from repro.telemetry.registry import TelemetryRegistry
+    from repro.workloads.profiles import PROFILES, train_device_spec
+
+    if spec is None:
+        spec = train_device_spec(device, qemu_version=qemu_version,
+                                 backend=backend).spec
+    prepare_seq, command_seq = capture_sequence(
+        device, qemu_version=qemu_version, backend=backend, ops=ops,
+        seed=seed)
+    prof = PROFILES[device]
+    vm, dev = prof.make_vm(qemu_version, backend=backend)
+    deploy(vm, dev, spec, mode=Mode.ENHANCEMENT, backend=backend)
+    checker = vm.attachments[dev.NAME].checker
+    io = vm._io
+    for key, args in prepare_seq:
+        io(dev, key, args)
+
+    def replay(times: int = 1) -> int:
+        # History is cleared so list growth can't skew later passes.
+        checker.history.clear()
+        start = time.perf_counter_ns()
+        for _ in range(times):
+            for key, args in command_seq:
+                io(dev, key, args)
+        return time.perf_counter_ns() - start
+
+    # Pass 1: a clean instrumented replay for the workload's own stats
+    # (per-strategy check counts, round-latency percentiles) — this also
+    # warms the telemetry-on path.
+    registry = TelemetryRegistry()
+    checker.set_recorder(registry.recorder("checker"))
+    dev.machine.set_recorder(registry.recorder("interp"))
+    replay(reps)
+    snapshot = registry.snapshot()
+    dev.machine.set_recorder(None)
+
+    # Pass 2: the amplified differential.  A scratch recorder keeps the
+    # inflated counts out of the reported snapshot.
+    scratch = Recorder("scratch")
+    checker.set_recorder(scratch)
+    amplified = _Amplified(checker._telemetry, time.perf_counter_ns,
+                           amplify)
+
+    def one_pass(on: bool) -> int:
+        checker._telemetry = amplified if on else None
+        return replay(reps)
+
+    for on in (False, True, False, True):   # warm both paths
+        one_pass(on)
+    off_ns = []
+    delta_ns = []
+    for _ in range(passes):     # ABBA quad: linear drift cancels
+        a = one_pass(False)
+        b = one_pass(True)
+        c = one_pass(True)
+        d = one_pass(False)
+        off_ns.append((a + d) / 2)
+        delta_ns.append(((b + c) - (a + d)) / 2)
+    checker.set_recorder(None)
+
+    rounds_per_pass = len(command_seq) * reps
+    med_off = statistics.median(off_ns)
+    off_per_round = med_off / rounds_per_pass
+    checker_ns = max(
+        0.0, statistics.median(delta_ns) / rounds_per_pass / amplify)
+    machine_ns = _machine_record_ns(scratch, dev.NAME)
+    overhead_ns = checker_ns + machine_ns
+    overhead_pct = overhead_ns / off_per_round * 100.0
+
+    round_hist = None
+    for (name, _labels), hist in snapshot.histograms.items():
+        if name == "checker.round_ns":
+            round_hist = hist
+            break
+    payload = {
+        "device": device,
+        "backend": backend,
+        "qemu_version": qemu_version,
+        "mode": Mode.ENHANCEMENT.value,
+        "method": "amplified-differential",
+        "amplify": amplify,
+        "passes": passes,
+        "reps_per_pass": reps,
+        "io_rounds_per_pass": rounds_per_pass,
+        "telemetry_off": {
+            "median_ns": int(med_off),
+            "mean_ns": int(statistics.mean(off_ns)),
+            "stddev_ns": int(statistics.pstdev(off_ns)),
+            "ns_per_round": round(off_per_round, 1),
+        },
+        "record_path_ns_per_round": {
+            "checker": round(checker_ns, 1),
+            "machine": round(machine_ns, 1),
+        },
+        "overhead_ns_per_round": round(overhead_ns, 1),
+        "overhead_pct": round(overhead_pct, 3),
+        "checks_per_strategy": snapshot.label_values(
+            "checker.checks", "strategy"),
+    }
+    if round_hist is not None and round_hist.count:
+        payload["check_round_ns"] = {
+            "count": round_hist.count,
+            "mean": int(round_hist.mean),
+            "p50": round_hist.percentile(0.50),
+            "p95": round_hist.percentile(0.95),
+            "p99": round_hist.percentile(0.99),
+        }
+    return payload

@@ -1,0 +1,91 @@
+"""Snapshot exporters: JSON-lines files and Prometheus-style text.
+
+Both operate on immutable :class:`TelemetrySnapshot` values, so an export
+is always a consistent point-in-time view regardless of what the live
+recorders do meanwhile.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterator, Tuple
+
+from repro.telemetry.metrics import HistogramSnapshot, TelemetrySnapshot
+
+
+def _labels_dict(labels: Tuple[Tuple[str, str], ...]) -> Dict[str, str]:
+    return dict(labels)
+
+
+def iter_jsonl(snapshot: TelemetrySnapshot) -> Iterator[str]:
+    """One JSON object per line per metric, counters then histograms,
+    sorted by (name, labels) so exports diff cleanly."""
+    for (name, labels), value in sorted(snapshot.counters.items()):
+        yield json.dumps({
+            "type": "counter", "name": name,
+            "labels": _labels_dict(labels), "value": value,
+        }, sort_keys=True)
+    for (name, labels), hist in sorted(snapshot.histograms.items()):
+        yield json.dumps({
+            "type": "histogram", "name": name,
+            "labels": _labels_dict(labels),
+            "bounds": list(hist.bounds), "counts": list(hist.counts),
+            "count": hist.count, "sum": hist.total,
+            "min": hist.min, "max": hist.max,
+            "p50": hist.percentile(0.50), "p95": hist.percentile(0.95),
+            "p99": hist.percentile(0.99),
+        }, sort_keys=True)
+
+
+def write_jsonl(snapshot: TelemetrySnapshot, path: str) -> int:
+    """Write the snapshot as JSON-lines; returns the line count."""
+    lines = list(iter_jsonl(snapshot))
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(line + "\n")
+    return len(lines)
+
+
+# -- Prometheus-style text exposition ---------------------------------------
+
+def _prom_name(name: str) -> str:
+    return name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Tuple[Tuple[str, str], ...], extra: str = "") -> str:
+    parts = [f'{_prom_name(k)}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_histogram(name: str, labels: Tuple[Tuple[str, str], ...],
+                    hist: HistogramSnapshot) -> Iterator[str]:
+    cumulative = 0
+    for bound, count in zip(hist.bounds, hist.counts):
+        cumulative += count
+        le = 'le="{}"'.format(bound)
+        yield f"{name}_bucket{_prom_labels(labels, le)} {cumulative}"
+    inf = 'le="+Inf"'
+    yield f"{name}_bucket{_prom_labels(labels, inf)} {hist.count}"
+    yield f"{name}_sum{_prom_labels(labels)} {hist.total}"
+    yield f"{name}_count{_prom_labels(labels)} {hist.count}"
+
+
+def prometheus_text(snapshot: TelemetrySnapshot) -> str:
+    """Prometheus exposition-format dump of the snapshot."""
+    lines = []
+    seen_types = set()
+    for (name, labels), value in sorted(snapshot.counters.items()):
+        prom = _prom_name(name)
+        if prom not in seen_types:
+            seen_types.add(prom)
+            lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom}{_prom_labels(labels)} {value}")
+    for (name, labels), hist in sorted(snapshot.histograms.items()):
+        prom = _prom_name(name)
+        if prom not in seen_types:
+            seen_types.add(prom)
+            lines.append(f"# TYPE {prom} histogram")
+        lines.extend(_prom_histogram(prom, labels, hist))
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,118 @@
+"""The Recorder: the explicit, threaded handle all instrumentation uses.
+
+Design rule (see DESIGN.md §5): there is **no global metrics state**.  A
+component is observable iff a :class:`Recorder` was handed to it — the
+checker via ``ESChecker(recorder=...)``, the device machine via
+``Machine.set_recorder``, the fleet via ``FleetSupervisor(recorder=...)``.
+With no recorder attached every instrumentation point is a single
+``is None`` test, so telemetry is default-off and free.
+
+Hot paths never pay label hashing per event: they resolve a
+:class:`~repro.telemetry.metrics.Counter`/:class:`Histogram` handle once
+(at deploy/attach time) and call ``inc``/``observe`` directly.  The
+``inc``/``observe``/``span`` convenience methods on the recorder itself
+are for cold paths and tests.
+
+Span timers take their clock from the recorder.  The default clock is
+``time.perf_counter_ns`` (wall); pass a simulated clock (e.g. a lambda
+reading the substrate's cycle counters) to get deterministic spans —
+cycles *are* nanoseconds at the nominal 1 GHz simulated rate.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.telemetry.metrics import (
+    DEFAULT_NS_BUCKETS, Counter, Histogram, HistogramSnapshot, MetricKey,
+    TelemetrySnapshot, labels_key,
+)
+
+Clock = Callable[[], int]
+
+
+class Span:
+    """Context manager timing one region into a histogram."""
+
+    __slots__ = ("_hist", "_clock", "_start")
+
+    def __init__(self, hist: Histogram, clock: Clock):
+        self._hist = hist
+        self._clock = clock
+        self._start = 0
+
+    def __enter__(self) -> "Span":
+        self._start = self._clock()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._hist.observe(self._clock() - self._start)
+
+
+class Recorder:
+    """One named bag of metrics, explicitly threaded — never global."""
+
+    __slots__ = ("name", "clock", "_counters", "_histograms", "_flushes")
+
+    def __init__(self, name: str = "", clock: Optional[Clock] = None):
+        self.name = name
+        self.clock: Clock = clock if clock is not None \
+            else time.perf_counter_ns
+        self._counters: Dict[MetricKey, Counter] = {}
+        self._histograms: Dict[MetricKey, Histogram] = {}
+        #: Instrument bundles that stage events locally (plain int adds
+        #: and list appends beat Counter/Histogram updates on hot paths)
+        #: register a callback here; ``snapshot`` drains them first.
+        self._flushes: list = []
+
+    # -- handle resolution (cold path; call once, keep the handle) ---------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, labels_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter(name, key[1])
+        return counter
+
+    def histogram(self, name: str,
+                  bounds: Tuple[int, ...] = DEFAULT_NS_BUCKETS,
+                  **labels: object) -> Histogram:
+        key = (name, labels_key(labels))
+        hist = self._histograms.get(key)
+        if hist is None:
+            hist = self._histograms[key] = Histogram(name, key[1], bounds)
+        return hist
+
+    # -- cold-path conveniences ---------------------------------------------
+
+    def inc(self, name: str, n: int = 1, **labels: object) -> None:
+        self.counter(name, **labels).inc(n)
+
+    def observe(self, name: str, value: int, **labels: object) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    def span(self, name: str,
+             bounds: Tuple[int, ...] = DEFAULT_NS_BUCKETS,
+             **labels: object) -> Span:
+        return Span(self.histogram(name, bounds, **labels), self.clock)
+
+    # -- snapshots -----------------------------------------------------------
+
+    def add_flush(self, callback: Callable[[], None]) -> None:
+        """Register a staging-drain callback, run before every snapshot."""
+        if callback not in self._flushes:
+            self._flushes.append(callback)
+
+    def flush(self) -> None:
+        """Drain all staged instrument state into the live metrics."""
+        for callback in self._flushes:
+            callback()
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Freeze current values; later recording never mutates it."""
+        self.flush()
+        counters = {key: c.value for key, c in self._counters.items()}
+        histograms: Dict[MetricKey, HistogramSnapshot] = {
+            key: h.snapshot() for key, h in self._histograms.items()}
+        return TelemetrySnapshot(counters=counters, histograms=histograms)

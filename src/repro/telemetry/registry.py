@@ -1,0 +1,45 @@
+"""Process-local registry: names recorders, aggregates their snapshots.
+
+The registry is a *container*, not an ambient global: whoever runs a
+workload creates one, vends recorders from it, threads them into the
+components it wants observed, and reads the merged snapshot back.  Two
+registries never share state, so tests and fleet workers cannot bleed
+metrics into each other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.telemetry.metrics import (
+    EMPTY_SNAPSHOT, TelemetrySnapshot, merge_snapshots,
+)
+from repro.telemetry.recorder import Clock, Recorder
+
+
+class TelemetryRegistry:
+    """Vends named recorders; merges their snapshots on demand."""
+
+    def __init__(self) -> None:
+        self._recorders: Dict[str, Recorder] = {}
+
+    def recorder(self, name: str,
+                 clock: Optional[Clock] = None) -> Recorder:
+        rec = self._recorders.get(name)
+        if rec is None:
+            rec = self._recorders[name] = Recorder(name, clock=clock)
+        return rec
+
+    def names(self):
+        return sorted(self._recorders)
+
+    def snapshots(self) -> Dict[str, TelemetrySnapshot]:
+        return {name: rec.snapshot()
+                for name, rec in self._recorders.items()}
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """One merged view across every recorder in the registry."""
+        if not self._recorders:
+            return EMPTY_SNAPSHOT
+        return merge_snapshots(rec.snapshot()
+                               for rec in self._recorders.values())

@@ -1,0 +1,99 @@
+"""The workload driver behind ``repro stats``.
+
+Trains a spec, deploys it on a fresh VM with telemetry recorders
+threaded into the checker and the device machine, drives benign traffic
+until the requested number of checked I/O rounds, and returns the
+merged snapshot plus rendering helpers for the CLI's breakdown tables.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.checker import Mode
+from repro.telemetry.metrics import TelemetrySnapshot
+from repro.telemetry.registry import TelemetryRegistry
+
+#: Display order of the three check strategies.
+STRATEGY_ORDER = ("parameter", "indirect_jump", "conditional_jump")
+
+
+@dataclass
+class StatsRun:
+    """One instrumented benign session's results."""
+
+    device: str
+    backend: str
+    rounds: int
+    snapshot: TelemetrySnapshot
+    per_recorder: Dict[str, TelemetrySnapshot]
+
+
+def run_stats(device: str = "fdc", rounds: int = 200,
+              backend: str = "compiled", qemu_version: str = "99.0.0",
+              mode: Mode = Mode.ENHANCEMENT, seed: int = 7) -> StatsRun:
+    """Run an instrumented benign workload of ~*rounds* checked rounds."""
+    from repro.core import deploy
+    from repro.workloads.profiles import PROFILES, train_device_spec
+
+    registry = TelemetryRegistry()
+    spec = train_device_spec(device, qemu_version=qemu_version,
+                             backend=backend).spec
+    prof = PROFILES[device]
+    vm, dev = prof.make_vm(qemu_version, backend=backend)
+    deploy(vm, dev, spec, mode=mode, backend=backend,
+           recorder=registry.recorder("checker"))
+    dev.machine.set_recorder(registry.recorder("interp"))
+    attachment = vm.attachments[dev.NAME]
+    driver = prof.make_driver(vm)
+    rng = random.Random(seed)
+    prof.prepare(vm, driver)
+    ops = prof.common_ops
+    weights = prof.op_weights
+    while attachment.checked_rounds < rounds:
+        if weights:
+            op = rng.choices(ops, weights=weights, k=1)[0]
+        else:
+            op = rng.choice(ops)
+        op(vm, driver, rng)
+    return StatsRun(device=device, backend=backend,
+                    rounds=attachment.checked_rounds,
+                    snapshot=registry.snapshot(),
+                    per_recorder=registry.snapshots())
+
+
+# -- table helpers (shared by the CLI and the tests) -------------------------
+
+def strategy_rows(snapshot: TelemetrySnapshot) -> List[Tuple]:
+    """Per-strategy (checks performed, violations flagged) rows."""
+    checks = snapshot.label_values("checker.checks", "strategy")
+    violations = snapshot.label_values("checker.anomalies", "strategy")
+    return [(strategy, checks.get(strategy, 0),
+             violations.get(strategy, 0))
+            for strategy in STRATEGY_ORDER]
+
+
+def latency_rows(snapshot: TelemetrySnapshot) -> List[Tuple]:
+    """Latency percentile rows for every recorded histogram."""
+    rows = []
+    for (name, labels), hist in sorted(snapshot.histograms.items()):
+        if hist.count == 0:
+            continue
+        rows.append((name, hist.count, int(hist.mean),
+                     int(hist.percentile(0.50)),
+                     int(hist.percentile(0.95)),
+                     int(hist.percentile(0.99)),
+                     hist.max if hist.max is not None else 0))
+    return rows
+
+
+def interp_summary(snapshot: TelemetrySnapshot) -> Dict[str, int]:
+    """Interpreter-side totals (across label variants)."""
+    return {
+        "io_rounds": sum(
+            snapshot.counters_named("interp.io_rounds").values()),
+        "blocks": sum(snapshot.counters_named("interp.blocks").values()),
+        "faults": sum(snapshot.counters_named("interp.faults").values()),
+    }

@@ -142,11 +142,16 @@ class GuestVM:
     def attach_sedspec(self, device_name: str, spec: ExecutionSpec,
                        mode: Mode = Mode.ENHANCEMENT,
                        strategies=ALL_STRATEGIES,
-                       backend: str = "compiled") -> Attachment:
-        """Deploy an execution specification in front of a device."""
+                       backend: str = "compiled",
+                       recorder=None) -> Attachment:
+        """Deploy an execution specification in front of a device.
+
+        *recorder* (a :class:`repro.telemetry.Recorder`) opts the
+        checker into telemetry; the default ``None`` keeps the hot path
+        observation-free."""
         device = self.devices[device_name]
         checker = ESChecker(spec, mode=mode, strategies=strategies,
-                            backend=backend)
+                            backend=backend, recorder=recorder)
         checker.boot_sync(device.state)
         sync_keys = {key: handler_needs_sync(spec, key)
                      for key in spec.entry_handlers}

@@ -1,15 +1,18 @@
 """Fleet service: load generation, supervisor semantics, fault
 tolerance, quarantine isolation, and throughput scaling."""
 
+import queue
+
 import pytest
 
 from repro.checker import Action
 from repro.errors import WorkloadError
 from repro.fleet import (
-    FleetConfig, FleetSupervisor, OpRequest, RequestBatch, SpecRegistry,
-    batch_wants_crash, build_load, make_schedule, percentile,
-    plan_tenants, tombstone_crashes,
+    BatchResult, FleetConfig, FleetSupervisor, OpRequest, RequestBatch,
+    SpecRegistry, batch_wants_crash, build_load, make_schedule,
+    percentile, plan_tenants, tombstone_crashes,
 )
+from repro.fleet.supervisor import _WorkerHandle
 
 
 @pytest.fixture(scope="module")
@@ -149,6 +152,96 @@ class TestSupervisorInline:
         assert four.stats.makespan_cycles < one.stats.makespan_cycles
         assert four.stats.rounds_per_sec > one.stats.rounds_per_sec
         assert len(four.worker_busy_cycles) == 4
+
+
+class TestResultDedup:
+    """Regression tests for the requeue race: a dying worker's result can
+    still be buffered in the shared outbox when its batch is requeued,
+    so the respawned worker produces a second result for the same seq.
+    Before the ``done``-set fix the supervisor counted both, inflating
+    latency samples and completion counts."""
+
+    def _result(self, seq, worker_id, cycles=100):
+        return BatchResult("t0", "fdc", seq, worker_id, submitted=3,
+                           completed=3, cycles=cycles, io_rounds=9,
+                           op_cycles=(cycles, cycles, cycles))
+
+    def test_late_duplicate_result_is_dropped_first_wins(self, registry):
+        supervisor = fdc_supervisor(registry, inline=False)
+        outbox = queue.Queue()
+        handles = {0: _WorkerHandle(0), 1: _WorkerHandle(1)}
+        # Worker 0 served seq 5 but died before the supervisor saw it;
+        # the batch was requeued to worker 1, which served it again.
+        outbox.put(("result", 0, self._result(5, 0, cycles=100)))
+        outbox.put(("result", 1, self._result(5, 1, cycles=999)))
+        results, done = [], set()
+        supervisor._collect(outbox, handles, results, done,
+                            timeout=0.01)
+        assert [r.seq for r in results] == [5]
+        assert results[0].worker_id == 0  # first result wins
+        assert done == {5}
+        assert supervisor._duplicates == 1
+
+    def test_duplicate_drop_still_clears_outstanding(self, registry):
+        supervisor = fdc_supervisor(registry, inline=False)
+        outbox = queue.Queue()
+        handle = _WorkerHandle(1)
+        batch = RequestBatch("t0", "fdc", "99.0.0", 5,
+                             (OpRequest("common"),))
+        handle.outstanding[5] = batch
+        outbox.put(("result", 1, self._result(5, 1)))
+        results, done = [], {5}   # seq already counted earlier
+        supervisor._collect(outbox, handles={1: handle}, results=results,
+                            done=done, timeout=0.01)
+        # The duplicate is dropped from the stats but still acknowledges
+        # the outstanding batch, or _reap would requeue it a third time.
+        assert results == []
+        assert handle.outstanding == {}
+        assert supervisor._duplicates == 1
+
+    def test_benign_run_counts_each_latency_sample_once(self, registry):
+        plans, schedule = build_load(["fdc"], 2, 3, 3, seed=11)
+        result = fdc_supervisor(registry).run(schedule, plans)
+        stats = result.stats
+        assert stats.duplicate_results == 0
+        assert stats.latency_samples == stats.completed == 18
+
+    def test_crash_requeue_latency_counted_once(self, registry):
+        """After a worker crash and requeue, every completed request must
+        feed the latency percentiles exactly once — not dropped with the
+        dead worker, not double-counted by the respawn."""
+        plans, schedule = build_load(["fdc"], 2, 3, 2, seed=4)
+        crash_at = next(i for i, b in enumerate(schedule) if b.seq == 2)
+        batch = schedule[crash_at]
+        schedule[crash_at] = RequestBatch(
+            batch.tenant, batch.device, batch.qemu_version, batch.seq,
+            (OpRequest("crash"),) + batch.ops[1:])
+        result = fdc_supervisor(registry).run(schedule, plans)
+        stats = result.stats
+        assert stats.worker_respawns == 1
+        assert stats.latency_samples == stats.completed == stats.requests
+        assert stats.duplicate_results == 0
+
+    def test_dedup_also_protects_telemetry(self, registry):
+        """Telemetry records results post-dedup in _aggregate, so the
+        recorder's per-tenant counters and latency histograms must agree
+        with the deduplicated FleetStats."""
+        from repro.telemetry import Recorder
+
+        recorder = Recorder("fleet")
+        plans, schedule = build_load(["fdc"], 2, 3, 2, seed=4)
+        config = FleetConfig(workers=2, inline=True,
+                             cache_dir=registry.cache_dir)
+        supervisor = FleetSupervisor(config, registry, recorder=recorder)
+        result = supervisor.run(schedule, plans)
+        snap = recorder.snapshot()
+        by_outcome = snap.label_values("fleet.requests", "outcome")
+        assert by_outcome.get("completed", 0) == result.stats.completed
+        sampled = sum(h.count for (name, _), h in snap.histograms.items()
+                      if name == "fleet.request_cycles")
+        assert sampled == result.stats.latency_samples
+        assert snap.counter("fleet.duplicate_results") == \
+            result.stats.duplicate_results == 0
 
 
 class TestSupervisorPool:

@@ -1,0 +1,161 @@
+"""Telemetry primitives: counters, histograms, snapshots, exporters."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    EMPTY_SNAPSHOT, Counter, Histogram, Recorder, TelemetryError,
+    TelemetryRegistry, iter_jsonl, labels_key, merge_snapshots,
+    prometheus_text, write_jsonl,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+
+    def test_recorder_returns_same_handle_per_key(self):
+        rec = Recorder("r")
+        a = rec.counter("checks", strategy="parameter", device="fdc")
+        b = rec.counter("checks", device="fdc", strategy="parameter")
+        assert a is b   # label order must not mint a second cell
+        assert rec.counter("checks", strategy="other") is not a
+
+    def test_labels_key_is_order_independent(self):
+        assert labels_key({"a": 1, "b": "x"}) == \
+            labels_key({"b": "x", "a": 1})
+
+
+class TestHistogram:
+    def test_le_bucket_semantics(self):
+        h = Histogram("h", bounds=(10, 20, 30))
+        for value in (5, 10, 11, 30, 31):
+            h.observe(value)
+        # le=10 gets {5, 10}; le=20 gets {11}; le=30 gets {30};
+        # +Inf overflow gets {31}.
+        assert h.counts == [2, 1, 1, 1]
+        assert h.count == 5
+        assert h.total == 87
+        assert (h.min, h.max) == (5, 31)
+
+    def test_observe_many_matches_observe(self):
+        values = [1, 7, 250, 251, 10**10, 3, 250]
+        one = Histogram("a", bounds=(250, 500))
+        many = Histogram("b", bounds=(250, 500))
+        for v in values:
+            one.observe(v)
+        many.observe_many(values)
+        many.observe_many([])    # no-op
+        assert many.counts == one.counts
+        assert (many.count, many.total) == (one.count, one.total)
+        assert (many.min, many.max) == (one.min, one.max)
+
+    def test_bad_boundaries_rejected(self):
+        for bounds in ((), (10, 10), (20, 10)):
+            with pytest.raises(TelemetryError):
+                Histogram("h", bounds=bounds)
+
+    def test_percentiles_answer_bucket_upper_bounds(self):
+        h = Histogram("h", bounds=(100, 200, 300))
+        h.observe_many([50] * 50 + [150] * 45 + [10_000] * 5)
+        snap = h.snapshot()
+        assert snap.percentile(0.50) == 100.0
+        assert snap.percentile(0.95) == 200.0
+        assert snap.percentile(0.99) == 10_000.0   # overflow -> observed max
+        assert snap.percentile(0.0) == 100.0       # rank clamps to 1
+        assert Histogram("e").snapshot().percentile(0.5) == 0.0
+
+    def test_snapshot_mean(self):
+        h = Histogram("h", bounds=(10,))
+        h.observe(4)
+        h.observe(8)
+        assert h.snapshot().mean == 6.0
+        assert Histogram("e").snapshot().mean == 0.0
+
+
+class TestMerge:
+    def test_merge_sums_counters_and_buckets(self):
+        r1, r2 = Recorder("a"), Recorder("b")
+        r1.inc("n", 3, device="fdc")
+        r2.inc("n", 4, device="fdc")
+        r2.inc("n", 5, device="sdhci")
+        r1.observe("lat", 50)
+        r2.observe("lat", 600)
+        merged = merge_snapshots([r1.snapshot(), r2.snapshot()])
+        assert merged.counter("n", device="fdc") == 7
+        assert merged.counter("n", device="sdhci") == 5
+        lat = merged.histogram("lat")
+        assert lat.count == 2
+        assert (lat.min, lat.max) == (50, 600)
+
+    def test_merge_rejects_mismatched_bounds(self):
+        r1, r2 = Recorder("a"), Recorder("b")
+        r1.histogram("lat", bounds=(10, 20)).observe(1)
+        r2.histogram("lat", bounds=(10, 30)).observe(1)
+        with pytest.raises(TelemetryError):
+            merge_snapshots([r1.snapshot(), r2.snapshot()])
+
+    def test_merge_of_nothing_is_empty(self):
+        assert merge_snapshots([]).empty
+        assert EMPTY_SNAPSHOT.empty
+
+
+class TestRegistry:
+    def test_registries_do_not_share_state(self):
+        reg1, reg2 = TelemetryRegistry(), TelemetryRegistry()
+        reg1.recorder("checker").inc("n")
+        assert reg2.snapshot().empty
+        assert reg1.snapshot().counter("n") == 1
+
+    def test_named_recorder_is_memoized(self):
+        reg = TelemetryRegistry()
+        assert reg.recorder("checker") is reg.recorder("checker")
+        reg.recorder("interp")
+        assert reg.names() == ["checker", "interp"]
+
+    def test_snapshot_merges_all_recorders(self):
+        reg = TelemetryRegistry()
+        reg.recorder("a").inc("n", 1)
+        reg.recorder("b").inc("n", 2)
+        assert reg.snapshot().counter("n") == 3
+        assert reg.snapshots()["a"].counter("n") == 1
+
+
+class TestExporters:
+    def _snapshot(self):
+        rec = Recorder("r")
+        rec.inc("checker.checks", 7, strategy="parameter")
+        rec.histogram("checker.round_ns", bounds=(100, 200)).observe(150)
+        return rec.snapshot()
+
+    def test_jsonl_lines_parse_and_sort(self):
+        lines = list(iter_jsonl(self._snapshot()))
+        objs = [json.loads(line) for line in lines]
+        assert [o["type"] for o in objs] == ["counter", "histogram"]
+        assert objs[0]["value"] == 7
+        assert objs[0]["labels"] == {"strategy": "parameter"}
+        assert objs[1]["counts"] == [0, 1, 0]
+        assert objs[1]["p50"] == 200.0
+
+    def test_write_jsonl_returns_line_count(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        n = write_jsonl(self._snapshot(), str(path))
+        assert n == 2
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_prometheus_text_shape(self):
+        text = prometheus_text(self._snapshot())
+        assert '# TYPE checker_checks counter' in text
+        assert 'checker_checks{strategy="parameter"} 7' in text
+        assert '# TYPE checker_round_ns histogram' in text
+        # Bucket counts are cumulative, ending in the +Inf total.
+        assert 'checker_round_ns_bucket{le="100"} 0' in text
+        assert 'checker_round_ns_bucket{le="200"} 1' in text
+        assert 'checker_round_ns_bucket{le="+Inf"} 1' in text
+        assert 'checker_round_ns_count 1' in text
+        assert prometheus_text(EMPTY_SNAPSHOT) == ""

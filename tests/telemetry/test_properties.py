@@ -1,0 +1,129 @@
+"""Property tests for the telemetry core.
+
+Three load-bearing invariants:
+
+* fixed-boundary bucketing agrees with a naive reference for any
+  boundaries and any values (``le`` semantics, +Inf overflow);
+* ``merge_snapshots`` over any partition of an event stream equals the
+  snapshot of one recorder that saw every event — the property the fleet
+  relies on when summing per-worker recorders;
+* snapshots are frozen: recording after ``snapshot()`` never mutates an
+  already-taken snapshot.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro.telemetry import (
+    Histogram, Recorder, iter_jsonl, merge_snapshots,
+)
+
+bounds_strategy = st.lists(
+    st.integers(1, 10**9), min_size=1, max_size=8, unique=True,
+).map(lambda b: tuple(sorted(b)))
+
+values_strategy = st.lists(st.integers(0, 2 * 10**9), max_size=64)
+
+# An event stream a fleet might shard: counters keyed by (name, label)
+# and observations into one histogram per name with fixed boundaries.
+HIST_BOUNDS = (100, 10_000, 1_000_000)
+event_strategy = st.one_of(
+    st.tuples(st.just("counter"),
+              st.sampled_from(["checks", "faults"]),
+              st.sampled_from(["fdc", "sdhci"]),
+              st.integers(1, 100)),
+    st.tuples(st.just("observe"),
+              st.sampled_from(["round_ns", "queue"]),
+              st.integers(0, 10**7)),
+)
+
+
+def apply_events(recorder, events):
+    for event in events:
+        if event[0] == "counter":
+            _, name, device, n = event
+            recorder.counter(name, device=device).inc(n)
+        else:
+            _, name, value = event
+            recorder.histogram(name, bounds=HIST_BOUNDS).observe(value)
+
+
+def reference_bucket(bounds, value):
+    for i, bound in enumerate(bounds):
+        if value <= bound:
+            return i
+    return len(bounds)
+
+
+class TestBucketing:
+    @given(bounds=bounds_strategy, values=values_strategy)
+    def test_bucketing_matches_reference(self, bounds, values):
+        hist = Histogram("h", bounds=bounds)
+        expected = [0] * (len(bounds) + 1)
+        for value in values:
+            hist.observe(value)
+            expected[reference_bucket(bounds, value)] += 1
+        assert hist.counts == expected
+        assert sum(hist.counts) == hist.count == len(values)
+        assert hist.total == sum(values)
+
+    @given(bounds=bounds_strategy, values=values_strategy)
+    def test_observe_many_equals_sequential_observe(self, bounds, values):
+        seq = Histogram("h", bounds=bounds)
+        batch = Histogram("h", bounds=bounds)
+        for value in values:
+            seq.observe(value)
+        batch.observe_many(values)
+        assert batch.snapshot() == seq.snapshot()
+
+    @given(bounds=bounds_strategy, values=values_strategy,
+           q=st.floats(0.0, 1.0))
+    def test_percentile_is_a_bucket_bound_or_observed_max(self, bounds,
+                                                          values, q):
+        hist = Histogram("h", bounds=bounds)
+        hist.observe_many(values)
+        p = hist.snapshot().percentile(q)
+        if not values:
+            assert p == 0.0
+        else:
+            assert p in {float(b) for b in bounds} | {float(max(values))}
+
+
+class TestMergePartition:
+    @given(events=st.lists(event_strategy, max_size=60),
+           parts=st.lists(st.integers(0, 2), min_size=60, max_size=60))
+    def test_merge_of_any_partition_equals_one_recorder(self, events,
+                                                        parts):
+        whole = Recorder("whole")
+        apply_events(whole, events)
+        shards = [Recorder(f"s{i}") for i in range(3)]
+        for event, part in zip(events, parts):
+            apply_events(shards[part], [event])
+        merged = merge_snapshots(s.snapshot() for s in shards)
+        expected = whole.snapshot()
+        assert merged.counters == expected.counters
+        assert merged.histograms == expected.histograms
+
+    @given(events=st.lists(event_strategy, max_size=40))
+    def test_merge_is_order_independent(self, events):
+        recorders = [Recorder("a"), Recorder("b")]
+        for i, event in enumerate(events):
+            apply_events(recorders[i % 2], [event])
+        snaps = [r.snapshot() for r in recorders]
+        forward = merge_snapshots(snaps)
+        backward = merge_snapshots(reversed(snaps))
+        assert forward.counters == backward.counters
+        assert forward.histograms == backward.histograms
+
+
+class TestSnapshotImmutability:
+    @given(before=st.lists(event_strategy, max_size=40),
+           after=st.lists(event_strategy, max_size=40))
+    def test_later_recording_never_mutates_a_snapshot(self, before,
+                                                      after):
+        recorder = Recorder("r")
+        apply_events(recorder, before)
+        snap = recorder.snapshot()
+        frozen = list(iter_jsonl(snap))     # deep textual fingerprint
+        apply_events(recorder, after)
+        recorder.snapshot()
+        assert list(iter_jsonl(snap)) == frozen

@@ -94,6 +94,33 @@ class TestServe:
         assert "ERROR" in capsys.readouterr().out
 
 
+class TestStats:
+    def test_stats_prints_strategy_and_latency_tables(self, tmp_path,
+                                                      capsys):
+        jsonl = tmp_path / "stats.jsonl"
+        prom = tmp_path / "stats.prom"
+        assert main(["stats", "--device", "fdc", "--rounds", "40",
+                     "--json-out", str(jsonl),
+                     "--prom-out", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "checked I/O rounds" in out
+        for strategy in ("parameter", "indirect_jump",
+                         "conditional_jump"):
+            assert strategy in out
+        assert "checker.round_ns" in out
+        assert "blocks executed" in out
+        # Both exporters produced parseable, non-empty files.
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["name"] for line in lines)
+        assert "# TYPE checker_checks counter" in prom.read_text()
+
+    def test_stats_reference_backend(self, capsys):
+        assert main(["stats", "--device", "fdc", "--rounds", "20",
+                     "--backend", "reference"]) == 0
+        assert "backend reference" in capsys.readouterr().out
+
+
 class TestSpecDiff:
     def test_diff_and_merge(self, tmp_path, capsys):
         a = tmp_path / "a.json"
