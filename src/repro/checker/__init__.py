@@ -5,6 +5,10 @@ from repro.checker.anomalies import (
     decide_action,
 )
 from repro.checker.compile import CompiledSpec, compiled_spec_for
+from repro.checker.degrade import (
+    DEFAULT_DEGRADATION, INFRA_EXCEPTIONS, DegradationConfig,
+    DegradationPolicy, gap_report, run_with_policy,
+)
 from repro.checker.escheck import (
     BACKENDS, CHECK_BLOCK_COST, CHECK_STMT_COST, ESChecker,
 )
@@ -22,6 +26,8 @@ __all__ = [
     "Strategy", "decide_action",
     "BACKENDS", "CHECK_BLOCK_COST", "CHECK_STMT_COST",
     "CompiledSpec", "ESChecker", "compiled_spec_for",
+    "DEFAULT_DEGRADATION", "INFRA_EXCEPTIONS", "DegradationConfig",
+    "DegradationPolicy", "gap_report", "run_with_policy",
     "Alert", "AlertLevel", "AlertManager", "Checkpoint",
     "DeviceQuarantine", "ResponsePolicy", "RollbackManager", "classify",
     "ExternHarvestSink", "FieldSyncOracle", "MappingSyncOracle",

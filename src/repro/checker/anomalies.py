@@ -36,6 +36,11 @@ class Action(enum.Enum):
     ALLOW = "allow"
     WARN = "warn"
     HALT = "halt"
+    #: The checker could not vouch for the round because its *own*
+    #: machinery failed (trace loss, decode failure, transient fault) and
+    #: the degradation policy is fail-closed.  Explicitly not a security
+    #: verdict: a TRACE_GAP must never quarantine a tenant.
+    TRACE_GAP = "trace_gap"
 
 
 @dataclass(frozen=True)
@@ -73,6 +78,15 @@ class CheckReport:
     param_checks: int = 0
     indirect_checks: int = 0
     conditional_checks: int = 0
+    #: degradation policy in force when this report was produced — every
+    #: report records it so an audit can tell fail-open allows apart from
+    #: genuinely vetted ones
+    policy: str = ""
+    #: the enforcement machinery lost (part of) this round: the report is
+    #: an infrastructure outcome, not a security one
+    trace_gap: bool = False
+    #: why the round degraded (empty unless ``trace_gap``)
+    gap_reason: str = ""
     #: lazily-dumped shadow state — ``final_state`` is O(device state) to
     #: materialize, and only eval/report code reads it, so the checker
     #: binds a source instead of dumping on the hot path

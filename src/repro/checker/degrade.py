@@ -1,0 +1,93 @@
+"""Degradation policies: what a check means when the checker itself fails.
+
+SEDSpec must decide *before* the device executes, which assumes the
+enforcement pipeline is healthy.  Real pipelines are not: Intel PT drops
+packets under load, decode fails on corrupt buffers, a checker walk can
+hit a transient fault.  A :class:`DegradationPolicy` makes the outcome of
+those *infrastructure* failures explicit instead of an unhandled
+exception with undefined enforcement semantics:
+
+* **fail-closed** (default) — the round is not vouched for; surface an
+  explicit :data:`Action.TRACE_GAP` outcome.  The request is refused as
+  an infrastructure failure — emphatically *not* a detection, so it never
+  feeds security quarantine.
+* **fail-open** — allow the round but stamp the report ``trace_gap`` so
+  audits can separate degraded allows from vetted ones.
+* **retry** — re-run the check up to ``max_retries`` extra attempts
+  (transient faults clear on replay); exhausting the budget falls back
+  to fail-closed.
+
+Every :class:`CheckReport` records the policy in force, degraded or not.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import DecodeError, InfraError, TraceError
+from repro.checker.anomalies import Action, CheckReport
+
+#: Exceptions that mean "the machinery failed", never "the guest is bad".
+INFRA_EXCEPTIONS = (InfraError, DecodeError, TraceError)
+
+
+class DegradationPolicy(enum.Enum):
+    FAIL_CLOSED = "fail-closed"
+    FAIL_OPEN = "fail-open"
+    RETRY = "retry"
+
+
+@dataclass(frozen=True)
+class DegradationConfig:
+    policy: DegradationPolicy = DegradationPolicy.FAIL_CLOSED
+    #: extra attempts granted by the RETRY policy before failing closed
+    max_retries: int = 2
+
+    @property
+    def attempts(self) -> int:
+        if self.policy is DegradationPolicy.RETRY:
+            return 1 + max(0, self.max_retries)
+        return 1
+
+
+DEFAULT_DEGRADATION = DegradationConfig()
+
+
+def gap_report(io_key: str, config: DegradationConfig,
+               reason: str) -> CheckReport:
+    """The explicit TRACE_GAP outcome for a round the machinery lost."""
+    report = CheckReport(io_key=io_key)
+    report.policy = config.policy.value
+    report.trace_gap = True
+    report.gap_reason = reason
+    if config.policy is DegradationPolicy.FAIL_OPEN:
+        report.action = Action.ALLOW
+    else:
+        report.action = Action.TRACE_GAP
+    return report
+
+
+def run_with_policy(config: DegradationConfig, io_key: str,
+                    attempt: Callable[[int], CheckReport]) -> CheckReport:
+    """Drive *attempt* under the policy.
+
+    *attempt(n)* performs one check (n = 0-based attempt index) and may
+    raise an infrastructure exception; any other exception propagates
+    untouched (genuine bugs must stay loud).  The returned report always
+    carries ``policy``.
+    """
+    last: str = ""
+    for n in range(config.attempts):
+        try:
+            report = attempt(n)
+        except INFRA_EXCEPTIONS as exc:
+            last = f"{type(exc).__name__}: {exc}"
+            continue
+        report.policy = config.policy.value
+        if n and not report.trace_gap:
+            report.gap_reason = f"recovered after {n} retr" + \
+                ("y" if n == 1 else "ies")
+        return report
+    return gap_report(io_key, config, last or "check failed")

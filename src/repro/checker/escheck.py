@@ -34,6 +34,7 @@ from repro.checker.anomalies import (
     ALL_STRATEGIES, Action, Anomaly, CheckReport, Mode, Strategy,
     decide_action,
 )
+from repro.checker.degrade import DEFAULT_DEGRADATION, DegradationConfig
 from repro.checker.compile import (
     _WalkContext, _WalkStop, compiled_spec_for,
 )
@@ -65,12 +66,14 @@ class ESChecker:
                  strategies: FrozenSet[Strategy] = ALL_STRATEGIES,
                  max_walk_blocks: int = 500_000,
                  backend: str = "compiled",
+                 degradation: Optional[DegradationConfig] = None,
                  recorder=None):
         if backend not in BACKENDS:
             raise CheckerError(
                 f"unknown backend {backend!r}; choose from {BACKENDS}")
         self.spec = spec
         self.mode = mode
+        self.degradation = degradation or DEFAULT_DEGRADATION
         self.strategies = frozenset(strategies)
         self.max_walk_blocks = max_walk_blocks
         self.backend = backend
@@ -141,6 +144,7 @@ class ESChecker:
     def _check_io(self, io_key: str, args: Tuple[int, ...],
                   oracle: Optional[SyncOracle]) -> CheckReport:
         report = CheckReport(io_key=io_key)
+        report.policy = self.degradation.policy.value
         oracle = oracle or NullSyncOracle()
 
         handler = self.spec.entry_handlers.get(io_key)

@@ -9,8 +9,9 @@
     python -m repro devices
     python -m repro serve   --workers 2 --tenants 4 [--inject CVE-...]
     python -m repro bench-fleet [--workers 1,2,4,8] [--out BENCH_fleet.json]
-    python -m repro stats   --device fdc --rounds 200
+    python -m repro stats   --device fdc --rounds 200 [--chaos-seed 101]
     python -m repro bench-telemetry [--quick] [--max-overhead-pct 5]
+    python -m repro chaos   --seeds 101,102 [--policy fail-closed] [--out R.json]
 """
 
 from __future__ import annotations
@@ -203,12 +204,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.eval.report import render_table
     from repro.telemetry import prometheus_text, write_jsonl
     from repro.telemetry.stats import (
-        interp_summary, latency_rows, run_stats, strategy_rows,
+        degradation_rows, interp_summary, latency_rows, run_stats,
+        strategy_rows,
     )
 
     run = run_stats(device=args.device, rounds=args.rounds,
                     backend=args.backend, qemu_version=args.qemu_version,
-                    mode=Mode(args.mode), seed=args.seed)
+                    mode=Mode(args.mode), seed=args.seed,
+                    chaos_seed=args.chaos_seed)
     print(f"device {run.device} ({args.qemu_version}), "
           f"backend {run.backend}, mode {args.mode}: "
           f"{run.rounds} checked I/O rounds")
@@ -224,6 +227,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"interp: {interp['io_rounds']} I/O rounds, "
           f"{interp['blocks']} blocks executed, "
           f"{interp['faults']} faults")
+    print()
+    print(render_table(("Degradation / faults", "Total"),
+                       degradation_rows(run.snapshot)))
     if args.json_out:
         lines = write_jsonl(run.snapshot, args.json_out)
         print(f"wrote {lines} metric lines to {args.json_out}")
@@ -231,6 +237,37 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         with open(args.prom_out, "w") as handle:
             handle.write(prometheus_text(run.snapshot))
         print(f"wrote {args.prom_out}")
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import (
+        CampaignConfig, decoder_recovery_experiment, run_campaign,
+        write_report,
+    )
+
+    config = CampaignConfig(
+        seeds=tuple(int(s) for s in args.seeds.split(",")),
+        policy=args.policy, max_retries=args.max_retries,
+        devices=tuple(args.devices.split(",")),
+        tenants=args.tenants, batches_per_tenant=args.batches,
+        ops_per_batch=args.ops, workers=args.workers,
+        inline=not args.pool)
+    report = run_campaign(config)
+    print(report.describe())
+    if args.recovery_runs:
+        recovery = decoder_recovery_experiment(runs=args.recovery_runs)
+        print(f"decoder recovery: "
+              f"{int(recovery['recovered'])}/{int(recovery['runs'])} "
+              f"({recovery['recovery_rate']:.1%}; "
+              f"{int(recovery['tail_loss'])} tail losses)")
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    if not report.passed:
+        print("ERROR: safety invariant violated (see outcomes above); "
+              "replay with the same --seeds to reproduce")
+        return 1
     return 0
 
 
@@ -393,11 +430,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", choices=("protection", "enhancement"),
                    default="enhancement")
     p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--chaos-seed", type=int, default=None,
+                   help="also run a small fault-injection trial with "
+                        "this seed so the degradation counters populate")
     p.add_argument("--json-out",
                    help="also export the snapshot as JSON lines")
     p.add_argument("--prom-out",
                    help="also export Prometheus-style text")
     p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser(
+        "chaos", help="run a seeded fault-injection campaign over the "
+                      "fleet and check the safety invariants")
+    p.add_argument("--seeds", default="101,102,103,104,105",
+                   help="comma-separated campaign seeds")
+    p.add_argument("--policy",
+                   choices=("fail-closed", "fail-open", "retry"),
+                   default="fail-closed")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="replay attempts under the retry policy")
+    p.add_argument("--devices", default="fdc,sdhci,scsi,ehci,pcnet")
+    p.add_argument("--tenants", type=int, default=10)
+    p.add_argument("--batches", type=int, default=4,
+                   help="batches per tenant")
+    p.add_argument("--ops", type=int, default=3,
+                   help="requests per batch")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--pool", action="store_true",
+                   help="multiprocessing workers instead of the "
+                        "reproducible inline fallback")
+    p.add_argument("--recovery-runs", type=int, default=0,
+                   help="also run this many decoder PSB-resync trials")
+    p.add_argument("--out", help="write the replayable campaign "
+                                 "report (JSON) here")
+    p.set_defaults(fn=_cmd_chaos)
 
     p = sub.add_parser(
         "bench-telemetry",

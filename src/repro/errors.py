@@ -48,6 +48,28 @@ class TraceError(ReproError):
     """IPT packet stream could not be encoded or decoded."""
 
 
+class DecodeError(TraceError):
+    """Typed decode failure: carries the byte offset where parsing died
+    and the packets successfully decoded before it, so resynchronization
+    can resume from the next PSB instead of discarding the stream."""
+
+    def __init__(self, message: str, offset: int = 0, packets=()):
+        self.offset = offset
+        self.packets = list(packets)
+        super().__init__(f"{message} (offset {offset})")
+
+
+class InfraError(ReproError):
+    """The enforcement *machinery* failed (trace loss, a transient
+    interpreter fault, a stalled check) — an infrastructure condition,
+    never a security verdict.  Degradation policies decide what a round
+    that hit one of these means; it must never quarantine a tenant."""
+
+    def __init__(self, message: str, kind: str = "infra"):
+        self.kind = kind
+        super().__init__(message)
+
+
 class AnalysisError(ReproError):
     """CFG/data-flow analysis failed (e.g. unknown function, no entry)."""
 

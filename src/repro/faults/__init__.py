@@ -1,0 +1,36 @@
+"""repro.faults: deterministic, seed-replayable fault injection.
+
+The subsystem has two halves:
+
+* :mod:`repro.faults.plan` — the :class:`FaultPlan`/:class:`FaultInjector`
+  core.  A plan names per-site fault specs (probability / max-fires /
+  trigger-round arms); an injector evaluates them with *keyed* RNG draws
+  derived from ``sha256(seed, site, key)``, so a decision depends only on
+  the plan and the identity of the event — never on process, thread, or
+  call order.  Replaying a seed replays the exact fault sequence.
+* :mod:`repro.faults.chaos` — the campaign harness behind ``repro
+  chaos``: seeded fault campaigns over the fleet load generator plus a
+  decoder-recovery experiment, gated on the two safety invariants (no
+  CVE escapes under fail-closed; no benign tenant is security-quarantined
+  by an injected infrastructure fault).
+"""
+
+from repro.faults.plan import (
+    SITES, FaultInjector, FaultPlan, FaultSpec, corrupt_bytes,
+    corrupt_cache_dir, corrupt_file, keyed_rng, plan_from_json,
+    plan_to_json,
+)
+from repro.faults.chaos import (
+    DEFAULT_FAULT_SPECS, CampaignConfig, CampaignReport, SeedOutcome,
+    decoder_recovery_experiment, run_campaign, run_seed, seeded_cves,
+    write_report,
+)
+
+__all__ = [
+    "SITES", "FaultInjector", "FaultPlan", "FaultSpec", "corrupt_bytes",
+    "corrupt_cache_dir", "corrupt_file", "keyed_rng", "plan_from_json",
+    "plan_to_json",
+    "DEFAULT_FAULT_SPECS", "CampaignConfig", "CampaignReport",
+    "SeedOutcome", "decoder_recovery_experiment", "run_campaign",
+    "run_seed", "seeded_cves", "write_report",
+]

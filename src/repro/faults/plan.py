@@ -1,0 +1,250 @@
+"""Deterministic fault plans and the injector that evaluates them.
+
+Determinism is the whole point: a chaos campaign must be *replayable*
+(same seed, same faults, byte-for-byte identical report) and the inline
+and multiprocessing fleet paths must see the *same* fault sequence even
+though they interleave work differently.  Two rules make that hold:
+
+1. Every injection decision is a **keyed draw**: the RNG is seeded from
+   ``sha256(plan.seed : site : spec-index : round : key)``, so the answer
+   depends only on the plan and the identity of the event — never on how
+   many draws happened before it, which process asks, or wall time.
+2. Fault *placement* that must be order-identical across execution modes
+   (worker crash/hang ops) is materialized into the request schedule
+   up front (:func:`repro.fleet.loadgen.inject_schedule_faults`) rather
+   than decided at run time.
+
+``max_fires`` budgets are tracked per injector instance; they bound local
+fire counts (and feed telemetry) but, being stateful, only sites whose
+events are evaluated by a single sequential consumer should rely on them
+for exact replay.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import WorkloadError
+
+#: Every injection site the stack exposes.
+SITES = (
+    "ipt.drop",          # tracer: swallow an emitted packet
+    "ipt.corrupt",       # byte stream: flip byte(s) of the raw trace
+    "ipt.overflow",      # tracer: buffer overflow -> OVF + PSB emitted
+    "interp.step",       # IR interpreter: transient per-round step fault
+    "interp.stall",      # IR interpreter: round stalls past its deadline
+    "registry.truncate",  # spec envelope: cut the persisted file short
+    "registry.bitflip",  # spec envelope: flip one byte on disk
+    "worker.crash",      # fleet worker process dies mid-batch
+    "worker.hang",       # fleet worker stops responding (watchdog food)
+    "worker.slow_start",  # respawned worker is slow to come up
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One armed fault: where it strikes and how often.
+
+    * ``probability`` — chance the fault fires for a given event key;
+    * ``max_fires`` — optional budget across the injector's lifetime;
+    * ``trigger_round`` — fire only for this round/trial index (exact
+      match), the deterministic "round N breaks" arm;
+    * ``arg`` — site-specific intensity knob (bytes to corrupt, stall
+      milliseconds, packets dropped by an overflow...).
+    """
+
+    site: str
+    probability: float = 1.0
+    max_fires: Optional[int] = None
+    trigger_round: Optional[int] = None
+    arg: int = 1
+
+    def __post_init__(self) -> None:
+        if self.site not in SITES:
+            raise WorkloadError(
+                f"unknown fault site {self.site!r}; choose from {SITES}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise WorkloadError("fault probability must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seed plus the armed fault specs: everything a campaign needs to
+    reproduce its exact fault sequence."""
+
+    seed: int
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def for_sites(self, *prefixes: str) -> "FaultPlan":
+        """The sub-plan whose sites start with any of *prefixes*."""
+        kept = tuple(s for s in self.specs
+                     if any(s.site.startswith(p) for p in prefixes))
+        return FaultPlan(self.seed, kept)
+
+    def has_site(self, *prefixes: str) -> bool:
+        return any(s.site.startswith(p) for p in prefixes
+                   for s in self.specs)
+
+
+def plan_to_json(plan: FaultPlan) -> str:
+    return json.dumps({
+        "seed": plan.seed,
+        "specs": [{"site": s.site, "probability": s.probability,
+                   "max_fires": s.max_fires,
+                   "trigger_round": s.trigger_round, "arg": s.arg}
+                  for s in plan.specs],
+    }, sort_keys=True)
+
+
+def plan_from_json(payload: str) -> FaultPlan:
+    obj = json.loads(payload)
+    return FaultPlan(obj["seed"], tuple(
+        FaultSpec(site=s["site"], probability=s["probability"],
+                  max_fires=s.get("max_fires"),
+                  trigger_round=s.get("trigger_round"),
+                  arg=s.get("arg", 1))
+        for s in obj["specs"]))
+
+
+def keyed_rng(seed: int, site: str, key: str) -> random.Random:
+    """An RNG whose stream depends only on (seed, site, key).
+
+    Built on sha256 — never on Python's randomized ``hash()`` — so the
+    same inputs give the same draws in every process on every run.
+    """
+    digest = hashlib.sha256(f"{seed}:{site}:{key}".encode()).digest()
+    return random.Random(int.from_bytes(digest[:8], "little"))
+
+
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` with keyed, order-independent draws.
+
+    One injector may be consulted from many components; ``fired`` counts
+    are aggregated per site for campaign reports and telemetry.
+    """
+
+    def __init__(self, plan: FaultPlan, recorder=None):
+        self.plan = plan
+        self._by_site: Dict[str, List[Tuple[int, FaultSpec]]] = {}
+        for index, spec in enumerate(plan.specs):
+            self._by_site.setdefault(spec.site, []).append((index, spec))
+        self.fired: Dict[str, int] = {}
+        self._budget: Dict[int, int] = {
+            i: s.max_fires for i, s in enumerate(plan.specs)
+            if s.max_fires is not None}
+        self._telemetry = None
+        if recorder is not None:
+            from repro.telemetry.instruments import FaultTelemetry
+            self._telemetry = FaultTelemetry(recorder)
+
+    def armed(self, site: str) -> bool:
+        return site in self._by_site
+
+    def decide(self, site: str, round_: int = 0,
+               key: str = "") -> Optional[FaultSpec]:
+        """Should *site* fail for this event?  Returns the spec that
+        fired (first match wins) or ``None``."""
+        specs = self._by_site.get(site)
+        if not specs:
+            return None
+        for index, spec in specs:
+            if (spec.trigger_round is not None
+                    and spec.trigger_round != round_):
+                continue
+            budget = self._budget.get(index)
+            if budget is not None and budget <= 0:
+                continue
+            if spec.probability < 1.0:
+                rng = keyed_rng(self.plan.seed, site,
+                                f"{index}:{round_}:{key}")
+                if rng.random() >= spec.probability:
+                    continue
+            if budget is not None:
+                self._budget[index] = budget - 1
+            self.fired[site] = self.fired.get(site, 0) + 1
+            if self._telemetry is not None:
+                self._telemetry.record(site)
+            return spec
+        return None
+
+    def rng(self, site: str, round_: int = 0,
+            key: str = "") -> random.Random:
+        """A keyed RNG for shaping a fault that already fired (which byte
+        to flip, how long to stall) — same determinism contract."""
+        return keyed_rng(self.plan.seed, site, f"shape:{round_}:{key}")
+
+    def fired_total(self) -> int:
+        return sum(self.fired.values())
+
+
+# -- byte/file corruption helpers (the registry + stream fault arms) ---------
+
+def corrupt_bytes(data: bytes, injector: FaultInjector,
+                  round_: int = 0, key: str = "") -> bytes:
+    """Apply armed ``ipt.corrupt`` faults to a raw trace: flips ``arg``
+    bytes at keyed positions.  Returns *data* unchanged if nothing fires
+    or the stream is empty."""
+    if not data:
+        return data
+    spec = injector.decide("ipt.corrupt", round_=round_, key=key)
+    if spec is None:
+        return data
+    rng = injector.rng("ipt.corrupt", round_=round_, key=key)
+    out = bytearray(data)
+    for _ in range(max(1, spec.arg)):
+        pos = rng.randrange(len(out))
+        flip = 1 << rng.randrange(8)
+        out[pos] ^= flip
+    return bytes(out)
+
+
+def corrupt_file(path: str, injector: FaultInjector,
+                 key: str = "") -> Optional[str]:
+    """Apply armed ``registry.truncate``/``registry.bitflip`` faults to a
+    persisted spec envelope.  Returns the fault kind applied (or None).
+
+    Truncation keeps a keyed fraction of the file; a bitflip XORs one
+    byte in place.  Both leave a file the loader must survive."""
+    spec = injector.decide("registry.truncate", key=key)
+    if spec is not None:
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        rng = injector.rng("registry.truncate", key=key)
+        cut = rng.randrange(len(blob)) if blob else 0
+        with open(path, "wb") as handle:
+            handle.write(blob[:cut])
+        return "truncate"
+    spec = injector.decide("registry.bitflip", key=key)
+    if spec is not None:
+        with open(path, "rb") as handle:
+            blob = bytearray(handle.read())
+        if blob:
+            rng = injector.rng("registry.bitflip", key=key)
+            pos = rng.randrange(len(blob))
+            blob[pos] ^= 1 << rng.randrange(8)
+            with open(path, "wb") as handle:
+                handle.write(bytes(blob))
+        return "bitflip"
+    return None
+
+
+def corrupt_cache_dir(cache_dir: str, injector: FaultInjector
+                      ) -> List[Tuple[str, str]]:
+    """Run the registry fault arms over every persisted spec envelope.
+    Returns [(filename, fault kind)] for the campaign report."""
+    applied: List[Tuple[str, str]] = []
+    if not os.path.isdir(cache_dir):
+        return applied
+    for name in sorted(os.listdir(cache_dir)):
+        if not name.endswith(".spec.json"):
+            continue
+        kind = corrupt_file(os.path.join(cache_dir, name), injector,
+                            key=name)
+        if kind is not None:
+            applied.append((name, kind))
+    return applied

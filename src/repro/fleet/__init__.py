@@ -14,8 +14,9 @@ from repro.fleet.bench import (
 )
 from repro.fleet.instance import GuardedInstance, OpOutcome, portable_report
 from repro.fleet.loadgen import (
-    DEFAULT_QEMU_VERSION, OpRequest, RequestBatch, TenantPlan, build_load,
-    detectable_cves, make_schedule, plan_tenants,
+    DEFAULT_QEMU_VERSION, FAULT_OP_KINDS, OpRequest, RequestBatch,
+    TenantPlan, build_load, detectable_cves, inject_schedule_faults,
+    make_schedule, plan_tenants,
 )
 from repro.fleet.registry import (
     CACHE_FORMAT, RegistryStats, SpecRegistry, program_fingerprint,
@@ -25,20 +26,22 @@ from repro.fleet.supervisor import (
     percentile,
 )
 from repro.fleet.worker import (
-    BatchResult, FleetWorker, batch_wants_crash, tombstone_crashes,
-    worker_main,
+    BatchResult, FleetWorker, batch_wants_crash, batch_wants_hang,
+    instance_injector, requeue_batch, tombstone_crashes, worker_main,
 )
 
 __all__ = [
     "DEFAULT_DEVICES", "DEFAULT_INJECT", "DEFAULT_WORKER_COUNTS",
     "run_fleet_bench",
     "GuardedInstance", "OpOutcome", "portable_report",
-    "DEFAULT_QEMU_VERSION", "OpRequest", "RequestBatch", "TenantPlan",
-    "build_load", "detectable_cves", "make_schedule", "plan_tenants",
+    "DEFAULT_QEMU_VERSION", "FAULT_OP_KINDS", "OpRequest",
+    "RequestBatch", "TenantPlan", "build_load", "detectable_cves",
+    "inject_schedule_faults", "make_schedule", "plan_tenants",
     "CACHE_FORMAT", "RegistryStats", "SpecRegistry",
     "program_fingerprint",
     "FleetConfig", "FleetResult", "FleetStats", "FleetSupervisor",
     "TenantSummary", "percentile",
     "BatchResult", "FleetWorker", "batch_wants_crash",
+    "batch_wants_hang", "instance_injector", "requeue_batch",
     "tombstone_crashes", "worker_main",
 ]

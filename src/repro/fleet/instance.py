@@ -7,6 +7,15 @@ applies :class:`~repro.fleet.loadgen.OpRequest` records one at a time.
 A SEDSpec detection *quarantines* the instance — the fleet analogue of
 the paper's targeted termination: the offending tenant is fenced off, its
 `CheckReport` recorded, and every other tenant keeps being served.
+
+Quarantine is a **security** outcome.  The instance also recognizes
+**infrastructure** outcomes — the enforcement machinery itself failed
+(trace loss, decode failure, a transient interpreter fault) — and routes
+them through a :class:`~repro.checker.DegradationConfig` instead: the op
+degrades to an explicit ``trace_gap`` status (fail-closed), is allowed
+unvetted with the gap stamped on its report (fail-open), or is retried
+(transient faults clear on a keyed re-attempt).  An infra outcome never
+quarantines the tenant.
 """
 
 from __future__ import annotations
@@ -15,9 +24,12 @@ import dataclasses
 from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.checker import CheckReport, Mode
+from repro.checker import (
+    CheckReport, DEFAULT_DEGRADATION, DegradationConfig, DegradationPolicy,
+    Mode, gap_report,
+)
 from repro.core import deploy
-from repro.errors import DeviceFault
+from repro.errors import DecodeError, DeviceFault, InfraError, TraceError
 from repro.exploits import exploit_by_cve
 from repro.fleet.loadgen import OpRequest
 from repro.vm.machine import SEDSpecHalt
@@ -36,7 +48,8 @@ def portable_report(report: CheckReport) -> CheckReport:
 class OpOutcome:
     """What one applied request did to the instance."""
 
-    status: str                 # "ok" | "detected" | "fault" | "rejected"
+    #: "ok" | "detected" | "fault" | "rejected" | "trace_gap"
+    status: str
     cycles: int = 0
     io_rounds: int = 0
     report: Optional[CheckReport] = None
@@ -47,13 +60,17 @@ class OpOutcome:
 class GuardedInstance:
     def __init__(self, tenant: str, device_name: str, qemu_version: str,
                  spec: ExecutionSpec, mode: Mode = Mode.PROTECTION,
-                 backend: str = "compiled"):
+                 backend: str = "compiled",
+                 degradation: Optional[DegradationConfig] = None,
+                 injector=None):
         from repro.workloads.profiles import PROFILES
 
         self.tenant = tenant
         self.device_name = device_name
         self.qemu_version = qemu_version
         self.mode = mode
+        self.degradation = degradation or DEFAULT_DEGRADATION
+        self.injector = injector
         self.profile = PROFILES[device_name]
         self.vm, self.device = self.profile.make_vm(qemu_version,
                                                     backend=backend)
@@ -64,6 +81,16 @@ class GuardedInstance:
         self.quarantined = False
         self.quarantine_reason = ""
         self.reports: List[CheckReport] = []
+        self._op_serial = 0
+        self._tracer = None
+        if injector is not None and any(
+                injector.armed(s) for s in
+                ("ipt.drop", "ipt.corrupt", "ipt.overflow")):
+            # Verification tracer: captures the op's real packet stream so
+            # the ipt fault arms exercise the genuine decode/resync path.
+            from repro.ipt.tracer import IPTTracer
+            self._tracer = IPTTracer(injector=injector)
+            self.device.machine.add_sink(self._tracer)
 
     def quarantine(self, reason: str) -> None:
         self.quarantined = True
@@ -72,8 +99,15 @@ class GuardedInstance:
     def apply(self, op: OpRequest) -> OpOutcome:
         if self.quarantined:
             return OpOutcome("rejected", detail=self.quarantine_reason)
+        self._op_serial += 1
+        op_key = f"{self.tenant}:{self._op_serial}:{op.kind}:{op.index}"
+        gap = self._pre_execution_gap(op, op_key)
+        if gap is not None:
+            return gap
         before = self.vm.stats.snapshot()
         warned = len(self.attachment.warnings)
+        if self._tracer is not None:
+            self._tracer.clear()
         try:
             self._run(op)
         except SEDSpecHalt as halt:
@@ -86,6 +120,9 @@ class GuardedInstance:
         except DeviceFault as fault:
             return self._outcome("fault", before,
                                  detail=f"{fault.kind}: {fault}")
+        gap = self._post_execution_gap(op_key, before)
+        if gap is not None:
+            return gap
         if len(self.attachment.warnings) > warned:
             # Enhancement mode warned-and-allowed: a detection on the
             # record, but the round completed and the tenant stays live.
@@ -94,6 +131,109 @@ class GuardedInstance:
             return self._outcome("detected", before, report=report,
                                  detail=str(report.first_anomaly()))
         return self._outcome("ok", before)
+
+    # -- fault arms ----------------------------------------------------------
+
+    def _pre_execution_gap(self, op: OpRequest,
+                           op_key: str) -> Optional[OpOutcome]:
+        """The ``interp.*`` arms: the checker's execution engine fails
+        *before* the round runs (so nothing — device or shadow state — has
+        advanced, and a retry genuinely replays from scratch)."""
+        inj = self.injector
+        if inj is None or not (inj.armed("interp.step")
+                               or inj.armed("interp.stall")):
+            return None
+        config = self.degradation
+        last = ""
+        for attempt in range(config.attempts):
+            try:
+                self._draw_interp_fault(f"{op_key}:{attempt}")
+            except InfraError as exc:
+                last = f"{type(exc).__name__}: {exc}"
+                continue
+            return None     # engine healthy (or the transient cleared)
+        if config.policy is DegradationPolicy.FAIL_OPEN:
+            # Checker machinery is down but policy says serve anyway:
+            # run the round unguarded, then re-align the shadow state so
+            # the blind spot does not cascade into false positives.
+            return self._run_unguarded(op, op_key, last)
+        report = gap_report(op_key, config, last)
+        self.reports.append(report)
+        return OpOutcome("trace_gap", report=report, detail=last)
+
+    def _draw_interp_fault(self, key: str) -> None:
+        inj = self.injector
+        spec = inj.decide("interp.step", self._op_serial, key)
+        if spec is not None:
+            raise InfraError("transient interpreter step fault",
+                             kind="step")
+        spec = inj.decide("interp.stall", self._op_serial, key)
+        if spec is not None:
+            raise InfraError(
+                f"checker round stalled past deadline ({spec.arg}ms)",
+                kind="stall")
+
+    def _run_unguarded(self, op: OpRequest, op_key: str,
+                       reason: str) -> OpOutcome:
+        """Fail-open service: detach the checker for this op, execute,
+        re-attach, resync the shadow device state."""
+        before = self.vm.stats.snapshot()
+        attachment = self.vm.attachments.pop(self.device.NAME)
+        try:
+            self._run(op)
+        except DeviceFault as fault:
+            return self._outcome("fault", before,
+                                 detail=f"{fault.kind}: {fault}")
+        finally:
+            self.vm.attachments[self.device.NAME] = attachment
+            attachment.checker.resync(self.device.state)
+        report = gap_report(op_key, self.degradation, reason)
+        self.reports.append(report)
+        return self._outcome("ok", before, report=report, detail=reason)
+
+    def _post_execution_gap(self, op_key: str,
+                            before) -> Optional[OpOutcome]:
+        """The ``ipt.*`` arms: the op executed and was vetted, but the
+        trace that vouches for it may be damaged.  Verification replays
+        (decode attempts) are retryable; capture loss is not."""
+        if self._tracer is None:
+            return None
+        config = self.degradation
+        last = ""
+        for attempt in range(config.attempts):
+            try:
+                self._verify_trace(f"{op_key}:{attempt}")
+            except (DecodeError, TraceError) as exc:
+                last = f"{type(exc).__name__}: {exc}"
+                continue
+            return None
+        report = gap_report(op_key, config, last)
+        self.reports.append(report)
+        if config.policy is DegradationPolicy.FAIL_OPEN:
+            return self._outcome("ok", before, report=report, detail=last)
+        return self._outcome("trace_gap", before, report=report,
+                             detail=last)
+
+    def _verify_trace(self, key: str) -> None:
+        from repro.faults.plan import corrupt_bytes
+        from repro.ipt.packets import decode_resilient
+
+        tracer = self._tracer
+        if tracer.dropped:
+            raise TraceError(
+                f"{tracer.dropped} packet(s) lost in capture "
+                f"({tracer.overflows} overflow(s))")
+        raw = corrupt_bytes(tracer.raw(), self.injector,
+                            round_=self._op_serial, key=key)
+        parsed = decode_resilient(raw)
+        if parsed.gaps:
+            reasons = ",".join(sorted({g.reason for g in parsed.gaps}))
+            raise DecodeError(
+                f"trace loss ({reasons}): {parsed.lost_bytes()} byte(s) "
+                f"in {len(parsed.gaps)} gap(s)",
+                offset=parsed.gaps[0].start, packets=parsed.packets)
+
+    # -- execution -----------------------------------------------------------
 
     def _run(self, op: OpRequest) -> None:
         import random
@@ -108,8 +248,8 @@ class GuardedInstance:
             fn = self.profile.rare_ops[op.index
                                        % len(self.profile.rare_ops)]
             fn(self.vm, self.driver, random.Random(op.seed))
-        elif op.kind == "crash":
-            pass                # tombstoned crash op: already handled
+        elif op.kind in ("crash", "hang"):
+            pass                # tombstoned fault op: already handled
         else:
             raise ValueError(f"unknown op kind {op.kind!r}")
 

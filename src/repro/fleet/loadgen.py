@@ -21,18 +21,22 @@ from repro.exploits import EXPLOITS, exploit_by_cve
 
 DEFAULT_QEMU_VERSION = "99.0.0"
 
-#: Request kinds a worker understands.  ``crash`` is a fault-injection
-#: hook: a worker *process* receiving a live crash op dies on the spot
-#: (supervisor fault-tolerance tests); a tombstoned one (seed < 0) is a
-#: no-op so the respawned worker can drain the requeued batch.
-OP_KINDS = ("common", "rare", "exploit", "crash")
+#: Request kinds a worker understands.  ``crash`` and ``hang`` are
+#: fault-injection hooks: a worker *process* receiving a live crash op
+#: dies on the spot and one receiving a live hang op stops responding
+#: (watchdog fodder); a tombstoned one (seed < 0) is a no-op so the
+#: respawned worker can drain the requeued batch.
+OP_KINDS = ("common", "rare", "exploit", "crash", "hang")
+
+#: Op kinds that take the worker process down when live.
+FAULT_OP_KINDS = ("crash", "hang")
 
 
 @dataclass(frozen=True)
 class OpRequest:
     kind: str                   # one of OP_KINDS
     index: int = 0              # op index within the profile's op list
-    seed: int = 0               # per-op RNG seed (< 0: tombstoned crash)
+    seed: int = 0               # per-op RNG seed (< 0: tombstoned fault)
     cve: str = ""               # for kind == "exploit"
 
 
@@ -45,6 +49,12 @@ class RequestBatch:
     qemu_version: str
     seq: int                    # globally unique, per-tenant monotonic
     ops: Tuple[OpRequest, ...]
+    #: how many times this batch has been requeued after an
+    #: infrastructure failure (worker crash/hang).  Seeds the worker's
+    #: per-tenant circuit breaker, so the breaker state survives the
+    #: respawn that destroyed the worker's memory — and so the inline
+    #: and pool paths see identical breaker inputs.
+    infra_strikes: int = 0
 
 
 @dataclass(frozen=True)
@@ -152,3 +162,39 @@ def build_load(devices: Sequence[str], tenants: int,
                          qemu_version=qemu_version, seed=seed)
     return plans, make_schedule(plans, batches_per_tenant,
                                 ops_per_batch, seed=seed)
+
+
+def inject_schedule_faults(schedule: Sequence[RequestBatch],
+                           plan) -> List[RequestBatch]:
+    """Materialize ``worker.crash``/``worker.hang`` faults into a schedule.
+
+    Placement happens *up front*, not at run time, so the inline and
+    multiprocessing fleet paths execute the exact same fault sequence:
+    each batch's fate is a keyed draw on its ``seq`` (order-independent),
+    and the chosen batch's first op is replaced by a live crash/hang op.
+    Batches carrying an exploit op are exempt — a campaign that ate its
+    own CVE injections could not assert the no-escape invariant.
+    """
+    from repro.faults.plan import FaultInjector
+
+    injector = FaultInjector(plan.for_sites("worker.crash", "worker.hang"))
+    out: List[RequestBatch] = []
+    for batch in schedule:
+        if (not injector.armed("worker.crash")
+                and not injector.armed("worker.hang")):
+            out.append(batch)
+            continue
+        if any(op.kind == "exploit" for op in batch.ops):
+            out.append(batch)
+            continue
+        kind = None
+        if injector.decide("worker.crash", batch.seq, batch.tenant):
+            kind = "crash"
+        elif injector.decide("worker.hang", batch.seq, batch.tenant):
+            kind = "hang"
+        if kind is None:
+            out.append(batch)
+            continue
+        ops = (OpRequest(kind, 0, 0),) + batch.ops[1:]
+        out.append(replace(batch, ops=ops))
+    return out

@@ -27,11 +27,20 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.devices.base import Device, create_device
+from repro.errors import SpecError
 from repro.spec import ExecutionSpec, spec_from_json, spec_to_json
 from repro.spec.serialize import layout_to_obj
 
 #: Bumping this invalidates every persisted spec (format evolution).
-CACHE_FORMAT = 1
+#: 2: envelopes carry a ``spec_sha256`` content digest so a bit-flipped
+#: payload is rejected instead of silently deploying a mutated spec.
+CACHE_FORMAT = 2
+
+
+def _spec_digest(spec_obj) -> str:
+    """Content hash of the serialized spec payload inside an envelope."""
+    return hashlib.sha256(
+        json.dumps(spec_obj, sort_keys=True).encode()).hexdigest()
 
 
 def program_fingerprint(device: Device) -> str:
@@ -57,6 +66,9 @@ class RegistryStats:
     memory_hits: int = 0
     disk_hits: int = 0
     stale_rejected: int = 0
+    #: unreadable/truncated/bit-flipped envelopes rejected on load; each
+    #: one recovers by retraining, never by deploying a mutated spec
+    corrupt_rejected: int = 0
 
 
 class SpecRegistry:
@@ -120,15 +132,35 @@ class SpecRegistry:
         path = self.cache_path(device_name, qemu_version)
         if path is None or not os.path.exists(path):
             return None
-        with open(path) as handle:
-            envelope = json.load(handle)
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+        except (OSError, ValueError):
+            # Truncated or garbled on disk: recover by retraining.
+            self.stats.corrupt_rejected += 1
+            return None
+        if not isinstance(envelope, dict):
+            self.stats.corrupt_rejected += 1
+            return None
         if (envelope.get("format") != CACHE_FORMAT
                 or envelope.get("fingerprint")
                 != self.fingerprint(device_name, qemu_version)):
             self.stats.stale_rejected += 1
             return None
+        try:
+            spec_obj = envelope["spec"]
+            if envelope.get("spec_sha256") != _spec_digest(spec_obj):
+                # A valid-JSON envelope whose payload was mutated (e.g.
+                # a bit flip inside a number) would otherwise deploy a
+                # spec the device was never trained for.
+                self.stats.corrupt_rejected += 1
+                return None
+            spec = spec_from_json(spec_obj)
+        except (KeyError, TypeError, ValueError, SpecError):
+            self.stats.corrupt_rejected += 1
+            return None
         self.stats.disk_hits += 1
-        return spec_from_json(envelope["spec"])
+        return spec
 
     def _train(self, device_name: str, qemu_version: str) -> ExecutionSpec:
         from repro.workloads.profiles import train_device_spec
@@ -146,6 +178,7 @@ class SpecRegistry:
         if path is None:
             return
         os.makedirs(os.path.dirname(path), exist_ok=True)
+        spec_obj = spec_to_json(spec)
         envelope = {
             "format": CACHE_FORMAT,
             "device": device_name,
@@ -153,7 +186,8 @@ class SpecRegistry:
             "fingerprint": self.fingerprint(device_name, qemu_version),
             "train_seed": self.seed,
             "train_repeats": self.repeats,
-            "spec": spec_to_json(spec),
+            "spec_sha256": _spec_digest(spec_obj),
+            "spec": spec_obj,
         }
         # Atomic publish: concurrent workers either see the whole file
         # or none of it, never a torn write.

@@ -32,13 +32,14 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.checker import CheckReport, Mode
+from repro.checker import CheckReport, DEFAULT_DEGRADATION, \
+    DegradationConfig, Mode
 from repro.errors import FleetError
-from repro.fleet.loadgen import RequestBatch, TenantPlan
+from repro.fleet.loadgen import FAULT_OP_KINDS, RequestBatch, TenantPlan
 from repro.fleet.registry import SpecRegistry
 from repro.fleet.worker import (
-    BatchResult, FleetWorker, batch_wants_crash, tombstone_crashes,
-    worker_main,
+    BatchResult, FleetWorker, batch_wants_crash, batch_wants_hang,
+    instance_injector, requeue_batch, worker_main,
 )
 from repro.workloads.benchtools import CYCLES_PER_SECOND
 
@@ -57,6 +58,21 @@ class FleetConfig:
     train_repeats: int = 2
     #: no result and no worker death for this long -> supervisor error
     stall_timeout: float = 120.0
+    #: a dispatched batch outstanding longer than this gets its worker
+    #: killed (hung process); 0 disables the watchdog
+    watchdog_timeout: float = 30.0
+    #: deterministic (jitter-free) exponential backoff on worker respawn:
+    #: the n-th respawn of a worker waits min(cap, base * 2**(n-1))
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    #: per-tenant circuit breaker: consecutive infra failures that open
+    #: the circuit (0 disables) and ops shed before a half-open probe
+    circuit_threshold: int = 3
+    circuit_cooldown: int = 4
+    #: what an enforcement-machinery failure means for the affected round
+    degradation: Optional[DegradationConfig] = None
+    #: armed fault plan shipped to every worker (chaos campaigns)
+    fault_plan: Optional[object] = None
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -82,6 +98,17 @@ class FleetStats:
     instance_respawns: int = 0
     #: late results for a seq already counted (requeue race), dropped
     duplicate_results: int = 0
+    #: ops refused fail-closed because the machinery lost their trace
+    trace_gaps: int = 0
+    #: ops whose round hit an infrastructure failure (includes fail-open
+    #: degraded allows, so may exceed ``trace_gaps``)
+    infra_failures: int = 0
+    #: ops shed by an open per-tenant circuit breaker
+    shed: int = 0
+    #: circuit-breaker open transitions across the fleet
+    circuit_opens: int = 0
+    #: hung worker processes killed by the supervisor watchdog
+    watchdog_kills: int = 0
     #: op_cycles samples feeding the latency percentiles; invariant:
     #: equals ``completed`` (each completed request is timed exactly once)
     latency_samples: int = 0
@@ -90,6 +117,12 @@ class FleetStats:
     makespan_cycles: int = 0
     p50_request_cycles: float = 0.0
     p95_request_cycles: float = 0.0
+    #: wall-clock queue wait (enqueue -> result) percentiles; requeued
+    #: batches keep their original enqueue timestamp, so a respawn shows
+    #: up as latency instead of silently resetting the clock
+    queue_wait_samples: int = 0
+    p50_queue_wait_s: float = 0.0
+    p95_queue_wait_s: float = 0.0
     wall_seconds: float = 0.0
 
     @property
@@ -120,9 +153,14 @@ class FleetStats:
                 f"quarantined={self.quarantined_instances} "
                 f"respawns={self.worker_respawns}w/"
                 f"{self.instance_respawns}i\n"
+                f"  degradation: trace_gaps={self.trace_gaps} "
+                f"infra_failures={self.infra_failures} shed={self.shed} "
+                f"circuit_opens={self.circuit_opens} "
+                f"watchdog_kills={self.watchdog_kills}\n"
                 f"  throughput={self.rounds_per_sec:,.0f} rounds/s "
                 f"(simulated) latency p50={self.p50_request_ms:.3f}ms "
                 f"p95={self.p95_request_ms:.3f}ms "
+                f"queue_wait p95={self.p95_queue_wait_s * 1e3:.1f}ms "
                 f"wall={self.wall_seconds:.2f}s")
 
 
@@ -136,6 +174,13 @@ class TenantSummary:
     rejected: int = 0
     faults: int = 0
     detections: int = 0
+    trace_gaps: int = 0
+    infra_failures: int = 0
+    shed: int = 0
+    #: exploit ops that ran to completion undetected (chaos invariant I1)
+    exploit_escapes: int = 0
+    #: exploit ops refused by degradation or load shedding
+    exploit_refusals: int = 0
     quarantined: bool = False
     quarantine_reason: str = ""
 
@@ -163,8 +208,12 @@ class _WorkerHandle:
         self.process: Optional[multiprocessing.process.BaseProcess] = None
         self.inbox = None
         self.outstanding: Dict[int, RequestBatch] = {}
+        self.dispatched_at: Dict[int, float] = {}   # seq -> monotonic ts
         self.respawns = 0
         self.dead = False           # respawn budget exhausted
+        #: backoff deadline: respawn is due but not started (jitter-free
+        #: exponential delay); no dispatch happens while this is set
+        self.respawn_at: Optional[float] = None
 
 
 class FleetSupervisor:
@@ -179,6 +228,14 @@ class FleetSupervisor:
             seed=self.config.train_seed,
             repeats=self.config.train_repeats)
         self._duplicates = 0
+        self._watchdog_kills = 0
+        #: seq -> monotonic ts of *first* dispatch; a requeued batch keeps
+        #: its original entry, so respawn delay shows up as queue latency
+        self._enqueue_ts: Dict[int, float] = {}
+        self._queue_waits: List[float] = []
+        #: swappable monotonic clock (tests substitute a fake)
+        self._clock = time.monotonic
+        self._recorder = recorder
         self._telemetry = None
         if recorder is not None:
             from repro.telemetry.instruments import FleetTelemetry
@@ -194,6 +251,9 @@ class FleetSupervisor:
                                     for b in schedule}))
         pending = self._assign(schedule)
         self._duplicates = 0
+        self._watchdog_kills = 0
+        self._enqueue_ts = {}
+        self._queue_waits = []
         if self.config.inline:
             results, lost, respawns = self._run_inline(pending)
         else:
@@ -219,16 +279,25 @@ class FleetSupervisor:
     # -- in-process fallback -------------------------------------------------
 
     def _make_worker(self, worker_id: int) -> FleetWorker:
+        config = self.config
         return FleetWorker(worker_id, self.registry,
-                           mode=self.config.mode,
-                           backend=self.config.backend,
-                           max_instance_respawns=self.config
-                           .max_instance_respawns)
+                           mode=config.mode,
+                           backend=config.backend,
+                           max_instance_respawns=config
+                           .max_instance_respawns,
+                           degradation=(config.degradation
+                                        or DEFAULT_DEGRADATION),
+                           injector=instance_injector(
+                               config.fault_plan,
+                               recorder=self._recorder),
+                           circuit_threshold=config.circuit_threshold,
+                           circuit_cooldown=config.circuit_cooldown)
 
     def _run_inline(self, pending: Dict[int, Deque[RequestBatch]]
                     ) -> Tuple[List[BatchResult], int, int]:
         """Single-process execution with identical semantics: crash ops
-        still cost the worker its in-memory instances and a respawn."""
+        still cost the worker its in-memory instances and a respawn, and
+        hang ops still count a watchdog kill."""
         results: List[BatchResult] = []
         lost = 0
         respawns = 0
@@ -237,17 +306,26 @@ class FleetSupervisor:
             budget = self.config.max_worker_respawns
             while batches:
                 batch = batches[0]
-                if batch_wants_crash(batch):
+                self._enqueue_ts.setdefault(batch.seq, self._clock())
+                crash = batch_wants_crash(batch)
+                hang = batch_wants_hang(batch)
+                if crash or hang:
                     if budget <= 0:
                         lost += sum(len(b.ops) for b in batches)
                         batches.clear()
                         break
                     budget -= 1
                     respawns += 1
+                    if hang:
+                        self._watchdog_kills += 1
                     worker = self._make_worker(worker_id)
-                    batches[0] = tombstone_crashes(batch)
+                    batches[0] = requeue_batch(batch)
                     continue
-                results.append(worker.run_batch(batches.popleft()))
+                batch = batches.popleft()
+                results.append(worker.run_batch(batch))
+                start = self._enqueue_ts.pop(batch.seq, None)
+                if start is not None:
+                    self._queue_waits.append(self._clock() - start)
         return results, lost, respawns
 
     # -- multiprocessing pool -----------------------------------------------
@@ -257,14 +335,30 @@ class FleetSupervisor:
         return multiprocessing.get_context(
             "fork" if "fork" in methods else methods[0])
 
+    def _slow_start(self, handle: _WorkerHandle) -> float:
+        """The ``worker.slow_start`` arm: seconds the spawned process
+        dawdles before serving (keyed on worker id + respawn count)."""
+        plan = self.config.fault_plan
+        if plan is None or not plan.has_site("worker.slow_start"):
+            return 0.0
+        from repro.faults.plan import FaultInjector
+        injector = FaultInjector(plan.for_sites("worker.slow_start"))
+        spec = injector.decide("worker.slow_start", handle.respawns,
+                               str(handle.worker_id))
+        return 0.05 * spec.arg if spec is not None else 0.0
+
     def _spawn(self, ctx, handle: _WorkerHandle, outbox) -> None:
+        config = self.config
         handle.inbox = ctx.Queue()
         handle.process = ctx.Process(
             target=worker_main,
             args=(handle.worker_id, self.registry.cache_dir,
-                  self.config.mode, self.config.backend,
-                  self.config.max_instance_respawns,
-                  handle.inbox, outbox),
+                  config.mode, config.backend,
+                  config.max_instance_respawns,
+                  handle.inbox, outbox, config.fault_plan,
+                  config.degradation or DEFAULT_DEGRADATION,
+                  config.circuit_threshold, config.circuit_cooldown,
+                  self._slow_start(handle)),
             daemon=True)
         handle.process.start()
 
@@ -291,6 +385,9 @@ class FleetSupervisor:
                 if self._collect(outbox, handles, results, done,
                                  timeout=0.05):
                     last_progress = time.monotonic()
+                self._watchdog(handles)
+                if self._revive(ctx, handles, outbox):
+                    last_progress = time.monotonic()
                 died = self._reap(ctx, outbox, handles, pending, results,
                                   done)
                 if died:
@@ -308,16 +405,51 @@ class FleetSupervisor:
     def _dispatch(self, handles: Dict[int, _WorkerHandle],
                   pending: Dict[int, Deque[RequestBatch]]) -> None:
         for worker_id, handle in handles.items():
-            if handle.dead:
+            if handle.dead or handle.respawn_at is not None:
                 continue
             while (pending[worker_id] and
                    len(handle.outstanding) < self.config.queue_depth):
                 batch = pending[worker_id].popleft()
                 handle.outstanding[batch.seq] = batch
+                now = self._clock()
+                handle.dispatched_at[batch.seq] = now
+                self._enqueue_ts.setdefault(batch.seq, now)
                 handle.inbox.put(("batch", batch))
                 if self._telemetry is not None:
                     self._telemetry.record_dispatch(
                         worker_id, len(handle.outstanding))
+
+    def _watchdog(self, handles: Dict[int, _WorkerHandle]) -> None:
+        """Kill a live worker whose oldest dispatched batch has been
+        outstanding past ``watchdog_timeout`` (hung, not dead — only a
+        kill gets its lane moving again).  The next ``_reap`` pass then
+        requeues and respawns as for any other death."""
+        timeout = self.config.watchdog_timeout
+        if not timeout:
+            return
+        now = self._clock()
+        for handle in handles.values():
+            if (handle.dead or handle.respawn_at is not None
+                    or handle.process is None
+                    or not handle.process.is_alive()):
+                continue
+            if any(now - t > timeout
+                   for t in handle.dispatched_at.values()):
+                handle.process.terminate()
+                self._watchdog_kills += 1
+
+    def _revive(self, ctx, handles: Dict[int, _WorkerHandle],
+                outbox) -> int:
+        """Start respawns whose backoff deadline has passed."""
+        revived = 0
+        now = self._clock()
+        for handle in handles.values():
+            if handle.respawn_at is None or now < handle.respawn_at:
+                continue
+            handle.respawn_at = None
+            self._spawn(ctx, handle, outbox)
+            revived += 1
+        return revived
 
     def _collect(self, outbox, handles: Dict[int, _WorkerHandle],
                  results: List[BatchResult], done: set,
@@ -341,29 +473,48 @@ class FleetSupervisor:
             if message[0] == "result":
                 _, worker_id, result = message
                 handles[worker_id].outstanding.pop(result.seq, None)
+                handles[worker_id].dispatched_at.pop(result.seq, None)
                 if result.seq in done:
                     self._duplicates += 1
                     continue
                 done.add(result.seq)
                 results.append(result)
+                start = self._enqueue_ts.pop(result.seq, None)
+                if start is not None:
+                    self._queue_waits.append(self._clock() - start)
 
     def _reap(self, ctx, outbox, handles: Dict[int, _WorkerHandle],
               pending: Dict[int, Deque[RequestBatch]],
               results: List[BatchResult], done: set) -> Tuple[int, int]:
-        """Respawn dead workers, requeue their unacknowledged batches."""
+        """Respawn dead workers, requeue their unacknowledged batches.
+
+        Only the batch the worker actually died on — the lowest-seq
+        outstanding batch carrying a live crash/hang op — is tombstoned
+        (and given an infra strike); later outstanding batches were never
+        executed, so their own fault ops must stay live or the inline and
+        pool paths would see different fault sequences.  Requeued batches
+        keep their original ``_enqueue_ts`` entry: the respawn shows up
+        in queue-wait latency instead of resetting it.
+        """
         respawned = 0
         lost = 0
         for worker_id, handle in handles.items():
-            if handle.dead or handle.process is None \
+            if handle.dead or handle.respawn_at is not None \
+                    or handle.process is None \
                     or handle.process.is_alive():
                 continue
             if not handle.outstanding and not pending[worker_id]:
                 continue
             # Late results may have been posted before death.
             self._collect(outbox, handles, results, done, timeout=0.05)
-            requeue = [tombstone_crashes(b) for _, b in
-                       sorted(handle.outstanding.items())]
+            requeue = [b for _, b in sorted(handle.outstanding.items())]
+            for i, b in enumerate(requeue):
+                if any(op.kind in FAULT_OP_KINDS and op.seed >= 0
+                       for op in b.ops):
+                    requeue[i] = requeue_batch(b)
+                    break
             handle.outstanding.clear()
+            handle.dispatched_at.clear()
             if handle.respawns >= self.config.max_worker_respawns:
                 handle.dead = True
                 lost += sum(len(b.ops) for b in requeue)
@@ -373,9 +524,13 @@ class FleetSupervisor:
             handle.respawns += 1
             respawned += 1
             pending[worker_id].extendleft(reversed(requeue))
-            # A fresh inbox: anything buffered for the dead process is
-            # covered by the requeue and must not double-deliver.
-            self._spawn(ctx, handle, outbox)
+            # A fresh inbox (anything buffered for the dead process is
+            # covered by the requeue and must not double-deliver) after a
+            # deterministic, jitter-free exponential backoff.
+            delay = min(self.config.backoff_cap,
+                        self.config.backoff_base
+                        * (2 ** (handle.respawns - 1)))
+            handle.respawn_at = self._clock() + delay
         return respawned, lost
 
     def _shutdown(self, handles: Dict[int, _WorkerHandle]) -> None:
@@ -415,6 +570,7 @@ class FleetSupervisor:
                            requests=sum(len(b.ops) for b in schedule),
                            lost=lost, worker_respawns=worker_respawns,
                            duplicate_results=self._duplicates,
+                           watchdog_kills=self._watchdog_kills,
                            wall_seconds=wall)
         for result in results:
             summary = tenants[result.tenant]
@@ -422,6 +578,11 @@ class FleetSupervisor:
             summary.rejected += result.rejected
             summary.faults += result.faults
             summary.detections += result.detections
+            summary.trace_gaps += result.trace_gaps
+            summary.infra_failures += result.infra_failures
+            summary.shed += result.shed
+            summary.exploit_escapes += result.exploit_escapes
+            summary.exploit_refusals += result.exploit_refusals
             if result.quarantined:
                 summary.quarantined = True
                 summary.quarantine_reason = result.quarantine_reason
@@ -430,6 +591,10 @@ class FleetSupervisor:
             stats.faults += result.faults
             stats.detections += result.detections
             stats.instance_respawns += result.instance_respawns
+            stats.trace_gaps += result.trace_gaps
+            stats.infra_failures += result.infra_failures
+            stats.shed += result.shed
+            stats.circuit_opens += result.circuit_opens
             stats.io_rounds += result.io_rounds
             stats.total_cycles += result.cycles
             busy[result.worker_id] = (busy.get(result.worker_id, 0)
@@ -437,7 +602,8 @@ class FleetSupervisor:
             request_cycles.extend(result.op_cycles)
             reports.extend((result.tenant, r) for r in result.reports)
         unaccounted = (stats.requests - stats.completed - stats.rejected
-                       - stats.faults - stats.lost)
+                       - stats.faults - stats.trace_gaps - stats.shed
+                       - stats.lost)
         if unaccounted > 0:       # batches that never produced a result
             stats.lost += unaccounted
         stats.quarantined_instances = sum(
@@ -446,6 +612,9 @@ class FleetSupervisor:
         stats.latency_samples = len(request_cycles)
         stats.p50_request_cycles = percentile(request_cycles, 0.50)
         stats.p95_request_cycles = percentile(request_cycles, 0.95)
+        stats.queue_wait_samples = len(self._queue_waits)
+        stats.p50_queue_wait_s = percentile(self._queue_waits, 0.50)
+        stats.p95_queue_wait_s = percentile(self._queue_waits, 0.95)
         telemetry = self._telemetry
         if telemetry is not None:
             # Result-level recording happens here, once per counted
@@ -459,6 +628,8 @@ class FleetSupervisor:
                     telemetry.record_quarantine(summary.tenant)
             if worker_respawns:
                 telemetry.worker_respawns.inc(worker_respawns)
+            if stats.watchdog_kills:
+                telemetry.watchdog_kills.inc(stats.watchdog_kills)
             if stats.lost:
                 telemetry.lost.inc(stats.lost)
             if stats.duplicate_results:

@@ -6,18 +6,29 @@ point.  Instances are built lazily on a tenant's first batch (specs come
 from the shared :class:`~repro.fleet.registry.SpecRegistry`, so a worker
 process never retrains); a device fault respawns the instance in place
 with bounded retries, after which the tenant is fenced off.
+
+The worker also runs the fleet's per-tenant **circuit breaker** — an
+infrastructure guard distinct from security quarantine: after
+``circuit_threshold`` *consecutive* infra failures (trace gaps, decode
+failures) a tenant's circuit opens and its requests are shed (counted,
+never quarantined) until a half-open probe succeeds.  Breaker inputs are
+deterministic: tenants are pinned to workers, batches run sequentially,
+and a batch requeued after a worker death carries its accumulated
+``infra_strikes`` so the breaker survives the respawn that wiped the
+worker's memory.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
-from repro.checker import CheckReport, Mode
+from repro.checker import CheckReport, DEFAULT_DEGRADATION, \
+    DegradationConfig, Mode
 from repro.fleet.instance import GuardedInstance
-from repro.fleet.loadgen import OpRequest, RequestBatch
+from repro.fleet.loadgen import FAULT_OP_KINDS, OpRequest, RequestBatch
 from repro.fleet.registry import SpecRegistry
 
 
@@ -26,14 +37,40 @@ def batch_wants_crash(batch: RequestBatch) -> bool:
     return any(op.kind == "crash" and op.seed >= 0 for op in batch.ops)
 
 
+def batch_wants_hang(batch: RequestBatch) -> bool:
+    """A live (non-tombstoned) hang-injection op in this batch?"""
+    return any(op.kind == "hang" and op.seed >= 0 for op in batch.ops)
+
+
 def tombstone_crashes(batch: RequestBatch) -> RequestBatch:
-    """Neutralize crash ops so a requeued batch can drain normally."""
-    if not batch_wants_crash(batch):
+    """Neutralize crash/hang ops so a requeued batch can drain normally."""
+    if not any(op.kind in FAULT_OP_KINDS and op.seed >= 0
+               for op in batch.ops):
         return batch
-    ops = tuple(OpRequest("crash", op.index, -1, op.cve)
-                if op.kind == "crash" else op for op in batch.ops)
-    return RequestBatch(batch.tenant, batch.device, batch.qemu_version,
-                        batch.seq, ops)
+    ops = tuple(OpRequest(op.kind, op.index, -1, op.cve)
+                if op.kind in FAULT_OP_KINDS else op for op in batch.ops)
+    return replace(batch, ops=ops)
+
+
+def requeue_batch(batch: RequestBatch) -> RequestBatch:
+    """Prepare a batch for redelivery after its worker died: tombstone
+    the fault op that killed the worker and record the infra strike so
+    the respawned worker's circuit breaker starts where the dead one
+    left off."""
+    return replace(tombstone_crashes(batch),
+                   infra_strikes=batch.infra_strikes + 1)
+
+
+def instance_injector(fault_plan, recorder=None):
+    """The worker-local injector for instance-level fault arms (the
+    ipt/interp sites); None when the plan arms none of them."""
+    if fault_plan is None:
+        return None
+    sub = fault_plan.for_sites("ipt.", "interp.")
+    if not sub.specs:
+        return None
+    from repro.faults.plan import FaultInjector
+    return FaultInjector(sub, recorder=recorder)
 
 
 @dataclass
@@ -52,6 +89,22 @@ class BatchResult:
     instance_respawns: int = 0
     quarantined: bool = False   # instance quarantined after this batch
     quarantine_reason: str = ""
+    #: ops refused because the enforcement machinery could not vouch for
+    #: them (fail-closed / retry-exhausted trace loss)
+    trace_gaps: int = 0
+    #: ops whose round hit an infrastructure failure (degraded refusals
+    #: plus fail-open degraded allows)
+    infra_failures: int = 0
+    #: ops shed by an open per-tenant circuit breaker
+    shed: int = 0
+    #: circuit-breaker open transitions during this batch
+    circuit_opens: int = 0
+    #: exploit ops that executed to completion *without* a detection —
+    #: the chaos invariant I1 counts these as escapes
+    exploit_escapes: int = 0
+    #: exploit ops refused by degradation/shedding (fail-closed working:
+    #: the CVE did not run, but it was not detected either)
+    exploit_refusals: int = 0
     cycles: int = 0
     io_rounds: int = 0
     #: simulated cycles per completed request (latency percentiles)
@@ -69,14 +122,25 @@ class FleetWorker:
     mode: Mode = Mode.PROTECTION
     backend: str = "compiled"
     max_instance_respawns: int = 1
+    degradation: DegradationConfig = DEFAULT_DEGRADATION
+    injector: Optional[object] = None
+    #: consecutive infra failures that open a tenant's circuit; 0 disables
+    circuit_threshold: int = 3
+    #: ops shed while open before a half-open probe is let through
+    circuit_cooldown: int = 4
     instances: Dict[str, GuardedInstance] = field(default_factory=dict)
     _respawns: Dict[str, int] = field(default_factory=dict)
+    _strikes: Dict[str, int] = field(default_factory=dict)
+    _circuit_open: Dict[str, bool] = field(default_factory=dict)
+    _shed_since_probe: Dict[str, int] = field(default_factory=dict)
 
     def _build(self, batch: RequestBatch) -> GuardedInstance:
         spec = self.registry.get(batch.device, batch.qemu_version)
         return GuardedInstance(batch.tenant, batch.device,
                                batch.qemu_version, spec, mode=self.mode,
-                               backend=self.backend)
+                               backend=self.backend,
+                               degradation=self.degradation,
+                               injector=self.injector)
 
     def instance_for(self, batch: RequestBatch) -> GuardedInstance:
         instance = self.instances.get(batch.tenant)
@@ -87,35 +151,85 @@ class FleetWorker:
 
     def run_batch(self, batch: RequestBatch) -> BatchResult:
         start = time.perf_counter()
+        tenant = batch.tenant
         instance = self.instance_for(batch)
-        result = BatchResult(batch.tenant, batch.device, batch.seq,
+        result = BatchResult(tenant, batch.device, batch.seq,
                              self.worker_id, submitted=len(batch.ops))
+        # Seed the breaker from the batch: strikes accrued before the
+        # previous worker died must survive the respawn.
+        if batch.infra_strikes > self._strikes.get(tenant, 0):
+            self._strikes[tenant] = batch.infra_strikes
+        if (self.circuit_threshold > 0
+                and self._strikes.get(tenant, 0) >= self.circuit_threshold
+                and not self._circuit_open.get(tenant, False)):
+            self._open_circuit(tenant, result)
         op_cycles = []
         reports = []
         for op in batch.ops:
+            if self._circuit_open.get(tenant, False):
+                since = self._shed_since_probe.get(tenant, 0)
+                if since < self.circuit_cooldown:
+                    self._shed_since_probe[tenant] = since + 1
+                    result.shed += 1
+                    if op.kind == "exploit":
+                        result.exploit_refusals += 1
+                    continue
+                self._shed_since_probe[tenant] = 0   # half-open probe
             outcome = instance.apply(op)
             result.cycles += outcome.cycles
             result.io_rounds += outcome.io_rounds
             if outcome.report is not None:
                 reports.append(outcome.report)
+            infra = (outcome.report is not None
+                     and outcome.report.trace_gap)
+            if infra:
+                result.infra_failures += 1
+                strikes = self._strikes.get(tenant, 0) + 1
+                self._strikes[tenant] = strikes
+                if (self.circuit_threshold > 0
+                        and strikes >= self.circuit_threshold
+                        and not self._circuit_open.get(tenant, False)):
+                    self._open_circuit(tenant, result)
+            if outcome.status == "trace_gap":
+                result.trace_gaps += 1
+                if op.kind == "exploit":
+                    result.exploit_refusals += 1
+                continue
             if outcome.status == "rejected":
                 result.rejected += 1
+                if op.kind == "exploit":
+                    result.exploit_refusals += 1
                 continue
             if outcome.status == "fault":
                 result.faults += 1
                 instance = self._respawn_or_fence(batch, outcome.detail,
                                                   result)
                 continue
+            if not infra:
+                # A vouched-for round: the tenant's machinery is healthy
+                # again, so the strike run ends and an open circuit's
+                # successful probe closes it.
+                self._strikes[tenant] = 0
+                self._circuit_open.pop(tenant, None)
             result.completed += 1
             op_cycles.append(outcome.cycles)
             if outcome.status == "detected":
                 result.detections += 1
+            elif op.kind == "exploit":
+                # The exploit round ran to completion and nothing
+                # flagged it: that is an I1 escape, full stop.
+                result.exploit_escapes += 1
         result.quarantined = instance.quarantined
         result.quarantine_reason = instance.quarantine_reason
         result.op_cycles = tuple(op_cycles)
         result.reports = tuple(reports)
         result.wall_seconds = time.perf_counter() - start
         return result
+
+    def _open_circuit(self, tenant: str, result: BatchResult) -> None:
+        self._circuit_open[tenant] = True
+        self._shed_since_probe[tenant] = 0
+        result.circuit_opens += 1
 
     def _respawn_or_fence(self, batch: RequestBatch, detail: str,
                           result: BatchResult) -> GuardedInstance:
@@ -135,12 +249,23 @@ class FleetWorker:
 
 def worker_main(worker_id: int, cache_dir: Optional[str], mode: Mode,
                 backend: str, max_instance_respawns: int,
-                inbox, outbox) -> None:
+                inbox, outbox, fault_plan=None,
+                degradation: Optional[DegradationConfig] = None,
+                circuit_threshold: int = 3, circuit_cooldown: int = 4,
+                slow_start: float = 0.0) -> None:
     """Multiprocessing entry: drain ("batch", RequestBatch) messages
     until ("stop",).  Specs are loaded from the shared disk cache."""
+    if slow_start > 0:
+        # worker.slow_start arm: the respawned process takes its time
+        # coming up; dispatched batches just wait in the inbox.
+        time.sleep(slow_start)
     registry = SpecRegistry(cache_dir=cache_dir)
     worker = FleetWorker(worker_id, registry, mode=mode, backend=backend,
-                         max_instance_respawns=max_instance_respawns)
+                         max_instance_respawns=max_instance_respawns,
+                         degradation=degradation or DEFAULT_DEGRADATION,
+                         injector=instance_injector(fault_plan),
+                         circuit_threshold=circuit_threshold,
+                         circuit_cooldown=circuit_cooldown)
     outbox.put(("ready", worker_id))
     while True:
         message = inbox.get()
@@ -151,4 +276,9 @@ def worker_main(worker_id: int, cache_dir: Optional[str], mode: Mode,
             # Fault-injection hook: die the way a segfaulting QEMU
             # worker would — no goodbye message, exit code and all.
             os._exit(13)
+        if batch_wants_hang(batch):
+            # Stop responding without dying: only the supervisor's
+            # watchdog can get this worker's lane moving again.
+            while True:
+                time.sleep(3600)
         outbox.put(("result", worker_id, worker.run_batch(batch)))

@@ -1,16 +1,18 @@
 """Software Intel-PT analogue: packet stream, tracer sink, and decoder."""
 
 from repro.ipt.packets import (
-    PSB, TNT_CAPACITY, Fup, Packet, Tip, TipPgd, TipPge, Tnt, decode,
-    encode, iter_rounds,
+    PSB, PSB_PATTERN, TNT_CAPACITY, DecodeResult, Fup, Ovf, Packet, Tip,
+    TipPgd, TipPge, Tnt, TraceGap, decode, decode_resilient, encode,
+    iter_rounds, resync_offset,
 )
 from repro.ipt.tracer import PSB_PERIOD, FilterConfig, IPTTracer
 from repro.ipt.decoder import DecodedRound, Decoder
 from repro.ipt.storage import TraceFile
 
 __all__ = [
-    "PSB", "TNT_CAPACITY", "Fup", "Packet", "Tip", "TipPgd", "TipPge",
-    "Tnt", "decode", "encode", "iter_rounds",
+    "PSB", "PSB_PATTERN", "TNT_CAPACITY", "DecodeResult", "Fup", "Ovf",
+    "Packet", "Tip", "TipPgd", "TipPge", "Tnt", "TraceGap", "decode",
+    "decode_resilient", "encode", "iter_rounds", "resync_offset",
     "PSB_PERIOD", "FilterConfig", "IPTTracer",
     "DecodedRound", "Decoder", "TraceFile",
 ]

@@ -18,7 +18,8 @@ from repro.ir import (
     Branch, Call, Goto, ICall, Program, Return, Switch,
 )
 from repro.ipt.packets import (
-    Fup, Packet, Tip, TipPgd, TipPge, Tnt, iter_rounds,
+    DecodeResult, Fup, Ovf, Packet, Tip, TipPgd, TipPge, Tnt,
+    decode_resilient, iter_rounds,
 )
 
 
@@ -32,6 +33,10 @@ class DecodedRound:
     indirect_edges: List[Tuple[int, int, str]] = field(default_factory=list)
     #: True if the round ended with a FUP (device fault mid-round).
     faulted: bool = False
+    #: True if an OVF fell inside the round: packets were lost (buffer
+    #: overflow or corruption resync) and the reconstructed path is only
+    #: the trustworthy prefix, not the whole round.
+    trace_gap: bool = False
 
     def edges(self) -> List[Tuple[int, int]]:
         """Consecutive-block edge list of the reconstructed path."""
@@ -45,13 +50,20 @@ class _BitFeed:
         self._tnt: List[bool] = []
         self._tips: List[int] = []
         self.faulted = False
+        self.gapped = False
         for pkt in packets:
+            if self.gapped:
+                # Nothing after an OVF is trustworthy within this round:
+                # the lost packets make later TNT/TIP alignment unknown.
+                break
             if isinstance(pkt, Tnt):
                 self._tnt.extend(pkt.bits)
             elif isinstance(pkt, Tip):
                 self._tips.append(pkt.ip)
             elif isinstance(pkt, Fup):
                 self.faulted = True
+            elif isinstance(pkt, Ovf):
+                self.gapped = True
         self._tnt_pos = 0
         self._tip_pos = 0
 
@@ -89,12 +101,21 @@ class Decoder:
     def decode_stream(self, packets: Iterable[Packet]) -> List[DecodedRound]:
         return [self.decode_round(chunk) for chunk in iter_rounds(packets)]
 
+    def decode_bytes(self, data: bytes
+                     ) -> Tuple[List[DecodedRound], DecodeResult]:
+        """Resilient bytes-level entry: PSB-resynchronized decode, then
+        per-round reconstruction.  Rounds overlapping a loss region carry
+        ``trace_gap=True``; nothing raises on corrupt input."""
+        parsed = decode_resilient(data)
+        return self.decode_stream(parsed.packets), parsed
+
     def decode_round(self, packets: List[Packet]) -> DecodedRound:
         pge = next((p for p in packets if isinstance(p, TipPge)), None)
         if pge is None:
             raise TraceError("round has no TIP.PGE packet")
         feed = _BitFeed(packets)
-        round_ = DecodedRound(entry_address=pge.ip, faulted=feed.faulted)
+        round_ = DecodedRound(entry_address=pge.ip, faulted=feed.faulted,
+                              trace_gap=feed.gapped)
         self._walk(pge.ip, feed, round_)
         telemetry = self._telemetry
         if telemetry is not None:
@@ -129,8 +150,9 @@ class Decoder:
             elif isinstance(term, Branch):
                 bit = feed.next_bit()
                 if bit is None:
-                    if round_.faulted or feed.exhausted():
-                        return   # trace ended mid-path (fault / truncation)
+                    if (round_.faulted or round_.trace_gap
+                            or feed.exhausted()):
+                        return   # trace ended mid-path (fault/gap/trunc)
                     raise TraceError(
                         f"TNT underflow at {func_name}:{label}")
                 label = term.taken if bit else term.not_taken

@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple
 
 from repro.interp.sinks import TraceSink
 from repro.ipt.packets import (
-    PSB, Fup, Packet, Tip, TipPgd, TipPge, Tnt, TNT_CAPACITY, encode,
+    PSB, Fup, Ovf, Packet, Tip, TipPgd, TipPge, Tnt, TNT_CAPACITY, encode,
 )
 
 #: Emit a PSB sync packet after this many packets, like periodic PSB+ in PT.
@@ -48,13 +48,25 @@ class IPTTracer(TraceSink):
     """
 
     def __init__(self, config: Optional[FilterConfig] = None,
-                 recorder=None):
+                 recorder=None, injector=None,
+                 buffer_limit: Optional[int] = None):
         self.config = config or FilterConfig()
         self.packets: List[Packet] = []
+        #: fault-injection hook (see :mod:`repro.faults`) arming the
+        #: ``ipt.drop`` / ``ipt.overflow`` sites in this tracer
+        self.injector = injector
+        #: packets the (simulated) trace buffer holds between sync points;
+        #: exceeding it loses the incoming packet and emits OVF + PSB,
+        #: like a ToPA buffer wrapping under load
+        self.buffer_limit = buffer_limit
+        self.overflows = 0
+        self.dropped = 0
         self._tnt_bits: List[bool] = []
         self._enabled = False
         self._need_pge = False
         self._since_psb = 0
+        self._round = 0
+        self._pushed = 0
         self._telemetry = None
         if recorder is not None:
             from repro.telemetry.instruments import PacketTelemetry
@@ -69,6 +81,7 @@ class IPTTracer(TraceSink):
     def on_io_enter(self, key, args) -> None:
         self._enabled = True
         self._need_pge = True
+        self._round += 1
         if self._telemetry is not None:
             self._telemetry.rounds.inc()
         self._push(PSB())
@@ -117,6 +130,8 @@ class IPTTracer(TraceSink):
         self.packets.clear()
         self._tnt_bits.clear()
         self._since_psb = 0
+        self.overflows = 0
+        self.dropped = 0
 
     def packet_count(self) -> int:
         return len(self.packets)
@@ -129,6 +144,24 @@ class IPTTracer(TraceSink):
             self._tnt_bits.clear()
 
     def _push(self, pkt: Packet) -> None:
+        self._pushed += 1
+        # Sync packets are exempt from loss: real PT keeps emitting PSB+
+        # through an overflow precisely so decoders can resynchronize.
+        if not isinstance(pkt, PSB):
+            if (self.buffer_limit is not None
+                    and self._since_psb >= self.buffer_limit):
+                self._overflow()
+                return
+            injector = self.injector
+            if injector is not None:
+                key = str(self._pushed)
+                if injector.decide("ipt.drop", self._round, key) is not None:
+                    self.dropped += 1
+                    return
+                if injector.decide("ipt.overflow", self._round,
+                                   key) is not None:
+                    self._overflow()
+                    return
         self.packets.append(pkt)
         telemetry = self._telemetry
         if telemetry is not None:
@@ -140,3 +173,16 @@ class IPTTracer(TraceSink):
             if telemetry is not None:
                 telemetry.count(psb)
             self._since_psb = 0
+
+    def _overflow(self) -> None:
+        """The trace buffer wrapped: the incoming packet is lost.  Emit
+        OVF so the decoder knows a gap starts here, then PSB so it can
+        pick the stream back up at a sync boundary."""
+        self.overflows += 1
+        self.dropped += 1
+        telemetry = self._telemetry
+        for pkt in (Ovf(), PSB()):
+            self.packets.append(pkt)
+            if telemetry is not None:
+                telemetry.count(pkt)
+        self._since_psb = 0

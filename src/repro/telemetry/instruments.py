@@ -219,7 +219,8 @@ class FleetTelemetry:
     __slots__ = ("_recorder", "_depth", "_request_cycles", "_requests",
                  "_worker_cycles", "_detections", "_quarantines",
                  "worker_respawns", "instance_respawns", "lost",
-                 "duplicates")
+                 "duplicates", "trace_gaps", "infra_failures", "shed",
+                 "circuit_opens", "watchdog_kills")
 
     def __init__(self, recorder: Recorder):
         self._recorder = recorder
@@ -234,6 +235,13 @@ class FleetTelemetry:
             "fleet.instance_respawns")
         self.lost = recorder.counter("fleet.lost_requests")
         self.duplicates = recorder.counter("fleet.duplicate_results")
+        # Degradation counters: infrastructure outcomes, kept separate
+        # from the security counters above by name.
+        self.trace_gaps = recorder.counter("fleet.trace_gaps")
+        self.infra_failures = recorder.counter("fleet.infra_failures")
+        self.shed = recorder.counter("fleet.shed_requests")
+        self.circuit_opens = recorder.counter("fleet.circuit_opens")
+        self.watchdog_kills = recorder.counter("fleet.watchdog_kills")
 
     def record_dispatch(self, worker_id: int, depth: int) -> None:
         hist = self._depth.get(worker_id)
@@ -278,6 +286,14 @@ class FleetTelemetry:
         counter.inc(result.cycles)
         if result.instance_respawns:
             self.instance_respawns.inc(result.instance_respawns)
+        if result.trace_gaps:
+            self.trace_gaps.inc(result.trace_gaps)
+        if result.infra_failures:
+            self.infra_failures.inc(result.infra_failures)
+        if result.shed:
+            self.shed.inc(result.shed)
+        if result.circuit_opens:
+            self.circuit_opens.inc(result.circuit_opens)
 
     def record_report(self, tenant: str, report) -> None:
         for strategy in {a.strategy for a in report.anomalies}:
@@ -296,4 +312,22 @@ class FleetTelemetry:
             counter = self._recorder.counter("fleet.quarantines",
                                              tenant=tenant)
             self._quarantines[tenant] = counter
+        counter.inc()
+
+
+class FaultTelemetry:
+    """Injected-fault accounting: one ``faults.injected`` counter per
+    site a :class:`~repro.faults.plan.FaultInjector` fires at."""
+
+    __slots__ = ("_recorder", "_sites")
+
+    def __init__(self, recorder: Recorder):
+        self._recorder = recorder
+        self._sites: Dict[str, object] = {}
+
+    def record(self, site: str) -> None:
+        counter = self._sites.get(site)
+        if counter is None:
+            counter = self._recorder.counter("faults.injected", site=site)
+            self._sites[site] = counter
         counter.inc()

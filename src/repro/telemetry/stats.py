@@ -33,8 +33,15 @@ class StatsRun:
 
 def run_stats(device: str = "fdc", rounds: int = 200,
               backend: str = "compiled", qemu_version: str = "99.0.0",
-              mode: Mode = Mode.ENHANCEMENT, seed: int = 7) -> StatsRun:
-    """Run an instrumented benign workload of ~*rounds* checked rounds."""
+              mode: Mode = Mode.ENHANCEMENT, seed: int = 7,
+              chaos_seed: int = None) -> StatsRun:
+    """Run an instrumented benign workload of ~*rounds* checked rounds.
+
+    With *chaos_seed* set, a small single-seed chaos trial (see
+    :mod:`repro.faults`) runs afterwards against the same telemetry
+    registry, so the fault-injection and degradation counters come out
+    populated instead of all-zero.
+    """
     from repro.core import deploy
     from repro.workloads.profiles import PROFILES, train_device_spec
 
@@ -58,6 +65,12 @@ def run_stats(device: str = "fdc", rounds: int = 200,
         else:
             op = rng.choice(ops)
         op(vm, driver, rng)
+    if chaos_seed is not None:
+        from repro.faults import CampaignConfig, run_seed
+        run_seed(CampaignConfig(seeds=(chaos_seed,), devices=(device,),
+                                tenants=2, batches_per_tenant=2,
+                                ops_per_batch=3),
+                 chaos_seed, recorder=registry.recorder("fleet"))
     return StatsRun(device=device, backend=backend,
                     rounds=attachment.checked_rounds,
                     snapshot=registry.snapshot(),
@@ -86,6 +99,26 @@ def latency_rows(snapshot: TelemetrySnapshot) -> List[Tuple]:
                      int(hist.percentile(0.95)),
                      int(hist.percentile(0.99)),
                      hist.max if hist.max is not None else 0))
+    return rows
+
+
+#: Fleet-level degradation counters surfaced by ``repro stats``.
+DEGRADATION_COUNTERS = (
+    "fleet.trace_gaps", "fleet.infra_failures", "fleet.shed_requests",
+    "fleet.circuit_opens", "fleet.watchdog_kills",
+)
+
+
+def degradation_rows(snapshot: TelemetrySnapshot) -> List[Tuple]:
+    """(counter, total) rows for the degradation pipeline, followed by
+    per-site ``faults.injected`` rows.  All-zero in a benign run; the
+    chaos arms (``repro stats --chaos-seed`` / ``repro chaos``) fill
+    them in."""
+    rows = [(name, sum(snapshot.counters_named(name).values()))
+            for name in DEGRADATION_COUNTERS]
+    injected = snapshot.label_values("faults.injected", "site")
+    for site in sorted(injected):
+        rows.append((f"faults.injected[{site}]", injected[site]))
     return rows
 
 

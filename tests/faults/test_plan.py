@@ -1,0 +1,116 @@
+"""FaultPlan/FaultInjector core: keyed determinism, budgets, corruption."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.faults import (
+    FaultInjector, FaultPlan, FaultSpec, corrupt_bytes, corrupt_file,
+    keyed_rng, plan_from_json, plan_to_json,
+)
+
+
+class TestSpecs:
+    def test_unknown_site_rejected(self):
+        with pytest.raises(WorkloadError, match="unknown fault site"):
+            FaultSpec("ipt.meteor_strike")
+
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(WorkloadError, match="probability"):
+            FaultSpec("ipt.drop", probability=1.5)
+
+    def test_plan_json_round_trip(self):
+        plan = FaultPlan(42, (
+            FaultSpec("ipt.drop", probability=0.25, max_fires=3),
+            FaultSpec("interp.stall", trigger_round=7, arg=250),
+        ))
+        assert plan_from_json(plan_to_json(plan)) == plan
+
+    def test_for_sites_filters_by_prefix(self):
+        plan = FaultPlan(1, (FaultSpec("ipt.drop"),
+                             FaultSpec("worker.crash"),
+                             FaultSpec("interp.step")))
+        sub = plan.for_sites("ipt.", "interp.")
+        assert {s.site for s in sub.specs} == {"ipt.drop", "interp.step"}
+        assert sub.seed == plan.seed
+        assert plan.has_site("worker.")
+        assert not sub.has_site("worker.")
+
+
+class TestKeyedDeterminism:
+    def test_same_inputs_same_stream(self):
+        a = keyed_rng(7, "ipt.drop", "3:hello")
+        b = keyed_rng(7, "ipt.drop", "3:hello")
+        assert [a.random() for _ in range(5)] == \
+            [b.random() for _ in range(5)]
+
+    def test_different_keys_diverge(self):
+        assert keyed_rng(7, "ipt.drop", "a").random() != \
+            keyed_rng(7, "ipt.drop", "b").random()
+
+    def test_decisions_are_call_order_independent(self):
+        plan = FaultPlan(11, (FaultSpec("ipt.drop", probability=0.5),))
+        keys = [f"k{i}" for i in range(40)]
+        forward = FaultInjector(plan)
+        backward = FaultInjector(plan)
+        got_fwd = {k: forward.decide("ipt.drop", 0, k) is not None
+                   for k in keys}
+        got_bwd = {k: backward.decide("ipt.drop", 0, k) is not None
+                   for k in reversed(keys)}
+        assert got_fwd == got_bwd
+        assert 0 < sum(got_fwd.values()) < len(keys)
+
+    def test_unarmed_site_never_fires(self):
+        injector = FaultInjector(FaultPlan(1, (FaultSpec("ipt.drop"),)))
+        assert not injector.armed("interp.step")
+        assert injector.decide("interp.step", 0, "x") is None
+
+    def test_max_fires_budget_caps_a_certain_fault(self):
+        plan = FaultPlan(1, (FaultSpec("ipt.drop", max_fires=2),))
+        injector = FaultInjector(plan)
+        fired = [injector.decide("ipt.drop", r, "k") is not None
+                 for r in range(5)]
+        assert fired == [True, True, False, False, False]
+        assert injector.fired == {"ipt.drop": 2}
+        assert injector.fired_total() == 2
+
+    def test_trigger_round_fires_exactly_there(self):
+        plan = FaultPlan(1, (FaultSpec("interp.stall", trigger_round=3),))
+        injector = FaultInjector(plan)
+        fired = [injector.decide("interp.stall", r) is not None
+                 for r in range(6)]
+        assert fired == [False, False, False, True, False, False]
+
+
+class TestCorruption:
+    def test_corrupt_bytes_is_deterministic(self):
+        plan = FaultPlan(5, (FaultSpec("ipt.corrupt", arg=3),))
+        data = bytes(range(64))
+        one = corrupt_bytes(data, FaultInjector(plan), round_=2, key="k")
+        two = corrupt_bytes(data, FaultInjector(plan), round_=2, key="k")
+        assert one == two
+        assert one != data
+        assert len(one) == len(data)
+
+    def test_corrupt_bytes_without_a_fire_is_identity(self):
+        plan = FaultPlan(5, (FaultSpec("ipt.corrupt", probability=0.0),))
+        data = b"\x01\x02\x03"
+        assert corrupt_bytes(data, FaultInjector(plan)) is data
+
+    def test_corrupt_file_truncates(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_bytes(b"x" * 100)
+        plan = FaultPlan(9, (FaultSpec("registry.truncate"),))
+        kind = corrupt_file(str(path), FaultInjector(plan), key="spec")
+        assert kind == "truncate"
+        assert len(path.read_bytes()) < 100
+
+    def test_corrupt_file_bitflips_one_byte(self, tmp_path):
+        path = tmp_path / "spec.json"
+        original = bytes(100)
+        path.write_bytes(original)
+        plan = FaultPlan(9, (FaultSpec("registry.bitflip"),))
+        kind = corrupt_file(str(path), FaultInjector(plan), key="spec")
+        assert kind == "bitflip"
+        mutated = path.read_bytes()
+        assert len(mutated) == 100
+        assert sum(a != b for a, b in zip(mutated, original)) == 1

@@ -1,0 +1,129 @@
+"""PSB resynchronization and the single-byte corruption property.
+
+The load-bearing decoder guarantee: corruption may cost a *bounded,
+reported* region of the stream, but it must never silently change what
+was decoded outside that region.  Packets parsed from bytes before the
+corruption are exact; packets after the next PSB sync pattern are exact;
+everything in between is declared as a :class:`TraceGap`.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DecodeError
+from repro.ipt import (
+    Ovf, PSB, PSB_PATTERN, Tip, TipPgd, TipPge, Tnt, decode,
+    decode_resilient, encode, resync_offset,
+)
+
+# Addresses whose encoded bytes never exceed 0x7f: the PSB pattern
+# (which needs 0x82 bytes) then cannot occur by accident, and a single
+# byte flip cannot forge one, so resync points are exactly the real PSBs.
+ips = st.integers(0, 2 ** 31 - 1).map(lambda v: v & 0x7F7F7F7F)
+
+packet = st.one_of(
+    st.just(PSB()),
+    ips.map(TipPge),
+    ips.map(TipPgd),
+    ips.map(Tip),
+    st.lists(st.booleans(), min_size=1, max_size=6)
+      .map(lambda bits: Tnt(tuple(bits))),
+)
+
+streams = st.lists(packet, min_size=1, max_size=40)
+
+
+def boundaries(packets):
+    """Byte offset where each packet's encoding ends."""
+    ends, total = [], 0
+    for pkt in packets:
+        total += len(encode([pkt]))
+        ends.append(total)
+    return ends
+
+
+@given(streams, st.data())
+@settings(max_examples=150, deadline=None)
+def test_single_byte_corruption_never_silently_rewrites_the_stream(
+        packets, data):
+    clean = encode(packets)
+    pos = data.draw(st.integers(0, len(clean) - 1), label="corrupt_at")
+    flip = data.draw(st.integers(1, 255), label="xor")
+    dirty = bytes(clean[:pos] + bytes([clean[pos] ^ flip])
+                  + clean[pos + 1:])
+    intact = sum(1 for end in boundaries(packets) if end <= pos)
+
+    # Strict decode: correct prefix, then DecodeError — never garbage.
+    try:
+        strict = decode(dirty)
+    except DecodeError as exc:
+        assert exc.offset >= 0
+        assert exc.packets[:intact] == packets[:intact]
+    else:
+        assert strict[:intact] == packets[:intact]
+
+    # Resilient decode never raises, reports every lost byte, and
+    # round-trips the suffix beyond the next sync point exactly.
+    result = decode_resilient(dirty)
+    assert result.packets[:intact] == packets[:intact]
+    for gap in result.gaps:
+        assert 0 <= gap.start < gap.end <= len(dirty)
+    if result.gaps:
+        sync = resync_offset(dirty, result.gaps[-1].end - 1)
+        if sync >= 0 and sync > pos:
+            tail = decode(clean[sync:])
+            assert result.packets[-len(tail):] == tail
+
+
+class TestResilientDecode:
+    def test_clean_stream_round_trips_without_gaps(self):
+        packets = [PSB(), TipPge(0x10), Tnt((True, False)), Tip(0x20),
+                   TipPgd(0)]
+        result = decode_resilient(encode(packets))
+        assert result.ok
+        assert result.packets == packets
+        assert result.lost_bytes() == 0
+
+    def test_ovf_packet_round_trips(self):
+        packets = [PSB(), Ovf(), PSB(), TipPge(0x10), TipPgd(0)]
+        assert decode(encode(packets)) == packets
+
+    def test_corruption_resumes_at_next_psb(self):
+        head = [PSB(), TipPge(0x10), TipPgd(0)]
+        tail = [PSB(), TipPge(0x30), TipPgd(0)]
+        data = bytearray(encode(head + tail))
+        data[len(PSB_PATTERN) + 2] = 0xFF      # wreck the PGE address..
+        data[len(PSB_PATTERN)] = 0xEE          # ..and its magic byte
+        result = decode_resilient(bytes(data))
+        assert len(result.gaps) == 1
+        gap = result.gaps[0]
+        assert gap.start == len(PSB_PATTERN)
+        assert gap.end == len(encode(head))    # resynced at the PSB
+        assert gap.reason == "corruption"
+        # The lost region is bracketed by an explicit OVF marker.
+        assert result.packets == [PSB(), Ovf()] + tail
+
+    def test_corruption_with_no_sync_point_reports_tail_gap(self):
+        data = bytearray(encode([PSB(), TipPge(0x10), TipPgd(0)]))
+        data[len(PSB_PATTERN)] = 0xEE
+        result = decode_resilient(bytes(data))
+        assert len(result.gaps) == 1
+        assert result.gaps[0].end == len(data)
+        assert result.lost_bytes() == len(data) - len(PSB_PATTERN)
+
+    def test_strict_decode_error_carries_offset_and_partials(self):
+        good = [PSB(), TipPge(0x10)]
+        data = encode(good) + b"\xEE"
+        try:
+            decode(data)
+        except DecodeError as exc:
+            assert exc.offset == len(encode(good))
+            assert exc.packets == good
+            assert "offset" in str(exc)
+        else:
+            raise AssertionError("bad magic byte must raise")
+
+    def test_truncated_address_packet_is_a_truncation_gap(self):
+        data = encode([PSB(), TipPge(0x10)])[:-4]
+        result = decode_resilient(data)
+        assert result.gaps[0].reason == "truncated"
+        assert result.packets[0] == PSB()

@@ -52,7 +52,7 @@ class TestCheckerStaging:
         assert checks == {"parameter": 6, "indirect_jump": 3,
                           "conditional_jump": 0}
         assert snap.label_values("checker.actions", "action") == \
-            {"allow": 3, "warn": 0, "halt": 0}
+            {"allow": 3, "warn": 0, "halt": 0, "trace_gap": 0}
         assert snap.histogram("checker.round_ns", **LABELS).count == 3
         # Staged state was consumed: a second snapshot adds nothing.
         again = rec.snapshot()
@@ -71,7 +71,7 @@ class TestCheckerStaging:
                         incomplete=True), 900)
         snap = rec.snapshot()
         assert snap.label_values("checker.actions", "action") == \
-            {"allow": 1, "warn": 1, "halt": 1}
+            {"allow": 1, "warn": 1, "halt": 1, "trace_gap": 0}
         assert snap.counter("checker.anomalies", strategy="parameter",
                             kind="out-of-range", **LABELS) == 2
         assert snap.counter("checker.incomplete_walks", **LABELS) == 1
