@@ -7,7 +7,7 @@ from repro.checker.anomalies import (
 from repro.checker.compile import CompiledSpec, compiled_spec_for
 from repro.checker.degrade import (
     DEFAULT_DEGRADATION, INFRA_EXCEPTIONS, DegradationConfig,
-    DegradationPolicy, gap_report, run_with_policy,
+    DegradationPolicy, gap_report, retrain_reason, run_with_policy,
 )
 from repro.checker.escheck import (
     BACKENDS, CHECK_BLOCK_COST, CHECK_STMT_COST, ESChecker,
@@ -27,7 +27,8 @@ __all__ = [
     "BACKENDS", "CHECK_BLOCK_COST", "CHECK_STMT_COST",
     "CompiledSpec", "ESChecker", "compiled_spec_for",
     "DEFAULT_DEGRADATION", "INFRA_EXCEPTIONS", "DegradationConfig",
-    "DegradationPolicy", "gap_report", "run_with_policy",
+    "DegradationPolicy", "gap_report", "retrain_reason",
+    "run_with_policy",
     "Alert", "AlertLevel", "AlertManager", "Checkpoint",
     "DeviceQuarantine", "ResponsePolicy", "RollbackManager", "classify",
     "ExternHarvestSink", "FieldSyncOracle", "MappingSyncOracle",

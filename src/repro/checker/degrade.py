@@ -26,8 +26,10 @@ import enum
 from dataclasses import dataclass
 from typing import Callable
 
+from typing import Optional
+
 from repro.errors import DecodeError, InfraError, TraceError
-from repro.checker.anomalies import Action, CheckReport
+from repro.checker.anomalies import Action, CheckReport, Strategy
 
 #: Exceptions that mean "the machinery failed", never "the guest is bad".
 INFRA_EXCEPTIONS = (InfraError, DecodeError, TraceError)
@@ -67,6 +69,28 @@ def gap_report(io_key: str, config: DegradationConfig,
     else:
         report.action = Action.TRACE_GAP
     return report
+
+
+def retrain_reason(report: CheckReport) -> Optional[str]:
+    """Why this round is a candidate training trace (None: it is not).
+
+    The spec lifecycle's feedback loop: rounds the machinery could not
+    vouch for (trace gaps), rounds whose walk left the specification
+    (incomplete — the classic coverage hole), and *near misses* — rounds
+    flagged only by the control-flow strategies, which is exactly how an
+    unseen-but-legitimate behaviour manifests (the paper's §VIII false
+    positive) — are worth re-observing in training.  Rounds with a
+    PARAMETER violation are excluded: corrupted device state must never
+    become training data.
+    """
+    if report.trace_gap or report.action is Action.TRACE_GAP:
+        return "trace-gap"
+    if report.incomplete:
+        return "incomplete-walk"
+    if report.anomalies and all(a.strategy is not Strategy.PARAMETER
+                                for a in report.anomalies):
+        return "near-miss"
+    return None
 
 
 def run_with_policy(config: DegradationConfig, io_key: str,

@@ -12,6 +12,10 @@
     python -m repro stats   --device fdc --rounds 200 [--chaos-seed 101]
     python -m repro bench-telemetry [--quick] [--max-overhead-pct 5]
     python -m repro chaos   --seeds 101,102 [--policy fail-closed] [--out R.json]
+    python -m repro spec generations --cache DIR --device fdc
+    python -m repro spec promote --cache DIR --device fdc --candidate c.spec.json
+    python -m repro spec reload  --cache DIR --device fdc [--digest PREFIX]
+    python -m repro spec smoke   [--quick] [--out SMOKE_lifecycle.json]
 """
 
 from __future__ import annotations
@@ -310,6 +314,129 @@ def _cmd_bench_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_spec_generations(args: argparse.Namespace) -> int:
+    from repro.eval.report import render_table
+    from repro.fleet import SpecRegistry
+
+    registry = SpecRegistry(cache_dir=args.cache)
+    chain = registry.generations(args.device, args.qemu_version)
+    if not chain:
+        print(f"no generation chain for ({args.device}, "
+              f"{args.qemu_version}) in {args.cache}")
+        return 1
+    active = registry.active_generation(args.device, args.qemu_version)
+    rows = [(g.generation,
+             "*" if active and g.digest == active.digest else "",
+             g.digest[:16], g.block_count, g.edge_count,
+             f"{g.coverage_gain:.4f}", g.edge_gain, g.merged_from,
+             len(g.parents), g.provenance or "-") for g in chain]
+    print(render_table(
+        ("Gen", "Act", "Digest", "Blocks", "Edges", "CovGain",
+         "EdgeGain", "Merged", "Parents", "Provenance"), rows))
+    return 0
+
+
+def _cmd_spec_promote(args: argparse.Namespace) -> int:
+    from repro.fleet import SpecRegistry
+    from repro.spec import PromotionConfig, promote, spec_from_json
+
+    registry = SpecRegistry(cache_dir=args.cache)
+    candidates = []
+    for path in args.candidate:
+        with open(path) as handle:
+            candidates.append(spec_from_json(handle.read()))
+    config = PromotionConfig(
+        min_coverage_gain=args.min_coverage_gain,
+        min_edge_gain=args.min_edge_gain,
+        benign_rounds=args.benign_rounds, backend=args.backend,
+        cves=tuple(args.cve), activate=not args.no_activate)
+    report = promote(registry, args.device, args.qemu_version,
+                     candidates, config,
+                     provenance=args.provenance or "cli:promote")
+    print(report.describe())
+    return 0 if report.promoted else 1
+
+
+def _cmd_spec_reload(args: argparse.Namespace) -> int:
+    from repro.fleet import (
+        FleetConfig, FleetSupervisor, SpecRegistry, build_load,
+    )
+
+    registry = SpecRegistry(cache_dir=args.cache)
+    chain = registry.generations(args.device, args.qemu_version)
+    if not chain:
+        print(f"no generation chain for ({args.device}, "
+              f"{args.qemu_version}); promote something first")
+        return 1
+    if args.digest:
+        gen = next((g for g in chain
+                    if g.digest.startswith(args.digest)), None)
+        if gen is None:
+            print(f"no generation matches digest {args.digest!r}")
+            return 1
+    else:
+        gen = chain[-1]
+    plans, schedule = build_load(
+        [args.device], args.tenants, args.batches, args.ops,
+        qemu_version=args.qemu_version, seed=args.seed)
+    at_seq = (args.batches // 2) * len(plans)
+    supervisor = FleetSupervisor(
+        FleetConfig(workers=args.workers, inline=args.inline,
+                    cache_dir=args.cache), registry)
+    supervisor.reload_spec(args.device, gen.digest, at_seq=at_seq)
+    result = supervisor.run(schedule, plans)
+    print(f"hot reload to gen {gen.generation} ({gen.digest[:16]}) "
+          f"at seq {at_seq}:")
+    print(result.stats.describe())
+    stats = result.stats
+    ok = (stats.lost == 0 and stats.duplicate_results == 0
+          and stats.spec_reloads == len(plans)
+          and not result.quarantined_tenants())
+    if not ok:
+        print("ERROR: reload run lost traffic or quarantined a benign "
+              "tenant; generation NOT activated")
+        return 1
+    if args.activate:
+        registry.activate(args.device, args.qemu_version, gen.digest)
+        print(f"activated gen {gen.generation} as the default")
+    return 0
+
+
+def _cmd_spec_smoke(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.fleet import run_lifecycle_smoke
+
+    kwargs = dict(devices=tuple(args.devices.split(",")),
+                  tenants=args.tenants, attacked=args.attacked,
+                  batches=args.batches, ops=args.ops,
+                  workers=args.workers, backend=args.backend,
+                  cache_dir=args.cache, seed=args.seed)
+    if args.quick:
+        kwargs.update(devices=("fdc", "sdhci"), tenants=3, attacked=2)
+    payload = run_lifecycle_smoke(**kwargs)
+    for device, p in payload["promotions"].items():
+        verdict = (f"gen {p['generation']}" if p["promoted"]
+                   else f"REFUSED: {p['reason']}")
+        print(f"{device}: {verdict} cov_gain={p['coverage_gain']} "
+              f"edge_gain={p['edge_gain']} "
+              f"removed_fps={p['removed_false_positives']} "
+              f"cves={p['cve_results']}")
+    fleet = payload["fleet"]
+    print(f"fleet: {fleet['tenants']} tenants, reload at seq "
+          f"{fleet['reload_at_seq']}, spec_reloads="
+          f"{fleet['spec_reloads']}, detections="
+          f"{fleet['detections']}/{fleet['expected_detections']}, "
+          f"lost={fleet['lost']}, parity_ok={fleet['parity']['ok']}")
+    print(f"ok: {payload['ok']}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json_mod.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if payload["ok"] else 1
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     if args.which in ("1", "all"):
         from repro.eval import generate_table1
@@ -487,6 +614,86 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--other", required=True)
     p.add_argument("--out", help="write the merged spec here")
     p.set_defaults(fn=_cmd_spec_diff)
+
+    p = sub.add_parser(
+        "spec", help="spec lifecycle: generation chains, gated "
+                     "promotion, fleet hot reload")
+    spec_sub = p.add_subparsers(dest="spec_command", required=True)
+
+    sp = spec_sub.add_parser(
+        "generations", help="show a device's generation chain")
+    sp.add_argument("--cache", required=True,
+                    help="spec cache dir holding the chains")
+    sp.add_argument("--device", required=True)
+    sp.add_argument("--qemu-version", default="99.0.0")
+    sp.set_defaults(fn=_cmd_spec_generations)
+
+    sp = spec_sub.add_parser(
+        "promote", help="merge candidate specs into the active "
+                        "generation through the coverage and "
+                        "differential-replay gates")
+    sp.add_argument("--cache", required=True)
+    sp.add_argument("--device", required=True)
+    sp.add_argument("--qemu-version", default="99.0.0")
+    sp.add_argument("--candidate", action="append", required=True,
+                    metavar="SPEC_JSON",
+                    help="candidate spec file (repeatable)")
+    sp.add_argument("--min-coverage-gain", type=float, default=0.0)
+    sp.add_argument("--min-edge-gain", type=int, default=0)
+    sp.add_argument("--benign-rounds", type=int, default=30)
+    sp.add_argument("--cve", action="append", default=[],
+                    help="CVE to difference against (default: the "
+                         "device's seeded CVE)")
+    sp.add_argument("--backend", choices=("compiled", "reference"),
+                    default="compiled")
+    sp.add_argument("--no-activate", action="store_true",
+                    help="publish without activating (staged rollout: "
+                         "a later hot reload names the digest)")
+    sp.add_argument("--provenance", default="")
+    sp.set_defaults(fn=_cmd_spec_promote)
+
+    sp = spec_sub.add_parser(
+        "reload", help="hot-reload a published generation into a "
+                       "running fleet mid-schedule")
+    sp.add_argument("--cache", required=True)
+    sp.add_argument("--device", required=True)
+    sp.add_argument("--qemu-version", default="99.0.0")
+    sp.add_argument("--digest", default="",
+                    help="generation digest (prefix ok; default: "
+                         "newest published)")
+    sp.add_argument("--tenants", type=int, default=4)
+    sp.add_argument("--batches", type=int, default=4)
+    sp.add_argument("--ops", type=int, default=4)
+    sp.add_argument("--workers", type=int, default=2)
+    sp.add_argument("--inline", action="store_true",
+                    help="in-process worker pool (no multiprocessing)")
+    sp.add_argument("--seed", type=int, default=7)
+    sp.add_argument("--activate", action="store_true",
+                    help="activate the generation once the reload run "
+                         "completes cleanly")
+    sp.set_defaults(fn=_cmd_spec_reload)
+
+    sp = spec_sub.add_parser(
+        "smoke", help="end-to-end lifecycle smoke: train partial "
+                      "specs, promote the merge, hot-reload a running "
+                      "fleet, verify every seeded CVE is still caught")
+    sp.add_argument("--devices", default="fdc,ehci,pcnet,sdhci,scsi")
+    sp.add_argument("--tenants", type=int, default=6,
+                    help="tenants per device")
+    sp.add_argument("--attacked", type=int, default=5,
+                    help="seeded-CVE tenants per device")
+    sp.add_argument("--batches", type=int, default=4)
+    sp.add_argument("--ops", type=int, default=4)
+    sp.add_argument("--workers", type=int, default=2)
+    sp.add_argument("--backend", choices=("compiled", "reference"),
+                    default="compiled")
+    sp.add_argument("--cache", default=None,
+                    help="spec cache dir (default: temp dir)")
+    sp.add_argument("--seed", type=int, default=23)
+    sp.add_argument("--quick", action="store_true",
+                    help="two devices, three tenants each (CI smoke)")
+    sp.add_argument("--out", help="write the JSON payload here")
+    sp.set_defaults(fn=_cmd_spec_smoke)
 
     p = sub.add_parser("tables", help="regenerate paper tables")
     p.add_argument("--which", choices=("1", "3", "all"), default="all")

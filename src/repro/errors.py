@@ -48,6 +48,17 @@ class TraceError(ReproError):
     """IPT packet stream could not be encoded or decoded."""
 
 
+class TruncatedTraceError(TraceError):
+    """Trace container file is shorter than its own framing claims.
+
+    Carries the byte offset at which the missing data was expected, so
+    tooling can report exactly where a copy or capture was cut short."""
+
+    def __init__(self, message: str, offset: int = 0):
+        self.offset = offset
+        super().__init__(f"{message} (offset {offset})")
+
+
 class DecodeError(TraceError):
     """Typed decode failure: carries the byte offset where parsing died
     and the packets successfully decoded before it, so resynchronization

@@ -10,7 +10,7 @@ quarantined tenants, and aggregates fleet-wide statistics.
 
 from repro.fleet.bench import (
     DEFAULT_DEVICES, DEFAULT_INJECT, DEFAULT_WORKER_COUNTS,
-    run_fleet_bench,
+    run_fleet_bench, run_lifecycle_smoke,
 )
 from repro.fleet.instance import GuardedInstance, OpOutcome, portable_report
 from repro.fleet.loadgen import (
@@ -19,11 +19,12 @@ from repro.fleet.loadgen import (
     make_schedule, plan_tenants,
 )
 from repro.fleet.registry import (
-    CACHE_FORMAT, RegistryStats, SpecRegistry, program_fingerprint,
+    CACHE_FORMAT, RegistryStats, SpecGeneration, SpecRegistry,
+    program_fingerprint, spec_digest,
 )
 from repro.fleet.supervisor import (
-    FleetConfig, FleetResult, FleetStats, FleetSupervisor, TenantSummary,
-    percentile,
+    FleetConfig, FleetResult, FleetStats, FleetSupervisor,
+    ScheduledReload, TenantSummary, percentile,
 )
 from repro.fleet.worker import (
     BatchResult, FleetWorker, batch_wants_crash, batch_wants_hang,
@@ -32,15 +33,15 @@ from repro.fleet.worker import (
 
 __all__ = [
     "DEFAULT_DEVICES", "DEFAULT_INJECT", "DEFAULT_WORKER_COUNTS",
-    "run_fleet_bench",
+    "run_fleet_bench", "run_lifecycle_smoke",
     "GuardedInstance", "OpOutcome", "portable_report",
     "DEFAULT_QEMU_VERSION", "FAULT_OP_KINDS", "OpRequest",
     "RequestBatch", "TenantPlan", "build_load", "detectable_cves",
     "inject_schedule_faults", "make_schedule", "plan_tenants",
-    "CACHE_FORMAT", "RegistryStats", "SpecRegistry",
-    "program_fingerprint",
+    "CACHE_FORMAT", "RegistryStats", "SpecGeneration",
+    "SpecRegistry", "program_fingerprint", "spec_digest",
     "FleetConfig", "FleetResult", "FleetStats", "FleetSupervisor",
-    "TenantSummary", "percentile",
+    "ScheduledReload", "TenantSummary", "percentile",
     "BatchResult", "FleetWorker", "batch_wants_crash",
     "batch_wants_hang", "instance_injector", "requeue_batch",
     "tombstone_crashes", "worker_main",

@@ -69,8 +69,13 @@ class GuardedInstance:
         self.device_name = device_name
         self.qemu_version = qemu_version
         self.mode = mode
+        self.backend = backend
         self.degradation = degradation or DEFAULT_DEGRADATION
         self.injector = injector
+        #: which spec generation is deployed (hot-reload bookkeeping);
+        #: epoch 0 is whatever the registry served at build time
+        self.spec_epoch = 0
+        self.spec_digest = ""
         self.profile = PROFILES[device_name]
         self.vm, self.device = self.profile.make_vm(qemu_version,
                                                     backend=backend)
@@ -95,6 +100,24 @@ class GuardedInstance:
     def quarantine(self, reason: str) -> None:
         self.quarantined = True
         self.quarantine_reason = reason
+
+    def reload_spec(self, spec: ExecutionSpec, epoch: int,
+                    digest: str = "") -> None:
+        """Swap in a new spec generation between ops.
+
+        ``apply`` is synchronous, so calling this between ops makes the
+        swap atomic per instance: every round either ran wholly under
+        the old spec or wholly under the new one.  The re-deploy
+        replaces the VM's attachment and boot-syncs the fresh checker's
+        shadow state from the *live* device state, so mid-stream guest
+        state (an open drive, a pending command) survives the swap.
+        The guest VM, driver, recorded reports and quarantine state are
+        untouched.
+        """
+        self.attachment = deploy(self.vm, self.device, spec,
+                                 mode=self.mode, backend=self.backend)
+        self.spec_epoch = epoch
+        self.spec_digest = digest
 
     def apply(self, op: OpRequest) -> OpOutcome:
         if self.quarantined:

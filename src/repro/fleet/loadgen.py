@@ -55,6 +55,14 @@ class RequestBatch:
     #: respawn that destroyed the worker's memory — and so the inline
     #: and pool paths see identical breaker inputs.
     infra_strikes: int = 0
+    #: spec generation this batch must run under.  Stamped up front by
+    #: the supervisor from its reload schedule (never at run time), so
+    #: the inline and pool paths swap specs at identical batch
+    #: boundaries: a worker seeing ``spec_epoch`` above its instance's
+    #: epoch reloads the spec named by ``spec_digest`` before the first
+    #: op.  Epoch 0 / empty digest means the train-once registry spec.
+    spec_epoch: int = 0
+    spec_digest: str = ""
 
 
 @dataclass(frozen=True)

@@ -24,7 +24,7 @@ import json
 import os
 import tempfile
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.devices.base import Device, create_device
 from repro.errors import SpecError
@@ -41,6 +41,11 @@ def _spec_digest(spec_obj) -> str:
     """Content hash of the serialized spec payload inside an envelope."""
     return hashlib.sha256(
         json.dumps(spec_obj, sort_keys=True).encode()).hexdigest()
+
+
+def spec_digest(spec: ExecutionSpec) -> str:
+    """Content address of a spec: the digest generation chains key on."""
+    return _spec_digest(spec_to_json(spec))
 
 
 def program_fingerprint(device: Device) -> str:
@@ -69,6 +74,72 @@ class RegistryStats:
     #: unreadable/truncated/bit-flipped envelopes rejected on load; each
     #: one recovers by retraining, never by deploying a mutated spec
     corrupt_rejected: int = 0
+    #: generation-chain traffic (spec lifecycle)
+    publishes: int = 0
+    activations: int = 0
+    generation_hits: int = 0
+
+
+@dataclass
+class SpecGeneration:
+    """One link of a per-(device, qemu_version) spec generation chain.
+
+    Promoted/retrained specs are first-class artifacts: each generation
+    records its content digest, its parent digests (the candidates that
+    were merged into it), where it came from, and what it bought in
+    coverage — so ``repro spec generations`` can show the lineage and a
+    hot reload can name exactly which artifact it is deploying.
+    """
+
+    device: str
+    qemu_version: str
+    generation: int                 # 1-based position in the chain
+    digest: str                     # content address of the spec payload
+    parents: Tuple[str, ...] = ()   # digests this generation merged
+    provenance: str = ""            # training/promotion site description
+    coverage_gain: float = 0.0      # block-coverage gain over parent
+    edge_gain: int = 0              # new ITC-CFG edges over parent
+    merged_from: int = 1            # training sites folded in
+    block_count: int = 0
+    edge_count: int = 0
+
+    def to_obj(self) -> Dict[str, object]:
+        return {
+            "device": self.device,
+            "qemu_version": self.qemu_version,
+            "generation": self.generation,
+            "digest": self.digest,
+            "parents": list(self.parents),
+            "provenance": self.provenance,
+            "coverage_gain": self.coverage_gain,
+            "edge_gain": self.edge_gain,
+            "merged_from": self.merged_from,
+            "block_count": self.block_count,
+            "edge_count": self.edge_count,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Dict[str, object]) -> "SpecGeneration":
+        return cls(
+            device=str(obj["device"]),
+            qemu_version=str(obj["qemu_version"]),
+            generation=int(obj["generation"]),
+            digest=str(obj["digest"]),
+            parents=tuple(str(p) for p in obj.get("parents", ())),
+            provenance=str(obj.get("provenance", "")),
+            coverage_gain=float(obj.get("coverage_gain", 0.0)),
+            edge_gain=int(obj.get("edge_gain", 0)),
+            merged_from=int(obj.get("merged_from", 1)),
+            block_count=int(obj.get("block_count", 0)),
+            edge_count=int(obj.get("edge_count", 0)),
+        )
+
+    def describe(self) -> str:
+        parents = ",".join(p[:12] for p in self.parents) or "-"
+        return (f"gen {self.generation}  {self.digest[:16]}  "
+                f"sites={self.merged_from}  blocks={self.block_count}  "
+                f"edges={self.edge_count}  gain={self.coverage_gain:.3f}  "
+                f"parents={parents}  {self.provenance}")
 
 
 class SpecRegistry:
@@ -87,6 +158,10 @@ class SpecRegistry:
         self.stats = RegistryStats()
         self._memory: Dict[Tuple[str, str], ExecutionSpec] = {}
         self._fingerprints: Dict[Tuple[str, str], str] = {}
+        #: generation chains, newest last; loaded lazily from disk
+        self._generations: Dict[Tuple[str, str], List[SpecGeneration]] = {}
+        self._active: Dict[Tuple[str, str], str] = {}
+        self._by_digest: Dict[str, ExecutionSpec] = {}
 
     # -- keys ---------------------------------------------------------------
 
@@ -106,6 +181,21 @@ class SpecRegistry:
             self.cache_dir,
             f"{device_name}-{qemu_version}-{digest[:16]}.spec.json")
 
+    def generations_path(self, device_name: str,
+                         qemu_version: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        digest = self.fingerprint(device_name, qemu_version)
+        return os.path.join(
+            self.cache_dir,
+            f"{device_name}-{qemu_version}-{digest[:16]}.generations.json")
+
+    def generation_spec_path(self, digest: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir,
+                            f"gen-{digest[:16]}.spec.json")
+
     # -- the train-or-load path --------------------------------------------
 
     def get(self, device_name: str,
@@ -115,7 +205,9 @@ class SpecRegistry:
         if spec is not None:
             self.stats.memory_hits += 1
             return spec
-        spec = self._load(device_name, qemu_version)
+        spec = self._load_active(device_name, qemu_version)
+        if spec is None:
+            spec = self._load(device_name, qemu_version)
         if spec is None:
             spec = self._train(device_name, qemu_version)
         self._memory[key] = spec
@@ -177,7 +269,6 @@ class SpecRegistry:
         path = self.cache_path(device_name, qemu_version)
         if path is None:
             return
-        os.makedirs(os.path.dirname(path), exist_ok=True)
         spec_obj = spec_to_json(spec)
         envelope = {
             "format": CACHE_FORMAT,
@@ -189,15 +280,199 @@ class SpecRegistry:
             "spec_sha256": _spec_digest(spec_obj),
             "spec": spec_obj,
         }
-        # Atomic publish: concurrent workers either see the whole file
-        # or none of it, never a torn write.
-        fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path),
-                                   suffix=".tmp")
+        _atomic_write_json(path, envelope)
+
+    # -- generation chains ---------------------------------------------------
+
+    def _chain(self, device_name: str,
+               qemu_version: str) -> List[SpecGeneration]:
+        key = (device_name, qemu_version)
+        if key in self._generations:
+            return self._generations[key]
+        chain: List[SpecGeneration] = []
+        path = self.generations_path(device_name, qemu_version)
+        if path is not None and os.path.exists(path):
+            try:
+                with open(path) as handle:
+                    obj = json.load(handle)
+                if (isinstance(obj, dict)
+                        and obj.get("format") == CACHE_FORMAT
+                        and obj.get("fingerprint")
+                        == self.fingerprint(device_name, qemu_version)):
+                    chain = [SpecGeneration.from_obj(g)
+                             for g in obj.get("generations", [])]
+                    active = obj.get("active")
+                    if active:
+                        self._active[key] = str(active)
+                else:
+                    self.stats.stale_rejected += 1
+            except (OSError, ValueError, KeyError, TypeError):
+                self.stats.corrupt_rejected += 1
+        self._generations[key] = chain
+        return chain
+
+    def _persist_chain(self, device_name: str, qemu_version: str) -> None:
+        path = self.generations_path(device_name, qemu_version)
+        if path is None:
+            return
+        key = (device_name, qemu_version)
+        _atomic_write_json(path, {
+            "format": CACHE_FORMAT,
+            "device": device_name,
+            "qemu_version": qemu_version,
+            "fingerprint": self.fingerprint(device_name, qemu_version),
+            "active": self._active.get(key),
+            "generations": [g.to_obj() for g in self._chain(
+                device_name, qemu_version)],
+        })
+
+    def publish(self, device_name: str, qemu_version: str,
+                spec: ExecutionSpec, provenance: str = "",
+                parents: Iterable[str] = (),
+                coverage_gain: float = 0.0,
+                edge_gain: int = 0) -> SpecGeneration:
+        """Append *spec* to the generation chain as a named artifact.
+
+        Publishing is idempotent on content: re-publishing a digest the
+        chain already holds returns the existing generation.  Publishing
+        does **not** change which generation ``get`` serves — that takes
+        an explicit :meth:`activate` (or a fleet hot reload by digest).
+        """
+        digest = spec_digest(spec)
+        chain = self._chain(device_name, qemu_version)
+        for gen in chain:
+            if gen.digest == digest:
+                self._by_digest[digest] = spec
+                return gen
+        gen = SpecGeneration(
+            device=device_name, qemu_version=qemu_version,
+            generation=len(chain) + 1, digest=digest,
+            parents=tuple(parents), provenance=provenance,
+            coverage_gain=coverage_gain, edge_gain=edge_gain,
+            merged_from=int(spec.stats.get("merged_from", 1)),
+            block_count=spec.block_count(),
+            edge_count=len(spec.observed_edges()))
+        chain.append(gen)
+        self._by_digest[digest] = spec
+        path = self.generation_spec_path(digest)
+        if path is not None:
+            _atomic_write_json(path, {
+                "format": CACHE_FORMAT,
+                "device": device_name,
+                "qemu_version": qemu_version,
+                "fingerprint": self.fingerprint(device_name,
+                                                qemu_version),
+                "spec_sha256": digest,
+                "spec": spec_to_json(spec),
+            })
+        self._persist_chain(device_name, qemu_version)
+        self.stats.publishes += 1
+        return gen
+
+    def ensure_base_generation(self, device_name: str,
+                               qemu_version: str) -> SpecGeneration:
+        """Bootstrap a chain: publish the train-once spec as generation 1.
+
+        Chains are opt-in — plain ``get`` traffic never creates one, so
+        the legacy cache path (and its tamper checks) are untouched until
+        lifecycle code starts versioning a device.  Idempotent.
+        """
+        chain = self._chain(device_name, qemu_version)
+        if chain:
+            active = self.active_generation(device_name, qemu_version)
+            return active if active is not None else chain[-1]
+        spec = self.get(device_name, qemu_version)
+        gen = self.publish(
+            device_name, qemu_version, spec,
+            provenance=f"train:seed={self.seed}:repeats={self.repeats}")
+        self.activate(device_name, qemu_version, gen.digest)
+        return gen
+
+    def activate(self, device_name: str, qemu_version: str,
+                 digest: str) -> SpecGeneration:
+        """Make a published generation the one ``get`` serves."""
+        chain = self._chain(device_name, qemu_version)
+        gen = next((g for g in chain if g.digest == digest), None)
+        if gen is None:
+            raise SpecError(
+                f"cannot activate unknown generation {digest[:16]} for "
+                f"({device_name}, {qemu_version}) — publish it first")
+        key = (device_name, qemu_version)
+        self._active[key] = digest
+        self._memory[key] = self.spec_by_digest(digest)
+        self._persist_chain(device_name, qemu_version)
+        self.stats.activations += 1
+        return gen
+
+    def generations(self, device_name: str,
+                    qemu_version: str) -> List[SpecGeneration]:
+        return list(self._chain(device_name, qemu_version))
+
+    def active_generation(self, device_name: str,
+                          qemu_version: str) -> Optional[SpecGeneration]:
+        chain = self._chain(device_name, qemu_version)
+        digest = self._active.get((device_name, qemu_version))
+        if digest is None:
+            return None
+        return next((g for g in chain if g.digest == digest), None)
+
+    def spec_by_digest(self, digest: str) -> ExecutionSpec:
+        """Fetch a published spec by content address (cross-process:
+        worker processes resolve hot-reload digests through here)."""
+        spec = self._by_digest.get(digest)
+        if spec is not None:
+            return spec
+        path = self.generation_spec_path(digest)
+        if path is None or not os.path.exists(path):
+            raise SpecError(
+                f"no published spec artifact for digest {digest[:16]}")
         try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(envelope, handle)
-            os.replace(tmp, path)
-        except BaseException:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
-            raise
+            with open(path) as handle:
+                envelope = json.load(handle)
+            spec_obj = envelope["spec"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.corrupt_rejected += 1
+            raise SpecError(
+                f"generation artifact for {digest[:16]} is unreadable")
+        if (not isinstance(envelope, dict)
+                or envelope.get("format") != CACHE_FORMAT
+                or envelope.get("spec_sha256") != digest
+                or _spec_digest(spec_obj) != digest):
+            self.stats.corrupt_rejected += 1
+            raise SpecError(
+                f"generation artifact for {digest[:16]} fails its "
+                f"content-digest check")
+        spec = spec_from_json(spec_obj)
+        self._by_digest[digest] = spec
+        self.stats.generation_hits += 1
+        return spec
+
+    def _load_active(self, device_name: str,
+                     qemu_version: str) -> Optional[ExecutionSpec]:
+        digest = self._active.get((device_name, qemu_version))
+        if digest is None:
+            self._chain(device_name, qemu_version)   # may load it
+            digest = self._active.get((device_name, qemu_version))
+        if digest is None:
+            return None
+        try:
+            spec = self.spec_by_digest(digest)
+        except SpecError:
+            return None
+        self.stats.disk_hits += 1
+        return spec
+
+
+def _atomic_write_json(path: str, obj) -> None:
+    """Atomic publish: concurrent workers either see the whole file or
+    none of it, never a torn write."""
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=os.path.dirname(path), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(obj, handle)
+        os.replace(tmp, path)
+    except BaseException:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+        raise

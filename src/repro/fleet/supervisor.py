@@ -26,16 +26,18 @@ from __future__ import annotations
 
 import math
 import multiprocessing
+import os
 import queue as queue_mod
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.checker import CheckReport, DEFAULT_DEGRADATION, \
     DegradationConfig, Mode
 from repro.errors import FleetError
 from repro.fleet.loadgen import FAULT_OP_KINDS, RequestBatch, TenantPlan
+from repro.spec.lifecycle import RetrainQueue, RetrainRecord
 from repro.fleet.registry import SpecRegistry
 from repro.fleet.worker import (
     BatchResult, FleetWorker, batch_wants_crash, batch_wants_hang,
@@ -75,6 +77,18 @@ class FleetConfig:
     fault_plan: Optional[object] = None
 
 
+@dataclass(frozen=True)
+class ScheduledReload:
+    """One hot spec reload: from batch ``at_seq`` on, every batch of
+    *device* (optionally narrowed to one qemu_version) runs under the
+    generation named by *digest*."""
+
+    device: str
+    digest: str
+    at_seq: int = 0
+    qemu_version: Optional[str] = None
+
+
 def percentile(values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile; 0.0 on an empty sample."""
     if not values:
@@ -109,6 +123,11 @@ class FleetStats:
     circuit_opens: int = 0
     #: hung worker processes killed by the supervisor watchdog
     watchdog_kills: int = 0
+    #: per-instance hot spec swaps performed (epoch-based reloads)
+    spec_reloads: int = 0
+    #: rounds enqueued as candidate training traces (trace gaps,
+    #: incomplete walks, near-miss control-flow anomalies)
+    retrain_candidates: int = 0
     #: op_cycles samples feeding the latency percentiles; invariant:
     #: equals ``completed`` (each completed request is timed exactly once)
     latency_samples: int = 0
@@ -157,6 +176,8 @@ class FleetStats:
                 f"infra_failures={self.infra_failures} shed={self.shed} "
                 f"circuit_opens={self.circuit_opens} "
                 f"watchdog_kills={self.watchdog_kills}\n"
+                f"  lifecycle: spec_reloads={self.spec_reloads} "
+                f"retrain_candidates={self.retrain_candidates}\n"
                 f"  throughput={self.rounds_per_sec:,.0f} rounds/s "
                 f"(simulated) latency p50={self.p50_request_ms:.3f}ms "
                 f"p95={self.p95_request_ms:.3f}ms "
@@ -192,6 +213,9 @@ class FleetResult:
     #: every recorded CheckReport, tagged with its tenant
     reports: List[Tuple[str, CheckReport]] = field(default_factory=list)
     worker_busy_cycles: Dict[int, int] = field(default_factory=dict)
+    #: candidate training traces the run produced (also enqueued on the
+    #: supervisor's persistent retrain queue)
+    retrain: List[RetrainRecord] = field(default_factory=list)
 
     def quarantined_tenants(self) -> List[str]:
         return sorted(t for t, s in self.tenants.items() if s.quarantined)
@@ -240,8 +264,57 @@ class FleetSupervisor:
         if recorder is not None:
             from repro.telemetry.instruments import FleetTelemetry
             self._telemetry = FleetTelemetry(recorder)
+        self._reloads: List[ScheduledReload] = []
+        queue_path = None
+        if self.config.cache_dir is not None:
+            os.makedirs(self.config.cache_dir, exist_ok=True)
+            queue_path = os.path.join(self.config.cache_dir,
+                                      "retrain-queue.jsonl")
+        #: anomaly-driven retraining queue; persistent when the fleet
+        #: has a cache_dir, so the loop survives supervisor restarts
+        self.retrain_queue = RetrainQueue(path=queue_path)
 
     # -- public entry -------------------------------------------------------
+
+    def reload_spec(self, device: str, digest: str, at_seq: int = 0,
+                    qemu_version: Optional[str] = None) -> None:
+        """Schedule a fleet-wide hot reload for the next ``run``.
+
+        From batch ``at_seq`` on, every batch of *device* is stamped
+        with the generation named by *digest* (which must already be
+        published in the registry — validated here, eagerly).  The swap
+        itself happens worker-side, per instance, between batches:
+        in-flight rounds always finish under the spec they started
+        under.  Stamping the schedule up front — rather than racing a
+        control message against dispatch — is what keeps the inline and
+        pool paths byte-identical under a shared fault plan.
+        """
+        self.registry.spec_by_digest(digest)    # unknown digest: raise
+        self._reloads.append(ScheduledReload(device, digest, at_seq,
+                                             qemu_version))
+
+    def _stamp_reloads(self, schedule: Sequence[RequestBatch]
+                       ) -> List[RequestBatch]:
+        """Stamp every batch with the spec epoch/digest it runs under."""
+        if not self._reloads:
+            return list(schedule)
+        out: List[RequestBatch] = []
+        for batch in schedule:
+            epoch, digest = 0, ""
+            for reload_ in self._reloads:
+                if (batch.device == reload_.device
+                        and (reload_.qemu_version is None
+                             or reload_.qemu_version
+                             == batch.qemu_version)
+                        and batch.seq >= reload_.at_seq):
+                    epoch += 1
+                    digest = reload_.digest
+            if epoch:
+                out.append(replace(batch, spec_epoch=epoch,
+                                   spec_digest=digest))
+            else:
+                out.append(batch)
+        return out
 
     def run(self, schedule: Sequence[RequestBatch],
             plans: Sequence[TenantPlan] = ()) -> FleetResult:
@@ -249,6 +322,7 @@ class FleetSupervisor:
         start = time.perf_counter()
         self.registry.prime(sorted({(b.device, b.qemu_version)
                                     for b in schedule}))
+        schedule = self._stamp_reloads(schedule)
         pending = self._assign(schedule)
         self._duplicates = 0
         self._watchdog_kills = 0
@@ -566,6 +640,7 @@ class FleetSupervisor:
         busy: Dict[int, int] = {}
         request_cycles: List[float] = []
         reports: List[Tuple[str, CheckReport]] = []
+        retrain: List[RetrainRecord] = []
         stats = FleetStats(workers=self.config.workers,
                            requests=sum(len(b.ops) for b in schedule),
                            lost=lost, worker_respawns=worker_respawns,
@@ -595,12 +670,14 @@ class FleetSupervisor:
             stats.infra_failures += result.infra_failures
             stats.shed += result.shed
             stats.circuit_opens += result.circuit_opens
+            stats.spec_reloads += result.spec_reloads
             stats.io_rounds += result.io_rounds
             stats.total_cycles += result.cycles
             busy[result.worker_id] = (busy.get(result.worker_id, 0)
                                       + result.cycles)
             request_cycles.extend(result.op_cycles)
             reports.extend((result.tenant, r) for r in result.reports)
+            retrain.extend(result.retrain)
         unaccounted = (stats.requests - stats.completed - stats.rejected
                        - stats.faults - stats.trace_gaps - stats.shed
                        - stats.lost)
@@ -608,6 +685,13 @@ class FleetSupervisor:
             stats.lost += unaccounted
         stats.quarantined_instances = sum(
             1 for s in tenants.values() if s.quarantined)
+        # Deterministic order regardless of result arrival (pool results
+        # interleave); the count is *produced* records, not queue
+        # admissions — the persistent queue dedups against its backlog,
+        # which differs between otherwise-identical runs.
+        retrain.sort(key=lambda r: (r.seq, r.tenant, r.io_key))
+        stats.retrain_candidates = len(retrain)
+        self.retrain_queue.extend(retrain)
         stats.makespan_cycles = max(busy.values(), default=0)
         stats.latency_samples = len(request_cycles)
         stats.p50_request_cycles = percentile(request_cycles, 0.50)
@@ -634,5 +718,9 @@ class FleetSupervisor:
                 telemetry.lost.inc(stats.lost)
             if stats.duplicate_results:
                 telemetry.duplicates.inc(stats.duplicate_results)
+            if stats.spec_reloads:
+                telemetry.spec_reloads.inc(stats.spec_reloads)
+            if stats.retrain_candidates:
+                telemetry.retrain_enqueued.inc(stats.retrain_candidates)
         return FleetResult(stats=stats, tenants=tenants, reports=reports,
-                           worker_busy_cycles=busy)
+                           worker_busy_cycles=busy, retrain=retrain)

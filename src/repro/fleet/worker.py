@@ -26,10 +26,11 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, Optional, Tuple
 
 from repro.checker import CheckReport, DEFAULT_DEGRADATION, \
-    DegradationConfig, Mode
+    DegradationConfig, Mode, retrain_reason
 from repro.fleet.instance import GuardedInstance
 from repro.fleet.loadgen import FAULT_OP_KINDS, OpRequest, RequestBatch
 from repro.fleet.registry import SpecRegistry
+from repro.spec.lifecycle import RetrainRecord
 
 
 def batch_wants_crash(batch: RequestBatch) -> bool:
@@ -105,12 +106,17 @@ class BatchResult:
     #: exploit ops refused by degradation/shedding (fail-closed working:
     #: the CVE did not run, but it was not detected either)
     exploit_refusals: int = 0
+    #: hot spec swaps performed before this batch's first op
+    spec_reloads: int = 0
     cycles: int = 0
     io_rounds: int = 0
     #: simulated cycles per completed request (latency percentiles)
     op_cycles: Tuple[int, ...] = ()
     wall_seconds: float = 0.0
     reports: Tuple[CheckReport, ...] = ()
+    #: rounds flagged as candidate training traces (anomaly-driven
+    #: retraining queue); plain picklable records
+    retrain: Tuple[RetrainRecord, ...] = ()
 
 
 @dataclass
@@ -135,12 +141,22 @@ class FleetWorker:
     _shed_since_probe: Dict[str, int] = field(default_factory=dict)
 
     def _build(self, batch: RequestBatch) -> GuardedInstance:
-        spec = self.registry.get(batch.device, batch.qemu_version)
-        return GuardedInstance(batch.tenant, batch.device,
-                               batch.qemu_version, spec, mode=self.mode,
-                               backend=self.backend,
-                               degradation=self.degradation,
-                               injector=self.injector)
+        # A batch stamped with a generation digest builds straight at
+        # that generation (fresh instances after a respawn must not
+        # regress to the train-once spec mid-schedule).
+        if batch.spec_digest:
+            spec = self.registry.spec_by_digest(batch.spec_digest)
+        else:
+            spec = self.registry.get(batch.device, batch.qemu_version)
+        instance = GuardedInstance(batch.tenant, batch.device,
+                                   batch.qemu_version, spec,
+                                   mode=self.mode,
+                                   backend=self.backend,
+                                   degradation=self.degradation,
+                                   injector=self.injector)
+        instance.spec_epoch = batch.spec_epoch
+        instance.spec_digest = batch.spec_digest
+        return instance
 
     def instance_for(self, batch: RequestBatch) -> GuardedInstance:
         instance = self.instances.get(batch.tenant)
@@ -155,6 +171,16 @@ class FleetWorker:
         instance = self.instance_for(batch)
         result = BatchResult(tenant, batch.device, batch.seq,
                              self.worker_id, submitted=len(batch.ops))
+        if (batch.spec_epoch > instance.spec_epoch
+                and not instance.quarantined):
+            # Epoch-based hot reload: the supervisor stamped this batch
+            # with a newer generation.  The previous batch finished
+            # wholly under the old spec; the swap lands here, before
+            # this batch's first op.
+            instance.reload_spec(
+                self.registry.spec_by_digest(batch.spec_digest),
+                batch.spec_epoch, batch.spec_digest)
+            result.spec_reloads += 1
         # Seed the breaker from the batch: strikes accrued before the
         # previous worker died must survive the respawn.
         if batch.infra_strikes > self._strikes.get(tenant, 0):
@@ -165,6 +191,7 @@ class FleetWorker:
             self._open_circuit(tenant, result)
         op_cycles = []
         reports = []
+        retrain = []
         for op in batch.ops:
             if self._circuit_open.get(tenant, False):
                 since = self._shed_since_probe.get(tenant, 0)
@@ -180,6 +207,14 @@ class FleetWorker:
             result.io_rounds += outcome.io_rounds
             if outcome.report is not None:
                 reports.append(outcome.report)
+                reason = retrain_reason(outcome.report)
+                if reason and op.kind in ("common", "rare"):
+                    # Feed the round back to training: the op triple is
+                    # enough to replay the exact guest interaction.
+                    retrain.append(RetrainRecord(
+                        tenant, batch.device, batch.qemu_version,
+                        reason, outcome.report.io_key, batch.seq,
+                        op.kind, op.index, op.seed))
             infra = (outcome.report is not None
                      and outcome.report.trace_gap)
             if infra:
@@ -223,6 +258,7 @@ class FleetWorker:
         result.quarantine_reason = instance.quarantine_reason
         result.op_cycles = tuple(op_cycles)
         result.reports = tuple(reports)
+        result.retrain = tuple(retrain)
         result.wall_seconds = time.perf_counter() - start
         return result
 

@@ -13,11 +13,13 @@ import struct
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-from repro.errors import TraceError
+from repro.errors import TraceError, TruncatedTraceError
 from repro.ipt.packets import Packet, decode, encode
 
 MAGIC = b"SEDT"
 VERSION = 1
+#: magic (4) + version/header_len framing (6)
+_HEADER_FRAME_END = 10
 
 
 @dataclass
@@ -49,18 +51,36 @@ class TraceFile:
             blob = handle.read()
         if blob[:4] != MAGIC:
             raise TraceError(f"{path}: not a SEDSpec trace file")
+        if len(blob) < _HEADER_FRAME_END:
+            raise TruncatedTraceError(
+                f"{path}: file ends inside the version/header framing",
+                offset=len(blob))
         (version, header_len) = struct.unpack_from("<HI", blob, 4)
         if version != VERSION:
             raise TraceError(f"{path}: unsupported trace version "
                              f"{version}")
-        pos = 4 + 6
-        header = json.loads(blob[pos:pos + header_len].decode())
+        pos = _HEADER_FRAME_END
+        if pos + header_len > len(blob):
+            raise TruncatedTraceError(
+                f"{path}: header claims {header_len} bytes but the file "
+                f"ends first", offset=len(blob))
+        try:
+            header = json.loads(blob[pos:pos + header_len].decode())
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise TraceError(
+                f"{path}: corrupt trace header: {exc}") from exc
         pos += header_len
+        if pos + 4 > len(blob):
+            raise TruncatedTraceError(
+                f"{path}: file ends inside the payload length framing",
+                offset=len(blob))
         (payload_len,) = struct.unpack_from("<I", blob, pos)
         pos += 4
         payload = blob[pos:pos + payload_len]
         if len(payload) != payload_len:
-            raise TraceError(f"{path}: truncated packet payload")
+            raise TruncatedTraceError(
+                f"{path}: payload claims {payload_len} bytes but the "
+                f"file ends first", offset=len(blob))
         return cls(device=header["device"],
                    code_range=tuple(header["code_range"]),
                    packets=decode(payload),

@@ -204,6 +204,86 @@ class ExecutionSpec:
         """Immutable per-site legit-arm row (compiled-backend table)."""
         return frozenset(self.switch_targets.get(address, ()))
 
+    # -- lifecycle support ----------------------------------------------------
+
+    def training_facts(self) -> Dict[str, object]:
+        """Canonical immutable snapshot of the training observations.
+
+        Merging unions these monotone sets; the snapshot lets lifecycle
+        code (and the merge property tests) compare what two specs *know*
+        independently of structural details such as block reduction.
+        """
+        return {
+            "visited_blocks": frozenset(self.visited_blocks),
+            "branch_observed": frozenset(
+                (addr, outcome)
+                for addr, outcomes in self.branch_observed.items()
+                for outcome in outcomes),
+            "switch_targets": frozenset(
+                (addr, target)
+                for addr, targets in self.switch_targets.items()
+                for target in targets),
+            "icall_targets": frozenset(
+                (addr, target)
+                for addr, targets in self.icall_targets.items()
+                for target in targets),
+            "cmd_access": frozenset(
+                (cmd, addr)
+                for cmd, addrs in self.cmd_access.table.items()
+                for addr in addrs),
+            "sync_locals": frozenset(
+                (name, local)
+                for name, locals_ in self.sync_locals.items()
+                for local in locals_),
+            "entry_handlers": frozenset(self.entry_handlers.items()),
+        }
+
+    def observed_edges(self) -> Set[Tuple[int, int]]:
+        """ITC-CFG edges the training runs exercised, as address pairs.
+
+        Reconstructed from the NBTD terminators of visited blocks: a
+        Goto contributes its one edge, a Branch contributes the observed
+        outcome(s) at its site, Switch/ICall contribute the legitimised
+        target addresses, and a Call contributes the callee-entry edge.
+        Feeds ``cfg.coverage.effective_coverage`` for the promotion gate.
+        """
+        from repro.ir import Branch, Call, Goto, ICall, Switch
+        edges: Set[Tuple[int, int]] = set()
+
+        def block_addr(es_func: ESFunction, label: Optional[str]
+                       ) -> Optional[int]:
+            if label is None or label not in es_func.blocks:
+                return None
+            return es_func.blocks[label].address
+
+        for es_func in self.functions.values():
+            for block in es_func.blocks.values():
+                if block.address not in self.visited_blocks:
+                    continue
+                nbtd = block.nbtd
+                if isinstance(nbtd, Goto):
+                    dst = block_addr(es_func, nbtd.target)
+                    if dst is not None:
+                        edges.add((block.address, dst))
+                elif isinstance(nbtd, Branch):
+                    outcomes = self.branch_observed.get(block.address, set())
+                    for outcome in outcomes:
+                        label = nbtd.taken if outcome else nbtd.not_taken
+                        dst = block_addr(es_func, label)
+                        if dst is not None:
+                            edges.add((block.address, dst))
+                elif isinstance(nbtd, Switch):
+                    for dst in self.switch_targets.get(block.address, ()):
+                        edges.add((block.address, dst))
+                elif isinstance(nbtd, ICall):
+                    for dst in self.icall_targets.get(block.address, ()):
+                        edges.add((block.address, dst))
+                elif isinstance(nbtd, Call):
+                    dst = self.func_addr.get(nbtd.func)
+                    if dst is not None:
+                        edges.add((block.address, dst))
+        return edges
+
     def describe(self) -> str:
         lines = [f"execution specification for {self.device}",
                  f"  functions: {len(self.functions)}",

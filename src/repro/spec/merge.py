@@ -22,6 +22,14 @@ from repro.ir import Branch, Call, Goto, ICall, Switch
 from repro.spec.escfg import ESFunction, ExecutionSpec
 
 
+def _layout_witness(spec: ExecutionSpec):
+    """The full field layout (names, offsets, widths, kinds, order) as a
+    comparable object.  Offsets are implied by declaration order + sizes,
+    so structural equality of this object is offset equality too."""
+    from repro.spec.serialize import layout_to_obj
+    return None if spec.layout is None else layout_to_obj(spec.layout)
+
+
 def _check_compatible(a: ExecutionSpec, b: ExecutionSpec) -> None:
     if a.device != b.device:
         raise SpecError(
@@ -31,9 +39,17 @@ def _check_compatible(a: ExecutionSpec, b: ExecutionSpec) -> None:
         raise SpecError(
             "cannot merge: the specs were trained on different builds "
             "(function address maps differ)")
-    if a.layout is not None and b.layout is not None \
-            and a.layout.size != b.layout.size:
-        raise SpecError("cannot merge: control structure layouts differ")
+    if (a.layout is None) != (b.layout is None):
+        raise SpecError(
+            "cannot merge: one spec carries a control structure layout "
+            "and the other does not")
+    if _layout_witness(a) != _layout_witness(b):
+        # Coinciding sizes are not enough: two builds can pack different
+        # fields into the same number of bytes, and a merged spec would
+        # then check the wrong parameters.
+        raise SpecError(
+            "cannot merge: control structure layouts differ "
+            "(field names/offsets/widths are the compatibility witness)")
 
 
 def merge_specs(base: ExecutionSpec, other: ExecutionSpec
@@ -47,6 +63,10 @@ def merge_specs(base: ExecutionSpec, other: ExecutionSpec
     merged = spec_from_json(spec_to_json(base))   # deep copy via wire fmt
 
     # Structure: adopt functions/blocks only the other spec visited.
+    # Adopted blocks are deep copies — the merged spec must share no
+    # mutable structure with *other*, or reconciliation (and any later
+    # mutation of the merger) would corrupt the input spec.
+    from repro.spec.serialize import copy_block
     for name, es_func in other.functions.items():
         if name not in merged.functions:
             merged.functions[name] = _copy_function(es_func)
@@ -54,7 +74,7 @@ def merge_specs(base: ExecutionSpec, other: ExecutionSpec
         mine = merged.functions[name]
         for label, block in es_func.blocks.items():
             if label not in mine.blocks:
-                mine.blocks[label] = block
+                mine.blocks[label] = copy_block(block)
 
     # Training facts: unions.
     merged.visited_blocks |= other.visited_blocks
@@ -71,7 +91,10 @@ def merge_specs(base: ExecutionSpec, other: ExecutionSpec
             merged.sync_locals.get(func_name, frozenset()) | locals_
     merged.entry_handlers.update(other.entry_handlers)
     _reconcile_targets(merged, other)
-    merged.stats["merged_from"] = merged.stats.get("merged_from", 1) + 1
+    # Each side may itself be a merger: sum both sides' site counts so
+    # merge_all over N sites reports N, not the fold depth.
+    merged.stats["merged_from"] = (merged.stats.get("merged_from", 1)
+                                   + other.stats.get("merged_from", 1))
     return merged
 
 
@@ -95,15 +118,20 @@ def _reconcile_targets(merged: ExecutionSpec,
                 continue
             nbtd, theirs = block.nbtd, other_block.nbtd
             if isinstance(nbtd, Switch) and isinstance(theirs, Switch):
-                for value, target in list(nbtd.table.items()):
+                # Rebuild rather than patch the table in place: the node
+                # (and its dict) may be shared with an input spec.
+                table = dict(nbtd.table)
+                for value, target in nbtd.table.items():
                     alt = theirs.table.get(value)
                     if (target not in es_func.blocks and alt
                             and alt in es_func.blocks):
-                        nbtd.table[value] = alt
-                if (nbtd.default and nbtd.default not in es_func.blocks
+                        table[value] = alt
+                default = nbtd.default
+                if (default and default not in es_func.blocks
                         and theirs.default in es_func.blocks):
-                    block.nbtd = Switch(nbtd.scrutinee, nbtd.table,
-                                        theirs.default)
+                    default = theirs.default
+                if table != nbtd.table or default != nbtd.default:
+                    block.nbtd = Switch(nbtd.scrutinee, table, default)
             elif isinstance(nbtd, Branch) and isinstance(theirs, Branch):
                 taken, not_taken = nbtd.taken, nbtd.not_taken
                 if taken not in es_func.blocks \
@@ -143,8 +171,10 @@ def merge_all(specs: Iterable[ExecutionSpec]) -> ExecutionSpec:
 
 
 def _copy_function(es_func: ESFunction) -> ESFunction:
+    from repro.spec.serialize import copy_block
     copy = ESFunction(es_func.name, es_func.entry, es_func.params)
-    copy.blocks = dict(es_func.blocks)
+    copy.blocks = {label: copy_block(block)
+                   for label, block in es_func.blocks.items()}
     return copy
 
 

@@ -185,6 +185,37 @@ def layout_from_obj(obj: Any) -> StateLayout:
     return layout
 
 
+# -- blocks ----------------------------------------------------------------------
+
+def block_to_obj(block: ESBlock) -> Any:
+    return {
+        "address": block.address,
+        "dsod": [stmt_to_obj(s) for s in block.dsod],
+        "nbtd": term_to_obj(block.nbtd),
+        "kind": block.kind,
+        "flags": [block.is_entry, block.is_exit, block.is_cmd_decision,
+                  block.is_cmd_end],
+        "cmd_expr": expr_to_obj(block.cmd_expr),
+    }
+
+
+def block_from_obj(func: str, label: str, obj: Any) -> ESBlock:
+    flags = obj["flags"]
+    return ESBlock(
+        address=obj["address"], func=func, label=label,
+        dsod=[stmt_from_obj(s) for s in obj["dsod"]],
+        nbtd=term_from_obj(obj["nbtd"]), kind=obj["kind"],
+        is_entry=flags[0], is_exit=flags[1],
+        is_cmd_decision=flags[2], is_cmd_end=flags[3],
+        cmd_expr=expr_from_obj(obj["cmd_expr"]))
+
+
+def copy_block(block: ESBlock) -> ESBlock:
+    """Deep copy through the wire encoding: the copy shares no mutable
+    structure (dsod list, terminator, switch table) with the original."""
+    return block_from_obj(block.func, block.label, block_to_obj(block))
+
+
 # -- whole specification --------------------------------------------------------------
 
 def spec_to_json(spec: ExecutionSpec) -> str:
@@ -193,17 +224,8 @@ def spec_to_json(spec: ExecutionSpec) -> str:
         functions[name] = {
             "entry": es_func.entry,
             "params": list(es_func.params),
-            "blocks": {
-                label: {
-                    "address": b.address,
-                    "dsod": [stmt_to_obj(s) for s in b.dsod],
-                    "nbtd": term_to_obj(b.nbtd),
-                    "kind": b.kind,
-                    "flags": [b.is_entry, b.is_exit, b.is_cmd_decision,
-                              b.is_cmd_end],
-                    "cmd_expr": expr_to_obj(b.cmd_expr),
-                } for label, b in es_func.blocks.items()
-            },
+            "blocks": {label: block_to_obj(b)
+                       for label, b in es_func.blocks.items()},
         }
     payload = {
         "device": spec.device,
@@ -238,15 +260,7 @@ def spec_from_json(text: str) -> ExecutionSpec:
     for name, fobj in raw["functions"].items():
         es_func = ESFunction(name, fobj["entry"], tuple(fobj["params"]))
         for label, bobj in fobj["blocks"].items():
-            flags = bobj["flags"]
-            block = ESBlock(
-                address=bobj["address"], func=name, label=label,
-                dsod=[stmt_from_obj(s) for s in bobj["dsod"]],
-                nbtd=term_from_obj(bobj["nbtd"]), kind=bobj["kind"],
-                is_entry=flags[0], is_exit=flags[1],
-                is_cmd_decision=flags[2], is_cmd_end=flags[3],
-                cmd_expr=expr_from_obj(bobj["cmd_expr"]))
-            es_func.blocks[label] = block
+            es_func.blocks[label] = block_from_obj(name, label, bobj)
         spec.functions[name] = es_func
     spec.entry_handlers = dict(raw["entry_handlers"])
     spec.field_info = {

@@ -220,7 +220,8 @@ class FleetTelemetry:
                  "_worker_cycles", "_detections", "_quarantines",
                  "worker_respawns", "instance_respawns", "lost",
                  "duplicates", "trace_gaps", "infra_failures", "shed",
-                 "circuit_opens", "watchdog_kills")
+                 "circuit_opens", "watchdog_kills", "spec_reloads",
+                 "retrain_enqueued", "promotions", "promotion_refusals")
 
     def __init__(self, recorder: Recorder):
         self._recorder = recorder
@@ -242,6 +243,14 @@ class FleetTelemetry:
         self.shed = recorder.counter("fleet.shed_requests")
         self.circuit_opens = recorder.counter("fleet.circuit_opens")
         self.watchdog_kills = recorder.counter("fleet.watchdog_kills")
+        # Spec lifecycle: generation swaps and the feedback loop back
+        # into training.
+        self.spec_reloads = recorder.counter("fleet.spec_reloads")
+        self.retrain_enqueued = recorder.counter(
+            "fleet.retrain_enqueued")
+        self.promotions = recorder.counter("fleet.spec_promotions")
+        self.promotion_refusals = recorder.counter(
+            "fleet.spec_promotion_refusals")
 
     def record_dispatch(self, worker_id: int, depth: int) -> None:
         hist = self._depth.get(worker_id)

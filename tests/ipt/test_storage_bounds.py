@@ -1,0 +1,103 @@
+"""TraceFile.load bounds checks: every truncation point is typed.
+
+A trace file cut short at any framing boundary must raise
+:class:`TruncatedTraceError` carrying the offset where the missing
+bytes were expected — never an ``IndexError``/``struct.error`` leaking
+out of the parser, and never a silently short packet stream.
+"""
+
+import json
+import struct
+
+import pytest
+
+from repro.errors import TraceError, TruncatedTraceError
+from repro.ipt import TraceFile
+from repro.ipt.storage import MAGIC, VERSION, _HEADER_FRAME_END
+
+
+def _well_formed_blob() -> bytes:
+    header = json.dumps({"device": "toy", "code_range": [0, 64],
+                         "qemu_version": "9.9.9"}).encode()
+    payload = b""
+    return (MAGIC + struct.pack("<HI", VERSION, len(header)) + header
+            + struct.pack("<I", len(payload)) + payload)
+
+
+def _write(tmp_path, blob: bytes) -> str:
+    path = str(tmp_path / "t.sedt")
+    with open(path, "wb") as handle:
+        handle.write(blob)
+    return path
+
+
+class TestLoadBounds:
+    def test_well_formed_blob_loads(self, tmp_path):
+        trace = TraceFile.load(_write(tmp_path, _well_formed_blob()))
+        assert trace.device == "toy"
+        assert trace.code_range == (0, 64)
+        assert trace.packets == []
+
+    def test_truncated_inside_magic(self, tmp_path):
+        path = _write(tmp_path, MAGIC[:2])
+        with pytest.raises(TraceError):
+            TraceFile.load(path)
+
+    def test_truncated_inside_version_framing(self, tmp_path):
+        for cut in range(len(MAGIC), _HEADER_FRAME_END):
+            path = _write(tmp_path, _well_formed_blob()[:cut])
+            with pytest.raises(TruncatedTraceError) as err:
+                TraceFile.load(path)
+            assert err.value.offset == cut
+            assert f"(offset {cut})" in str(err.value)
+
+    def test_truncated_inside_header(self, tmp_path):
+        cut = _HEADER_FRAME_END + 3
+        path = _write(tmp_path, _well_formed_blob()[:cut])
+        with pytest.raises(TruncatedTraceError) as err:
+            TraceFile.load(path)
+        assert err.value.offset == cut
+
+    def test_truncated_inside_payload_length(self, tmp_path):
+        blob = _well_formed_blob()
+        cut = len(blob) - 2     # inside the 4-byte payload length
+        path = _write(tmp_path, blob[:cut])
+        with pytest.raises(TruncatedTraceError) as err:
+            TraceFile.load(path)
+        assert err.value.offset == cut
+
+    def test_payload_shorter_than_claimed(self, tmp_path):
+        header = json.dumps({"device": "toy",
+                             "code_range": [0, 64]}).encode()
+        blob = (MAGIC + struct.pack("<HI", VERSION, len(header))
+                + header + struct.pack("<I", 100) + b"\x01\x02")
+        path = _write(tmp_path, blob)
+        with pytest.raises(TruncatedTraceError) as err:
+            TraceFile.load(path)
+        assert err.value.offset == len(blob)
+        assert "claims 100 bytes" in str(err.value)
+
+    def test_header_length_overruns_file(self, tmp_path):
+        blob = MAGIC + struct.pack("<HI", VERSION, 1 << 20) + b"{}"
+        path = _write(tmp_path, blob)
+        with pytest.raises(TruncatedTraceError) as err:
+            TraceFile.load(path)
+        assert err.value.offset == len(blob)
+
+    def test_garbage_header_is_a_trace_error(self, tmp_path):
+        header = b"\xff\xfe not json"
+        blob = (MAGIC + struct.pack("<HI", VERSION, len(header))
+                + header + struct.pack("<I", 0))
+        with pytest.raises(TraceError, match="corrupt trace header"):
+            TraceFile.load(_write(tmp_path, blob))
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        blob = _well_formed_blob()
+        blob = MAGIC + struct.pack("<H", VERSION + 9) + blob[6:]
+        with pytest.raises(TraceError, match="unsupported"):
+            TraceFile.load(_write(tmp_path, blob))
+
+    def test_truncated_error_is_a_trace_error(self):
+        err = TruncatedTraceError("cut short", offset=17)
+        assert isinstance(err, TraceError)
+        assert err.offset == 17

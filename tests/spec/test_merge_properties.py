@@ -1,0 +1,149 @@
+"""Hypothesis properties for spec merging (lifecycle safety).
+
+Training facts are monotone sets, so merging must behave like set
+union: idempotent, order-insensitive, and strictly non-destructive —
+the merged spec's object graph must share nothing mutable with its
+inputs, or a later merge (or a checker mutating its own tables) would
+silently rewrite a candidate some other chain still references.
+"""
+
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import Switch
+from repro.spec import (
+    merge_all, merge_specs, spec_from_json, spec_to_json,
+)
+
+from tests.checker.test_escheck import BENIGN, build_toy_spec
+
+#: canonical JSON per workload slice; every example re-materializes its
+#: specs from here, so no example can see another's mutations
+_SLICE_JSON = {}
+
+
+def slice_spec(indices):
+    key = tuple(sorted(set(indices)))
+    if key not in _SLICE_JSON:
+        workload = [BENIGN[i] for i in key]
+        _SLICE_JSON[key] = spec_to_json(
+            build_toy_spec(workload=workload))
+    return spec_from_json(_SLICE_JSON[key])
+
+
+def slices():
+    return st.lists(st.integers(0, len(BENIGN) - 1),
+                    min_size=1, max_size=len(BENIGN), unique=True)
+
+
+def vandalize(spec):
+    """Mutate every mutable container reachable from *spec*."""
+    for func in spec.functions.values():
+        for block in func.blocks.values():
+            block.dsod.clear()
+            if isinstance(block.nbtd, Switch):
+                block.nbtd.table.clear()
+    spec.visited_blocks.clear()
+    for observed in spec.branch_observed.values():
+        observed.clear()
+    for targets in spec.switch_targets.values():
+        targets.clear()
+    for targets in spec.icall_targets.values():
+        targets.clear()
+    for addresses in spec.cmd_access.table.values():
+        addresses.clear()
+    spec.entry_handlers.clear()
+
+
+class TestMergeProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(slices())
+    def test_merge_is_idempotent(self, idx):
+        a, b = slice_spec(idx), slice_spec(idx)
+        merged = merge_specs(a, b)
+        assert merged.training_facts() == a.training_facts()
+        assert merged.observed_edges() == a.observed_edges()
+
+    @settings(max_examples=25, deadline=None)
+    @given(slices(), slices(), slices())
+    def test_merge_all_is_an_order_insensitive_union(self, i, j, k):
+        specs = [slice_spec(i), slice_spec(j), slice_spec(k)]
+        merged = merge_all(specs)
+        facts = merged.training_facts()
+        for name in facts:
+            union = frozenset().union(
+                *(s.training_facts()[name] for s in specs))
+            assert facts[name] == union, name
+        permuted = merge_all(
+            [slice_spec(k), slice_spec(i), slice_spec(j)])
+        assert permuted.training_facts() == facts
+        assert permuted.observed_edges() == merged.observed_edges()
+
+    @settings(max_examples=25, deadline=None)
+    @given(slices(), slices())
+    def test_merge_never_mutates_its_inputs(self, i, j):
+        a, b = slice_spec(i), slice_spec(j)
+        before = (spec_to_json(a), spec_to_json(b))
+        merged = merge_specs(a, b)
+        assert (spec_to_json(a), spec_to_json(b)) == before
+        # Object-graph independence: wrecking the merged spec must not
+        # reach back into either input through a shared container.
+        vandalize(merged)
+        assert (spec_to_json(a), spec_to_json(b)) == before
+
+
+class TestAdoptionAliasingRegression:
+    """Regression for the block-adoption aliasing bug: adopted blocks
+    (and rebuilt Switch terminators) used to be shared with the donor
+    spec, so mutating the merged spec corrupted the donor in place."""
+
+    def test_adopted_blocks_are_deep_copies(self):
+        narrow = build_toy_spec(
+            workload=[op for op in BENIGN if op[0] == "pmio:write:1"])
+        full = build_toy_spec()
+        donor_json = spec_to_json(full)
+        merged = merge_specs(narrow, full)
+
+        adopted = [f for f in merged.functions
+                   if f not in narrow.functions]
+        assert adopted, "expected the narrow spec to adopt functions"
+        for name in merged.functions:
+            ours = merged.functions[name]
+            for label, block in ours.blocks.items():
+                for source in (narrow, full):
+                    theirs = source.functions.get(name)
+                    if theirs is None or label not in theirs.blocks:
+                        continue
+                    assert block is not theirs.blocks[label]
+                    assert block.dsod is not theirs.blocks[label].dsod
+                    if isinstance(block.nbtd, Switch):
+                        assert (block.nbtd.table
+                                is not theirs.blocks[label].nbtd.table)
+        vandalize(merged)
+        assert spec_to_json(full) == donor_json
+
+    def test_merge_inputs_snapshot_roundtrip(self):
+        """The exact scenario from the bug report: snapshot both input
+        specs as JSON, merge, and require byte-identical snapshots."""
+        sums = build_toy_spec(workload=[("pmio:write:1", (1,)),
+                                        ("pmio:write:0", (3,))])
+        resets = build_toy_spec(workload=[("pmio:write:0", (0,))])
+        snap_sums = json.loads(spec_to_json(sums))
+        snap_resets = json.loads(spec_to_json(resets))
+        merge_specs(sums, resets)
+        merge_specs(resets, sums)
+        assert json.loads(spec_to_json(sums)) == snap_sums
+        assert json.loads(spec_to_json(resets)) == snap_resets
+
+    def test_merged_from_counts_both_sides(self):
+        a = build_toy_spec(workload=BENIGN[:3])
+        b = build_toy_spec(workload=BENIGN[3:6])
+        c = build_toy_spec(workload=BENIGN[6:])
+        ab = merge_specs(a, b)
+        assert ab.stats["merged_from"] == 2
+        abc = merge_specs(ab, c)
+        assert abc.stats["merged_from"] == 3
+        # ... and symmetrically when the pre-merged spec is on the right.
+        cab = merge_specs(c, ab)
+        assert cab.stats["merged_from"] == 3
