@@ -29,11 +29,12 @@ def bench_compile_fdc(benchmark):
     assert program.block_count() > 40
 
 
-def bench_trace_and_decode(benchmark):
+@pytest.mark.parametrize("backend", ["compiled", "reference", "bytecode"])
+def bench_trace_and_decode(benchmark, backend):
     prof = PROFILES["fdc"]
 
     def traced_session():
-        vm, device = prof.make_vm()
+        vm, device = prof.make_vm(backend=backend)
         tracer = device.machine.add_sink(IPTTracer())
         driver = prof.make_driver(vm)
         prof.prepare(vm, driver)
@@ -92,7 +93,8 @@ def _fdc_sequences():
     return _FDC_SEQUENCES
 
 
-@pytest.mark.parametrize("backend", ["compiled", "reference"])
+@pytest.mark.parametrize("backend",
+                         ["compiled", "reference", "bytecode"])
 def bench_checker_per_round(benchmark, backend):
     """The online cost guest I/O pays: the check_io rounds of one full
     read_lba command (22 rounds, ~1100 ES blocks walked)."""
@@ -112,7 +114,8 @@ def bench_checker_per_round(benchmark, backend):
     assert benchmark(one_command)
 
 
-@pytest.mark.parametrize("backend", ["compiled", "reference"])
+@pytest.mark.parametrize("backend",
+                         ["compiled", "reference", "bytecode"])
 def bench_device_round_uncached(benchmark, backend):
     """Raw device-side cost of the same command, for comparison."""
     prepare_seq, command_seq, _ = _fdc_sequences()

@@ -4,6 +4,10 @@ from repro.checker.anomalies import (
     ALL_STRATEGIES, Action, Anomaly, CheckReport, Mode, Strategy,
     decide_action,
 )
+from repro.checker.bounds import (
+    BoundTable, BoundViolation, BufferBound, ScalarBound, audit_reports,
+    scan,
+)
 from repro.checker.compile import CompiledSpec, compiled_spec_for
 from repro.checker.degrade import (
     DEFAULT_DEGRADATION, INFRA_EXCEPTIONS, DegradationConfig,
@@ -25,6 +29,8 @@ __all__ = [
     "ALL_STRATEGIES", "Action", "Anomaly", "CheckReport", "Mode",
     "Strategy", "decide_action",
     "BACKENDS", "CHECK_BLOCK_COST", "CHECK_STMT_COST",
+    "BoundTable", "BoundViolation", "BufferBound", "ScalarBound",
+    "audit_reports", "scan",
     "CompiledSpec", "ESChecker", "compiled_spec_for",
     "DEFAULT_DEGRADATION", "INFRA_EXCEPTIONS", "DegradationConfig",
     "DegradationPolicy", "gap_report", "retrain_reason",

@@ -1,0 +1,238 @@
+"""Precomputed per-command parameter bound tables (batched audit).
+
+Both fast checker backends enforce parameter bounds *inline* at each
+store site — the bytecode lowering bakes the declared ``lo <= v <= hi``
+constants straight into the dispatch loop — because stop-at-first-
+violation ordering is part of the backend contract and deferring the
+comparison would reorder anomalies relative to the reference walker.
+
+This module is the *batch* side of the same tables.  ``BoundTable``
+precomputes, per I/O command (entry key), every parameter-bound site
+reachable from that command's handler: scalar stores with their
+declared integer range, buffer stores with their declared length.
+``scan`` then audits a stream of recorded ``(io_key, field, value)``
+samples against the table in one pass — no spec walk, no shadow state —
+and ``audit_reports`` re-audits the final shadow-state dumps of a
+checker session.  A violation here on a session the online checker
+passed means either a checker bug or a tampered report stream, which is
+exactly what an offline audit exists to catch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import SpecError
+from repro.ir import (
+    BufStore, BufType, Call, FuncPtrType, ICall, IntType, StateStore,
+)
+from repro.spec.escfg import ExecutionSpec
+
+FUNCPTR_LO, FUNCPTR_HI = 0, (1 << 64) - 1
+
+
+@dataclass(frozen=True)
+class ScalarBound:
+    """One scalar store site: the declared range of the stored field."""
+
+    field: str
+    lo: int
+    hi: int
+    address: int        # ES block the store lives in
+
+    def admits(self, value: int) -> bool:
+        return self.lo <= value <= self.hi
+
+
+@dataclass(frozen=True)
+class BufferBound:
+    """One buffer store site: the declared element count of the buffer."""
+
+    buf: str
+    length: int
+    address: int
+
+    def admits(self, index: int) -> bool:
+        return 0 <= index < self.length
+
+
+@dataclass(frozen=True)
+class BoundViolation:
+    """One sample that falls outside its declared bounds."""
+
+    io_key: str
+    field: str
+    value: int
+    lo: int
+    hi: int
+    address: int = 0
+
+    def __str__(self) -> str:
+        return (f"{self.io_key}: {self.field}={self.value} outside "
+                f"[{self.lo}, {self.hi}] (site {self.address:#x})")
+
+
+class BoundTable:
+    """Per-command bound tables, precomputed once from a spec.
+
+    ``commands`` maps each trained entry key to the bound sites
+    reachable from its handler (direct calls followed transitively,
+    indirect calls resolved through the spec's legitimised targets).
+    ``field_bounds`` is the command-independent union: the declared
+    range of every device-state parameter any site stores to.
+    """
+
+    __slots__ = ("device", "commands", "buffer_sites", "field_bounds")
+
+    def __init__(self, device: str,
+                 commands: Dict[str, Tuple[ScalarBound, ...]],
+                 buffer_sites: Dict[str, Tuple[BufferBound, ...]],
+                 field_bounds: Dict[str, Tuple[int, int]]):
+        self.device = device
+        self.commands = commands
+        self.buffer_sites = buffer_sites
+        self.field_bounds = field_bounds
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_spec(cls, spec: ExecutionSpec) -> "BoundTable":
+        layout = spec.layout
+        if layout is None:
+            raise SpecError(
+                f"spec for {spec.device!r} carries no state layout")
+
+        # Block address -> owning function, for resolving icall targets.
+        addr_owner: Dict[int, str] = {}
+        for func in spec.functions.values():
+            for block in func.blocks.values():
+                addr_owner[block.address] = func.name
+
+        def declared_range(field: str) -> Optional[Tuple[int, int]]:
+            decl = layout.field(field)
+            if isinstance(decl.type, FuncPtrType):
+                return FUNCPTR_LO, FUNCPTR_HI
+            if isinstance(decl.type, IntType):
+                return decl.type.min_value, decl.type.max_value
+            return None
+
+        # Per-function site lists, computed once and shared by every
+        # command whose call graph reaches the function.
+        fn_scalars: Dict[str, List[ScalarBound]] = {}
+        fn_buffers: Dict[str, List[BufferBound]] = {}
+        fn_callees: Dict[str, set] = {}
+        for func in spec.functions.values():
+            scalars: List[ScalarBound] = []
+            buffers: List[BufferBound] = []
+            callees: set = set()
+            for block in func.blocks.values():
+                for stmt in block.dsod:
+                    if isinstance(stmt, StateStore):
+                        rng = declared_range(stmt.field)
+                        if rng is not None:
+                            scalars.append(ScalarBound(
+                                stmt.field, rng[0], rng[1],
+                                block.address))
+                    elif isinstance(stmt, BufStore):
+                        decl = layout.field(stmt.buf)
+                        if isinstance(decl.type, BufType):
+                            buffers.append(BufferBound(
+                                stmt.buf, decl.type.length,
+                                block.address))
+                nbtd = block.nbtd
+                if isinstance(nbtd, Call):
+                    callees.add(nbtd.func)
+                elif isinstance(nbtd, ICall):
+                    for target in spec.legit_icall_targets(
+                            block.address):
+                        owner = addr_owner.get(target)
+                        if owner is not None:
+                            callees.add(owner)
+            fn_scalars[func.name] = scalars
+            fn_buffers[func.name] = buffers
+            fn_callees[func.name] = callees
+
+        def reachable(entry: str) -> List[str]:
+            seen, work = set(), [entry]
+            while work:
+                name = work.pop()
+                if name in seen or name not in spec.functions:
+                    continue
+                seen.add(name)
+                work.extend(fn_callees.get(name, ()))
+            return sorted(seen)
+
+        commands: Dict[str, Tuple[ScalarBound, ...]] = {}
+        buffer_sites: Dict[str, Tuple[BufferBound, ...]] = {}
+        for io_key, handler in spec.entry_handlers.items():
+            names = reachable(handler)
+            commands[io_key] = tuple(
+                site for name in names for site in fn_scalars[name])
+            buffer_sites[io_key] = tuple(
+                site for name in names for site in fn_buffers[name])
+
+        field_bounds: Dict[str, Tuple[int, int]] = {}
+        for sites in commands.values():
+            for site in sites:
+                field_bounds.setdefault(site.field, (site.lo, site.hi))
+        return cls(spec.device, commands, buffer_sites, field_bounds)
+
+    # -- queries -------------------------------------------------------------
+
+    def sites_for(self, io_key: str) -> Tuple[ScalarBound, ...]:
+        return self.commands.get(io_key, ())
+
+    def check_value(self, io_key: str, field: str,
+                    value: int) -> Optional[BoundViolation]:
+        """One sample against the command's table (None if admitted).
+
+        A field the command's handler never stores to has no bound site
+        and is admitted: the table audits stores, not arbitrary state.
+        """
+        for site in self.commands.get(io_key, ()):
+            if site.field == field and not site.admits(value):
+                return BoundViolation(io_key, field, value, site.lo,
+                                      site.hi, site.address)
+        return None
+
+
+def scan(table: BoundTable,
+         samples: Iterable[Tuple[str, str, int]]) -> List[BoundViolation]:
+    """Batch-audit recorded ``(io_key, field, value)`` samples.
+
+    One pass over the samples with per-command field indexes built
+    lazily — the comparison itself is two integer tests per sample.
+    """
+    indexes: Dict[str, Dict[str, ScalarBound]] = {}
+    violations: List[BoundViolation] = []
+    for io_key, field, value in samples:
+        index = indexes.get(io_key)
+        if index is None:
+            index = {site.field: site
+                     for site in table.commands.get(io_key, ())}
+            indexes[io_key] = index
+        site = index.get(field)
+        if site is not None and not (site.lo <= value <= site.hi):
+            violations.append(BoundViolation(
+                io_key, field, value, site.lo, site.hi, site.address))
+    return violations
+
+
+def audit_reports(table: BoundTable, reports) -> List[BoundViolation]:
+    """Re-audit a checker session's final shadow-state dumps.
+
+    Every scalar parameter value a passed round left in the shadow
+    state must sit inside the field's declared range — the inline
+    checks guarantee it online, so any violation found here indicates
+    checker malfunction or post-hoc tampering with the report stream.
+    """
+    violations: List[BoundViolation] = []
+    for report in reports:
+        for field, value in report.final_state.items():
+            bounds = table.field_bounds.get(field)
+            if bounds is not None and not (
+                    bounds[0] <= value <= bounds[1]):
+                violations.append(BoundViolation(
+                    report.io_key, field, value, bounds[0], bounds[1]))
+    return violations

@@ -1,0 +1,1170 @@
+"""Flat bytecode backend for execution specifications (the third
+ES-Checker backend).
+
+The closure backend (:mod:`repro.checker.compile`) removed per-node
+``isinstance`` dispatch but still walks a chain of nested closures per
+block, with the walk counters living as attributes on the per-round
+:class:`_WalkContext`.  This module lowers the **whole spec** once into
+a single flat array-encoded bytecode:
+
+* ``code`` — one int opcode stream covering every trained routine, with
+  all jump targets resolved to dense global block indices at lowering
+  time (a synthesized *stub* block stands in for every
+  referenced-but-untrained label, carrying its unobserved-path verdict);
+* ``pool`` — the constant pool: field geometry, frozen check tables
+  (legitimate icall/switch target sets, command-access rows, known
+  commands), precomputed per-site **parameter bound tables** (declared
+  lo/hi/mask per store site, buffer length/base/stride per access site),
+  and pre-formatted anomaly messages;
+* ``Switch`` terminators compiled to dense jump tables when the key
+  range is compact and to binary-search key/target arrays otherwise,
+  with each arm's legitimacy verdict precomputed into the table.
+
+The assembler turns those arrays into **one generated Python frame per
+spec**: a ``while`` loop dispatching on the global block index through a
+binary jump-target tree, with an explicit call stack (so walk counters,
+the current command, and the current address stay in locals for the
+entire round) and a ``finally`` that reconciles them with the
+:class:`_WalkContext`.  The arrays are the canonical artifact — they
+serialize (:meth:`BytecodeSpec.to_payload`), digest, and round-trip
+through the content-addressed registry; assembly is a deterministic
+function of them and needs no spec object.
+
+Strategy toggles stay runtime-dynamic (read from the walk context at
+round entry), so one artifact serves every strategy configuration — the
+ablation benches rely on that, exactly as with the closure backend.
+
+Semantics replicate the reference walker bit-for-bit: every anomaly
+kind, message, counter increment and stop flavour.
+``tests/checker/test_backend_diff.py`` holds all three backends to that
+across the five device models and the CVE corpus.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import CheckerError, DeviceFault
+from repro.checker.anomalies import Strategy
+from repro.checker.compile import _WalkStop, _flag
+from repro.interp.ops import _floordiv, _mod, binop_fn
+from repro.ir import (
+    Assign, BinOp, Branch, BufLen, BufLoad, BufStore, Call, Const, Expr,
+    FuncPtrType, Goto, ICall, Intrinsic, IntType, Local, Param, Return,
+    StateRef, StateStore, Switch, SyncVar, UnOp,
+)
+from repro.spec.escfg import ESBlock, ESFunction, ExecutionSpec
+
+BYTECODE_FORMAT = 1
+
+#: read sentinels for the generated frame
+_MISS = object()     # I/O parameter never provided
+_UNDEF = object()    # ES local not yet assigned (slice gap)
+
+# -- opcodes ----------------------------------------------------------------
+C_CONST = 1          # ci
+C_PARAM = 2          # pos mi
+C_PARAM_MISS = 3     # mi       (name not among the routine's params)
+C_LOCAL = 4          # slot mi
+C_STATE = 5          # ii       (off, end, signed, bits)
+C_STATEF = 6         # ni       (read_field fallback: buffer-decl read)
+C_BUFLEN = 7         # v
+C_BUFLOAD = 8        # ii
+C_BINOP = 9          # oi
+C_UNOP = 10          # oi
+C_SYNC = 11          # ni
+D_DSD = 20           #          dsod += 1 (charged before evaluation)
+D_ASSIGN = 21        # slot
+D_STORE = 22         # ii       (field, lo, hi, off, end, size, mask, msg)
+D_STOREM = 23        # ni       (malformed decl: defer to shadow state)
+D_BUFSTORE = 24      # ii
+D_SETCMD = 25        # ii       (known-command row + messages)
+D_CMDEND = 26        #
+B_HDR = 30           # ii       (block prologue: watchdog + command gate)
+N_GOTO = 40          # pc
+N_BR = 41            # ii t nt
+N_SWITCH = 42        # ii
+N_CALL = 43          # ii nargs (transfer info in pool)
+N_ICALL_PRE = 44     # ii
+N_ICALL = 45         # nargs cont dest
+N_RET0 = 46          #
+N_RETV = 47          #
+N_STUB = 48          # ni       (untrained-label landing block)
+N_UNTRAINED = 49     # ni       (call into a function training never ran)
+N_NONBTD = 50        # ni
+
+_OPSYMS = ("+", "-", "*", "//", "%", "&", "|", "^", "<<", ">>",
+           "==", "!=", "<", "<=", ">", ">=", "and", "or")
+_UNSYMS = ("-", "~", "not")
+
+_BIN_INLINE = {
+    "+": "({a} + {b})", "-": "({a} - {b})", "*": "({a} * {b})",
+    "&": "({a} & {b})", "|": "({a} | {b})", "^": "({a} ^ {b})",
+    "<<": "({a} << ({b} & 63))", ">>": "({a} >> ({b} & 63))",
+    "==": "(1 if {a} == {b} else 0)", "!=": "(1 if {a} != {b} else 0)",
+    "<": "(1 if {a} < {b} else 0)", "<=": "(1 if {a} <= {b} else 0)",
+    ">": "(1 if {a} > {b} else 0)", ">=": "(1 if {a} >= {b} else 0)",
+    "and": "(1 if ({a} and {b}) else 0)",
+    "or": "(1 if ({a} or {b}) else 0)",
+}
+_UN_INLINE = {"-": "(-({a}))", "~": "(~({a}))",
+              "not": "(0 if {a} else 1)"}
+
+
+def _index_is_state_derived(index: Expr) -> bool:
+    """Same parameter-check scope rule as both existing backends."""
+    if isinstance(index, Const):
+        return True
+    return bool(index.state_refs())
+
+
+def _collect_locals(func: ESFunction) -> Tuple[str, ...]:
+    """Every local name the routine reads or writes, in first-appearance
+    order (the slot map)."""
+    seen: Dict[str, None] = {}
+
+    def visit(expr: Expr) -> None:
+        if isinstance(expr, Local):
+            seen.setdefault(expr.name)
+        elif isinstance(expr, BinOp):
+            visit(expr.left)
+            visit(expr.right)
+        elif isinstance(expr, UnOp):
+            visit(expr.operand)
+        elif isinstance(expr, BufLoad):
+            visit(expr.index)
+
+    for block in func.blocks.values():
+        for stmt in block.dsod:
+            if isinstance(stmt, Assign):
+                seen.setdefault(stmt.target)
+                visit(stmt.value)
+            elif isinstance(stmt, StateStore):
+                visit(stmt.value)
+            elif isinstance(stmt, BufStore):
+                visit(stmt.index)
+                visit(stmt.value)
+            elif isinstance(stmt, Intrinsic):
+                for arg in stmt.args:
+                    visit(arg)
+        nbtd = block.nbtd
+        if isinstance(nbtd, Branch):
+            visit(nbtd.cond)
+        elif isinstance(nbtd, Switch):
+            visit(nbtd.scrutinee)
+        elif isinstance(nbtd, (Call, ICall)):
+            for arg in nbtd.args:
+                visit(arg)
+            if nbtd.dest is not None:
+                seen.setdefault(nbtd.dest)
+        elif isinstance(nbtd, Return) and nbtd.value is not None:
+            visit(nbtd.value)
+    return tuple(seen)
+
+
+# ---------------------------------------------------------------------------
+# Lowering: the whole spec -> one code/pool pair
+# ---------------------------------------------------------------------------
+
+class _SpecLowerer:
+    def __init__(self, spec: ExecutionSpec):
+        self.spec = spec
+        self.code: List[int] = []
+        self.pool: List[Any] = []
+        self._pool_index: Dict[Any, int] = {}
+        self.fnames = tuple(spec.functions)
+        self.fid = {name: i for i, name in enumerate(self.fnames)}
+        self.locals_of = {name: _collect_locals(func)
+                          for name, func in spec.functions.items()}
+        # Global pc assignment: per function, entry first, then the
+        # remaining trained labels, then stubs for every referenced but
+        # untrained label (sorted for determinism).
+        self.pc_of: Dict[Tuple[str, str], int] = {}
+        self.order: List[Tuple[str, str, bool]] = []   # (func, label, stub)
+        pc = 0
+        for name, func in spec.functions.items():
+            labels = [func.entry] + [l for l in func.blocks
+                                     if l != func.entry]
+            referenced = set()
+            for block in func.blocks.values():
+                nbtd = block.nbtd
+                if isinstance(nbtd, Goto):
+                    referenced.add(nbtd.target)
+                elif isinstance(nbtd, Branch):
+                    referenced.update((nbtd.taken, nbtd.not_taken))
+                elif isinstance(nbtd, Switch):
+                    referenced.update(nbtd.table.values())
+                    if nbtd.default:
+                        referenced.add(nbtd.default)
+                elif isinstance(nbtd, (Call, ICall)):
+                    referenced.add(nbtd.cont)
+            stubs = sorted(referenced - set(func.blocks))
+            for label in labels:
+                self.pc_of[(name, label)] = pc
+                self.order.append((name, label, False))
+                pc += 1
+            for label in stubs:
+                self.pc_of[(name, label)] = pc
+                self.order.append((name, label, True))
+                pc += 1
+        self.entry_pc = tuple(
+            self.pc_of[(name, spec.functions[name].entry)]
+            for name in self.fnames)
+        self.nparams = tuple(len(spec.functions[name].params)
+                             for name in self.fnames)
+        self.nlocals = tuple(len(self.locals_of[name])
+                             for name in self.fnames)
+
+    def ref(self, value: Any) -> int:
+        key = (type(value).__name__, repr(value))
+        idx = self._pool_index.get(key)
+        if idx is None:
+            idx = len(self.pool)
+            self.pool.append(value)
+            self._pool_index[key] = idx
+        return idx
+
+    def emit(self, *ops: int) -> None:
+        self.code.extend(ops)
+
+    def lower(self) -> "BytecodeSpec":
+        spec = self.spec
+        for name, label, stub in self.order:
+            if stub:
+                msg = (f"transition into {name}:{label} was never "
+                       f"observed in training")
+                self.emit(N_STUB, self.ref(msg))
+                continue
+            func = spec.functions[name]
+            block = func.blocks[label]
+            self.lower_block(func, block)
+        return BytecodeSpec(
+            device=spec.device, fnames=self.fnames,
+            entry_pc=self.entry_pc, nparams=self.nparams,
+            nlocals=self.nlocals, code=tuple(self.code),
+            pool=tuple(self.pool))
+
+    # -- blocks --------------------------------------------------------------
+
+    def lower_block(self, func: ESFunction, block: ESBlock) -> None:
+        spec = self.spec
+        address = block.address
+        gate = spec.cmd_access.commands_allowing(address)
+        gate_msg = (f"block {address:#x} is not accessible under "
+                    f"command %#x")
+        self.emit(B_HDR, self.ref(
+            (address, int(block.is_cmd_end),
+             int(not block.is_cmd_decision), gate, gate_msg)))
+        for stmt in block.dsod:
+            self.lower_dsod(stmt, func, block)
+        self.lower_nbtd(func, block)
+
+    # -- expressions ---------------------------------------------------------
+
+    def lower_expr(self, expr: Expr, func: ESFunction) -> None:
+        spec = self.spec
+        if isinstance(expr, Const):
+            self.emit(C_CONST, self.ref(expr.value))
+        elif isinstance(expr, Param):
+            msg = f"missing I/O parameter {expr.name!r}"
+            if expr.name in func.params:
+                self.emit(C_PARAM, tuple(func.params).index(expr.name),
+                          self.ref(msg))
+            else:
+                self.emit(C_PARAM_MISS, self.ref(msg))
+        elif isinstance(expr, Local):
+            slot = self.locals_of[func.name].index(expr.name)
+            msg = f"ES local {expr.name!r} undefined (slice gap)"
+            self.emit(C_LOCAL, slot, self.ref(msg))
+        elif isinstance(expr, StateRef):
+            decl = spec.layout.field(expr.field)
+            if decl.is_buffer:
+                self.emit(C_STATEF, self.ref(expr.field))
+            else:
+                signed = (isinstance(decl.type, IntType)
+                          and decl.type.signed)
+                self.emit(C_STATE, self.ref(
+                    (decl.offset, decl.end, int(signed),
+                     decl.type.bits if signed else 0)))
+        elif isinstance(expr, BufLoad):
+            self.lower_expr(expr.index, func)
+            decl = spec.layout.field(expr.buf)
+            elem = decl.type.elem
+            checked = _index_is_state_derived(expr.index)
+            msg = (f"read at dev.{expr.buf}[%d] is outside the "
+                   f"buffer's {decl.type.length} elements")
+            self.emit(C_BUFLOAD, self.ref(
+                (expr.buf, int(checked), decl.type.length, decl.offset,
+                 elem.size, int(elem.signed), elem.bits,
+                 spec.layout.size, msg)))
+        elif isinstance(expr, BufLen):
+            self.emit(C_BUFLEN, expr.length)
+        elif isinstance(expr, SyncVar):
+            self.emit(C_SYNC, self.ref(expr.name))
+        elif isinstance(expr, BinOp):
+            if isinstance(expr.left, Const) and isinstance(expr.right,
+                                                           Const):
+                try:
+                    folded = binop_fn(expr.op)(expr.left.value,
+                                               expr.right.value)
+                except DeviceFault:
+                    pass    # div0 must stay a runtime fault
+                else:
+                    self.emit(C_CONST, self.ref(folded))
+                    return
+            self.lower_expr(expr.left, func)
+            self.lower_expr(expr.right, func)
+            self.emit(C_BINOP, _OPSYMS.index(expr.op))
+        elif isinstance(expr, UnOp):
+            self.lower_expr(expr.operand, func)
+            self.emit(C_UNOP, _UNSYMS.index(expr.op))
+        else:
+            # Mirrors the closure backend's run_unknown: a CheckerError
+            # when (never) evaluated; lowering keeps it site-precise.
+            self.emit(C_SYNC, self.ref(
+                f"__cannot_evaluate__{type(expr).__name__}"))
+
+    # -- DSOD ----------------------------------------------------------------
+
+    def lower_dsod(self, stmt, func: ESFunction, block: ESBlock) -> None:
+        spec = self.spec
+        address = block.address
+        self.emit(D_DSD)
+        if isinstance(stmt, Assign):
+            self.lower_expr(stmt.value, func)
+            self.emit(D_ASSIGN,
+                      self.locals_of[func.name].index(stmt.target))
+        elif isinstance(stmt, StateStore):
+            self.lower_expr(stmt.value, func)
+            decl = spec.layout.field(stmt.field)
+            if isinstance(decl.type, FuncPtrType):
+                lo, hi = 0, (1 << 64) - 1
+            elif isinstance(decl.type, IntType):
+                lo, hi = decl.type.min_value, decl.type.max_value
+            else:
+                self.emit(D_STOREM, self.ref(stmt.field))
+                return
+            msg = (f"storing %d into dev.{stmt.field} ({decl.type}) "
+                   f"overflows its declared range")
+            mask = (1 << (decl.size * 8)) - 1
+            self.emit(D_STORE, self.ref(
+                (stmt.field, lo, hi, decl.offset, decl.end, decl.size,
+                 mask, msg, address)))
+        elif isinstance(stmt, BufStore):
+            self.lower_expr(stmt.index, func)
+            self.lower_expr(stmt.value, func)
+            decl = spec.layout.field(stmt.buf)
+            checked = _index_is_state_derived(stmt.index)
+            msg = (f"write at dev.{stmt.buf}[%d] is outside the "
+                   f"buffer's {decl.type.length} elements")
+            emask = (1 << (decl.type.elem.size * 8)) - 1
+            self.emit(D_BUFSTORE, self.ref(
+                (stmt.buf, int(checked), decl.type.length, decl.offset,
+                 decl.type.elem.size, emask, spec.layout.size, msg,
+                 address)))
+        elif isinstance(stmt, Intrinsic):
+            if stmt.kind == "command_decision" and stmt.args:
+                self.lower_expr(stmt.args[0], func)
+                self.emit(D_SETCMD, self._setcmd_ref(address))
+            elif stmt.kind == "command_end":
+                self.emit(D_CMDEND)
+            # other intrinsics: the D_DSD above is the whole effect
+        else:
+            self.emit(C_SYNC, self.ref(
+                f"__unexpected_dsod__{type(stmt).__name__}"))
+
+    def _setcmd_ref(self, address: int) -> int:
+        known = self.spec.cmd_access.known_commands()
+        return self.ref((frozenset(known),
+                         "command %#x never observed in training",
+                         address))
+
+    # -- NBTD ----------------------------------------------------------------
+
+    def lower_nbtd(self, func: ESFunction, block: ESBlock) -> None:
+        spec = self.spec
+        nbtd = block.nbtd
+        address = block.address
+        fname = func.name
+
+        def pc(label: str) -> int:
+            return self.pc_of[(fname, label)]
+
+        if isinstance(nbtd, Goto):
+            self.emit(N_GOTO, pc(nbtd.target))
+        elif isinstance(nbtd, Branch):
+            self.lower_expr(nbtd.cond, func)
+            one_sided = spec.branch_is_one_sided(address)
+            if one_sided is None:
+                info = (-1, "")
+            else:
+                outcome = not one_sided   # the side that violates
+                msg = (f"branch at {address:#x} took its never-trained "
+                       f"side ({'taken' if outcome else 'not taken'})")
+                info = (int(one_sided), msg)
+            self.emit(N_BR, self.ref((info[0], info[1], address)),
+                      pc(nbtd.taken), pc(nbtd.not_taken))
+        elif isinstance(nbtd, Switch):
+            self.lower_expr(nbtd.scrutinee, func)
+            legit = spec.frozen_switch_targets(address)
+            addr_of = {lbl: b.address for lbl, b in func.blocks.items()}
+
+            def arm_pc(label: Optional[str]) -> int:
+                if not label:
+                    return -1
+                if legit and addr_of.get(label) not in legit:
+                    return -2
+                return pc(label)
+
+            table = {k: arm_pc(v) for k, v in nbtd.table.items()}
+            default = arm_pc(nbtd.default)
+            no_arm_msg = f"switch at {address:#x} has no arm for %d"
+            not_legit_msg = (f"switch arm for %d at {address:#x} was "
+                             f"never observed in training")
+            enc = _encode_switch(table, default)
+            setcmd = (self._setcmd_ref(address)
+                      if block.is_cmd_decision else -1)
+            self.emit(N_SWITCH, self.ref(
+                (enc, int(bool(legit)), no_arm_msg, not_legit_msg,
+                 address, setcmd)))
+        elif isinstance(nbtd, Call):
+            if not spec.has_function(nbtd.func):
+                msg = (f"call into {nbtd.func}, which no training run "
+                       f"executed")
+                self.emit(N_UNTRAINED, self.ref((msg, address)))
+                return
+            for arg in nbtd.args:
+                self.lower_expr(arg, func)
+            callee = nbtd.func
+            dest = (self.locals_of[fname].index(nbtd.dest)
+                    if nbtd.dest is not None else -1)
+            self.emit(N_CALL, self.ref(
+                (self.entry_pc[self.fid[callee]],
+                 self.nparams[self.fid[callee]],
+                 self.nlocals[self.fid[callee]],
+                 pc(nbtd.cont), dest)), len(nbtd.args))
+        elif isinstance(nbtd, ICall):
+            decl = spec.layout.field(nbtd.ptr_field)
+            signed = (not decl.is_buffer
+                      and isinstance(decl.type, IntType)
+                      and decl.type.signed)
+            legit = spec.frozen_icall_targets(address)
+            by_addr = {
+                addr: self.fid[fn]
+                for addr, fn in ((a, spec.addr_to_func.get(a))
+                                 for a in legit)
+                if fn is not None and fn in self.fid
+            }
+            msg = (f"dev.{nbtd.ptr_field} points at %#x, not a "
+                   f"legitimate target of this call site")
+            self.emit(N_ICALL_PRE, self.ref(
+                (decl.offset, decl.end, int(signed),
+                 decl.type.bits if signed else 0, frozenset(legit),
+                 by_addr, msg, address)))
+            for arg in nbtd.args:
+                self.lower_expr(arg, func)
+            dest = (self.locals_of[fname].index(nbtd.dest)
+                    if nbtd.dest is not None else -1)
+            self.emit(N_ICALL, len(nbtd.args), pc(nbtd.cont), dest)
+        elif isinstance(nbtd, Return):
+            if nbtd.value is None:
+                self.emit(N_RET0)
+            else:
+                self.lower_expr(nbtd.value, func)
+                self.emit(N_RETV)
+        else:
+            self.emit(N_NONBTD, self.ref(
+                f"ES block {block.label} has no NBTD"))
+
+
+def _encode_switch(table: Dict[int, int],
+                   default: int) -> Tuple[Any, ...]:
+    if table:
+        lo, hi = min(table), max(table)
+        span = hi - lo + 1
+        if span <= max(16, 4 * len(table)):
+            dense = tuple(table.get(lo + i, default) for i in range(span))
+            return ("dense", lo, dense, default)
+    keys = tuple(sorted(table))
+    vals = tuple(table[k] for k in keys)
+    return ("bsearch", keys, vals, default)
+
+
+# ---------------------------------------------------------------------------
+# The artifact
+# ---------------------------------------------------------------------------
+
+class BytecodeSpec:
+    """One spec's flat bytecode arrays plus its assembled walk frame."""
+
+    __slots__ = ("device", "fnames", "entry_pc", "nparams", "nlocals",
+                 "code", "pool", "_walk", "_fid", "_entry")
+
+    def __init__(self, device: str, fnames: Tuple[str, ...],
+                 entry_pc: Tuple[int, ...], nparams: Tuple[int, ...],
+                 nlocals: Tuple[int, ...], code: Tuple[int, ...],
+                 pool: Tuple[Any, ...]):
+        self.device = device
+        self.fnames = fnames
+        self.entry_pc = entry_pc
+        self.nparams = nparams
+        self.nlocals = nlocals
+        self.code = code
+        self.pool = pool
+        self._walk: Optional[Callable] = None
+        self._fid = {name: i for i, name in enumerate(fnames)}
+        self._entry = {name: (entry_pc[i], nparams[i], nlocals[i])
+                       for i, name in enumerate(fnames)}
+
+    def assemble(self) -> "BytecodeSpec":
+        """Self-contained: assembly reads only the arrays."""
+        self._walk = _assemble_spec(self)
+        return self
+
+    def run(self, w, handler: str, args: Tuple[int, ...]) -> Optional[int]:
+        """One I/O round's walk; counters flush even on early stops
+        (mirrors :meth:`CompiledSpec.run`)."""
+        try:
+            pc0, np, nl = self._entry[handler]
+            if len(args) == np:
+                par = args if type(args) is tuple else tuple(args)
+            else:
+                par = (tuple(args) + (_MISS,) * np)[:np]
+            return self._walk(w, pc0, par, [_UNDEF] * nl)
+        finally:
+            report = w.report
+            report.blocks_walked += w.blocks
+            report.dsod_stmts_executed += w.dsod
+            report.param_checks += w.pchecks
+            report.indirect_checks += w.ichecks
+            report.conditional_checks += w.cchecks
+
+    # -- serialization -------------------------------------------------------
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "format": BYTECODE_FORMAT,
+            "kind": "checker-bytecode",
+            "device": self.device,
+            "fnames": list(self.fnames),
+            "entry_pc": list(self.entry_pc),
+            "nparams": list(self.nparams),
+            "nlocals": list(self.nlocals),
+            "code": list(self.code),
+            "pool": [_tag_const(c) for c in self.pool],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "BytecodeSpec":
+        if payload.get("format") != BYTECODE_FORMAT:
+            raise CheckerError(
+                f"unsupported bytecode format {payload.get('format')!r}")
+        if payload.get("kind") != "checker-bytecode":
+            raise CheckerError("payload is not a checker bytecode")
+        return cls(
+            device=payload["device"], fnames=tuple(payload["fnames"]),
+            entry_pc=tuple(payload["entry_pc"]),
+            nparams=tuple(payload["nparams"]),
+            nlocals=tuple(payload["nlocals"]),
+            code=tuple(payload["code"]),
+            pool=tuple(_untag_const(c) for c in payload["pool"]))
+
+    def digest(self) -> str:
+        blob = json.dumps(self.to_payload(), sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()
+
+
+def _tag_const(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return {"t": "tuple", "v": [_tag_const(v) for v in value]}
+    if isinstance(value, frozenset):
+        return {"t": "fset", "v": sorted(value)}
+    if isinstance(value, dict):
+        return {"t": "imap",
+                "v": [[k, _tag_const(v)]
+                      for k, v in sorted(value.items())]}
+    return value
+
+
+def _untag_const(value: Any) -> Any:
+    if isinstance(value, dict):
+        tag = value.get("t")
+        if tag == "tuple":
+            return tuple(_untag_const(v) for v in value["v"])
+        if tag == "fset":
+            return frozenset(value["v"])
+        if tag == "imap":
+            return {k: _untag_const(v) for k, v in value["v"]}
+        raise CheckerError(f"unknown constant tag {tag!r}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Assembly
+# ---------------------------------------------------------------------------
+
+class _Asm:
+    def __init__(self) -> None:
+        self.lines: List[str] = []
+        self.indent = 0
+        self._temp = 0
+
+    def w(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def temp(self) -> str:
+        self._temp += 1
+        return f"_t{self._temp}"
+
+
+def _state_load_expr(off: int, end: int, signed: int, bits: int) -> str:
+    raw = f'_ifb(_sdata[{off}:{end}], "little")'
+    if signed:
+        half, mod = 1 << (bits - 1), 1 << bits
+        return f"((({raw} + {half}) % {mod}) - {half})"
+    return raw
+
+
+def _assemble_spec(bspec: BytecodeSpec) -> Callable:
+    code, pool = bspec.code, bspec.pool
+    consts: Dict[str, Any] = {
+        "_ifb": int.from_bytes, "_fdiv": _floordiv, "_fmod": _mod,
+        "_flag": _flag, "_WalkStop": _WalkStop,
+        "CheckerError": CheckerError,
+        "_SP": Strategy.PARAMETER, "_SI": Strategy.INDIRECT_JUMP,
+        "_SC": Strategy.CONDITIONAL_JUMP,
+        "_MISS": _MISS, "_UNDEF": _UNDEF,
+        "_FENT": bspec.entry_pc, "_FNP": bspec.nparams,
+        "_FNL": bspec.nlocals,
+        "_MISSPAD": (_MISS,) * (max(bspec.nparams, default=0) + 1),
+    }
+    const_n = 0
+
+    def bind(value: Any, prefix: str = "_K") -> str:
+        nonlocal const_n
+        const_n += 1
+        name = f"{prefix}{const_n}"
+        consts[name] = value
+        return name
+
+    asm = _Asm()
+    stack: List[str] = []   # expression strings; temps already spilled
+
+    def push(expr: str) -> None:
+        stack.append(expr)
+
+    def pop() -> str:
+        return stack.pop()
+
+    def spill_pending() -> None:
+        for i, expr in enumerate(stack):
+            if not (expr.startswith("_t") and expr[2:].isdigit()):
+                t = asm.temp()
+                asm.w(f"{t} = {expr}")
+                stack[i] = t
+
+    def force_temp(expr: str) -> str:
+        if expr.startswith("_t") and expr[2:].isdigit():
+            return expr
+        t = asm.temp()
+        asm.w(f"{t} = {expr}")
+        return t
+
+    def emit_flag_raise(strategy: str, kind: str, msg_expr: str,
+                        addr_expr: str, plain: bool = False) -> None:
+        if plain:
+            asm.w(f"_flag(w, {strategy}, {kind!r}, {msg_expr}, "
+                  f"{addr_expr})")
+            asm.w("raise _WalkStop()")
+        else:
+            asm.w(f"_r = _flag(w, {strategy}, {kind!r}, {msg_expr}, "
+                  f"{addr_expr})")
+            asm.w("raise _WalkStop(not _r)")
+
+    blocks: List[List[str]] = []
+    pc = 0
+    n = len(code)
+    while pc < n:
+        op = code[pc]
+        if op == B_HDR:
+            asm.lines = []
+            blocks.append(asm.lines)
+            address, is_cmd_end, gated, gate, gate_msg = pool[code[pc + 1]]
+            asm.w(f"_addr = {address}")
+            asm.w("_blk += 1")
+            asm.w("if _blk > _maxb:")
+            asm.indent += 1
+            asm.w(f'_flag(w, _SC, "walk-watchdog", "specification walk '
+                  f'exceeded block budget", {address})')
+            asm.w("raise _WalkStop()")
+            asm.indent -= 1
+            if is_cmd_end:
+                asm.w("_cmd = None")
+            if gated:
+                gref = bind(gate, "_G")
+                asm.w("if _cmd is not None:")
+                asm.indent += 1
+                asm.w("if _con: _cch += 1")
+                asm.w(f"if _cmd not in {gref}:")
+                asm.indent += 1
+                emit_flag_raise("_SC", "command-access",
+                                f"{gate_msg!r} % _cmd", str(address))
+                asm.indent -= 2
+            pc += 2
+        elif op == N_STUB:
+            asm.lines = []
+            blocks.append(asm.lines)
+            emit_flag_raise("_SC", "unobserved-path",
+                            repr(pool[code[pc + 1]]), "_addr")
+            pc += 2
+        elif op == C_CONST:
+            push(repr(pool[code[pc + 1]]))
+            pc += 2
+        elif op == C_PARAM:
+            pos, mi = code[pc + 1], code[pc + 2]
+            spill_pending()
+            t = asm.temp()
+            asm.w(f"{t} = _par[{pos}]")
+            asm.w(f"if {t} is _MISS:")
+            asm.indent += 1
+            asm.w(f"raise CheckerError({pool[mi]!r})")
+            asm.indent -= 1
+            push(t)
+            pc += 3
+        elif op == C_PARAM_MISS:
+            spill_pending()
+            t = asm.temp()
+            asm.w(f"{t} = _die({pool[code[pc + 1]]!r})")
+            push(t)
+            pc += 2
+        elif op == C_LOCAL:
+            slot, mi = code[pc + 1], code[pc + 2]
+            spill_pending()
+            t = asm.temp()
+            asm.w(f"{t} = _env[{slot}]")
+            asm.w(f"if {t} is _UNDEF:")
+            asm.indent += 1
+            asm.w(f"raise CheckerError({pool[mi]!r})")
+            asm.indent -= 1
+            push(t)
+            pc += 3
+        elif op == C_STATE:
+            off, end, signed, bits = pool[code[pc + 1]]
+            push(_state_load_expr(off, end, signed, bits))
+            pc += 2
+        elif op == C_STATEF:
+            spill_pending()
+            t = asm.temp()
+            asm.w(f"{t} = w.state.read_field({pool[code[pc + 1]]!r})")
+            push(t)
+            pc += 2
+        elif op == C_BUFLEN:
+            push(repr(code[pc + 1]))
+            pc += 2
+        elif op == C_BUFLOAD:
+            (buf, checked, length, base, esize, signed, bits,
+             struct_size, msg) = pool[code[pc + 1]]
+            index = pop()
+            spill_pending()
+            i = force_temp(index)
+            if checked:
+                asm.w("if _pon:")
+                asm.indent += 1
+                asm.w("_pch += 1")
+                asm.w(f"if not 0 <= {i} < {length}:")
+                asm.indent += 1
+                emit_flag_raise("_SP", "buffer-overflow",
+                                f"{msg!r} % {i}", "_addr", plain=True)
+                asm.indent -= 2
+            o = asm.temp()
+            asm.w(f"{o} = {base} + {i} * {esize}")
+            asm.w(f"if {o} < 0 or {o} + {esize} > {struct_size}:")
+            asm.indent += 1
+            asm.w("raise _WalkStop(True)")
+            asm.indent -= 1
+            t = asm.temp()
+            raw = f'_ifb(_sdata[{o}:{o} + {esize}], "little")'
+            if signed:
+                half, mod = 1 << (bits - 1), 1 << bits
+                asm.w(f"{t} = ((({raw} + {half}) % {mod}) - {half})")
+            else:
+                asm.w(f"{t} = {raw}")
+            push(t)
+            pc += 2
+        elif op == C_BINOP:
+            sym = _OPSYMS[code[pc + 1]]
+            b, a = pop(), pop()
+            if sym in ("//", "%"):
+                spill_pending()
+                t = asm.temp()
+                fn = "_fdiv" if sym == "//" else "_fmod"
+                asm.w(f"{t} = {fn}({a}, {b})")
+                push(t)
+            else:
+                push(_BIN_INLINE[sym].format(a=a, b=b))
+            pc += 2
+        elif op == C_UNOP:
+            push(_UN_INLINE[_UNSYMS[code[pc + 1]]].format(a=pop()))
+            pc += 2
+        elif op == C_SYNC:
+            name = pool[code[pc + 1]]
+            spill_pending()
+            t = asm.temp()
+            if name.startswith("__cannot_evaluate__"):
+                kind = name[len("__cannot_evaluate__"):]
+                asm.w(f"{t} = _die({f'cannot evaluate {kind}'!r})")
+            elif name.startswith("__unexpected_dsod__"):
+                kind = name[len("__unexpected_dsod__"):]
+                asm.w(f"{t} = _die("
+                      f"{f'unexpected DSOD statement {kind}'!r})")
+            else:
+                asm.w(f"{t} = _res({name!r})")
+            push(t)
+            pc += 2
+        elif op == D_DSD:
+            asm.w("_dsd += 1")
+            pc += 1
+        elif op == D_ASSIGN:
+            asm.w(f"_env[{code[pc + 1]}] = {pop()}")
+            pc += 2
+        elif op == D_STORE:
+            (field, lo, hi, off, end, size, mask, msg,
+             address) = pool[code[pc + 1]]
+            v = force_temp(pop())
+            asm.w("if _pon:")
+            asm.indent += 1
+            asm.w("_pch += 1")
+            asm.w(f"if not {lo} <= {v} <= {hi}:")
+            asm.indent += 1
+            emit_flag_raise("_SP", "integer-overflow", f"{msg!r} % {v}",
+                            str(address), plain=True)
+            asm.indent -= 2
+            asm.w(f"_sdata[{off}:{end}] = ({v} & {mask})"
+                  f'.to_bytes({size}, "little")')
+            pc += 2
+        elif op == D_STOREM:
+            field = pool[code[pc + 1]]
+            v = force_temp(pop())
+            asm.w("if _pon:")
+            asm.indent += 1
+            asm.w("_pch += 1")
+            asm.w(f"if not w.state.in_range({field!r}, {v}):")
+            asm.indent += 1
+            asm.w('raise AssertionError("unreachable")')
+            asm.indent -= 2
+            asm.w(f"w.state.write_field({field!r}, {v})")
+            pc += 2
+        elif op == D_BUFSTORE:
+            (buf, checked, length, base, esize, emask, struct_size,
+             msg, address) = pool[code[pc + 1]]
+            value, index = pop(), pop()
+            i = force_temp(index)
+            v = force_temp(value)
+            if checked:
+                asm.w("if _pon:")
+                asm.indent += 1
+                asm.w("_pch += 1")
+                asm.w(f"if not 0 <= {i} < {length}:")
+                asm.indent += 1
+                emit_flag_raise("_SP", "buffer-overflow",
+                                f"{msg!r} % {i}", str(address),
+                                plain=True)
+                asm.indent -= 2
+            o = asm.temp()
+            asm.w(f"{o} = {base} + {i} * {esize}")
+            asm.w(f"if {o} < 0 or {o} + {esize} > {struct_size}:")
+            asm.indent += 1
+            asm.w("raise _WalkStop(True)")
+            asm.indent -= 1
+            asm.w(f"_sdata[{o}:{o} + {esize}] = ({v} & {emask})"
+                  f'.to_bytes({esize}, "little")')
+            pc += 2
+        elif op == D_SETCMD:
+            known, msg, address = pool[code[pc + 1]]
+            v = force_temp(pop())
+            _emit_setcmd(asm, bind, known, msg, address, v,
+                         emit_flag_raise)
+            pc += 2
+        elif op == D_CMDEND:
+            asm.w("_cmd = None")
+            pc += 1
+        elif op == N_GOTO:
+            asm.w(f"_pc = {code[pc + 1]}")
+            asm.w("continue")
+            pc += 2
+        elif op == N_BR:
+            one_sided, msg, address = pool[code[pc + 1]]
+            t_pc, nt_pc = code[pc + 2], code[pc + 3]
+            cond = pop()
+            if one_sided < 0:
+                asm.w(f"_pc = {t_pc} if {cond} else {nt_pc}")
+            else:
+                c = force_temp(cond)
+                asm.w("if _con: _cch += 1")
+                if one_sided:   # trained side: taken
+                    asm.w(f"if not {c}:")
+                    asm.indent += 1
+                    emit_flag_raise("_SC", "unobserved-branch",
+                                    repr(msg), str(address))
+                    asm.indent -= 1
+                    asm.w(f"_pc = {t_pc}")
+                else:
+                    asm.w(f"if {c}:")
+                    asm.indent += 1
+                    emit_flag_raise("_SC", "unobserved-branch",
+                                    repr(msg), str(address))
+                    asm.indent -= 1
+                    asm.w(f"_pc = {nt_pc}")
+            asm.w("continue")
+            pc += 4
+        elif op == N_SWITCH:
+            (enc, has_legit, no_arm_msg, not_legit_msg, address,
+             setcmd) = pool[code[pc + 1]]
+            v = force_temp(pop())
+            if setcmd >= 0:
+                known, cmsg, caddr = pool[setcmd]
+                _emit_setcmd(asm, bind, known, cmsg, caddr, v,
+                             emit_flag_raise)
+            asm.w("if _con: _cch += 1")
+            if enc[0] == "dense":
+                _, base, dense, default = enc
+                tref = bind(tuple(dense), "_T")
+                i = asm.temp()
+                asm.w(f"{i} = {v} - {base}")
+                asm.w(f"_pc = {tref}[{i}] if 0 <= {i} < {len(dense)} "
+                      f"else {default}")
+            else:
+                _, keys, vals, default = enc
+                kref = bind(tuple(keys), "_T")
+                vref = bind(tuple(vals), "_T")
+                i = asm.temp()
+                asm.w(f"{i} = _bisect({kref}, {v})")
+                asm.w(f"_pc = {vref}[{i}] if {i} < {len(keys)} "
+                      f"and {kref}[{i}] == {v} else {default}")
+            asm.w("if _pc == -1:")
+            asm.indent += 1
+            emit_flag_raise("_SC", "unobserved-arm",
+                            f"{no_arm_msg!r} % {v}", str(address))
+            asm.indent -= 1
+            if has_legit:
+                asm.w("if _con: _cch += 1")
+                asm.w("if _pc == -2:")
+                asm.indent += 1
+                emit_flag_raise("_SC", "unobserved-arm",
+                                f"{not_legit_msg!r} % {v}", str(address))
+                asm.indent -= 1
+            asm.w("continue")
+            pc += 2
+        elif op == N_CALL:
+            entry, np_, nl, cont, dest = pool[code[pc + 1]]
+            nargs = code[pc + 2]
+            args = [pop() for _ in range(nargs)][::-1]
+            spill_pending()
+            padded = (args + ["_MISS"] * np_)[:np_]
+            asm.w(f"_stack.append((_env, _par, {cont}, {dest}))")
+            asm.w(f"_par = ({', '.join(padded)}{',' if padded else ''})")
+            asm.w(f"_env = [_UNDEF] * {nl}")
+            asm.w(f"_pc = {entry}")
+            asm.w("continue")
+            pc += 3
+        elif op == N_ICALL_PRE:
+            (off, end, signed, bits, legit, by_addr, msg,
+             address) = pool[code[pc + 1]]
+            asm.w("if _ion: _ich += 1")
+            t = asm.temp()
+            asm.w(f"{t} = {_state_load_expr(off, end, signed, bits)}")
+            lref = bind(legit, "_L")
+            asm.w(f"if {t} not in {lref}:")
+            asm.indent += 1
+            emit_flag_raise("_SI", "illegal-target", f"{msg!r} % {t}",
+                            str(address))
+            asm.indent -= 1
+            f = asm.temp()
+            aref = bind(dict(by_addr), "_A")
+            asm.w(f"{f} = {aref}.get({t})")
+            asm.w(f"if {f} is None:")
+            asm.indent += 1
+            asm.w("raise _WalkStop(True)")
+            asm.indent -= 1
+            push(f)
+            pc += 2
+        elif op == N_ICALL:
+            nargs, cont, dest = code[pc + 1], code[pc + 2], code[pc + 3]
+            args = [pop() for _ in range(nargs)][::-1]
+            f = pop()
+            spill_pending()
+            t = asm.temp()
+            asm.w(f"{t} = ({', '.join(args)}{',' if args else ''})")
+            asm.w(f"_stack.append((_env, _par, {cont}, {dest}))")
+            np_ = asm.temp()
+            asm.w(f"{np_} = _FNP[{f}]")
+            asm.w(f"_par = ({t} + _MISSPAD)[:{np_}]")
+            asm.w(f"_env = [_UNDEF] * _FNL[{f}]")
+            asm.w(f"_pc = _FENT[{f}]")
+            asm.w("continue")
+            pc += 4
+        elif op == N_UNTRAINED:
+            msg, address = pool[code[pc + 1]]
+            emit_flag_raise("_SC", "unobserved-path", repr(msg),
+                            str(address))
+            pc += 2
+        elif op == N_RET0:
+            asm.w("if not _stack:")
+            asm.indent += 1
+            asm.w("return 0")
+            asm.indent -= 1
+            asm.w("_env, _par, _pc, _d = _stack.pop()")
+            asm.w("if _d >= 0:")
+            asm.indent += 1
+            asm.w("_env[_d] = 0")
+            asm.indent -= 1
+            asm.w("continue")
+            pc += 1
+        elif op == N_RETV:
+            v = pop()
+            asm.w(f"_rv = {v}")
+            asm.w("if not _stack:")
+            asm.indent += 1
+            asm.w("return _rv")
+            asm.indent -= 1
+            asm.w("_env, _par, _pc, _d = _stack.pop()")
+            asm.w("if _d >= 0:")
+            asm.indent += 1
+            asm.w("_env[_d] = _rv")
+            asm.indent -= 1
+            asm.w("continue")
+            pc += 1
+        elif op == N_NONBTD:
+            asm.w(f"raise CheckerError({pool[code[pc + 1]]!r})")
+            pc += 2
+        else:
+            raise CheckerError(f"bad opcode {op} at pc {pc}")
+
+    if stack:
+        raise CheckerError("unbalanced expression stack lowering spec")
+
+    _inline_goto_tails(blocks)
+
+    out = _Asm()
+    out.w("def _walk(w, _pc, _par, _env):")
+    out.indent += 1
+    out.w("_blk = 0; _dsd = 0; _pch = 0; _ich = 0; _cch = 0")
+    out.w("_cmd = None; _addr = 0")
+    out.w("_pon = w.param_on; _ion = w.ijump_on; _con = w.cond_on")
+    out.w("_maxb = w.checker.max_walk_blocks")
+    out.w("_sdata = w.state.memory.data")
+    out.w("_res = w.oracle.resolve")
+    out.w("_stack = []")
+    out.w("try:")
+    out.indent += 1
+    out.w("while True:")
+    out.indent += 1
+    _emit_dispatch(out, blocks, 0, len(blocks))
+    out.indent -= 2
+    out.w("finally:")
+    out.indent += 1
+    out.w("w.blocks = _blk; w.dsod = _dsd; w.pchecks = _pch")
+    out.w("w.ichecks = _ich; w.cchecks = _cch")
+    out.w("w.current_address = _addr; w.current_cmd = _cmd")
+    out.indent -= 2
+
+    from bisect import bisect_left
+    consts["_bisect"] = bisect_left
+
+    def _die(msg: str) -> int:
+        raise CheckerError(msg)
+    consts["_die"] = _die
+
+    source = "\n".join(out.lines) + "\n"
+    namespace: Dict[str, Any] = dict(consts)
+    exec(compile(source, f"<es-bytecode:{bspec.device}>", "exec"),
+         namespace)
+    walk = namespace["_walk"]
+    walk._bytecode_source = source
+    return walk
+
+
+_GOTO_TAIL = __import__("re").compile(r"^_pc = (\d+)$")
+
+#: Cap on a block's line count after tail inlining.  Keeps the source
+#: (and CPython compile time) linear in the spec while still collapsing
+#: the straight-line Goto / one-sided-branch chains that dominate walks.
+_INLINE_BUDGET = 400
+
+
+def _inline_goto_tails(blocks: List[List[str]]) -> None:
+    """Splice statically-known successors into their predecessors.
+
+    A block ending in ``_pc = K`` / ``continue`` (a ``Goto`` or the
+    trained side of a one-sided branch) pays a full dispatch-tree
+    descent per transfer.  Replacing that tail with a copy of block K's
+    body keeps execution inside one trace until the next *dynamic*
+    transfer — the block's semantic prologue (address, watchdog,
+    command gate) rides along in the copy, so observables are
+    untouched.  Every block stays in the dispatch tree for its other
+    predecessors; self-loops and cycles stop the splice.
+    """
+    for i, lines in enumerate(blocks):
+        visited = {i}
+        while (len(lines) >= 2 and lines[-1] == "continue"
+               and len(lines) < _INLINE_BUDGET):
+            match = _GOTO_TAIL.match(lines[-2])
+            if match is None:
+                break
+            target = int(match.group(1))
+            if target in visited:
+                break
+            visited.add(target)
+            lines[-2:] = list(blocks[target])
+
+
+def _emit_setcmd(asm: _Asm, bind, known, msg: str, address: int,
+                 value: str, emit_flag_raise) -> None:
+    """Inline command-decision resolution (Algorithm 1's cmd table)."""
+    asm.w("if _con: _cch += 1")
+    kref = bind(known, "_K")
+    asm.w(f"if {value} not in {kref}:")
+    asm.indent += 1
+    emit_flag_raise("_SC", "unknown-command", f"{msg!r} % {value}",
+                    str(address))
+    asm.indent -= 1
+    asm.w(f"_cmd = {value}")
+
+
+def _emit_dispatch(out: _Asm, blocks: List[List[str]],
+                   lo: int, hi: int) -> None:
+    if hi - lo == 1:
+        for line in blocks[lo]:
+            out.w(line)
+        return
+    mid = (lo + hi) // 2
+    out.w(f"if _pc < {mid}:")
+    out.indent += 1
+    _emit_dispatch(out, blocks, lo, mid)
+    out.indent -= 1
+    out.w("else:")
+    out.indent += 1
+    _emit_dispatch(out, blocks, mid, hi)
+    out.indent -= 1
+
+
+# ---------------------------------------------------------------------------
+# Entry points
+# ---------------------------------------------------------------------------
+
+def lower_spec(spec: ExecutionSpec) -> BytecodeSpec:
+    """Lower the whole spec to flat arrays (unassembled)."""
+    return _SpecLowerer(spec).lower()
+
+
+def bytecode_spec_for(spec: ExecutionSpec) -> BytecodeSpec:
+    """Lower + assemble once per spec object, shared by every checker
+    deployed on it — mirrors :func:`compiled_spec_for`."""
+    cached = getattr(spec, "_bytecode_backend", None)
+    if cached is None:
+        cached = lower_spec(spec).assemble()
+        spec._bytecode_backend = cached
+    return cached

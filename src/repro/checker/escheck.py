@@ -49,7 +49,7 @@ from repro.spec.escfg import ESBlock, ESFunction, ExecutionSpec
 CHECK_BLOCK_COST = 0.5
 CHECK_STMT_COST = 0.5
 
-BACKENDS = ("compiled", "reference")
+BACKENDS = ("compiled", "reference", "bytecode")
 
 
 @dataclass
@@ -79,6 +79,11 @@ class ESChecker:
         self.backend = backend
         self._compiled = (compiled_spec_for(spec)
                           if backend == "compiled" else None)
+        if backend == "bytecode":
+            from repro.checker.bytecode import bytecode_spec_for
+            self._bytecode = bytecode_spec_for(spec)
+        else:
+            self._bytecode = None
         self.device_state = spec.make_device_state()
         self.cycles = 0
         #: anomaly history across the session (for FPR accounting)
@@ -157,7 +162,11 @@ class ESChecker:
 
         # Walk on a scratch copy: only a clean round updates the state.
         scratch = self.device_state.clone()
-        if self._compiled is not None:
+        if self._bytecode is not None:
+            walker = _WalkContext(self, report, scratch, oracle)
+            run = lambda: self._bytecode.run(         # noqa: E731
+                walker, handler, args)
+        elif self._compiled is not None:
             walker = _WalkContext(self, report, scratch, oracle)
             run = lambda: self._compiled.run(         # noqa: E731
                 walker, self._compiled.funcs[handler], args)

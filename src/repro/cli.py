@@ -469,7 +469,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--qemu-version", default="99.0.0")
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--repeats", type=int, default=2)
-    p.add_argument("--backend", choices=("compiled", "reference"),
+    p.add_argument("--backend", choices=("compiled", "reference", "bytecode"),
                    default="compiled",
                    help="execution backend for the training device")
     p.add_argument("--out", help="write the spec JSON here")
@@ -485,7 +485,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cve", required=True)
     p.add_argument("--protect", action="store_true",
                    help="deploy SEDSpec (protection mode) first")
-    p.add_argument("--backend", choices=("compiled", "reference"),
+    p.add_argument("--backend", choices=("compiled", "reference", "bytecode"),
                    default="compiled",
                    help="execution backend for device and checker")
     p.set_defaults(fn=_cmd_exploit)
@@ -509,7 +509,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--qemu-version", default="99.0.0")
     p.add_argument("--mode", choices=("protection", "enhancement"),
                    default="protection")
-    p.add_argument("--backend", choices=("compiled", "reference"),
+    p.add_argument("--backend", choices=("compiled", "reference", "bytecode"),
                    default="compiled")
     p.add_argument("--inline", action="store_true",
                    help="in-process worker pool (no multiprocessing)")
@@ -533,7 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tenants", type=int, default=8)
     p.add_argument("--batches", type=int, default=4)
     p.add_argument("--ops", type=int, default=4)
-    p.add_argument("--backend", choices=("compiled", "reference"),
+    p.add_argument("--backend", choices=("compiled", "reference", "bytecode"),
                    default="compiled")
     p.add_argument("--inline", action="store_true",
                    help="in-process worker pool (no multiprocessing)")
@@ -551,7 +551,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", default="fdc")
     p.add_argument("--rounds", type=int, default=200,
                    help="checked I/O rounds to drive (at least)")
-    p.add_argument("--backend", choices=("compiled", "reference"),
+    p.add_argument("--backend", choices=("compiled", "reference", "bytecode"),
                    default="compiled")
     p.add_argument("--qemu-version", default="99.0.0")
     p.add_argument("--mode", choices=("protection", "enhancement"),
@@ -597,7 +597,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure telemetry-on vs -off pipeline overhead; writes "
              "BENCH_telemetry.json")
     p.add_argument("--device", default="fdc")
-    p.add_argument("--backend", choices=("compiled", "reference"),
+    p.add_argument("--backend", choices=("compiled", "reference", "bytecode"),
                    default="compiled")
     p.add_argument("--qemu-version", default="99.0.0")
     p.add_argument("--seed", type=int, default=7)
@@ -644,7 +644,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--cve", action="append", default=[],
                     help="CVE to difference against (default: the "
                          "device's seeded CVE)")
-    sp.add_argument("--backend", choices=("compiled", "reference"),
+    sp.add_argument("--backend", choices=("compiled", "reference", "bytecode"),
                     default="compiled")
     sp.add_argument("--no-activate", action="store_true",
                     help="publish without activating (staged rollout: "
@@ -685,7 +685,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--batches", type=int, default=4)
     sp.add_argument("--ops", type=int, default=4)
     sp.add_argument("--workers", type=int, default=2)
-    sp.add_argument("--backend", choices=("compiled", "reference"),
+    sp.add_argument("--backend", choices=("compiled", "reference", "bytecode"),
                     default="compiled")
     sp.add_argument("--cache", default=None,
                     help="spec cache dir (default: temp dir)")

@@ -48,6 +48,24 @@ class CveGate:
         return version_lt(qemu_version, self.fixed_in)
 
 
+#: (logic class, sorted const overrides) -> frozen Program.  A frozen
+#: program is immutable and every Machine owns its own StateMemory, so
+#: devices built at the same version can share one compile (and with it
+#: the per-program compiled/bytecode backend artifacts cached on it).
+_PROGRAM_CACHE: Dict[Tuple[type, Tuple[Tuple[str, int], ...]],
+                     Program] = {}
+
+
+def _compile_cached(logic: Type[DeviceLogic],
+                    overrides: Dict[str, int]) -> Program:
+    key = (logic, tuple(sorted(overrides.items())))
+    program = _PROGRAM_CACHE.get(key)
+    if program is None:
+        program = compile_device(logic, const_overrides=overrides)
+        _PROGRAM_CACHE[key] = program
+    return program
+
+
 class Device:
     """Base class for the five emulated devices.
 
@@ -67,8 +85,7 @@ class Device:
         self.qemu_version = qemu_version
         overrides = {gate.const: int(gate.active_in(qemu_version))
                      for gate in self.CVES}
-        self.program: Program = compile_device(self.LOGIC,
-                                               const_overrides=overrides)
+        self.program: Program = _compile_cached(self.LOGIC, overrides)
         self.machine = Machine(self.program, max_steps=max_steps,
                                backend=backend)
         self.halted = False

@@ -162,6 +162,8 @@ class SpecRegistry:
         self._generations: Dict[Tuple[str, str], List[SpecGeneration]] = {}
         self._active: Dict[Tuple[str, str], str] = {}
         self._by_digest: Dict[str, ExecutionSpec] = {}
+        #: content-addressed lowered bytecode artifacts (interp/checker)
+        self._bytecode: Dict[str, object] = {}
 
     # -- keys ---------------------------------------------------------------
 
@@ -446,6 +448,92 @@ class SpecRegistry:
         self._by_digest[digest] = spec
         self.stats.generation_hits += 1
         return spec
+
+    # -- bytecode artifacts ---------------------------------------------------
+
+    def bytecode_path(self, digest: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir,
+                            f"bc-{digest[:16]}.bytecode.json")
+
+    def store_bytecode(self, artifact) -> str:
+        """Persist a lowered bytecode artifact, content-addressed.
+
+        *artifact* is either an interpreter :class:`BytecodeProgram` or
+        a checker :class:`BytecodeSpec` — anything exposing
+        ``to_payload()``/``digest()``.  The digest is the sha256 of the
+        canonical payload JSON, so the address moves with any semantic
+        change to the lowered code.  Returns the digest.
+        """
+        digest = artifact.digest()
+        self._bytecode[digest] = artifact
+        path = self.bytecode_path(digest)
+        if path is not None:
+            payload = artifact.to_payload()
+            _atomic_write_json(path, {
+                "format": CACHE_FORMAT,
+                "kind": payload["kind"],
+                "sha256": digest,
+                "payload": payload,
+            })
+        return digest
+
+    def load_bytecode(self, digest: str):
+        """Fetch a stored bytecode artifact by content address.
+
+        The envelope's claimed digest *and* the payload's recomputed
+        digest must both match the address — a tampered or hand-renamed
+        file is rejected (``corrupt_rejected``), exactly like spec
+        envelopes.  Raises :class:`SpecError` when absent or invalid.
+        """
+        artifact = self._bytecode.get(digest)
+        if artifact is not None:
+            return artifact
+        path = self.bytecode_path(digest)
+        if path is None or not os.path.exists(path):
+            raise SpecError(
+                f"no bytecode artifact for digest {digest[:16]}")
+        try:
+            with open(path) as handle:
+                envelope = json.load(handle)
+            payload = envelope["payload"]
+            kind = envelope["kind"]
+        except (OSError, ValueError, KeyError, TypeError):
+            self.stats.corrupt_rejected += 1
+            raise SpecError(
+                f"bytecode artifact for {digest[:16]} is unreadable")
+        if (not isinstance(envelope, dict)
+                or envelope.get("format") != CACHE_FORMAT
+                or envelope.get("sha256") != digest):
+            self.stats.corrupt_rejected += 1
+            raise SpecError(
+                f"bytecode artifact for {digest[:16]} fails its "
+                f"envelope check")
+        try:
+            if kind == "interp-bytecode":
+                from repro.interp.bytecode import BytecodeProgram
+                artifact = BytecodeProgram.from_payload(payload)
+            elif kind == "checker-bytecode":
+                from repro.checker.bytecode import BytecodeSpec
+                artifact = BytecodeSpec.from_payload(payload)
+            else:
+                raise SpecError(
+                    f"unknown bytecode artifact kind {kind!r}")
+        except SpecError:
+            self.stats.corrupt_rejected += 1
+            raise
+        except Exception:
+            self.stats.corrupt_rejected += 1
+            raise SpecError(
+                f"bytecode artifact for {digest[:16]} fails to decode")
+        if artifact.digest() != digest:
+            self.stats.corrupt_rejected += 1
+            raise SpecError(
+                f"bytecode artifact for {digest[:16]} fails its "
+                f"content-digest check")
+        self._bytecode[digest] = artifact
+        return artifact
 
     def _load_active(self, device_name: str,
                      qemu_version: str) -> Optional[ExecutionSpec]:

@@ -6,11 +6,13 @@ from repro.interp.ops import (
     eval_binop, eval_unop,
 )
 from repro.interp.compile import CompiledProgram, compiled_program_for
+from repro.interp.bytecode import BytecodeProgram, bytecode_program_for
 from repro.interp.sinks import CoverageSink, TraceSink
 
 __all__ = [
     "BACKENDS", "BINOP_FUNCS", "DEFAULT_EXTERN_COST", "STMT_COST",
     "TERM_COST", "UNOP_FUNCS", "Flags", "Machine", "CompiledProgram",
+    "BytecodeProgram", "bytecode_program_for",
     "compiled_program_for", "eval_binop", "eval_unop", "CoverageSink",
     "TraceSink",
 ]

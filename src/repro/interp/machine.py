@@ -12,7 +12,12 @@ Two execution backends share this front door:
   per-round loop runs direct calls with zero ``isinstance`` tests, and
   sink fan-out is elided entirely while no sinks are attached;
 * ``backend="reference"`` — the original tree walker, kept as the oracle
-  the differential test suite compares the compiled backend against.
+  the differential test suite compares the compiled backend against;
+* ``backend="bytecode"`` — functions lowered to a flat array-encoded
+  bytecode and assembled into single dispatch-loop frames
+  (:mod:`repro.interp.bytecode`); the fastest backend.  When trace
+  sinks are attached it borrows the compiled backend's traced block
+  bodies for the round, so sink event streams stay identical.
 
 A watchdog (``max_steps``) converts runaway loops — the CVE-2016-7909
 failure mode — into a :class:`DeviceFault`, the analogue of a hung QEMU
@@ -38,7 +43,7 @@ from repro.interp.sinks import TraceSink
 
 ExternFn = Callable[..., Optional[int]]
 
-BACKENDS = ("compiled", "reference")
+BACKENDS = ("compiled", "reference", "bytecode")
 
 
 @dataclass
@@ -87,8 +92,17 @@ class Machine:
         if backend == "compiled":
             from repro.interp.compile import compiled_program_for
             self._compiled = compiled_program_for(program)
+            self._bytecode = None
+        elif backend == "bytecode":
+            # Traced rounds run the bytecode artifact's traced runners
+            # (sink events emitted inline); the closure artifact is not
+            # needed at all.
+            from repro.interp.bytecode import bytecode_program_for
+            self._bytecode = bytecode_program_for(program)
+            self._compiled = None
         else:
             self._compiled = None
+            self._bytecode = None
 
     # -- configuration -----------------------------------------------------
 
@@ -180,6 +194,11 @@ class Machine:
             raise DeviceFault("call stack exhausted",
                               device=self.program.name, kind="stack-overflow")
         try:
+            if self._bytecode is not None:
+                if self._sinks:
+                    return self._bytecode.traced_runners[func.name](
+                        self, args)
+                return self._bytecode.runners[func.name](self, args)
             if self._compiled is not None:
                 return self._exec_blocks_compiled(
                     self._compiled.funcs[func.name],

@@ -6,6 +6,17 @@ indirect transfers; direct jumps, calls, and returns are followed
 statically.  This module does the same over the IR program and yields, per
 I/O round, the ordered list of executed block addresses plus the resolved
 indirect targets — the inputs to ITC-CFG construction.
+
+Two entry points share the walk:
+
+* :meth:`Decoder.decode_stream` consumes already-parsed packet objects
+  (the in-process tracer hands its packet list straight over);
+* :meth:`Decoder.decode_bytes` consumes the raw wire bytes in a single
+  pass — one index cursor over a ``memoryview``, TNT bits unpacked and
+  TIP addresses read in place, rounds segmented inline.  No intermediate
+  packet list is built; packet *objects* are constructed only for
+  anomalies (FUP/OVF and synthesized loss markers) so the
+  :class:`DecodeResult` report stays inspectable.
 """
 
 from __future__ import annotations
@@ -18,8 +29,8 @@ from repro.ir import (
     Branch, Call, Goto, ICall, Program, Return, Switch,
 )
 from repro.ipt.packets import (
-    DecodeResult, Fup, Ovf, Packet, Tip, TipPgd, TipPge, Tnt,
-    decode_resilient, iter_rounds,
+    _MAGIC, PSB_PATTERN, TNT_CAPACITY, DecodeResult, Fup, Ovf, Packet,
+    Tip, TipPgd, TipPge, Tnt, TraceGap, decode_resilient, iter_rounds,
 )
 
 
@@ -46,26 +57,35 @@ class DecodedRound:
 class _BitFeed:
     """Sequential consumer of TNT bits / TIP addresses within one round."""
 
-    def __init__(self, packets: List[Packet]):
-        self._tnt: List[bool] = []
-        self._tips: List[int] = []
-        self.faulted = False
-        self.gapped = False
+    def __init__(self, tnt: List[bool], tips: List[int],
+                 faulted: bool, gapped: bool):
+        self._tnt = tnt
+        self._tips = tips
+        self.faulted = faulted
+        self.gapped = gapped
+        self._tnt_pos = 0
+        self._tip_pos = 0
+
+    @classmethod
+    def from_packets(cls, packets: List[Packet]) -> "_BitFeed":
+        tnt: List[bool] = []
+        tips: List[int] = []
+        faulted = False
+        gapped = False
         for pkt in packets:
-            if self.gapped:
+            if gapped:
                 # Nothing after an OVF is trustworthy within this round:
                 # the lost packets make later TNT/TIP alignment unknown.
                 break
             if isinstance(pkt, Tnt):
-                self._tnt.extend(pkt.bits)
+                tnt.extend(pkt.bits)
             elif isinstance(pkt, Tip):
-                self._tips.append(pkt.ip)
+                tips.append(pkt.ip)
             elif isinstance(pkt, Fup):
-                self.faulted = True
+                faulted = True
             elif isinstance(pkt, Ovf):
-                self.gapped = True
-        self._tnt_pos = 0
-        self._tip_pos = 0
+                gapped = True
+        return cls(tnt, tips, faulted, gapped)
 
     def next_bit(self) -> Optional[bool]:
         if self._tnt_pos >= len(self._tnt):
@@ -103,17 +123,155 @@ class Decoder:
 
     def decode_bytes(self, data: bytes
                      ) -> Tuple[List[DecodedRound], DecodeResult]:
-        """Resilient bytes-level entry: PSB-resynchronized decode, then
-        per-round reconstruction.  Rounds overlapping a loss region carry
-        ``trace_gap=True``; nothing raises on corrupt input."""
-        parsed = decode_resilient(data)
-        return self.decode_stream(parsed.packets), parsed
+        """Resilient bytes-level entry: one pass over the raw stream.
+
+        A single index cursor moves over a ``memoryview`` of *data*;
+        TNT bits are unpacked and TIP/PGE/PGD addresses read in place,
+        rounds are segmented as the cursor passes their boundary
+        packets, and every parse failure resynchronizes at the next PSB
+        pattern exactly like :func:`decode_resilient` (same
+        :class:`TraceGap` spans and reasons).  Rounds overlapping a loss
+        region carry ``trace_gap=True``; nothing raises on corrupt
+        input.
+
+        The returned :class:`DecodeResult` reports the gaps plus only
+        the *anomaly* packets (FUP, on-the-wire OVF, and the OVF
+        markers synthesized at loss points) — the common-path packets
+        are consumed in place and never materialized.
+        """
+        mv = memoryview(data)
+        result = DecodeResult()
+        rounds: List[DecodedRound] = []
+        telemetry = self._telemetry
+
+        # Current-round accumulators (None entry_address = not inside).
+        cur: Optional[DecodedRound] = None
+        tnt: List[bool] = []
+        tips: List[int] = []
+        faulted = False
+        gapped = False
+
+        def finish() -> None:
+            nonlocal cur
+            round_ = cur
+            cur = None
+            round_.faulted = faulted
+            round_.trace_gap = gapped
+            self._walk(round_.entry_address,
+                       _BitFeed(tnt, tips, faulted, gapped), round_)
+            rounds.append(round_)
+            if telemetry is not None:
+                telemetry.rounds.inc()
+                if round_.faulted:
+                    telemetry.faulted.inc()
+
+        pos = 0
+        size = len(data)
+        magic_psb = _MAGIC["PSB"]
+        magic_pge = _MAGIC["PGE"]
+        magic_pgd = _MAGIC["PGD"]
+        magic_tnt = _MAGIC["TNT"]
+        magic_tip = _MAGIC["TIP"]
+        magic_fup = _MAGIC["FUP"]
+        magic_ovf = _MAGIC["OVF"]
+        psb_len = len(PSB_PATTERN)
+        ifb = int.from_bytes
+        while pos < size:
+            start = pos
+            magic = data[pos]
+            pos += 1
+            fail_reason = None
+            if magic == magic_tnt:
+                if pos + 2 > size:
+                    fail_reason = "truncated"
+                else:
+                    count = data[pos]
+                    packed = data[pos + 1]
+                    pos += 2
+                    if not 0 < count <= TNT_CAPACITY:
+                        fail_reason = "corruption"
+                    else:
+                        if telemetry is not None and cur is not None:
+                            telemetry.count_kind("Tnt")
+                        if cur is not None and not gapped:
+                            for i in range(count):
+                                tnt.append(bool(packed >> i & 1))
+            elif magic == magic_psb:
+                end = start + psb_len
+                if data[start:end] != PSB_PATTERN:
+                    fail_reason = ("truncated" if end > size
+                                   else "corruption")
+                else:
+                    pos = end
+                    if telemetry is not None and cur is not None:
+                        telemetry.count_kind("PSB")
+            elif magic == magic_ovf:
+                # On-the-wire overflow: the tracer itself lost packets.
+                result.packets.append(Ovf())
+                if telemetry is not None and cur is not None:
+                    telemetry.count_kind("Ovf")
+                if cur is not None:
+                    gapped = True
+            elif magic in (magic_pge, magic_pgd, magic_tip, magic_fup):
+                if pos + 8 > size:
+                    fail_reason = "truncated"
+                else:
+                    ip = ifb(mv[pos:pos + 8], "little")
+                    pos += 8
+                    if magic == magic_pge:
+                        # A PGE inside a round abandons the partial
+                        # round, exactly like iter_rounds restarting
+                        # its current chunk.
+                        cur = DecodedRound(entry_address=ip)
+                        tnt = []
+                        tips = []
+                        faulted = False
+                        gapped = False
+                        if telemetry is not None:
+                            telemetry.count_kind("TipPge")
+                    elif magic == magic_pgd:
+                        if cur is not None:
+                            if telemetry is not None:
+                                telemetry.count_kind("TipPgd")
+                            finish()
+                    elif magic == magic_tip:
+                        if telemetry is not None and cur is not None:
+                            telemetry.count_kind("Tip")
+                        if cur is not None and not gapped:
+                            tips.append(ip)
+                    else:
+                        result.packets.append(Fup(ip))
+                        if telemetry is not None and cur is not None:
+                            telemetry.count_kind("Fup")
+                        if cur is not None and not gapped:
+                            faulted = True
+            else:
+                fail_reason = "corruption"
+            if fail_reason is not None:
+                # Same resynchronization decode_resilient performs: skip
+                # at least one byte (the failing offset may hold a
+                # corrupted PSB magic), scan for the next sync pattern.
+                sync = data.find(PSB_PATTERN, start + 1)
+                end = sync if sync >= 0 else size
+                result.gaps.append(TraceGap(start, end, fail_reason))
+                result.packets.append(Ovf())
+                if telemetry is not None and cur is not None:
+                    telemetry.count_kind("Ovf")
+                if cur is not None:
+                    gapped = True
+                if sync < 0:
+                    break
+                pos = sync
+        if cur is not None:
+            # Trailing partial round (device faulted mid-I/O).
+            finish()
+        return rounds, result
 
     def decode_round(self, packets: List[Packet]) -> DecodedRound:
         pge = next((p for p in packets if isinstance(p, TipPge)), None)
         if pge is None:
             raise TraceError("round has no TIP.PGE packet")
-        feed = _BitFeed(packets)
+        feed = _BitFeed.from_packets(packets)
         round_ = DecodedRound(entry_address=pge.ip, faulted=feed.faulted,
                               trace_gap=feed.gapped)
         self._walk(pge.ip, feed, round_)

@@ -199,8 +199,18 @@ class StateMemory:
     # -- whole-struct helpers ----------------------------------------------
 
     def snapshot(self) -> "StateMemory":
-        """Deep copy; used by the checker's sync-point oracle."""
-        return StateMemory(self.layout, bytearray(self.data))
+        """Deep copy; used by the checker's sync-point oracle.
+
+        Checker hot path (one snapshot per I/O round via
+        ``DeviceState.clone``): skip dataclass init — the layout is
+        shared immutably and the copied store matches it by
+        construction, so the ``__post_init__`` re-validation is pure
+        overhead here.
+        """
+        twin = StateMemory.__new__(StateMemory)
+        twin.layout = self.layout
+        twin.data = bytearray(self.data)
+        return twin
 
     def restore(self, snap: "StateMemory") -> None:
         self.data[:] = snap.data

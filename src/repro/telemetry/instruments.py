@@ -203,7 +203,11 @@ class PacketTelemetry:
                                         dir=direction)
 
     def count(self, packet) -> None:
-        kind = type(packet).__name__
+        self.count_kind(type(packet).__name__)
+
+    def count_kind(self, kind: str) -> None:
+        """Count by kind name directly — the raw byte-level decoder never
+        materializes packet objects for the common path."""
         counter = self._kinds.get(kind)
         if counter is None:
             counter = self._recorder.counter("ipt.packets", kind=kind,

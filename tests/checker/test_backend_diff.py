@@ -1,13 +1,14 @@
-"""Differential tests: the compiled ES-Checker backend vs the
-reference spec walker.
+"""Differential tests: the compiled and bytecode ES-Checker backends
+vs the reference spec walker.
 
-The compiled checker's contract mirrors the compiled Machine's:
-bit-exact observables.  Every ``CheckReport`` (action, anomaly list,
-walk counters, incompleteness, final shadow state), the checker's cycle
+The fast checkers' contract mirrors the compiled Machine's: bit-exact
+observables.  Every ``CheckReport`` (action, anomaly list, walk
+counters, incompleteness, final shadow state), the checker's cycle
 accounting, and the shadow device state must be identical whichever
 backend walked the spec — across all five device profiles under benign
 workloads, and across every seeded CVE PoC.  In particular, every
-detection the reference walker fires must still fire compiled.
+detection the reference walker fires must still fire on the fast
+backends.  The reference walker remains the semantic oracle for both.
 """
 
 import random
@@ -21,7 +22,8 @@ from repro.vm.machine import SEDSpecHalt
 from repro.workloads.profiles import PROFILES, train_device_spec
 
 ALL_DEVICES = ("fdc", "ehci", "pcnet", "sdhci", "scsi")
-BACKENDS = ("reference", "compiled")
+BACKENDS = ("reference", "compiled", "bytecode")
+FAST_BACKENDS = ("compiled", "bytecode")
 
 
 @pytest.fixture(scope="module")
@@ -69,12 +71,13 @@ class TestProfileDifferential:
             for op in prof.common_ops + prof.rare_ops:
                 op(vm, driver, rng)
             attachments.append((attachment, device))
-        (ref_att, ref_dev), (com_att, com_dev) = attachments
-        _assert_checkers_identical(ref_att.checker, com_att.checker)
-        assert ref_att.checked_rounds == com_att.checked_rounds
-        assert ref_att.warnings == com_att.warnings
-        assert ref_att.halts == com_att.halts
-        assert bytes(ref_dev.state.data) == bytes(com_dev.state.data)
+        ref_att, ref_dev = attachments[0]
+        for com_att, com_dev in attachments[1:]:
+            _assert_checkers_identical(ref_att.checker, com_att.checker)
+            assert ref_att.checked_rounds == com_att.checked_rounds
+            assert ref_att.warnings == com_att.warnings
+            assert ref_att.halts == com_att.halts
+            assert bytes(ref_dev.state.data) == bytes(com_dev.state.data)
 
     def test_rounds_were_actually_checked(self, name, spec_cache):
         """Guard against the differential passing vacuously."""
@@ -104,17 +107,20 @@ class TestExploitDifferential:
     def test_outcome_and_reports_identical(self, exploit, spec_cache):
         spec = _spec(spec_cache, exploit.device, exploit.qemu_version)
         ref_out, ref_att, ref_dev = self._run(exploit, spec, "reference")
-        com_out, com_att, com_dev = self._run(exploit, spec, "compiled")
-        assert ref_out == com_out
-        _assert_checkers_identical(ref_att.checker, com_att.checker)
-        assert ref_att.halts == com_att.halts
-        assert ref_dev.halted == com_dev.halted
+        for backend in FAST_BACKENDS:
+            com_out, com_att, com_dev = self._run(exploit, spec, backend)
+            assert ref_out == com_out
+            _assert_checkers_identical(ref_att.checker, com_att.checker)
+            assert ref_att.halts == com_att.halts
+            assert ref_dev.halted == com_dev.halted
 
-    def test_detection_still_fires_compiled(self, exploit, spec_cache):
+    @pytest.mark.parametrize("backend", FAST_BACKENDS)
+    def test_detection_still_fires_fast(self, exploit, backend,
+                                        spec_cache):
         """The point of the whole exercise: no CVE goes undetected just
-        because the fast backend walked the spec."""
+        because a fast backend walked the spec."""
         spec = _spec(spec_cache, exploit.device, exploit.qemu_version)
-        outcome, attachment, _ = self._run(exploit, spec, "compiled")
+        outcome, attachment, _ = self._run(exploit, spec, backend)
         if exploit.expected_miss:
             assert not outcome.detected
         else:
@@ -141,4 +147,4 @@ class TestHaltParity:
             report = exc.value.report
             messages.append((report.io_key, report.action,
                              tuple(report.anomalies)))
-        assert messages[0] == messages[1]
+        assert all(m == messages[0] for m in messages[1:])

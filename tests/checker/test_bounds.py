@@ -1,0 +1,156 @@
+"""The batched parameter bound tables (repro.checker.bounds).
+
+The online backends enforce bounds inline at each store site; the
+``BoundTable`` is the same data turned sideways — per-command tables an
+offline audit can run in one pass.  These tests pin (a) the table's
+agreement with the spec's declared types, (b) the reachability rule
+(sites appear under exactly the commands whose handlers reach them),
+and (c) the batch audits: clean sessions scan clean, and injected
+out-of-range values are flagged with the right site.
+"""
+
+import pytest
+
+from repro.checker import ESChecker
+from repro.checker.bounds import (
+    BoundTable, BoundViolation, audit_reports, scan,
+)
+from repro.checker.sync import FieldSyncOracle
+from repro.ir import Call, IntType, StateStore
+from repro.workloads.profiles import PROFILES, train_device_spec
+
+
+@pytest.fixture(scope="module")
+def fdc_spec():
+    return train_device_spec("fdc").spec
+
+
+@pytest.fixture(scope="module")
+def table(fdc_spec):
+    return BoundTable.from_spec(fdc_spec)
+
+
+class TestConstruction:
+    def test_every_trained_command_has_a_row(self, fdc_spec, table):
+        assert set(table.commands) == set(fdc_spec.entry_handlers)
+
+    def test_scalar_bounds_match_declared_types(self, fdc_spec, table):
+        for sites in table.commands.values():
+            for site in sites:
+                decl = fdc_spec.layout.field(site.field)
+                if isinstance(decl.type, IntType):
+                    assert site.lo == decl.type.min_value
+                    assert site.hi == decl.type.max_value
+
+    def test_handler_local_stores_all_present(self, fdc_spec, table):
+        """Every StateStore lexically inside a handler function (no call
+        following needed) must appear in that command's table."""
+        for io_key, handler in fdc_spec.entry_handlers.items():
+            func = fdc_spec.functions[handler]
+            direct = {(stmt.field, block.address)
+                      for block in func.blocks.values()
+                      for stmt in block.dsod
+                      if isinstance(stmt, StateStore)
+                      and not isinstance(
+                          fdc_spec.layout.field(stmt.field).type,
+                          type(None))}
+            table_sites = {(s.field, s.address)
+                           for s in table.commands[io_key]}
+            missing = {(f, a) for f, a in direct
+                       if (f, a) not in table_sites}
+            # Buffer fields land in buffer_sites, not the scalar table.
+            missing = {(f, a) for f, a in missing
+                       if f in table.field_bounds}
+            assert not missing
+
+    def test_transitive_callee_sites_included(self, fdc_spec, table):
+        """A command whose handler calls into another routine inherits
+        that routine's store sites."""
+        for io_key, handler in fdc_spec.entry_handlers.items():
+            func = fdc_spec.functions[handler]
+            callees = {block.nbtd.func for block in func.blocks.values()
+                       if isinstance(block.nbtd, Call)}
+            for callee in callees & set(fdc_spec.functions):
+                callee_fn = fdc_spec.functions[callee]
+                callee_sites = {
+                    (stmt.field, block.address)
+                    for block in callee_fn.blocks.values()
+                    for stmt in block.dsod
+                    if isinstance(stmt, StateStore)
+                    and stmt.field in table.field_bounds}
+                table_sites = {(s.field, s.address)
+                               for s in table.commands[io_key]}
+                assert callee_sites <= table_sites
+
+    def test_field_bounds_is_union_of_sites(self, table):
+        site_fields = {s.field for sites in table.commands.values()
+                       for s in sites}
+        assert set(table.field_bounds) == site_fields
+
+
+class TestScan:
+    def test_in_range_samples_pass(self, table):
+        io_key = next(k for k, v in table.commands.items() if v)
+        site = table.commands[io_key][0]
+        samples = [(io_key, site.field, site.lo),
+                   (io_key, site.field, site.hi)]
+        assert scan(table, samples) == []
+
+    def test_out_of_range_sample_flagged_with_site(self, table):
+        io_key = next(k for k, v in table.commands.items() if v)
+        site = table.commands[io_key][0]
+        bad = site.hi + 1
+        violations = scan(table, [(io_key, site.field, bad)])
+        assert violations == [BoundViolation(
+            io_key, site.field, bad, site.lo, site.hi, site.address)]
+        assert site.field in str(violations[0])
+
+    def test_unknown_field_for_command_is_admitted(self, table):
+        """The table audits stores; a field the command never stores to
+        has no site and cannot be judged."""
+        io_key = next(iter(table.commands))
+        assert scan(table, [(io_key, "no_such_field", 1 << 80)]) == []
+
+    def test_check_value_matches_scan(self, table):
+        io_key = next(k for k, v in table.commands.items() if v)
+        site = table.commands[io_key][0]
+        one = table.check_value(io_key, site.field, site.hi + 7)
+        batch = scan(table, [(io_key, site.field, site.hi + 7)])
+        assert [one] == batch
+
+
+class TestAuditReports:
+    def test_clean_session_audits_clean(self, fdc_spec, table):
+        prof = PROFILES["fdc"]
+        vm, device = prof.make_vm()
+        driver = prof.make_driver(vm)
+        checker = ESChecker(fdc_spec)
+        checker.boot_sync(device.machine.state)
+        oracle = FieldSyncOracle(device.machine.state)
+        seen = []
+        orig = vm._io
+
+        def spy(dev, key, args):
+            result = orig(dev, key, args)
+            seen.append(checker.check_io(key, args, oracle=oracle))
+            return result
+
+        vm._io = spy
+        prof.prepare(vm, driver)
+        driver.read_lba(3)
+        assert seen
+        assert audit_reports(table, seen) == []
+
+    def test_tampered_report_is_flagged(self, table):
+        """A final_state value outside the field's declared range can
+        only mean checker malfunction or report tampering."""
+        from repro.checker import CheckReport
+
+        field = next(iter(table.field_bounds))
+        lo, hi = table.field_bounds[field]
+        forged = CheckReport(io_key="pmio:write:0")
+        forged.final_state = {field: hi + 1}
+        violations = audit_reports(table, [forged])
+        assert len(violations) == 1
+        assert violations[0].field == field
+        assert violations[0].value == hi + 1

@@ -96,3 +96,88 @@ class TestRegistry:
         other = "99.0.0" if version == "2.3.0" else "2.3.0"
         assert (registry.cache_path("fdc", version)
                 != registry.cache_path("fdc", other))
+
+
+class TestBytecodeArtifacts:
+    """Lowered bytecode (interp + checker) through the registry:
+    content-addressed, byte-identical round trips, tamper-rejected."""
+
+    def _interp_artifact(self):
+        from repro.interp import bytecode_program_for
+
+        return bytecode_program_for(create_device("fdc").program)
+
+    def _checker_artifact(self):
+        from repro.checker.bytecode import bytecode_spec_for
+        from repro.workloads.profiles import train_device_spec
+
+        spec = train_device_spec("fdc").spec
+        return bytecode_spec_for(spec)
+
+    def test_interp_round_trip_byte_identical(self, tmp_path):
+        registry = SpecRegistry(cache_dir=str(tmp_path))
+        art = self._interp_artifact()
+        digest = registry.store_bytecode(art)
+        fresh = SpecRegistry(cache_dir=str(tmp_path))
+        loaded = fresh.load_bytecode(digest)
+        assert loaded.to_payload() == art.to_payload()
+        assert loaded.digest() == digest
+        blob = json.dumps(loaded.to_payload(), sort_keys=True)
+        assert blob == json.dumps(art.to_payload(), sort_keys=True)
+
+    def test_checker_round_trip_byte_identical(self, tmp_path):
+        registry = SpecRegistry(cache_dir=str(tmp_path))
+        art = self._checker_artifact()
+        digest = registry.store_bytecode(art)
+        fresh = SpecRegistry(cache_dir=str(tmp_path))
+        loaded = fresh.load_bytecode(digest)
+        assert loaded.to_payload() == art.to_payload()
+        assert loaded.digest() == digest
+
+    def test_memory_memo_returns_same_object(self, tmp_path):
+        registry = SpecRegistry(cache_dir=str(tmp_path))
+        art = self._interp_artifact()
+        digest = registry.store_bytecode(art)
+        assert registry.load_bytecode(digest) is art
+
+    def test_tampered_payload_rejected(self, tmp_path):
+        from repro.errors import SpecError
+
+        registry = SpecRegistry(cache_dir=str(tmp_path))
+        digest = registry.store_bytecode(self._interp_artifact())
+        path = registry.bytecode_path(digest)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        # Flip one constant inside the payload: the envelope still
+        # claims the original digest, so only the recomputed content
+        # digest can catch it.
+        funcs = envelope["payload"]["funcs"]
+        body = funcs[sorted(funcs)[0]]
+        body["code"][0] = body["code"][0] + 1
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        fresh = SpecRegistry(cache_dir=str(tmp_path))
+        with pytest.raises(SpecError, match="digest|decode"):
+            fresh.load_bytecode(digest)
+        assert fresh.stats.corrupt_rejected == 1
+
+    def test_renamed_artifact_rejected(self, tmp_path):
+        """A file renamed to another address lies about its digest."""
+        from repro.errors import SpecError
+
+        registry = SpecRegistry(cache_dir=str(tmp_path))
+        digest = registry.store_bytecode(self._interp_artifact())
+        bogus = "0" * 64
+        os.rename(registry.bytecode_path(digest),
+                  registry.bytecode_path(bogus))
+        fresh = SpecRegistry(cache_dir=str(tmp_path))
+        with pytest.raises(SpecError, match="envelope"):
+            fresh.load_bytecode(bogus)
+        assert fresh.stats.corrupt_rejected == 1
+
+    def test_missing_artifact_raises(self, tmp_path):
+        from repro.errors import SpecError
+
+        registry = SpecRegistry(cache_dir=str(tmp_path))
+        with pytest.raises(SpecError, match="no bytecode artifact"):
+            registry.load_bytecode("ab" * 32)

@@ -1,12 +1,12 @@
-"""Differential tests: the compiled Machine backend vs the reference
-tree-walker.
+"""Differential tests: the compiled and bytecode Machine backends vs
+the reference tree-walker.
 
-The compiled backend's contract is bit-exactness — same final state
-bytes, same cycle/step accounting, same sink event stream (order
-included), same faults with the same kinds and messages.  Every test
-here runs the identical workload on one machine per backend and demands
+The fast backends' contract is bit-exactness — same final state bytes,
+same cycle/step accounting, same sink event stream (order included),
+same faults with the same kinds and messages.  Every test here runs
+the identical workload on one machine per backend and demands
 identical observables, on the toy device and on all five real device
-models.
+models.  The reference walker is the oracle for both fast backends.
 """
 
 import random
@@ -25,6 +25,7 @@ from repro.workloads.profiles import PROFILES
 from tests.toydev import ToyLogic
 
 ALL_DEVICES = ("fdc", "ehci", "pcnet", "sdhci", "scsi")
+BACKENDS = ("reference", "compiled", "bytecode")
 
 
 class EventRecorder(TraceSink):
@@ -75,7 +76,7 @@ class EventRecorder(TraceSink):
 def _toy_machines(vuln=False, traced=False):
     overrides = {"VULN_UNCHECKED_PUSH": 1} if vuln else None
     pair = []
-    for backend in ("reference", "compiled"):
+    for backend in BACKENDS:
         program = compile_device(ToyLogic, const_overrides=overrides)
         machine = Machine(program, backend=backend)
         machine.bind_extern("host_log", lambda m, level: None, cost=2)
@@ -99,65 +100,68 @@ class TestToyDifferential:
     @pytest.mark.parametrize("traced", [False, True],
                              ids=["fast", "traced"])
     def test_state_cycles_and_results_identical(self, traced):
-        (ref, ref_rec), (com, com_rec) = _toy_machines(traced=traced)
+        machines = _toy_machines(traced=traced)
+        ref, ref_rec = machines[0]
         for key, args in TOY_SCRIPT:
-            assert ref.run_entry(key, args) == com.run_entry(key, args)
-        assert bytes(ref.state.data) == bytes(com.state.data)
-        assert ref.cycles == com.cycles
-        assert ref.steps == com.steps
-        if traced:
-            assert ref_rec.events == com_rec.events
+            results = [m.run_entry(key, args) for m, _ in machines]
+            assert all(r == results[0] for r in results[1:])
+        for com, com_rec in machines[1:]:
+            assert bytes(ref.state.data) == bytes(com.state.data)
+            assert ref.cycles == com.cycles
+            assert ref.steps == com.steps
+            if traced:
+                assert ref_rec.events == com_rec.events
 
     def test_vulnerable_build_corruption_identical(self):
         """Near-OOB writes corrupt the same neighbour on both backends,
         and the eventual far-OOB segfault matches kind and message."""
-        (ref, _), (com, _) = _toy_machines(vuln=True)
+        machines = [m for m, _ in _toy_machines(vuln=True)]
+        ref = machines[0]
         for i in range(12):
             outcomes = []
-            for machine in (ref, com):
+            for machine in machines:
                 try:
                     machine.run_entry("pmio:write:1", (0x60 + i,))
                     outcomes.append(None)
                 except DeviceFault as fault:
                     outcomes.append((fault.kind, str(fault)))
-            assert outcomes[0] == outcomes[1]
-            assert bytes(ref.state.data) == bytes(com.state.data)
-            assert ref.cycles == com.cycles
+            assert all(o == outcomes[0] for o in outcomes[1:])
+            for com in machines[1:]:
+                assert bytes(ref.state.data) == bytes(com.state.data)
+                assert ref.cycles == com.cycles
             if outcomes[0] is not None:
                 break
         else:
             pytest.fail("vulnerable build never segfaulted")
 
     def test_wild_jump_fault_identical(self):
-        (ref, _), (com, _) = _toy_machines()
         faults = []
-        for machine in (ref, com):
+        for machine in (m for m, _ in _toy_machines()):
             machine.state.write_field("irq", 0xDEAD)
             machine.run_entry("pmio:write:1", (5,))
             with pytest.raises(DeviceFault) as exc:
                 machine.run_entry("pmio:write:0",
                                   (ToyLogic.CONSTS["CMD_SUM"],))
             faults.append((exc.value.kind, str(exc.value)))
-        assert faults[0] == faults[1]
+        assert all(f == faults[0] for f in faults[1:])
 
     def test_watchdog_fault_identical(self):
-        (ref, _), (com, _) = _toy_machines()
         faults = []
-        for machine in (ref, com):
+        for machine in (m for m, _ in _toy_machines()):
             machine.max_steps = 10
             with pytest.raises(DeviceFault) as exc:
                 machine.run_entry("pmio:write:0",
                                   (ToyLogic.CONSTS["CMD_SUM"],))
             faults.append((exc.value.kind, str(exc.value),
                            machine.steps, machine.cycles))
-        assert faults[0] == faults[1]
+        assert all(f == faults[0] for f in faults[1:])
 
 
 def _vm_pair(name):
     """One (vm, device, recorder) per backend, identically wired."""
     prof = PROFILES[name]
     out = []
-    for backend in ("reference", "compiled"):
+    for backend in BACKENDS:
         vm = GuestVM()
         device = create_device(name, backend=backend)
         if prof.bus == "mmio":
@@ -180,11 +184,12 @@ class TestRealDeviceDifferential:
             rng = random.Random(1234)
             for op in prof.common_ops:
                 op(vm, driver, rng)
-        (_, ref_dev, ref_rec), (_, com_dev, com_rec) = pair
-        assert bytes(ref_dev.state.data) == bytes(com_dev.state.data)
-        assert ref_dev.machine.cycles == com_dev.machine.cycles
-        assert ref_dev.machine.steps == com_dev.machine.steps
-        assert ref_rec.events == com_rec.events
+        _, ref_dev, ref_rec = pair[0]
+        for _, com_dev, com_rec in pair[1:]:
+            assert bytes(ref_dev.state.data) == bytes(com_dev.state.data)
+            assert ref_dev.machine.cycles == com_dev.machine.cycles
+            assert ref_dev.machine.steps == com_dev.machine.steps
+            assert ref_rec.events == com_rec.events
 
     def test_rare_ops_identical(self, name):
         prof, pair = _vm_pair(name)
@@ -194,9 +199,10 @@ class TestRealDeviceDifferential:
             rng = random.Random(99)
             for op in prof.rare_ops:
                 op(vm, driver, rng)
-        (_, ref_dev, _, ), (_, com_dev, _) = pair
-        assert bytes(ref_dev.state.data) == bytes(com_dev.state.data)
-        assert ref_dev.machine.cycles == com_dev.machine.cycles
+        _, ref_dev, _ = pair[0]
+        for _, com_dev, _ in pair[1:]:
+            assert bytes(ref_dev.state.data) == bytes(com_dev.state.data)
+            assert ref_dev.machine.cycles == com_dev.machine.cycles
 
 
 class TestCompiledArtifactSharing:
@@ -216,3 +222,30 @@ class TestCompiledArtifactSharing:
         program = compile_device(ToyLogic)
         with pytest.raises(Exception, match="backend"):
             Machine(program, backend="jit")
+
+
+class TestBytecodeArtifactSharing:
+    def test_bytecode_program_cached_per_program(self):
+        from repro.interp import BytecodeProgram, bytecode_program_for
+
+        program = compile_device(ToyLogic)
+        first = bytecode_program_for(program)
+        assert bytecode_program_for(program) is first
+        assert isinstance(first, BytecodeProgram)
+
+    def test_machines_share_the_artifact(self):
+        program = compile_device(ToyLogic)
+        a = Machine(program, backend="bytecode")
+        b = Machine(program, backend="bytecode",
+                    state=StateMemory(program.layout))
+        assert a._bytecode is b._bytecode
+
+    def test_payload_round_trips_to_same_digest(self):
+        from repro.interp import bytecode_program_for
+        from repro.interp.bytecode import BytecodeProgram
+
+        program = compile_device(ToyLogic)
+        art = bytecode_program_for(program)
+        clone = BytecodeProgram.from_payload(art.to_payload())
+        assert clone.digest() == art.digest()
+        assert clone.to_payload() == art.to_payload()
