@@ -8,7 +8,10 @@
     python -m repro tables  [--which 1|3]
     python -m repro devices
     python -m repro serve   --workers 2 --tenants 4 [--inject CVE-...]
-    python -m repro bench-fleet [--workers 1,2,4,8] [--out BENCH_fleet.json]
+    python -m repro serve   --gateway --shards 2 --tenants 1000 \
+                            --arrival bursty [--rebalance-at 0.5]
+    python -m repro bench-fleet [--workers 1,2,4,8] [--gateway] \
+                            [--out BENCH_fleet.json]
     python -m repro stats   --device fdc --rounds 200 [--chaos-seed 101]
     python -m repro bench-telemetry [--quick] [--max-overhead-pct 5]
     python -m repro chaos   --seeds 101,102 [--policy fail-closed] [--out R.json]
@@ -127,6 +130,92 @@ def _cmd_spec_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_gateway(args: argparse.Namespace) -> int:
+    """``repro serve --gateway``: open-loop arrivals through the
+    admission gateway into a sharded fleet.  Exit code certifies the
+    conservation + security invariants, so CI can smoke it directly."""
+    from repro.checker import Mode
+    from repro.eval.report import render_table
+    from repro.fleet.loadgen import plan_tenants
+    from repro.gateway import (
+        AdmissionConfig, ArrivalSpec, Gateway, GatewayConfig,
+        RebalanceAction,
+    )
+    from repro.telemetry.stats import gateway_rows
+
+    devices = args.devices.split(",")
+    plans = plan_tenants(devices, args.tenants, inject_cves=args.inject,
+                         inject_fraction=args.inject_fraction,
+                         qemu_version=args.qemu_version, seed=args.seed)
+    arrival = ArrivalSpec(pattern=args.arrival, rate_per_sec=args.rate,
+                          horizon_s=args.horizon_ms * 1e-3)
+    cache_dir = args.spec_cache
+    owned_tmp = None
+    if cache_dir is None and not args.inline:
+        import tempfile
+        owned_tmp = tempfile.TemporaryDirectory(prefix="sedspec-gw-")
+        cache_dir = owned_tmp.name
+    config = GatewayConfig(
+        shards=args.shards, workers_per_shard=args.workers,
+        coalesce_max=args.coalesce_max, slo_ms=args.slo_ms,
+        seed=args.seed,
+        admission=AdmissionConfig(quota_rate_per_sec=args.quota_rate,
+                                  quota_burst=args.quota_burst,
+                                  queue_cap=args.queue_cap),
+        arrival=arrival, inline=args.inline, backend=args.backend,
+        mode=Mode(args.mode), cache_dir=cache_dir)
+    rebalances = []
+    if args.rebalance_at is not None:
+        rebalances.append(RebalanceAction(
+            at_cycle=int(args.rebalance_at * arrival.horizon_cycles),
+            add=(args.shards,)))
+    try:
+        result = Gateway(config).run(plans, rebalances=rebalances)
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+
+    # At four-digit tenant counts a full per-tenant table is noise:
+    # show the tenants where something happened, summarize the rest.
+    interesting = [s for s in result.tenants.values()
+                   if s.attacked or s.quarantined or s.detections
+                   or s.rejected]
+    rows = [(s.tenant, s.device, "yes" if s.attacked else "-",
+             f"{s.completed}/{s.submitted}", s.rejected, s.detections,
+             s.quarantine_reason if s.quarantined else "-")
+            for s in interesting[:args.show_tenants]]
+    if rows:
+        print(render_table(("Tenant", "Device", "Attacked", "Served",
+                            "Rejected", "Detections", "Quarantine"),
+                           rows))
+        hidden = len(interesting) - len(rows)
+        if hidden > 0:
+            print(f"(+{hidden} more flagged tenants)")
+    print(f"({len(result.tenants) - len(interesting)} benign tenants "
+          f"served without incident)")
+    print()
+    print(result.stats.describe())
+    print(result.fleet.describe())
+    print()
+    print(render_table(("Gateway counter", "Total"),
+                       gateway_rows(result.telemetry)))
+    if result.moves:
+        print(f"rebalance moved {len(result.moves)} tenants "
+              f"across shards")
+
+    failures = result.safety_failures()
+    if result.fleet.lost:
+        failures.append(f"{result.fleet.lost} requests lost")
+    if result.fleet.detections < args.min_detections:
+        failures.append(f"expected >= {args.min_detections} detections, "
+                        f"saw {result.fleet.detections}")
+    if args.rebalance_at is not None and not result.moves:
+        failures.append("rebalance requested but no tenant moved")
+    for failure in failures:
+        print(f"ERROR: {failure}")
+    return 1 if failures else 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.checker import Mode
     from repro.eval.report import render_table
@@ -134,6 +223,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         FleetConfig, FleetSupervisor, build_load,
     )
 
+    if args.gateway:
+        return _serve_gateway(args)
     devices = args.devices.split(",")
     plans, schedule = build_load(
         devices, args.tenants, args.batches, args.ops,
@@ -186,6 +277,11 @@ def _cmd_bench_fleet(args: argparse.Namespace) -> int:
     if args.quick:
         kwargs.update(batches=2, ops=3)
     payload = run_fleet_bench(**kwargs)
+    if args.gateway:
+        from repro.gateway.bench import run_gateway_bench
+        payload["gateway"] = run_gateway_bench(
+            backend=args.backend, cache_dir=args.spec_cache,
+            seed=args.seed, quick=args.quick)
     with open(args.out, "w") as handle:
         json_mod.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -199,8 +295,27 @@ def _cmd_bench_fleet(args: argparse.Namespace) -> int:
     print(f"security: attacked={sec['attacked']} "
           f"quarantined={sec['quarantined']} "
           f"detections={sec['detections']} lost={sec['lost']}")
+    ok = sec["ok"]
+    if args.gateway:
+        gw = payload["gateway"]
+        for pattern, points in sorted(gw["scaling"].items()):
+            for tenants, point in sorted(points.items(),
+                                         key=lambda kv: int(kv[0])):
+                print(f"gateway[{pattern}] {tenants} tenants / "
+                      f"{point['shards']} shards: "
+                      f"p50 {point['p50_latency_ms']:.3f} ms, "
+                      f"p99 {point['p99_latency_ms']:.3f} ms, "
+                      f"SLO violations {point['slo_violations']} "
+                      f"({100 * point['slo_violation_rate']:.1f}%), "
+                      f"wall {point['wall_s']:.2f}s")
+        reb = gw["rebalance"]
+        print(f"gateway rebalance: moved={reb['moved_tenants']} "
+              f"lost={reb['lost']} duplicates={reb['duplicates']} "
+              f"detections={reb['detections']}/{reb['attacked']} "
+              f"ok={reb['ok']}")
+        ok = ok and gw["ok"]
     print(f"wrote {args.out}")
-    return 0 if sec["ok"] else 1
+    return 0 if ok else 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
@@ -522,6 +637,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-detections", type=int, default=0,
                    help="exit nonzero unless at least this many "
                         "detections were recorded")
+    gw = p.add_argument_group(
+        "gateway", "open-loop admission gateway over sharded "
+                   "supervisors (--workers becomes lanes per shard; "
+                   "--batches/--ops are ignored, arrivals drive load)")
+    gw.add_argument("--gateway", action="store_true",
+                    help="serve through the admission gateway")
+    gw.add_argument("--shards", type=int, default=2,
+                    help="supervisor shards behind the gateway")
+    gw.add_argument("--arrival",
+                    choices=("poisson", "bursty", "diurnal"),
+                    default="poisson", help="per-tenant arrival process")
+    gw.add_argument("--rate", type=float, default=200.0,
+                    help="mean arrivals per tenant per simulated second")
+    gw.add_argument("--horizon-ms", type=float, default=20.0,
+                    help="simulated arrival horizon")
+    gw.add_argument("--quota-rate", type=float, default=2000.0,
+                    help="token-bucket refill per tenant per second")
+    gw.add_argument("--quota-burst", type=int, default=16,
+                    help="token-bucket capacity")
+    gw.add_argument("--queue-cap", type=int, default=64,
+                    help="max queued ops per tenant before shedding")
+    gw.add_argument("--coalesce-max", type=int, default=8,
+                    help="max queued ops folded into one dispatch")
+    gw.add_argument("--slo-ms", type=float, default=2.0,
+                    help="arrival-to-completion latency objective")
+    gw.add_argument("--rebalance-at", type=float, default=None,
+                    metavar="FRACTION",
+                    help="add a shard at this fraction of the horizon "
+                         "and require tenants to move cleanly")
+    gw.add_argument("--show-tenants", type=int, default=16,
+                    help="max flagged-tenant rows to print")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -542,6 +688,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--quick", action="store_true",
                    help="smaller workload for CI smoke")
+    p.add_argument("--gateway", action="store_true",
+                   help="also run the gateway benchmark (four-digit "
+                        "simulated-tenant scaling across shards) and "
+                        "add it to the payload")
     p.add_argument("--out", default="BENCH_fleet.json")
     p.set_defaults(fn=_cmd_bench_fleet)
 

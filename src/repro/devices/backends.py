@@ -3,47 +3,137 @@
 These play the role of QEMU's block layer, net layer, and IRQ
 infrastructure: guest-visible behaviour flows through the device models;
 the backends just store bytes and count events.
+
+Backing stores are **sparse**: a :class:`DiskImage` or
+:class:`GuestMemory` allocates fixed-size chunks on first write and
+answers zeros everywhere else — exactly the observable behaviour the old
+dense ``bytearray`` gave (zero-filled at construction), at a fraction of
+the footprint.  That is what makes four-digit tenant fleets feasible: a
+guarded instance that touches a few sectors of a 32 MB SCSI disk costs
+kilobytes, not megabytes.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
 
 from repro.errors import WorkloadError
 
 SECTOR_SIZE = 512
 
+_CHUNK_BITS = 16
+_CHUNK_SIZE = 1 << _CHUNK_BITS          # 64 KiB allocation granule
+_CHUNK_MASK = _CHUNK_SIZE - 1
+
+
+class _SparseBytes:
+    """Chunked, zero-default byte store shared by the two backends."""
+
+    __slots__ = ("size", "_chunks")
+
+    def __init__(self, size: int):
+        self.size = size
+        self._chunks: Dict[int, bytearray] = {}
+
+    def get(self, offset: int) -> int:
+        chunk = self._chunks.get(offset >> _CHUNK_BITS)
+        if chunk is None:
+            return 0
+        return chunk[offset & _CHUNK_MASK]
+
+    def set(self, offset: int, value: int) -> None:
+        index = offset >> _CHUNK_BITS
+        chunk = self._chunks.get(index)
+        if chunk is None:
+            chunk = self._chunks[index] = bytearray(_CHUNK_SIZE)
+        chunk[offset & _CHUNK_MASK] = value
+
+    def read_range(self, offset: int, length: int) -> bytes:
+        """Chunk-spanning read; unallocated and out-of-range areas are
+        zeros (in-range) / absent (clamped at ``size``)."""
+        if offset < 0:
+            length += offset
+            offset = 0
+        end = min(offset + max(0, length), self.size)
+        if offset >= end:
+            return b""
+        parts: List[bytes] = []
+        pos = offset
+        while pos < end:
+            index = pos >> _CHUNK_BITS
+            start = pos & _CHUNK_MASK
+            take = min(_CHUNK_SIZE - start, end - pos)
+            chunk = self._chunks.get(index)
+            if chunk is None:
+                parts.append(bytes(take))
+            else:
+                parts.append(bytes(chunk[start:start + take]))
+            pos += take
+        return b"".join(parts)
+
+    def write_range(self, offset: int, payload: bytes) -> None:
+        """Chunk-spanning write, clamped to ``[0, size)``."""
+        if offset < 0:
+            payload = payload[-offset:]
+            offset = 0
+        end = min(offset + len(payload), self.size)
+        pos = offset
+        while pos < end:
+            index = pos >> _CHUNK_BITS
+            start = pos & _CHUNK_MASK
+            take = min(_CHUNK_SIZE - start, end - pos)
+            chunk = self._chunks.get(index)
+            if chunk is None:
+                chunk = self._chunks[index] = bytearray(_CHUNK_SIZE)
+            chunk[start:start + take] = payload[pos - offset:
+                                                pos - offset + take]
+            pos += take
+
+    @property
+    def allocated_bytes(self) -> int:
+        return len(self._chunks) * _CHUNK_SIZE
+
 
 class DiskImage:
-    """Flat byte-addressable backing store (the block layer)."""
+    """Byte-addressable backing store (the block layer), sparse."""
 
     def __init__(self, size: int):
         if size <= 0:
             raise WorkloadError("disk size must be positive")
         self.size = size
-        self.data = bytearray(size)
+        self._store = _SparseBytes(size)
         self.reads = 0
         self.writes = 0
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Host memory actually committed to this image."""
+        return self._store.allocated_bytes
 
     def read_byte(self, offset: int) -> int:
         self.reads += 1
         if 0 <= offset < self.size:
-            return self.data[offset]
+            return self._store.get(offset)
         return 0    # reads off the end return zeros, like a sparse image
 
     def write_byte(self, offset: int, value: int) -> None:
         self.writes += 1
         if 0 <= offset < self.size:
-            self.data[offset] = value & 0xFF
+            self._store.set(offset, value & 0xFF)
 
     def read_block(self, offset: int, length: int) -> bytes:
-        return bytes(self.read_byte(offset + i) for i in range(length))
+        self.reads += length
+        data = self._store.read_range(offset, length)
+        if len(data) < length:      # zeros past the end, as per byte reads
+            data += bytes(length - len(data))
+        return data
 
     def write_block(self, offset: int, payload: bytes) -> None:
-        for i, byte in enumerate(payload):
-            self.write_byte(offset + i, byte)
+        self.writes += len(payload)
+        masked = bytes(b & 0xFF for b in payload)
+        self._store.write_range(offset, masked)
 
 
 class GuestMemory:
@@ -51,26 +141,31 @@ class GuestMemory:
 
     def __init__(self, size: int = 1 << 20):
         self.size = size
-        self.data = bytearray(size)
+        self._store = _SparseBytes(size)
         self.dma_reads = 0
         self.dma_writes = 0
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Host memory actually committed for this guest."""
+        return self._store.allocated_bytes
 
     def read_byte(self, addr: int) -> int:
         self.dma_reads += 1
         if 0 <= addr < self.size:
-            return self.data[addr]
+            return self._store.get(addr)
         return 0
 
     def write_byte(self, addr: int, value: int) -> None:
         self.dma_writes += 1
         if 0 <= addr < self.size:
-            self.data[addr] = value & 0xFF
+            self._store.set(addr, value & 0xFF)
 
     def write_block(self, addr: int, payload: bytes) -> None:
-        self.data[addr:addr + len(payload)] = payload
+        self._store.write_range(addr, bytes(payload))
 
     def read_block(self, addr: int, length: int) -> bytes:
-        return bytes(self.data[addr:addr + length])
+        return self._store.read_range(addr, length)
 
 
 class IRQLine:

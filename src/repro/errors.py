@@ -104,3 +104,8 @@ class GuestError(ReproError):
 class FleetError(ReproError):
     """The fleet enforcement service hit a control-plane failure
     (misconfiguration, stalled workers, respawn budget exhausted)."""
+
+
+class GatewayError(ReproError):
+    """The admission gateway was misconfigured or broke an internal
+    invariant (empty hash ring, unknown arrival pattern, lost events)."""

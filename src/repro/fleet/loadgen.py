@@ -119,6 +119,20 @@ def plan_tenants(devices: Sequence[str], tenants: int,
     return plans
 
 
+def sample_benign_op(device: str, rng: random.Random) -> OpRequest:
+    """One weighted-benign common op — the same mix the interaction
+    experiments use.  Shared by the closed-loop schedule builder and the
+    gateway's open-loop arrival streams; draws exactly two values from
+    *rng* (choice then seed), so extracting it preserved every existing
+    seeded schedule byte-for-byte."""
+    from repro.workloads.profiles import PROFILES
+
+    prof = PROFILES[device]
+    indices = range(len(prof.common_ops))
+    index = rng.choices(indices, weights=prof.op_weights)[0]
+    return OpRequest("common", index, rng.randrange(1 << 31))
+
+
 def make_schedule(plans: Sequence[TenantPlan], batches_per_tenant: int,
                   ops_per_batch: int, seed: int = 0,
                   attack_batch: Optional[int] = None
@@ -126,21 +140,14 @@ def make_schedule(plans: Sequence[TenantPlan], batches_per_tenant: int,
     """Benign streams per tenant (weighted common ops), the attacked
     tenants' PoC spliced into batch *attack_batch* (default: midway),
     interleaved round-robin the way concurrent guests arrive."""
-    from repro.workloads.profiles import PROFILES
-
     rng = random.Random(seed)
     if attack_batch is None:
         attack_batch = batches_per_tenant // 2
     per_tenant: Dict[str, List[List[OpRequest]]] = {}
     for plan in plans:
-        prof = PROFILES[plan.device]
-        indices = range(len(prof.common_ops))
         batches = []
         for b in range(batches_per_tenant):
-            ops = [OpRequest("common",
-                             rng.choices(indices,
-                                         weights=prof.op_weights)[0],
-                             rng.randrange(1 << 31))
+            ops = [sample_benign_op(plan.device, rng)
                    for _ in range(ops_per_batch)]
             if plan.attacked and b == attack_batch:
                 ops[0] = OpRequest("exploit", cve=plan.attack_cve)

@@ -136,12 +136,14 @@ class FleetStats:
     makespan_cycles: int = 0
     p50_request_cycles: float = 0.0
     p95_request_cycles: float = 0.0
+    p99_request_cycles: float = 0.0
     #: wall-clock queue wait (enqueue -> result) percentiles; requeued
     #: batches keep their original enqueue timestamp, so a respawn shows
     #: up as latency instead of silently resetting the clock
     queue_wait_samples: int = 0
     p50_queue_wait_s: float = 0.0
     p95_queue_wait_s: float = 0.0
+    p99_queue_wait_s: float = 0.0
     wall_seconds: float = 0.0
 
     @property
@@ -164,6 +166,10 @@ class FleetStats:
     def p95_request_ms(self) -> float:
         return 1e3 * self.p95_request_cycles / CYCLES_PER_SECOND
 
+    @property
+    def p99_request_ms(self) -> float:
+        return 1e3 * self.p99_request_cycles / CYCLES_PER_SECOND
+
     def describe(self) -> str:
         return (f"fleet: {self.workers} workers, {self.requests} requests "
                 f"({self.completed} completed, {self.rejected} rejected, "
@@ -181,6 +187,7 @@ class FleetStats:
                 f"  throughput={self.rounds_per_sec:,.0f} rounds/s "
                 f"(simulated) latency p50={self.p50_request_ms:.3f}ms "
                 f"p95={self.p95_request_ms:.3f}ms "
+                f"p99={self.p99_request_ms:.3f}ms "
                 f"queue_wait p95={self.p95_queue_wait_s * 1e3:.1f}ms "
                 f"wall={self.wall_seconds:.2f}s")
 
@@ -293,28 +300,33 @@ class FleetSupervisor:
         self._reloads.append(ScheduledReload(device, digest, at_seq,
                                              qemu_version))
 
+    def _stamp_one(self, batch: RequestBatch) -> RequestBatch:
+        """Stamp one batch with the spec epoch/digest it runs under."""
+        epoch, digest = 0, ""
+        for reload_ in self._reloads:
+            if (batch.device == reload_.device
+                    and (reload_.qemu_version is None
+                         or reload_.qemu_version == batch.qemu_version)
+                    and batch.seq >= reload_.at_seq):
+                epoch += 1
+                digest = reload_.digest
+        if epoch:
+            return replace(batch, spec_epoch=epoch, spec_digest=digest)
+        return batch
+
     def _stamp_reloads(self, schedule: Sequence[RequestBatch]
                        ) -> List[RequestBatch]:
         """Stamp every batch with the spec epoch/digest it runs under."""
         if not self._reloads:
             return list(schedule)
-        out: List[RequestBatch] = []
-        for batch in schedule:
-            epoch, digest = 0, ""
-            for reload_ in self._reloads:
-                if (batch.device == reload_.device
-                        and (reload_.qemu_version is None
-                             or reload_.qemu_version
-                             == batch.qemu_version)
-                        and batch.seq >= reload_.at_seq):
-                    epoch += 1
-                    digest = reload_.digest
-            if epoch:
-                out.append(replace(batch, spec_epoch=epoch,
-                                   spec_digest=digest))
-            else:
-                out.append(batch)
-        return out
+        return [self._stamp_one(batch) for batch in schedule]
+
+    def session(self) -> "FleetSession":
+        """Open a streaming session: batches are submitted one at a time
+        (the gateway's dispatch loop) instead of as a prebuilt schedule,
+        with ``run()``-identical placement, fault-tolerance, reload, and
+        aggregation semantics."""
+        return FleetSession(self)
 
     def run(self, schedule: Sequence[RequestBatch],
             plans: Sequence[TenantPlan] = ()) -> FleetResult:
@@ -696,9 +708,11 @@ class FleetSupervisor:
         stats.latency_samples = len(request_cycles)
         stats.p50_request_cycles = percentile(request_cycles, 0.50)
         stats.p95_request_cycles = percentile(request_cycles, 0.95)
+        stats.p99_request_cycles = percentile(request_cycles, 0.99)
         stats.queue_wait_samples = len(self._queue_waits)
         stats.p50_queue_wait_s = percentile(self._queue_waits, 0.50)
         stats.p95_queue_wait_s = percentile(self._queue_waits, 0.95)
+        stats.p99_queue_wait_s = percentile(self._queue_waits, 0.99)
         telemetry = self._telemetry
         if telemetry is not None:
             # Result-level recording happens here, once per counted
@@ -724,3 +738,207 @@ class FleetSupervisor:
                 telemetry.retrain_enqueued.inc(stats.retrain_candidates)
         return FleetResult(stats=stats, tenants=tenants, reports=reports,
                            worker_busy_cycles=busy, retrain=retrain)
+
+
+class FleetSession:
+    """Streaming facade over one :class:`FleetSupervisor`.
+
+    ``run()`` takes the whole schedule up front; a session accepts one
+    batch at a time — the shape the admission gateway needs, where the
+    next dispatch depends on simulated arrivals and coalescing decisions
+    made *after* earlier results come back.  Everything else is kept
+    identical to ``run()``:
+
+    * tenants are pinned to workers round-robin in order of first
+      appearance (``worker_for`` exposes the pin so the gateway's lane
+      model matches);
+    * crash/hang fault ops cost the worker its instances and a bounded
+      respawn (with the same tombstoned requeue and jitter-free
+      backoff), and hang ops count a watchdog kill;
+    * batches are stamped with scheduled hot reloads at submit time,
+      so epoch-based spec swaps behave exactly as in ``run()``;
+    * ``close()`` funnels through the same ``_aggregate`` as ``run()``,
+      so stats, tenant summaries, retrain records, and telemetry are
+      byte-identical given the same executed batches.
+
+    Submission is synchronous: ``submit`` returns the batch's
+    :class:`BatchResult`, or ``None`` when the ops were lost to an
+    exhausted respawn budget.
+    """
+
+    def __init__(self, supervisor: FleetSupervisor):
+        self.supervisor = supervisor
+        self.config = supervisor.config
+        self._start = time.perf_counter()
+        self._submitted: List[RequestBatch] = []
+        self._results: List[BatchResult] = []
+        self._lost = 0
+        self._respawns = 0
+        self._duplicates = 0
+        self._watchdog_kills = 0
+        self._queue_waits: List[float] = []
+        self._tenant_worker: Dict[str, int] = {}
+        self._primed: set = set()
+        self._done: set = set()
+        self._closed = False
+        if self.config.inline:
+            self._workers: Dict[int, FleetWorker] = {}
+            self._budget = {w: self.config.max_worker_respawns
+                            for w in range(self.config.workers)}
+            self._inline_dead: set = set()
+        else:
+            if supervisor.registry.cache_dir is None:
+                raise FleetError(
+                    "worker processes share specs via the disk cache; "
+                    "set FleetConfig.cache_dir (or use inline=True)")
+            self._ctx = supervisor._context()
+            self._outbox = self._ctx.Queue()
+            self._handles: Dict[int, _WorkerHandle] = {}
+
+    # -- placement ----------------------------------------------------------
+
+    def worker_for(self, tenant: str) -> int:
+        """The worker lane *tenant* is pinned to (same first-appearance
+        round-robin as ``run()``'s ``_assign``); registers the pin."""
+        return self._tenant_worker.setdefault(
+            tenant, len(self._tenant_worker) % self.config.workers)
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(self, batch: RequestBatch) -> Optional[BatchResult]:
+        if self._closed:
+            raise FleetError("session is closed")
+        key = (batch.device, batch.qemu_version)
+        if key not in self._primed:
+            self.supervisor.registry.prime([key])
+            self._primed.add(key)
+        batch = self.supervisor._stamp_one(batch)
+        self._submitted.append(batch)
+        worker_id = self.worker_for(batch.tenant)
+        enqueued = self.supervisor._clock()
+        if self.config.inline:
+            result = self._submit_inline(worker_id, batch)
+        else:
+            result = self._submit_pool(worker_id, batch)
+        if result is not None:
+            self._queue_waits.append(self.supervisor._clock() - enqueued)
+            self._results.append(result)
+        return result
+
+    def _submit_inline(self, worker_id: int,
+                       batch: RequestBatch) -> Optional[BatchResult]:
+        if worker_id in self._inline_dead:
+            self._lost += len(batch.ops)
+            return None
+        worker = self._workers.get(worker_id)
+        if worker is None:
+            worker = self._workers[worker_id] = \
+                self.supervisor._make_worker(worker_id)
+        while batch_wants_crash(batch) or batch_wants_hang(batch):
+            if self._budget[worker_id] <= 0:
+                self._inline_dead.add(worker_id)
+                self._lost += len(batch.ops)
+                return None
+            self._budget[worker_id] -= 1
+            self._respawns += 1
+            if batch_wants_hang(batch):
+                self._watchdog_kills += 1
+            worker = self._workers[worker_id] = \
+                self.supervisor._make_worker(worker_id)
+            batch = requeue_batch(batch)
+        return worker.run_batch(batch)
+
+    def _submit_pool(self, worker_id: int,
+                     batch: RequestBatch) -> Optional[BatchResult]:
+        supervisor = self.supervisor
+        handle = self._handles.get(worker_id)
+        if handle is None:
+            handle = self._handles[worker_id] = _WorkerHandle(worker_id)
+            supervisor._spawn(self._ctx, handle, self._outbox)
+        if handle.dead:
+            self._lost += len(batch.ops)
+            return None
+        handle.outstanding[batch.seq] = batch
+        handle.dispatched_at[batch.seq] = supervisor._clock()
+        handle.inbox.put(("batch", batch))
+        last_progress = time.monotonic()
+        while True:
+            try:
+                message = self._outbox.get(timeout=0.05)
+            except queue_mod.Empty:
+                message = None
+            if message is not None and message[0] == "result":
+                last_progress = time.monotonic()
+                _, from_id, result = message
+                owner = self._handles[from_id]
+                owner.outstanding.pop(result.seq, None)
+                owner.dispatched_at.pop(result.seq, None)
+                if result.seq != batch.seq or result.seq in self._done:
+                    # A late re-delivery from a worker that died after
+                    # posting (the requeue race _collect documents), or
+                    # a result for a batch already written off as lost.
+                    self._duplicates += 1
+                    continue
+                self._done.add(result.seq)
+                return result
+            # Watchdog: one outstanding batch, so any over-age dispatch
+            # means this lane is hung and only a kill gets it moving.
+            timeout = self.config.watchdog_timeout
+            if (timeout and handle.process is not None
+                    and handle.process.is_alive()
+                    and any(supervisor._clock() - t > timeout
+                            for t in handle.dispatched_at.values())):
+                handle.process.terminate()
+                self._watchdog_kills += 1
+            if handle.process is not None \
+                    and not handle.process.is_alive():
+                requeue = [b for _, b
+                           in sorted(handle.outstanding.items())]
+                for i, b in enumerate(requeue):
+                    if any(op.kind in FAULT_OP_KINDS and op.seed >= 0
+                           for op in b.ops):
+                        requeue[i] = requeue_batch(b)
+                        break
+                handle.outstanding.clear()
+                handle.dispatched_at.clear()
+                if handle.respawns >= self.config.max_worker_respawns:
+                    handle.dead = True
+                    self._lost += sum(len(b.ops) for b in requeue)
+                    return None
+                handle.respawns += 1
+                self._respawns += 1
+                delay = min(self.config.backoff_cap,
+                            self.config.backoff_base
+                            * (2 ** (handle.respawns - 1)))
+                time.sleep(delay)
+                supervisor._spawn(self._ctx, handle, self._outbox)
+                for b in requeue:
+                    handle.outstanding[b.seq] = b
+                    handle.dispatched_at[b.seq] = supervisor._clock()
+                    handle.inbox.put(("batch", b))
+                    if b.seq == batch.seq:
+                        batch = b   # track the tombstoned incarnation
+                last_progress = time.monotonic()
+            if (time.monotonic() - last_progress
+                    > self.config.stall_timeout):
+                raise FleetError("fleet session stalled: no result and "
+                                 "no worker exit within stall_timeout")
+
+    # -- teardown -----------------------------------------------------------
+
+    def close(self, plans: Sequence[TenantPlan] = ()) -> FleetResult:
+        """Stop workers and aggregate, exactly as ``run()`` would."""
+        if self._closed:
+            raise FleetError("session already closed")
+        self._closed = True
+        wall = time.perf_counter() - self._start
+        supervisor = self.supervisor
+        if not self.config.inline and self._handles:
+            supervisor._shutdown(self._handles)
+        supervisor._duplicates = self._duplicates
+        supervisor._watchdog_kills = self._watchdog_kills
+        supervisor._queue_waits = self._queue_waits
+        supervisor._enqueue_ts = {}
+        return supervisor._aggregate(self._submitted, plans,
+                                     self._results, self._lost,
+                                     self._respawns, wall)

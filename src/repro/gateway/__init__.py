@@ -1,0 +1,33 @@
+"""repro.gateway: async admission gateway over a sharded fleet.
+
+Turns the fleet from a benchmark harness into a service front end:
+open-loop per-tenant arrival streams (Poisson / bursty / diurnal on the
+simulated clock), token-bucket admission with bounded per-tenant queues,
+consistent-hash tenant→shard placement with deterministic rebalancing,
+per-instance request coalescing, and a merged cross-shard stats plane
+built on associatively-mergeable telemetry snapshots.
+"""
+
+from repro.gateway.admission import (
+    ADMIT_OK, ADMIT_QUEUE, ADMIT_QUOTA, AdmissionConfig,
+    AdmissionController, TokenBucket,
+)
+from repro.gateway.arrivals import (
+    ArrivalSpec, TenantStream, build_streams, tenant_rng,
+)
+from repro.gateway.engine import (
+    Gateway, GatewayConfig, GatewayResult, GatewayStats, RebalanceAction,
+    merge_fleet_stats, merge_tenant_summaries,
+)
+from repro.gateway.ring import (
+    DEFAULT_VNODES, HashRing, moved_tenants,
+)
+
+__all__ = [
+    "ADMIT_OK", "ADMIT_QUEUE", "ADMIT_QUOTA", "AdmissionConfig",
+    "AdmissionController", "TokenBucket",
+    "ArrivalSpec", "TenantStream", "build_streams", "tenant_rng",
+    "Gateway", "GatewayConfig", "GatewayResult", "GatewayStats",
+    "RebalanceAction", "merge_fleet_stats", "merge_tenant_summaries",
+    "DEFAULT_VNODES", "HashRing", "moved_tenants",
+]

@@ -1,0 +1,109 @@
+"""Open-loop tenant traffic: per-tenant arrival streams on the simulated
+clock.
+
+``fleet/bench.py`` drives the fleet closed-loop — the next batch waits
+for the previous one — which measures capacity but can never show queue
+growth, shedding, or tail latency under pressure.  The gateway instead
+generates *open-loop* traffic: each tenant gets an independent seeded
+arrival process (Poisson / bursty / diurnal, from
+``workloads.benchtools``) whose ops arrive whether or not the fleet is
+keeping up.  Streams are pure data, derived from ``(seed, tenant)`` via
+sha256 — order-independent, replayable, and identical across gateway
+configurations, so two runs differing only in shard count serve
+byte-identical traffic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.errors import GatewayError
+from repro.fleet.loadgen import OpRequest, TenantPlan, sample_benign_op
+from repro.workloads.benchtools import (
+    ARRIVAL_PATTERNS, CYCLES_PER_SECOND, bursty_arrivals,
+    diurnal_arrivals, poisson_arrivals,
+)
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One arrival process, applied per tenant."""
+
+    pattern: str = "poisson"
+    #: mean op rate per tenant (ops per simulated second)
+    rate_per_sec: float = 200.0
+    #: length of the arrival window (simulated seconds); queues drain
+    #: past the horizon, arrivals stop at it
+    horizon_s: float = 0.02
+    # bursty knobs
+    burst_factor: float = 8.0
+    on_fraction: float = 0.2
+    period_s: float = 0.005
+    idle_factor: float = 0.1
+    # diurnal knobs
+    amplitude: float = 0.8
+
+    @property
+    def horizon_cycles(self) -> int:
+        return int(self.horizon_s * CYCLES_PER_SECOND)
+
+    def sample(self, rng: random.Random) -> List[int]:
+        """Arrival cycles for one tenant."""
+        if self.pattern == "poisson":
+            return poisson_arrivals(self.rate_per_sec,
+                                    self.horizon_cycles, rng)
+        if self.pattern == "bursty":
+            return bursty_arrivals(self.rate_per_sec,
+                                   self.horizon_cycles, rng,
+                                   burst_factor=self.burst_factor,
+                                   on_fraction=self.on_fraction,
+                                   period_s=self.period_s,
+                                   idle_factor=self.idle_factor)
+        if self.pattern == "diurnal":
+            return diurnal_arrivals(self.rate_per_sec,
+                                    self.horizon_cycles, rng,
+                                    period_s=self.period_s,
+                                    amplitude=self.amplitude)
+        raise GatewayError(f"unknown arrival pattern {self.pattern!r} "
+                           f"(want one of {ARRIVAL_PATTERNS})")
+
+
+@dataclass(frozen=True)
+class TenantStream:
+    """One tenant's whole open-loop request stream: sorted
+    ``(arrival_cycle, op)`` pairs."""
+
+    plan: TenantPlan
+    arrivals: Tuple[Tuple[int, OpRequest], ...]
+
+
+def tenant_rng(seed: int, tenant: str) -> random.Random:
+    """Independent per-tenant RNG: keyed on (seed, tenant) via sha256,
+    so streams do not change when other tenants are added or removed."""
+    digest = hashlib.sha256(f"{seed}:{tenant}".encode("utf-8")).digest()
+    return random.Random(int.from_bytes(digest[:8], "big"))
+
+
+def build_streams(plans: Sequence[TenantPlan], spec: ArrivalSpec,
+                  seed: int = 0) -> List[TenantStream]:
+    """Sample every tenant's stream; attacked tenants get their CVE
+    proof-of-concept spliced mid-stream (replacing the middle benign op,
+    or as a lone mid-horizon arrival if the process drew none)."""
+    streams: List[TenantStream] = []
+    for plan in plans:
+        rng = tenant_rng(seed, plan.tenant)
+        times = spec.sample(rng)
+        pairs: List[Tuple[int, OpRequest]] = [
+            (t, sample_benign_op(plan.device, rng)) for t in times]
+        if plan.attacked:
+            exploit = OpRequest("exploit", cve=plan.attack_cve)
+            if pairs:
+                mid = len(pairs) // 2
+                pairs[mid] = (pairs[mid][0], exploit)
+            else:
+                pairs = [(spec.horizon_cycles // 2, exploit)]
+        streams.append(TenantStream(plan, tuple(pairs)))
+    return streams

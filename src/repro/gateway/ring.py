@@ -1,0 +1,71 @@
+"""Consistent-hash tenant→shard placement.
+
+Each shard owns ``vnodes`` points on a 64-bit hash circle; a tenant maps
+to the first shard point clockwise of its own hash.  Adding or removing
+a shard therefore moves only the tenants whose arcs changed owner —
+``O(moved/total) ≈ 1/shards`` of the fleet — and the mapping is a pure
+function of (shard ids, vnodes, tenant name): every gateway replica,
+and every rerun of a seeded benchmark, computes the identical placement
+with no coordination.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import GatewayError
+
+DEFAULT_VNODES = 64
+
+
+def _point(key: str) -> int:
+    """64-bit position on the hash circle."""
+    digest = hashlib.sha256(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Immutable consistent-hash ring over integer shard ids."""
+
+    def __init__(self, shards: Iterable[int],
+                 vnodes: int = DEFAULT_VNODES):
+        self.shards: Tuple[int, ...] = tuple(sorted(set(shards)))
+        if not self.shards:
+            raise GatewayError("hash ring needs at least one shard")
+        if vnodes < 1:
+            raise GatewayError("hash ring needs at least one vnode")
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for shard in self.shards:
+            for v in range(vnodes):
+                points.append((_point(f"shard:{shard}:vnode:{v}"),
+                               shard))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [s for _, s in points]
+
+    def lookup(self, tenant: str) -> int:
+        """The shard owning *tenant* (first point clockwise)."""
+        h = _point(f"tenant:{tenant}")
+        i = bisect.bisect_right(self._hashes, h) % len(self._hashes)
+        return self._owners[i]
+
+    def with_shards(self, add: Iterable[int] = (),
+                    remove: Iterable[int] = ()) -> "HashRing":
+        """A new ring with shards added/removed; everything else fixed."""
+        shards = (set(self.shards) | set(add)) - set(remove)
+        return HashRing(shards, self.vnodes)
+
+
+def moved_tenants(old: HashRing, new: HashRing,
+                  tenants: Iterable[str]) -> Dict[str, Tuple[int, int]]:
+    """``tenant -> (old_shard, new_shard)`` for every tenant whose owner
+    changed between the two rings."""
+    moved: Dict[str, Tuple[int, int]] = {}
+    for tenant in tenants:
+        src, dst = old.lookup(tenant), new.lookup(tenant)
+        if src != dst:
+            moved[tenant] = (src, dst)
+    return moved

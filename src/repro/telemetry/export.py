@@ -70,6 +70,13 @@ def _prom_histogram(name: str, labels: Tuple[Tuple[str, str], ...],
     yield f"{name}_bucket{_prom_labels(labels, inf)} {hist.count}"
     yield f"{name}_sum{_prom_labels(labels)} {hist.total}"
     yield f"{name}_count{_prom_labels(labels)} {hist.count}"
+    # Precomputed quantiles (summary-style companion series): dashboards
+    # watching an SLO want p99 directly, without a PromQL
+    # histogram_quantile over bucket series.
+    for q, label in ((0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99")):
+        quantile = f'quantile="{label}"'
+        yield (f"{name}_quantile{_prom_labels(labels, quantile)} "
+               f"{hist.percentile(q)}")
 
 
 def prometheus_text(snapshot: TelemetrySnapshot) -> str:

@@ -122,6 +122,22 @@ def degradation_rows(snapshot: TelemetrySnapshot) -> List[Tuple]:
     return rows
 
 
+#: Admission / SLO counters recorded by the gateway's stats plane.
+GATEWAY_COUNTERS = (
+    "gateway.admitted", "gateway.quota_rejected", "gateway.queue_shed",
+    "gateway.dispatches", "gateway.slo_violations",
+    "gateway.tenant_moves",
+)
+
+
+def gateway_rows(snapshot: TelemetrySnapshot) -> List[Tuple]:
+    """(counter, total) rows for the admission gateway, summed across
+    arrival-pattern labels.  Empty histogram-only snapshots still get
+    the zero rows, so the table shape is stable."""
+    return [(name, sum(snapshot.counters_named(name).values()))
+            for name in GATEWAY_COUNTERS]
+
+
 def interp_summary(snapshot: TelemetrySnapshot) -> Dict[str, int]:
     """Interpreter-side totals (across label variants)."""
     return {

@@ -10,6 +10,7 @@ the quantity the paper actually plots — are exact ratios.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -196,6 +197,92 @@ def ping(vm: GuestVM, driver, count: int = 20,
         driver.read_frame(payload_size)
         vm.stats.vmexit_cycles += NET_STACK_CYCLES_PER_FRAME
     return _measured(vm, "ping", payload_size * count * 2, count, before)
+
+
+# -- open-loop arrival processes ---------------------------------------------
+
+#: Arrival patterns the admission gateway understands.
+ARRIVAL_PATTERNS = ("poisson", "bursty", "diurnal")
+
+
+def poisson_arrivals(rate_per_sec: float, horizon_cycles: int,
+                     rng: random.Random) -> List[int]:
+    """Homogeneous Poisson process on the simulated clock: exponential
+    inter-arrival times at *rate_per_sec*, cycles in ``[0, horizon)``."""
+    if rate_per_sec <= 0 or horizon_cycles <= 0:
+        return []
+    mean_gap = CYCLES_PER_SECOND / rate_per_sec
+    out: List[int] = []
+    t = rng.expovariate(1.0) * mean_gap
+    while t < horizon_cycles:
+        out.append(int(t))
+        t += rng.expovariate(1.0) * mean_gap
+    return out
+
+
+def bursty_arrivals(rate_per_sec: float, horizon_cycles: int,
+                    rng: random.Random, burst_factor: float = 8.0,
+                    on_fraction: float = 0.2,
+                    period_s: float = 0.005,
+                    idle_factor: float = 0.1) -> List[int]:
+    """On/off modulated Poisson (an MMPP with two states): exponential
+    ON phases (mean ``period_s * on_fraction``) at ``rate * burst_factor``
+    alternating with OFF phases (mean ``period_s * (1 - on_fraction)``)
+    at ``rate * idle_factor``.  Mean rate is above *rate_per_sec* by
+    design — bursts are the point — but the same order of magnitude."""
+    if rate_per_sec <= 0 or horizon_cycles <= 0:
+        return []
+    out: List[int] = []
+    t = 0.0
+    on = bool(rng.getrandbits(1))
+    while t < horizon_cycles:
+        mean_len = period_s * (on_fraction if on else 1.0 - on_fraction)
+        phase_end = t + rng.expovariate(1.0) * mean_len \
+            * CYCLES_PER_SECOND
+        rate = rate_per_sec * (burst_factor if on else idle_factor)
+        if rate > 0:
+            mean_gap = CYCLES_PER_SECOND / rate
+            arrival = t + rng.expovariate(1.0) * mean_gap
+            while arrival < min(phase_end, horizon_cycles):
+                out.append(int(arrival))
+                arrival += rng.expovariate(1.0) * mean_gap
+        t = phase_end
+        on = not on
+    return out
+
+
+def diurnal_arrivals(rate_per_sec: float, horizon_cycles: int,
+                     rng: random.Random, period_s: float = 0.01,
+                     amplitude: float = 0.8) -> List[int]:
+    """Sinusoidally modulated Poisson process via thinning: candidates
+    are drawn at the peak rate ``rate * (1 + amplitude)`` and accepted
+    with probability proportional to ``1 + amplitude * sin(2*pi*t/T)``
+    — a compressed day/night load cycle on the simulated clock."""
+    if rate_per_sec <= 0 or horizon_cycles <= 0:
+        return []
+    peak = rate_per_sec * (1.0 + amplitude)
+    out: List[int] = []
+    for t in poisson_arrivals(peak, horizon_cycles, rng):
+        phase = 2.0 * math.pi * t / (period_s * CYCLES_PER_SECOND)
+        accept = (1.0 + amplitude * math.sin(phase)) / (1.0 + amplitude)
+        if rng.random() < accept:
+            out.append(t)
+    return out
+
+
+def arrivals(pattern: str, rate_per_sec: float, horizon_cycles: int,
+             rng: random.Random, **kwargs) -> List[int]:
+    """Dispatch on *pattern*; returns sorted arrival cycles."""
+    if pattern == "poisson":
+        return poisson_arrivals(rate_per_sec, horizon_cycles, rng)
+    if pattern == "bursty":
+        return bursty_arrivals(rate_per_sec, horizon_cycles, rng,
+                               **kwargs)
+    if pattern == "diurnal":
+        return diurnal_arrivals(rate_per_sec, horizon_cycles, rng,
+                                **kwargs)
+    raise ValueError(f"unknown arrival pattern {pattern!r} "
+                     f"(want one of {ARRIVAL_PATTERNS})")
 
 
 # -- normalization ------------------------------------------------------------------

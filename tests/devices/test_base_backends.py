@@ -109,6 +109,57 @@ class TestGuestMemory:
         assert memory.read_byte(9999) == 0
 
 
+class TestSparseBacking:
+    """Backing stores allocate 64 KiB chunks on first write, so a fleet
+    of thousands of idle instances stays small."""
+
+    def test_fresh_stores_allocate_nothing(self):
+        assert DiskImage(1 << 30).allocated_bytes == 0
+        assert GuestMemory(1 << 30).allocated_bytes == 0
+
+    def test_one_write_allocates_one_chunk(self):
+        disk = DiskImage(1 << 30)
+        disk.write_byte((1 << 30) - 1, 0xAB)
+        assert disk.allocated_bytes == 1 << 16
+        assert disk.read_byte((1 << 30) - 1) == 0xAB
+
+    def test_unallocated_regions_read_zero(self):
+        memory = GuestMemory(1 << 24)
+        memory.write_byte(0, 1)
+        assert memory.read_block(1 << 20, 8) == b"\x00" * 8
+        assert memory.allocated_bytes == 1 << 16
+
+    def test_chunk_spanning_block_roundtrip(self):
+        memory = GuestMemory(1 << 20)
+        payload = bytes(range(256)) * 8
+        offset = (1 << 16) - 1024          # straddles chunks 0 and 1
+        memory.write_block(offset, payload)
+        assert memory.read_block(offset, len(payload)) == payload
+        assert memory.allocated_bytes == 2 << 16
+
+    def test_write_block_clamps_at_the_boundary(self):
+        disk = DiskImage(64)
+        disk.write_block(60, b"abcdefgh")   # only 4 bytes fit
+        assert disk.read_block(60, 4) == b"abcd"
+        assert disk.read_block(64, 4) == b"\x00" * 4
+
+    @given(st.lists(st.tuples(st.integers(0, 300_000),
+                              st.binary(min_size=1, max_size=64)),
+                    max_size=20))
+    def test_sparse_matches_a_dense_reference(self, writes):
+        size = 200_000                      # spans several chunks
+        memory = GuestMemory(size)
+        dense = bytearray(size)
+        for offset, payload in writes:
+            memory.write_block(offset, payload)
+            fit = payload[:max(0, size - offset)]
+            dense[offset:offset + len(fit)] = fit
+        for offset, payload in writes:
+            # read_block clamps at size, exactly like the dense slice
+            assert memory.read_block(offset, len(payload) + 8) \
+                == bytes(dense[offset:offset + len(payload) + 8])
+
+
 class TestIRQAndNet:
     def test_irq_counts_raises(self):
         line = IRQLine()

@@ -1,0 +1,93 @@
+"""FleetSession: the streaming facade must be result-identical to
+``run()`` over the same executed batches, inline and pooled."""
+
+import pytest
+
+from repro.errors import FleetError
+from repro.fleet import (
+    FleetConfig, FleetSupervisor, SpecRegistry, build_load,
+)
+
+STAT_FIELDS = (
+    "workers", "requests", "completed", "rejected", "faults", "lost",
+    "detections", "quarantined_instances", "duplicate_results",
+    "trace_gaps", "infra_failures", "shed", "circuit_opens",
+    "watchdog_kills", "spec_reloads", "io_rounds", "total_cycles",
+    "makespan_cycles", "latency_samples", "p50_request_cycles",
+    "p95_request_cycles", "p99_request_cycles",
+)
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("session-spec-cache")
+    return SpecRegistry(cache_dir=str(cache))
+
+
+def supervisor(registry, inline=True, workers=2):
+    return FleetSupervisor(
+        FleetConfig(workers=workers, inline=inline,
+                    cache_dir=registry.cache_dir), registry)
+
+
+def small_load(**kwargs):
+    return build_load(["fdc"], 4, 3, 3,
+                      inject_cves=["CVE-2015-3456"], **kwargs)
+
+
+def run_via_session(sup, schedule, plans):
+    session = sup.session()
+    for batch in schedule:
+        session.submit(batch)
+    return session.close(plans)
+
+
+class TestRunParity:
+    @pytest.mark.parametrize("inline", [True, False],
+                             ids=["inline", "pool"])
+    def test_session_equals_run(self, registry, inline):
+        plans, schedule = small_load()
+        batch_result = supervisor(registry, inline).run(schedule, plans)
+        streamed = run_via_session(supervisor(registry, inline),
+                                   schedule, plans)
+        for f in STAT_FIELDS:
+            assert getattr(streamed.stats, f) \
+                == getattr(batch_result.stats, f), f
+        assert streamed.tenants == batch_result.tenants
+        assert streamed.retrain == batch_result.retrain
+
+    def test_session_honors_scheduled_reload_stamps(self, registry):
+        plans, schedule = build_load(["fdc"], 2, 4, 2)
+        baseline = supervisor(registry).run(schedule, plans)
+        assert baseline.stats.spec_reloads == 0
+        # A reload scheduled mid-stream stamps exactly the tail batches.
+        sup = supervisor(registry)
+        spec = registry.get("fdc", "99.0.0")
+        digest = registry.publish("fdc", "99.0.0", spec,
+                                  provenance="test").digest
+        sup.reload_spec("fdc", digest, at_seq=4)
+        result = run_via_session(sup, schedule, plans)
+        assert result.stats.spec_reloads == len(plans)
+        assert result.stats.lost == 0
+
+
+class TestSessionContract:
+    def test_worker_pinning_is_first_appearance_round_robin(self,
+                                                            registry):
+        session = supervisor(registry, workers=3).session()
+        assert [session.worker_for(t)
+                for t in ("a", "b", "c", "d", "a")] == [0, 1, 2, 0, 0]
+
+    def test_submit_after_close_rejected(self, registry):
+        plans, schedule = build_load(["fdc"], 2, 1, 2)
+        session = supervisor(registry).session()
+        session.submit(schedule[0])
+        session.close(plans)
+        with pytest.raises(FleetError, match="closed"):
+            session.submit(schedule[1])
+
+    def test_pool_session_requires_a_cache_dir(self):
+        sup = FleetSupervisor(FleetConfig(workers=1, inline=False,
+                                          cache_dir=None))
+        with pytest.raises(FleetError, match="cache"):
+            sup.session()

@@ -1,0 +1,102 @@
+"""Open-loop arrival streams: seeded determinism, tenant independence,
+exploit splicing, and the pattern dispatcher."""
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.fleet.loadgen import plan_tenants
+from repro.gateway import ArrivalSpec, build_streams, tenant_rng
+from repro.workloads.benchtools import ARRIVAL_PATTERNS
+
+SPEC = ArrivalSpec(pattern="poisson", rate_per_sec=500.0,
+                   horizon_s=0.02)
+
+
+def plans(n=6, **kwargs):
+    return plan_tenants(["fdc", "pcnet"], n, **kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_streams(self):
+        a = build_streams(plans(), SPEC, seed=3)
+        b = build_streams(plans(), SPEC, seed=3)
+        assert a == b
+
+    def test_different_seed_different_streams(self):
+        a = build_streams(plans(), SPEC, seed=3)
+        b = build_streams(plans(), SPEC, seed=4)
+        assert a != b
+
+    def test_streams_survive_other_tenants_leaving(self):
+        """sha256-keyed per-tenant RNG: dropping half the fleet leaves
+        the remaining tenants' streams byte-identical (so a scaling
+        sweep at 1k and 4k tenants serves the shared prefix the same)."""
+        big = {s.plan.tenant: s for s in build_streams(plans(6), SPEC,
+                                                       seed=7)}
+        small = {s.plan.tenant: s for s in build_streams(plans(3), SPEC,
+                                                         seed=7)}
+        for tenant, stream in small.items():
+            assert big[tenant].arrivals == stream.arrivals
+
+    def test_tenant_rng_is_keyed_not_shared(self):
+        assert tenant_rng(1, "a").random() != tenant_rng(1, "b").random()
+        assert tenant_rng(1, "a").random() == tenant_rng(1, "a").random()
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("pattern", ARRIVAL_PATTERNS)
+    def test_all_patterns_produce_sorted_in_horizon_arrivals(self,
+                                                             pattern):
+        spec = ArrivalSpec(pattern=pattern, rate_per_sec=2_000.0,
+                           horizon_s=0.02)
+        for stream in build_streams(plans(), spec, seed=5):
+            times = [t for t, _ in stream.arrivals]
+            assert times == sorted(times)
+            assert all(0 <= t < spec.horizon_cycles for t in times)
+            assert times        # 2k ops/s over 20 ms: ~40 expected
+
+    def test_bursty_is_burstier_than_poisson(self):
+        """Same mean rate: the MMPP's on-phase packs arrivals into a
+        fraction of the horizon, so its peak 1-ms window beats the
+        Poisson one across the fleet."""
+        def peak_window(spec):
+            peak = 0
+            for stream in build_streams(plans(8), spec, seed=11):
+                times = [t for t, _ in stream.arrivals]
+                for t in times:
+                    window = sum(1 for u in times
+                                 if t <= u < t + 10**6)
+                    peak = max(peak, window)
+            return peak
+        rate = 3_000.0
+        assert peak_window(ArrivalSpec("bursty", rate, 0.02)) \
+            > peak_window(ArrivalSpec("poisson", rate, 0.02))
+
+    def test_unknown_pattern_raises(self):
+        with pytest.raises(GatewayError, match="unknown arrival"):
+            build_streams(plans(), ArrivalSpec(pattern="lunar"), seed=0)
+
+
+class TestExploitSplicing:
+    def test_attacked_tenant_gets_exactly_one_exploit_op(self):
+        attacked_plans = plans(4, inject_cves=["CVE-2015-3456"])
+        streams = build_streams(attacked_plans, SPEC, seed=9)
+        for stream in streams:
+            exploits = [op for _, op in stream.arrivals
+                        if op.kind == "exploit"]
+            if stream.plan.attacked:
+                assert len(exploits) == 1
+                assert exploits[0].cve == stream.plan.attack_cve
+            else:
+                assert not exploits
+
+    def test_empty_stream_still_carries_the_exploit(self):
+        quiet = ArrivalSpec(pattern="poisson", rate_per_sec=0.001,
+                            horizon_s=0.001)
+        streams = build_streams(plans(4, inject_cves=["CVE-2015-3456"]),
+                                quiet, seed=1)
+        attacked = [s for s in streams if s.plan.attacked]
+        assert attacked
+        for stream in attacked:
+            assert any(op.kind == "exploit"
+                       for _, op in stream.arrivals)

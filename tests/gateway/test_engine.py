@@ -1,0 +1,175 @@
+"""Gateway event loop: conservation, coalescing, determinism,
+rebalancing, and inline/pool parity across shards."""
+
+import pytest
+
+from repro.errors import GatewayError, ReproError
+from repro.fleet import SpecRegistry
+from repro.fleet.loadgen import plan_tenants
+from repro.gateway import (
+    AdmissionConfig, ArrivalSpec, Gateway, GatewayConfig,
+    RebalanceAction,
+)
+from repro.telemetry.stats import gateway_rows
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("gw-spec-cache")
+    return SpecRegistry(cache_dir=str(cache))
+
+
+def gw_config(registry, **overrides):
+    base = dict(
+        shards=2, workers_per_shard=2, seed=3, inline=True,
+        cache_dir=registry.cache_dir,
+        arrival=ArrivalSpec(pattern="poisson", rate_per_sec=400.0,
+                            horizon_s=0.01))
+    base.update(overrides)
+    return GatewayConfig(**base)
+
+
+def fdc_plans(n=16, **kwargs):
+    return plan_tenants(["fdc"], n, **kwargs)
+
+
+class TestConservation:
+    def test_small_run_certifies_all_invariants(self, registry):
+        result = Gateway(gw_config(registry),
+                         registry=registry).run(fdc_plans())
+        assert result.safety_failures() == []
+        s = result.stats
+        assert s.offered > 0
+        assert s.offered == s.admitted + s.quota_rejected + s.queue_shed
+        assert s.latency_samples == s.admitted
+        assert result.fleet.requests == s.dispatched_ops
+        assert result.fleet.lost == 0
+
+    def test_stats_plane_matches_the_books(self, registry):
+        result = Gateway(gw_config(registry),
+                         registry=registry).run(fdc_plans())
+        rows = dict(gateway_rows(result.telemetry))
+        assert rows["gateway.admitted"] == result.stats.admitted
+        assert rows["gateway.dispatches"] == result.stats.dispatches
+        assert rows["gateway.slo_violations"] \
+            == result.stats.slo_violations
+
+    def test_tight_quota_sheds_but_stays_safe(self, registry):
+        config = gw_config(
+            registry,
+            arrival=ArrivalSpec(pattern="bursty", rate_per_sec=3_000.0,
+                                horizon_s=0.01),
+            admission=AdmissionConfig(quota_rate_per_sec=100.0,
+                                      quota_burst=2, queue_cap=2))
+        result = Gateway(config, registry=registry).run(fdc_plans(8))
+        assert result.stats.quota_rejected + result.stats.queue_shed > 0
+        assert result.safety_failures() == []
+
+    def test_runs_are_deterministic(self, registry):
+        fields = ("offered", "admitted", "quota_rejected", "queue_shed",
+                  "dispatches", "dispatched_ops", "makespan_cycles",
+                  "p50_latency_cycles", "p99_latency_cycles",
+                  "slo_violations")
+        a = Gateway(gw_config(registry), registry=registry).run(
+            fdc_plans())
+        b = Gateway(gw_config(registry), registry=registry).run(
+            fdc_plans())
+        assert [getattr(a.stats, f) for f in fields] \
+            == [getattr(b.stats, f) for f in fields]
+        assert a.fleet.detections == b.fleet.detections
+
+
+class TestCoalescing:
+    def test_backlog_coalesces_into_fewer_dispatches(self, registry):
+        config = gw_config(
+            registry, shards=1, workers_per_shard=1, coalesce_max=8,
+            arrival=ArrivalSpec(pattern="poisson",
+                                rate_per_sec=5_000.0, horizon_s=0.01))
+        result = Gateway(config, registry=registry).run(fdc_plans(4))
+        assert result.stats.coalesce_mean > 1.0
+        assert result.safety_failures() == []
+
+    def test_coalesce_max_one_means_singleton_batches(self, registry):
+        config = gw_config(
+            registry, shards=1, workers_per_shard=1, coalesce_max=1,
+            arrival=ArrivalSpec(pattern="poisson",
+                                rate_per_sec=5_000.0, horizon_s=0.01))
+        result = Gateway(config, registry=registry).run(fdc_plans(4))
+        assert result.stats.dispatches == result.stats.dispatched_ops
+        assert result.safety_failures() == []
+
+
+class TestRebalance:
+    def test_shard_add_moves_tenants_and_loses_nothing(self, registry):
+        plans = fdc_plans(24, inject_cves=["CVE-2015-3456"])
+        config = gw_config(registry)
+        mid = config.arrival.horizon_cycles // 2
+        result = Gateway(config, registry=registry).run(
+            plans, rebalances=[RebalanceAction(at_cycle=mid, add=(2,))])
+        assert result.stats.rebalances == 1
+        assert result.stats.moved_tenants > 0
+        assert all(dst == 2 for _, dst in result.moves.values())
+        assert result.fleet.lost == 0
+        assert result.fleet.duplicate_results == 0
+        assert result.fleet.detections >= 1
+        assert result.quarantined_tenants() == result.attacked_tenants()
+        assert result.safety_failures() == []
+
+    def test_shard_remove_drains_cleanly(self, registry):
+        config = gw_config(registry)
+        mid = config.arrival.horizon_cycles // 2
+        result = Gateway(config, registry=registry).run(
+            fdc_plans(24),
+            rebalances=[RebalanceAction(at_cycle=mid, remove=(1,))])
+        assert result.stats.moved_tenants > 0
+        assert all(dst == 0 for _, dst in result.moves.values())
+        assert result.fleet.lost == 0
+        assert result.safety_failures() == []
+
+
+class TestShardedParity:
+    def test_pool_matches_inline_byte_for_byte(self, registry):
+        """The sharded path preserves the supervisor's inline/pool
+        parity: identical admission books, identical deterministic
+        latency percentiles, identical security outcome."""
+        plans = fdc_plans(6, inject_cves=["CVE-2015-3456"])
+        arrival = ArrivalSpec(pattern="poisson", rate_per_sec=200.0,
+                              horizon_s=0.01)
+        inline = Gateway(gw_config(registry, arrival=arrival),
+                         registry=registry).run(plans)
+        pool = Gateway(gw_config(registry, arrival=arrival,
+                                 inline=False),
+                       registry=registry).run(plans)
+        for f in ("offered", "admitted", "dispatches", "dispatched_ops",
+                  "makespan_cycles", "p50_latency_cycles",
+                  "p95_latency_cycles", "p99_latency_cycles"):
+            assert getattr(inline.stats, f) == getattr(pool.stats, f), f
+        assert inline.fleet.detections == pool.fleet.detections
+        assert inline.fleet.completed == pool.fleet.completed
+        for tenant, summary in inline.tenants.items():
+            other = pool.tenants[tenant]
+            assert (summary.submitted, summary.completed,
+                    summary.detections, summary.quarantined) \
+                == (other.submitted, other.completed,
+                    other.detections, other.quarantined), tenant
+        assert pool.safety_failures() == []
+
+
+class TestValidation:
+    def test_bad_configs_rejected(self):
+        with pytest.raises(GatewayError):
+            Gateway(GatewayConfig(shards=0))
+        with pytest.raises(GatewayError):
+            Gateway(GatewayConfig(coalesce_max=0))
+
+    def test_reload_of_unknown_digest_rejected(self, registry):
+        gateway = Gateway(GatewayConfig(cache_dir=registry.cache_dir),
+                          registry=registry)
+        with pytest.raises(ReproError):
+            gateway.reload_spec("fdc", "no-such-digest")
+
+    def test_describe_mentions_the_slo(self, registry):
+        result = Gateway(gw_config(registry),
+                         registry=registry).run(fdc_plans(4))
+        text = result.stats.describe()
+        assert "SLO" in text and "coalesce" in text

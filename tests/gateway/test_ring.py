@@ -1,0 +1,69 @@
+"""Consistent-hash ring: determinism, coverage, minimal movement."""
+
+import pytest
+
+from repro.errors import GatewayError
+from repro.gateway import HashRing, moved_tenants
+
+TENANTS = [f"t{i:04d}" for i in range(400)]
+
+
+class TestLookup:
+    def test_placement_is_deterministic_across_instances(self):
+        a = HashRing(range(4))
+        b = HashRing(range(4))
+        assert [a.lookup(t) for t in TENANTS] \
+            == [b.lookup(t) for t in TENANTS]
+
+    def test_shard_order_does_not_matter(self):
+        a = HashRing([0, 1, 2, 3])
+        b = HashRing([3, 1, 0, 2])
+        assert [a.lookup(t) for t in TENANTS] \
+            == [b.lookup(t) for t in TENANTS]
+
+    def test_every_tenant_lands_on_a_real_shard(self):
+        ring = HashRing(range(3))
+        assert {ring.lookup(t) for t in TENANTS} <= set(ring.shards)
+
+    def test_vnodes_spread_load_across_all_shards(self):
+        ring = HashRing(range(4))
+        owners = {ring.lookup(t) for t in TENANTS}
+        assert owners == {0, 1, 2, 3}
+
+    def test_empty_ring_rejected(self):
+        with pytest.raises(GatewayError):
+            HashRing([])
+        with pytest.raises(GatewayError):
+            HashRing([0], vnodes=0)
+
+
+class TestRebalance:
+    def test_add_moves_only_to_the_new_shard(self):
+        old = HashRing(range(2))
+        new = old.with_shards(add=(2,))
+        moved = moved_tenants(old, new, TENANTS)
+        assert moved                        # something moved...
+        assert all(dst == 2 for _, dst in moved.values())
+        # ...but nowhere near everything: consistent hashing moves
+        # ~1/shards of the keys, full rehash would move ~2/3.
+        assert len(moved) < len(TENANTS) * 0.55
+
+    def test_remove_moves_exactly_the_dead_shards_tenants(self):
+        old = HashRing(range(3))
+        new = old.with_shards(remove=(1,))
+        moved = moved_tenants(old, new, TENANTS)
+        orphans = [t for t in TENANTS if old.lookup(t) == 1]
+        assert sorted(moved) == sorted(orphans)
+        assert all(dst != 1 for _, dst in moved.values())
+
+    def test_with_shards_leaves_the_original_untouched(self):
+        old = HashRing(range(2))
+        before = [old.lookup(t) for t in TENANTS]
+        old.with_shards(add=(5,), remove=(0,))
+        assert [old.lookup(t) for t in TENANTS] == before
+
+    def test_add_then_remove_round_trips(self):
+        base = HashRing(range(2))
+        there_and_back = base.with_shards(add=(2,)).with_shards(
+            remove=(2,))
+        assert not moved_tenants(base, there_and_back, TENANTS)

@@ -115,6 +115,105 @@ class TestMergePartition:
         assert forward.histograms == backward.histograms
 
 
+class _ScriptedClock:
+    """Deterministic clock for spans: advances only when told to."""
+
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+
+SPAN_BOUNDS = (1_000, 100_000, 10_000_000)
+
+# The gateway's stats plane merges N per-shard snapshots that mix plain
+# counters, latency histograms, and span timings.
+shard_event_strategy = st.one_of(
+    event_strategy,
+    st.tuples(st.just("span"),
+              st.sampled_from(["dispatch_ns", "drain_ns"]),
+              st.integers(0, 10**8)),
+)
+
+
+def apply_shard_events(recorder, clock, events):
+    apply_events(recorder, [e for e in events if e[0] != "span"])
+    for event in events:
+        if event[0] == "span":
+            _, name, duration = event
+            with recorder.span(name, bounds=SPAN_BOUNDS):
+                clock.now += duration
+
+
+class TestNShardMerge:
+    """The cross-shard stats plane is only sound if merging snapshots
+    is associative and order-insensitive — then it cannot matter how
+    many shards exist, which rebalance created them, or which one
+    reports first."""
+
+    @given(events=st.lists(shard_event_strategy, max_size=80),
+           assignment=st.lists(st.integers(0, 4), min_size=80,
+                               max_size=80),
+           order=st.permutations(list(range(5))),
+           split=st.integers(1, 4))
+    def test_any_grouping_any_order_same_merged_plane(self, events,
+                                                      assignment,
+                                                      order, split):
+        shards, clocks = [], []
+        for i in range(5):
+            clock = _ScriptedClock()
+            shards.append(Recorder(f"shard{i}", clock=clock))
+            clocks.append(clock)
+        for event, owner in zip(events, assignment):
+            apply_shard_events(shards[owner], clocks[owner], [event])
+        snaps = [r.snapshot() for r in shards]
+        flat = merge_snapshots(snaps)
+
+        # Order-insensitive: an arbitrary shard reporting order.
+        shuffled = merge_snapshots(snaps[i] for i in order)
+        assert shuffled.counters == flat.counters
+        assert shuffled.histograms == flat.histograms
+
+        # Associative: pre-merge arbitrary sub-groups (as a rebalanced
+        # fleet would, folding retired shards in early), then merge the
+        # partial merges.
+        groups = [snaps[i::split] for i in range(split)]
+        partials = [merge_snapshots(g) for g in groups if g]
+        regrouped = merge_snapshots(partials)
+        assert regrouped.counters == flat.counters
+        assert regrouped.histograms == flat.histograms
+
+    @given(events=st.lists(shard_event_strategy, max_size=60),
+           assignment=st.lists(st.integers(0, 2), min_size=60,
+                               max_size=60))
+    def test_merged_span_buckets_equal_one_recorder(self, events,
+                                                    assignment):
+        """Bucket-level check: per-shard span histograms merged across
+        shards carry the same bucket counts, totals, and extremes as a
+        single recorder that timed every span itself."""
+        whole_clock = _ScriptedClock()
+        whole = Recorder("whole", clock=whole_clock)
+        apply_shard_events(whole, whole_clock, events)
+        shards = []
+        clocks = []
+        for i in range(3):
+            clock = _ScriptedClock()
+            shards.append(Recorder(f"s{i}", clock=clock))
+            clocks.append(clock)
+        for event, owner in zip(events, assignment):
+            apply_shard_events(shards[owner], clocks[owner], [event])
+        merged = merge_snapshots(r.snapshot() for r in shards)
+        expected = whole.snapshot()
+        assert merged.counters == expected.counters
+        assert set(merged.histograms) == set(expected.histograms)
+        for key, hist in expected.histograms.items():
+            got = merged.histograms[key]
+            assert got.counts == hist.counts
+            assert (got.count, got.total, got.min, got.max) \
+                == (hist.count, hist.total, hist.min, hist.max)
+
+
 class TestSnapshotImmutability:
     @given(before=st.lists(event_strategy, max_size=40),
            after=st.lists(event_strategy, max_size=40))
