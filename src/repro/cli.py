@@ -5,6 +5,8 @@
     python -m repro train   --device fdc --out fdc.spec.json
     python -m repro inspect --spec fdc.spec.json [--dot out.dot]
     python -m repro exploit --cve CVE-2015-3456 [--protect]
+    python -m repro exploit --family oob-write [--device virtio-net]
+    python -m repro corpus  [--seed 11] [--out CORPUS.json]
     python -m repro tables  [--which 1|3]
     python -m repro devices
     python -m repro serve   --workers 2 --tenants 4 [--inject CVE-...]
@@ -83,7 +85,17 @@ def _cmd_exploit(args: argparse.Namespace) -> int:
     from repro.workloads import train_device_spec
     from repro.workloads.profiles import PROFILES
 
-    exploit = exploit_by_cve(args.cve)
+    if bool(args.cve) == bool(args.family):
+        print("exploit: need exactly one of --cve / --family",
+              file=sys.stderr)
+        return 2
+    if args.family:
+        return _run_family(args)
+    if args.cve.startswith("SYN:"):
+        from repro.exploits.corpus import resolve_attack
+        exploit = resolve_attack(args.cve)
+    else:
+        exploit = exploit_by_cve(args.cve)
     prof = PROFILES[exploit.device]
     vm, device = prof.make_vm(exploit.qemu_version,
                               backend=args.backend)
@@ -103,6 +115,84 @@ def _cmd_exploit(args: argparse.Namespace) -> int:
           f"({outcome.fault_kind or '-'})")
     return 0 if (outcome.detected == args.protect
                  or exploit.expected_miss) else 1
+
+
+def _run_family(args: argparse.Namespace) -> int:
+    """``exploit --family``: replay every corpus PoC of one vulnerability
+    family (optionally narrowed to one device), protected."""
+    from repro.exploits.corpus import (
+        FAMILIES, generate_corpus, poc_detected, run_corpus_poc,
+    )
+
+    if args.family not in FAMILIES:
+        print(f"unknown family {args.family!r} "
+              f"(choose from {', '.join(FAMILIES)})", file=sys.stderr)
+        return 2
+    devices = [args.device] if args.device else None
+    pocs = generate_corpus(seed=args.seed, devices=devices,
+                           families=[args.family])
+    failures = 0
+    for poc in pocs:
+        outcome = run_corpus_poc(poc, backend=args.backend)
+        ok = poc_detected(poc, outcome)
+        failures += not ok
+        strategies = sorted(s.value for s in outcome.anomaly_strategies)
+        print(f"{poc.poc_id}: detected={outcome.detected} "
+              f"{strategies} {'ok' if ok else 'MISS'}")
+    print(f"{len(pocs) - failures}/{len(pocs)} detected "
+          f"with the labeled strategy")
+    return 1 if failures else 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    """Generate the synthetic corpus and certify it: every PoC detected
+    on every backend with its ground-truth strategy, zero benign false
+    positives on multi-device mixes."""
+    import json
+
+    from repro.exploits.corpus import (
+        benign_mix_false_positives, corpus_summary, generate_corpus,
+        poc_detected, sweep_corpus,
+    )
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    mixes = args.benign_mix or ["virtio-net+virtio-blk"]
+    pocs = generate_corpus(seed=args.seed)
+    summary = corpus_summary(pocs)
+    print(f"corpus: {summary['total']} PoCs at seed {args.seed} "
+          f"({len(summary['by_device'])} devices, "
+          f"{len(summary['by_family'])} families)")
+    missed = []
+    for poc, backend, outcome in sweep_corpus(pocs, backends):
+        if not poc_detected(poc, outcome):
+            missed.append((poc.poc_id, backend))
+            print(f"  MISS {poc.poc_id} on {backend}: "
+                  f"detected={outcome.detected}")
+    print(f"detection matrix: "
+          f"{len(pocs) * len(backends) - len(missed)}/"
+          f"{len(pocs) * len(backends)} cells detected")
+    false_positives = {}
+    for mix in mixes:
+        for backend in backends:
+            false_positives[(mix, backend)] = benign_mix_false_positives(
+                device=mix, ops=args.benign_ops, backend=backend)
+    flagged = sum(false_positives.values())
+    print(f"benign mixes: {flagged} false positive(s) over "
+          f"{len(false_positives)} (mix, backend) runs")
+    if args.out:
+        payload = {
+            "seed": args.seed,
+            "backends": backends,
+            "summary": summary,
+            "missed": [f"{p}@{b}" for p, b in missed],
+            "benign_false_positives": {
+                f"{mix}@{backend}": count
+                for (mix, backend), count in false_positives.items()},
+        }
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 1 if (missed or flagged) else 0
 
 
 def _cmd_spec_diff(args: argparse.Namespace) -> int:
@@ -596,14 +686,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--function", help="restrict the DOT to one function")
     p.set_defaults(fn=_cmd_inspect)
 
-    p = sub.add_parser("exploit", help="run a CVE proof-of-concept")
-    p.add_argument("--cve", required=True)
+    p = sub.add_parser("exploit", help="run a CVE proof-of-concept or a "
+                                       "corpus vulnerability family")
+    p.add_argument("--cve", help="a seeded CVE or a SYN: corpus PoC id")
+    p.add_argument("--family",
+                   help="replay every corpus PoC of this family "
+                        "(oob-write, reentrancy, descriptor-loop, "
+                        "state-confusion) instead of one CVE")
+    p.add_argument("--device",
+                   help="with --family: restrict to one device")
+    p.add_argument("--seed", type=int, default=11,
+                   help="with --family: corpus generation seed")
     p.add_argument("--protect", action="store_true",
                    help="deploy SEDSpec (protection mode) first")
     p.add_argument("--backend", choices=("compiled", "reference", "bytecode"),
                    default="compiled",
                    help="execution backend for device and checker")
     p.set_defaults(fn=_cmd_exploit)
+
+    p = sub.add_parser(
+        "corpus", help="generate the synthetic vulnerability corpus and "
+                       "certify detection / zero benign false positives")
+    p.add_argument("--seed", type=int, default=11,
+                   help="corpus generation seed")
+    p.add_argument("--backends", default="reference,compiled,bytecode",
+                   help="comma-separated checker backends to sweep")
+    p.add_argument("--benign-mix", action="append", default=None,
+                   metavar="DEVICES",
+                   help="composite device name to drive benign "
+                        "(repeatable; default virtio-net+virtio-blk)")
+    p.add_argument("--benign-ops", type=int, default=40,
+                   help="benign requests per mix")
+    p.add_argument("--out", help="write a JSON certification report here")
+    p.set_defaults(fn=_cmd_corpus)
 
     p = sub.add_parser(
         "serve", help="run the fleet enforcement service over a "

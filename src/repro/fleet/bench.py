@@ -138,10 +138,29 @@ def run_fleet_bench(worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
             "scaling": scaling,
             "speedup_over_min_workers": speedups,
             "security": security,
+            "corpus": _corpus_provenance(),
         }
     finally:
         if owned_tmp is not None:
             owned_tmp.cleanup()
+
+
+def _corpus_provenance() -> Dict[str, object]:
+    """Counts of the synthetic vulnerability corpus at its pinned seed —
+    recorded alongside the fleet numbers so a benchmark payload names
+    the exact attack surface (devices x families x variants) the
+    security section's injectable ids were drawn from."""
+    from repro.exploits.corpus import (
+        DEFAULT_SEED, corpus_summary, generate_corpus,
+    )
+
+    summary = corpus_summary(generate_corpus())
+    return {
+        "seed": DEFAULT_SEED,
+        "total_pocs": summary["total"],
+        "by_device": summary["by_device"],
+        "by_family": summary["by_family"],
+    }
 
 
 def _seeded_exploit(device: str):

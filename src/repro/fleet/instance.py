@@ -30,7 +30,6 @@ from repro.checker import (
 )
 from repro.core import deploy
 from repro.errors import DecodeError, DeviceFault, InfraError, TraceError
-from repro.exploits import exploit_by_cve
 from repro.fleet.loadgen import OpRequest
 from repro.vm.machine import SEDSpecHalt
 from repro.spec import ExecutionSpec
@@ -58,12 +57,18 @@ class OpOutcome:
 
 
 class GuardedInstance:
+    """Guards one tenant.  ``device_name`` may be composite
+    (``"virtio-net+virtio-blk"``): the tenant then owns one guest VM with
+    every part attached, a per-part spec deployed in front of each, and a
+    *shared* quarantine verdict — a detection on any part fences the whole
+    tenant, exactly as terminating the QEMU process would."""
+
     def __init__(self, tenant: str, device_name: str, qemu_version: str,
-                 spec: ExecutionSpec, mode: Mode = Mode.PROTECTION,
+                 spec, mode: Mode = Mode.PROTECTION,
                  backend: str = "compiled",
                  degradation: Optional[DegradationConfig] = None,
                  injector=None):
-        from repro.workloads.profiles import PROFILES
+        from repro.workloads.profiles import profile
 
         self.tenant = tenant
         self.device_name = device_name
@@ -76,11 +81,16 @@ class GuardedInstance:
         #: epoch 0 is whatever the registry served at build time
         self.spec_epoch = 0
         self.spec_digest = ""
-        self.profile = PROFILES[device_name]
+        self.profile = profile(device_name)
         self.vm, self.device = self.profile.make_vm(qemu_version,
                                                     backend=backend)
-        self.attachment = deploy(self.vm, self.device, spec, mode=mode,
-                                 backend=backend)
+        specs = (spec if isinstance(spec, dict)
+                 else {self.device.NAME: spec})
+        self.attachments = {
+            part: deploy(self.vm, self.vm.devices[part], part_spec,
+                         mode=mode, backend=backend)
+            for part, part_spec in specs.items()}
+        self.attachment = self.attachments[self.device.NAME]
         self.driver = self.profile.make_driver(self.vm)
         self.profile.prepare(self.vm, self.driver)
         self.quarantined = False
@@ -114,10 +124,25 @@ class GuardedInstance:
         The guest VM, driver, recorded reports and quarantine state are
         untouched.
         """
-        self.attachment = deploy(self.vm, self.device, spec,
-                                 mode=self.mode, backend=self.backend)
+        specs = (spec if isinstance(spec, dict)
+                 else {self.device.NAME: spec})
+        for part, part_spec in specs.items():
+            self.attachments[part] = deploy(
+                self.vm, self.vm.devices[part], part_spec,
+                mode=self.mode, backend=self.backend)
+        self.attachment = self.attachments[self.device.NAME]
         self.spec_epoch = epoch
         self.spec_digest = digest
+
+    def _warning_counts(self) -> dict:
+        return {part: len(a.warnings)
+                for part, a in self.attachments.items()}
+
+    def _new_warning(self, before: dict) -> Optional[CheckReport]:
+        for part, attachment in self.attachments.items():
+            if len(attachment.warnings) > before.get(part, 0):
+                return attachment.warnings[-1]
+        return None
 
     def apply(self, op: OpRequest) -> OpOutcome:
         if self.quarantined:
@@ -128,7 +153,7 @@ class GuardedInstance:
         if gap is not None:
             return gap
         before = self.vm.stats.snapshot()
-        warned = len(self.attachment.warnings)
+        warned = self._warning_counts()
         if self._tracer is not None:
             self._tracer.clear()
         try:
@@ -146,10 +171,11 @@ class GuardedInstance:
         gap = self._post_execution_gap(op_key, before)
         if gap is not None:
             return gap
-        if len(self.attachment.warnings) > warned:
+        warning = self._new_warning(warned)
+        if warning is not None:
             # Enhancement mode warned-and-allowed: a detection on the
             # record, but the round completed and the tenant stays live.
-            report = portable_report(self.attachment.warnings[-1])
+            report = portable_report(warning)
             self.reports.append(report)
             return self._outcome("detected", before, report=report,
                                  detail=str(report.first_anomaly()))
@@ -201,15 +227,17 @@ class GuardedInstance:
         """Fail-open service: detach the checker for this op, execute,
         re-attach, resync the shadow device state."""
         before = self.vm.stats.snapshot()
-        attachment = self.vm.attachments.pop(self.device.NAME)
+        detached = {part: self.vm.attachments.pop(part)
+                    for part in self.attachments}
         try:
             self._run(op)
         except DeviceFault as fault:
             return self._outcome("fault", before,
                                  detail=f"{fault.kind}: {fault}")
         finally:
-            self.vm.attachments[self.device.NAME] = attachment
-            attachment.checker.resync(self.device.state)
+            for part, attachment in detached.items():
+                self.vm.attachments[part] = attachment
+                attachment.checker.resync(self.vm.devices[part].state)
         report = gap_report(op_key, self.degradation, reason)
         self.reports.append(report)
         return self._outcome("ok", before, report=report, detail=reason)
@@ -262,7 +290,12 @@ class GuardedInstance:
         import random
 
         if op.kind == "exploit":
-            exploit_by_cve(op.cve).run(self.vm, self.device)
+            from repro.exploits.corpus import resolve_attack
+            attack = resolve_attack(op.cve)
+            # Composite tenants: the PoC targets exactly one of the
+            # tenant's devices; the quarantine verdict is shared.
+            target = self.vm.devices.get(attack.device, self.device)
+            attack.run(self.vm, target)
         elif op.kind == "common":
             fn = self.profile.common_ops[op.index
                                          % len(self.profile.common_ops)]

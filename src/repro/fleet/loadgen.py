@@ -17,7 +17,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import WorkloadError
-from repro.exploits import EXPLOITS, exploit_by_cve
+from repro.exploits import EXPLOITS
 
 DEFAULT_QEMU_VERSION = "99.0.0"
 
@@ -79,11 +79,32 @@ class TenantPlan:
         return bool(self.attack_cve)
 
 
+def _device_parts(devices: Sequence[str]) -> set:
+    """Every concrete device hosted by *devices*, with composite
+    ``a+b`` tenant names expanded to their parts."""
+    parts = set()
+    for device in devices:
+        parts.update(p for p in device.split("+") if p)
+    return parts
+
+
 def detectable_cves(devices: Sequence[str]) -> List[str]:
-    """CVEs the fraction-based injector may draw from: hosted on one of
-    *devices* and not a documented miss (we inject to see detections)."""
-    return [e.cve for e in EXPLOITS
-            if e.device in devices and not e.expected_miss]
+    """Attack ids the fraction-based injector may draw from: hosted on
+    one of *devices* (composite names count each part) and not a
+    documented miss (we inject to see detections).  Devices with no
+    seeded real CVE — the virtio pair — contribute their synthetic
+    corpus PoC ids instead, so fraction injection and chaos campaigns
+    cover them through the same pathway."""
+    parts = _device_parts(devices)
+    picks = [e.cve for e in EXPLOITS
+             if e.device in parts and not e.expected_miss]
+    covered = {e.device for e in EXPLOITS}
+    uncovered = sorted(parts - covered)
+    if uncovered:
+        from repro.exploits.corpus import corpus_cve_ids
+        for device in uncovered:
+            picks.extend(corpus_cve_ids(device))
+    return picks
 
 
 def plan_tenants(devices: Sequence[str], tenants: int,
@@ -107,9 +128,11 @@ def plan_tenants(devices: Sequence[str], tenants: int,
     while len(attacks) < want and pool:
         attacks.append(pool.pop())
     for cve in attacks:
-        exploit = exploit_by_cve(cve)
+        from repro.exploits.corpus import resolve_attack
+        exploit = resolve_attack(cve)
         for i, plan in enumerate(plans):
-            if plan.device == exploit.device and not plan.attacked:
+            if (exploit.device in plan.device.split("+")
+                    and not plan.attacked):
                 plans[i] = replace(plan, attack_cve=cve,
                                    qemu_version=exploit.qemu_version)
                 break
@@ -124,10 +147,11 @@ def sample_benign_op(device: str, rng: random.Random) -> OpRequest:
     experiments use.  Shared by the closed-loop schedule builder and the
     gateway's open-loop arrival streams; draws exactly two values from
     *rng* (choice then seed), so extracting it preserved every existing
-    seeded schedule byte-for-byte."""
-    from repro.workloads.profiles import PROFILES
+    seeded schedule byte-for-byte.  Composite device names resolve to
+    the synthesized multi-device profile."""
+    from repro.workloads.profiles import profile
 
-    prof = PROFILES[device]
+    prof = profile(device)
     indices = range(len(prof.common_ops))
     index = rng.choices(indices, weights=prof.op_weights)[0]
     return OpRequest("common", index, rng.randrange(1 << 31))

@@ -217,9 +217,12 @@ class SpecRegistry:
 
     def prime(self, pairs: Iterable[Tuple[str, str]]) -> None:
         """Train/load every (device, qemu_version) pair up front, so
-        worker processes find a warm disk cache instead of retraining."""
+        worker processes find a warm disk cache instead of retraining.
+        Composite device names split into their parts here — the
+        registry itself stays strictly per-device."""
         for device_name, qemu_version in pairs:
-            self.get(device_name, qemu_version)
+            for part in device_name.split("+"):
+                self.get(part, qemu_version)
 
     def _load(self, device_name: str,
               qemu_version: str) -> Optional[ExecutionSpec]:

@@ -141,11 +141,19 @@ class FleetWorker:
     _shed_since_probe: Dict[str, int] = field(default_factory=dict)
 
     def _build(self, batch: RequestBatch) -> GuardedInstance:
+        from repro.workloads.profiles import split_device
+
         # A batch stamped with a generation digest builds straight at
         # that generation (fresh instances after a respawn must not
         # regress to the train-once spec mid-schedule).
+        parts = split_device(batch.device)
         if batch.spec_digest:
             spec = self.registry.spec_by_digest(batch.spec_digest)
+        elif len(parts) > 1:
+            # Composite tenant: the registry stays strictly per-device;
+            # the instance deploys one spec per part.
+            spec = {part: self.registry.get(part, batch.qemu_version)
+                    for part in parts}
         else:
             spec = self.registry.get(batch.device, batch.qemu_version)
         instance = GuardedInstance(batch.tenant, batch.device,

@@ -38,15 +38,21 @@ def substitute_expr(expr: Expr, func_name: str,
                     param_buffers: Set[str]) -> Expr:
     """Rewrite *expr* into the checker-evaluable form.
 
-    * locals backed by extern-call results -> ``sync(extern:func:name)``
-      (resolved by the sync oracle at runtime),
     * reads of control-structure fields outside the device state ->
       ``sync(field:name)`` (resolved from the live structure pre-I/O),
     * everything else passes through structurally.
+
+    Locals backed by extern-call results stay plain locals: the spec
+    constructor materializes one ``local = sync(extern:func:name)``
+    assignment at the extern call's *definition* site instead (see
+    ``build_spec``), so the walk pops exactly one speculated value per
+    device read.  Rewriting every *use* into its own sync var — the
+    obvious alternative — desynchronizes the harvest FIFO as soon as a
+    handler branches on the same extern byte twice (virtio descriptor
+    flags feed both the indirect-route and the chain-continuation
+    tests), halting benign rounds with spurious sync failures.
     """
     if isinstance(expr, Local):
-        if expr.name in sync_locals:
-            return SyncVar(f"extern:{func_name}:{expr.name}")
         return expr
     if isinstance(expr, StateRef):
         if expr.field not in param_fields:
@@ -223,6 +229,19 @@ def build_spec(program: Program, log: DeviceStateChangeLog,
             stmts_before += len(block.stmts)
             dsod: List[Stmt] = []
             for idx, stmt in enumerate(block.stmts):
+                if isinstance(stmt, ExternCall):
+                    target = stmt.defined_local()
+                    if target in slice_.sync_locals:
+                        # Data-dependency recovery (V-D): bind the
+                        # speculated extern result once, where the
+                        # device performs the read, so the sync
+                        # oracle's FIFO stays aligned however many
+                        # downstream sites use the local.
+                        dsod.append(Assign(
+                            target,
+                            SyncVar(f"extern:{func.name}:{target}"),
+                            lineno=stmt.lineno))
+                    continue
                 if not slice_.keeps(block.label, idx):
                     continue
                 rewritten = _subst_stmt(

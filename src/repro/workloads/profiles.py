@@ -25,9 +25,11 @@ from repro.vm.drivers.fdc import FDCDriver
 from repro.vm.drivers.pcnet import PCNetDriver
 from repro.vm.drivers.scsi import SCSIDriver
 from repro.vm.drivers.sdhci import SDHCIDriver
+from repro.vm.drivers.virtio import VirtioBlkDriver, VirtioNetDriver
 
 BASE_PORTS = {"fdc": 0x3F0, "pcnet": 0x300, "ehci": 0x400,
-              "sdhci": 0x500, "scsi": 0x600}
+              "sdhci": 0x500, "scsi": 0x600,
+              "virtio-net": 0x700, "virtio-blk": 0x800}
 
 #: Synthetic stand-ins for the paper's storage configurations: each
 #: "filesystem" writes its metadata at characteristic offsets/patterns.
@@ -360,6 +362,153 @@ def _scsi_rare_mode_sense(vm, driver, rng):
 
 
 # ---------------------------------------------------------------------------
+# virtio-net
+# ---------------------------------------------------------------------------
+
+def _vnet_prepare(vm: GuestVM, driver: VirtioNetDriver) -> None:
+    driver.bring_up()
+
+def _vnet_training(vm: GuestVM, device: Device,
+                   rng: random.Random) -> None:
+    driver = VirtioNetDriver(vm, BASE_PORTS["virtio-net"])
+    driver.negotiate()
+    driver.setup_queues()
+    # Queue-select probing, including the unbacked control queue slot.
+    driver._reg_read(1)
+    driver.select_queue(2, 0x5C00, 0)
+    driver.setup_queues()
+    # Premature delivery (no rx credit yet): guests race this across
+    # resets, so the error path must be in the spec.
+    driver.deliver_frame(bytes(40))
+    driver.read_isr()
+    driver.post_rx_buffers(2)
+    # Single-descriptor frames across the size range.
+    for size in (60, 128, 256, 512, 750, 1024):
+        header = bytes(rng.randrange(256) for _ in range(14))
+        driver.send_frame(header + bytes(size - 14))
+        driver.read_isr()
+    # Chained descriptors with varied splits.
+    for total in (120, 300, 600, 900):
+        payload = bytes(rng.randrange(256) for _ in range(total))
+        cut = rng.randrange(30, total - 30)
+        driver.send_frame(payload, chunks=[payload[:cut], payload[cut:]])
+    three = bytes(rng.randrange(256) for _ in range(720))
+    driver.send_frame(three, chunks=[three[:240], three[240:480],
+                                     three[480:]])
+    # Indirect sub-tables of 2..4 entries.
+    for nchunks in (2, 3, 4):
+        total = 180 * nchunks
+        payload = bytes(rng.randrange(256) for _ in range(total))
+        chunks = [payload[i * 180:(i + 1) * 180] for i in range(nchunks)]
+        driver.send_frame(payload, chunks=chunks, indirect=True)
+    # Receive path: deliver, drain, and over-drain (the drained branch).
+    for size in (40, 120, 256):
+        driver.post_rx_buffers()
+        driver.deliver_frame(bytes(rng.randrange(256) for _ in range(size)))
+        assert len(driver.read_frame(size)) == size
+    driver.read_frame(2)            # drained: reads return zero
+    driver.ctrl_ack()
+    driver.read_isr()
+
+def _vnet_tx(vm, driver, rng):
+    size = rng.choice((60, 120, 200, 250, 512))
+    driver.send_frame(bytes(rng.randrange(256) for _ in range(size)))
+
+def _vnet_tx_chained(vm, driver, rng):
+    size = rng.choice((200, 400, 600))
+    payload = bytes(rng.randrange(256) for _ in range(size))
+    half = size // 2
+    driver.send_frame(payload, chunks=[payload[:half], payload[half:]])
+
+def _vnet_tx_indirect(vm, driver, rng):
+    size = rng.choice((360, 540))
+    payload = bytes(size)
+    third = size // 3
+    driver.send_frame(payload, chunks=[payload[:third],
+                                       payload[third:2 * third],
+                                       payload[2 * third:]], indirect=True)
+
+def _vnet_rx(vm, driver, rng):
+    size = rng.choice((40, 120, 256))
+    driver.post_rx_buffers()
+    driver.deliver_frame(bytes(size))
+    driver.read_frame(size)
+
+def _vnet_status(vm, driver, rng):
+    driver.read_isr()
+
+def _vnet_rare_reset(vm, driver, rng):
+    driver._reg_write(0, 0)            # device reset: status back to 0
+
+
+# ---------------------------------------------------------------------------
+# virtio-blk
+# ---------------------------------------------------------------------------
+
+def _vblk_prepare(vm: GuestVM, driver: VirtioBlkDriver) -> None:
+    driver.bring_up()
+
+def _vblk_training(vm: GuestVM, device: Device,
+                   rng: random.Random) -> None:
+    driver = VirtioBlkDriver(vm, BASE_PORTS["virtio-blk"])
+    driver.negotiate()
+    driver.setup_queues()
+    driver._reg_read(1)
+    driver.select_queue(2, 0x7C00, 0)
+    driver.setup_queues()
+    driver.post_event_credit()
+    driver.read_capacity()
+    for layout in FILESYSTEM_LAYOUTS.values():
+        driver.write_blocks(layout["superblock_lba"],
+                            bytes([layout["fill"]]) * 512)
+    for count, chunked in ((1, False), (2, True), (1, True), (2, False)):
+        lba = rng.randrange(0, 40)
+        payload = bytes(rng.randrange(256) for _ in range(32)) \
+            * (16 * count)
+        if chunked:
+            half = len(payload) // 2
+            driver.write_blocks(lba, payload,
+                                chunks=[payload[:half], payload[half:]])
+        else:
+            driver.write_blocks(lba, payload)
+        assert driver.read_blocks(lba, min(len(payload), 1024)) \
+            == payload[:1024]
+        driver.read_isr()
+    # Indirect data sub-tables of 2..3 entries.
+    for nchunks in (2, 3):
+        lba = rng.randrange(0, 40)
+        total = 200 * nchunks
+        payload = bytes(rng.randrange(256) for _ in range(total))
+        chunks = [payload[i * 200:(i + 1) * 200] for i in range(nchunks)]
+        driver.write_blocks(lba, payload, chunks=chunks, indirect=True)
+    # Sub-sector read (metadata probe) and the ctrl register round trip.
+    driver.read_blocks(2, 96)
+    driver.ctrl_ack()
+    driver.read_isr()
+
+def _vblk_write(vm, driver, rng):
+    driver.write_blocks(rng.randrange(0, 40),
+                        bytes([rng.randrange(256)]) * 512)
+
+def _vblk_write_chained(vm, driver, rng):
+    payload = bytes([rng.randrange(256)]) * 1024
+    driver.write_blocks(rng.randrange(0, 40), payload,
+                        chunks=[payload[:512], payload[512:]])
+
+def _vblk_read(vm, driver, rng):
+    driver.read_blocks(rng.randrange(0, 40), rng.choice((96, 512, 1024)))
+
+def _vblk_status(vm, driver, rng):
+    driver.read_isr()
+
+def _vblk_capacity(vm, driver, rng):
+    driver.read_capacity()
+
+def _vblk_rare_reset(vm, driver, rng):
+    driver._reg_write(0, 0)
+
+
+# ---------------------------------------------------------------------------
 
 PROFILES: Dict[str, DeviceProfile] = {
     "fdc": DeviceProfile(
@@ -399,10 +548,48 @@ PROFILES: Dict[str, DeviceProfile] = {
         common_ops=[_scsi_write, _scsi_read, _scsi_tur, _scsi_inquiry],
         op_weights=[0.15, 0.15, 0.4, 0.3],
         rare_ops=[_scsi_rare_mode_sense]),
+    "virtio-net": DeviceProfile(
+        name="virtio-net", base_port=BASE_PORTS["virtio-net"],
+        kind="network",
+        make_driver=lambda vm: VirtioNetDriver(vm,
+                                               BASE_PORTS["virtio-net"]),
+        training=_vnet_training, prepare=_vnet_prepare,
+        common_ops=[_vnet_tx, _vnet_tx_chained, _vnet_tx_indirect,
+                    _vnet_rx, _vnet_status],
+        op_weights=[0.25, 0.15, 0.15, 0.2, 0.25],
+        rare_ops=[_vnet_rare_reset]),
+    "virtio-blk": DeviceProfile(
+        name="virtio-blk", base_port=BASE_PORTS["virtio-blk"],
+        kind="storage",
+        make_driver=lambda vm: VirtioBlkDriver(vm,
+                                               BASE_PORTS["virtio-blk"]),
+        training=_vblk_training, prepare=_vblk_prepare,
+        common_ops=[_vblk_write, _vblk_write_chained, _vblk_read,
+                    _vblk_status, _vblk_capacity],
+        op_weights=[0.2, 0.15, 0.2, 0.25, 0.2],
+        rare_ops=[_vblk_rare_reset]),
 }
 
 
+def split_device(name: str) -> Tuple[str, ...]:
+    """``"fdc+virtio-net"`` → ``("fdc", "virtio-net")``.
+
+    Composite names describe one *guest* driving several guarded devices;
+    they never reach the device registry or the spec store, which remain
+    strictly per-device."""
+    return tuple(part for part in name.split("+") if part)
+
+
+def is_composite(name: str) -> bool:
+    return "+" in name
+
+
 def profile(name: str) -> DeviceProfile:
+    """Resolve a profile; composite ``a+b`` names synthesize (and cache)
+    a multi-device profile that interleaves the parts' workloads."""
+    if is_composite(name):
+        from repro.workloads.multidevice import composite_profile
+        return composite_profile(name)
     return PROFILES[name]
 
 

@@ -21,7 +21,8 @@ from repro.exploits.pocs import EXPLOITS, run_exploit
 from repro.vm.machine import SEDSpecHalt
 from repro.workloads.profiles import PROFILES, train_device_spec
 
-ALL_DEVICES = ("fdc", "ehci", "pcnet", "sdhci", "scsi")
+ALL_DEVICES = ("fdc", "ehci", "pcnet", "sdhci", "scsi",
+               "virtio-net", "virtio-blk")
 BACKENDS = ("reference", "compiled", "bytecode")
 FAST_BACKENDS = ("compiled", "bytecode")
 

@@ -24,6 +24,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.analysis import ObservationLogger, select_parameters
 from repro.checker import ESChecker
+from repro.checker.sync import ExternHarvestSink, QueueSyncOracle
 from repro.compiler import DeviceLogic, arr, compile_device, fld
 from repro.interp import Machine
 from repro.spec import build_spec
@@ -33,16 +34,32 @@ BINOPS = ("+", "-", "&", "|", "^")
 CMPS = ("<", "<=", "==", "!=", ">", ">=")
 
 
+def _bind_peek(machine):
+    """The deterministic host read generated devices may call."""
+    machine.bind_extern("peek", lambda m, v: (v * 37 + 11) & 0xFF,
+                        cost=3)
+    return machine
+
+
 @st.composite
 def device_classes(draw):
     """A random DeviceLogic subclass, returned as ``(cls, source)`` —
-    ``compile_device`` needs the source text for exec'd classes."""
+    ``compile_device`` needs the source text for exec'd classes.
+
+    When Hypothesis opts in to the extern, the handler binds one host
+    read into a local up front and the grammar may use that local any
+    number of times — including in several branch conditions, the
+    virtio descriptor-walk shape that forces the spec's sync-FIFO to
+    stay aligned with the device's read count."""
     nfields = draw(st.integers(min_value=2, max_value=4))
     names = [f"f{i}" for i in range(nfields)]
     widths = [draw(st.sampled_from(WIDTHS)) for _ in names]
+    use_extern = draw(st.booleans())
 
     def expr(depth=0):
         kinds = ["const", "field", "value"]
+        if use_extern:
+            kinds.append("extern_local")
         if depth < 2:
             kinds.append("binop")
         kind = draw(st.sampled_from(kinds))
@@ -52,6 +69,8 @@ def device_classes(draw):
             return f"self.{draw(st.sampled_from(names))}"
         if kind == "value":
             return "value"
+        if kind == "extern_local":
+            return "t0"
         op = draw(st.sampled_from(BINOPS))
         return f"({expr(depth + 1)} {op} {expr(depth + 1)})"
 
@@ -74,6 +93,8 @@ def device_classes(draw):
         return lines
 
     body = []
+    if use_extern:
+        body.append("        t0 = peek(value)")
     for _ in range(draw(st.integers(min_value=1, max_value=4))):
         body += stmt(2)
 
@@ -85,7 +106,7 @@ def device_classes(draw):
         "    STRUCT = 'GenCtrl'",
         f"    FIELDS = ({field_decls}, arr('buf', 'u8', 4),)",
         "    CONSTS = {}",
-        "    EXTERNS = ()",
+        f"    EXTERNS = {('peek',) if use_extern else ()!r}",
         "    ENTRIES = {'pmio:write:0': 'write_a',",
         "               'pmio:read:0': 'read_s'}",
         "",
@@ -116,22 +137,25 @@ class TestInterpreterParity:
     @settings(max_examples=25, deadline=None,
               suppress_health_check=[HealthCheck.too_slow])
     @given(device_classes(), script_strategy)
-    def test_bytecode_machine_matches_reference(self, logic, script):
+    def test_fast_machines_match_reference(self, logic, script):
         cls, source = logic
         program = compile_device(cls, source=source)
-        machines = {name: Machine(program, backend=name)
-                    for name in ("reference", "bytecode")}
+        machines = {name: _bind_peek(Machine(program, backend=name))
+                    for name in ("reference", "compiled", "bytecode")}
         for value in script:
             results = {name: m.run_entry("pmio:write:0", (value,))
                        for name, m in machines.items()}
-            assert results["bytecode"] == results["reference"]
             reads = {name: m.run_entry("pmio:read:0", ())
                      for name, m in machines.items()}
-            assert reads["bytecode"] == reads["reference"]
-        ref, byt = machines["reference"], machines["bytecode"]
-        assert bytes(byt.state.data) == bytes(ref.state.data)
-        assert byt.cycles == ref.cycles
-        assert byt.steps == ref.steps
+            for name in ("compiled", "bytecode"):
+                assert results[name] == results["reference"]
+                assert reads[name] == reads["reference"]
+        ref = machines["reference"]
+        for name in ("compiled", "bytecode"):
+            fast = machines[name]
+            assert bytes(fast.state.data) == bytes(ref.state.data)
+            assert fast.cycles == ref.cycles
+            assert fast.steps == ref.steps
 
 
 class TestCheckerParity:
@@ -143,7 +167,7 @@ class TestCheckerParity:
         cls, source = logic
         program = compile_device(cls, source=source)
 
-        machine = Machine(program)
+        machine = _bind_peek(Machine(program))
         selection = select_parameters(program)
         logger = machine.add_sink(ObservationLogger(
             "gen", selection.scalar_params | selection.funcptrs,
@@ -154,11 +178,24 @@ class TestCheckerParity:
         spec = build_spec(program, logger.log, selection)
 
         checkers = {}
-        for name in ("reference", "bytecode"):
+        for name in ("reference", "compiled", "bytecode"):
             seed = Machine(program)
             checker = ESChecker(spec, backend=name)
             checker.boot_sync(seed.state)
             checkers[name] = checker
+
+        # Each probe is first run on a live device machine with a
+        # harvest sink — exactly the runtime's co-execution scheme — so
+        # checkers resolve extern sync vars from the same FIFO the
+        # device produced.  Every checker gets its own copy of the
+        # harvest (resolving pops).
+        device = _bind_peek(Machine(program))
+        harvest = device.add_sink(ExternHarvestSink())
+
+        def oracles():
+            import copy
+            return {name: QueueSyncOracle(copy.deepcopy(harvest.queues))
+                    for name in checkers}
 
         # Benign replay, then the injected faults: values far outside
         # the trained distribution (conditional-jump anomalies, or
@@ -169,12 +206,21 @@ class TestCheckerParity:
         probes += [("pmio:write:0", (v,)) for v in faults]
         probes += [("pmio:write:7", (1,))]
         for key, args in probes:
-            reports = {name: checker.check_io(key, args)
+            harvest.queues.clear()
+            try:
+                device.run_entry(key, args)
+            except Exception:
+                pass        # unknown key / device fault: empty harvest
+            per_checker = oracles()
+            reports = {name: checker.check_io(key, args,
+                                              oracle=per_checker[name])
                        for name, checker in checkers.items()}
-            assert reports["bytecode"] == reports["reference"], (
-                key, args)
-            assert (reports["bytecode"].final_state
-                    == reports["reference"].final_state)
-        ref, byt = checkers["reference"], checkers["bytecode"]
-        assert byt.cycles == ref.cycles
-        assert byt.device_state.dump() == ref.device_state.dump()
+            for name in ("compiled", "bytecode"):
+                assert reports[name] == reports["reference"], (key, args)
+                assert (reports[name].final_state
+                        == reports["reference"].final_state)
+        ref = checkers["reference"]
+        for name in ("compiled", "bytecode"):
+            assert checkers[name].cycles == ref.cycles
+            assert (checkers[name].device_state.dump()
+                    == ref.device_state.dump())

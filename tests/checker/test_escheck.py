@@ -15,18 +15,13 @@ from repro.errors import DeviceFault
 from repro.interp import Machine
 from repro.spec import build_spec
 
-from tests.toydev import ToyLogic
+from tests.toydev import ToyLogic, make_toy_machine
 
 CMD = ToyLogic.CONSTS
 
 
 def make_machine(vuln=False):
-    overrides = {"VULN_UNCHECKED_PUSH": 1} if vuln else None
-    program = compile_device(ToyLogic, const_overrides=overrides)
-    machine = Machine(program)
-    machine.bind_extern("host_log", lambda m, level: None)
-    machine.set_funcptr("irq", "on_irq")
-    return machine
+    return make_toy_machine(vuln=vuln)
 
 
 BENIGN = (

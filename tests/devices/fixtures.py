@@ -1,0 +1,78 @@
+"""Shared device-fixture helpers for the test suite.
+
+Every device test module used to grow its own ``make_<device>()`` helper
+(GuestVM + attach + driver + bring-up), so adding a device class meant
+touching half a dozen files.  New device models register here once; test
+modules call :func:`make_device` (or keep a thin local alias for
+readability) and stay oblivious to bus type, base address, and bring-up
+protocol.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.devices.ehci import EHCI
+from repro.devices.fdc import FDC
+from repro.devices.pcnet import PCNet
+from repro.devices.scsi import SCSI
+from repro.devices.sdhci import SDHCI
+from repro.devices.virtio import VirtioBlk, VirtioNet
+from repro.vm import GuestVM
+from repro.vm.drivers.ehci import EHCIDriver
+from repro.vm.drivers.fdc import FDCDriver
+from repro.vm.drivers.pcnet import PCNetDriver
+from repro.vm.drivers.scsi import SCSIDriver
+from repro.vm.drivers.sdhci import SDHCIDriver
+from repro.vm.drivers.virtio import VirtioBlkDriver, VirtioNetDriver
+
+
+@dataclass(frozen=True)
+class DeviceFixture:
+    """One registered device model: how to build and bring it up."""
+
+    device_cls: type
+    base: int
+    bus: str                                # "pmio" | "mmio"
+    make_driver: Callable[[GuestVM], object]
+    bring_up: Callable[[object], None]
+
+
+DEVICE_FIXTURES: Dict[str, DeviceFixture] = {
+    "fdc": DeviceFixture(
+        FDC, 0x3F0, "pmio", lambda vm: FDCDriver(vm),
+        lambda drv: drv.controller_reset()),
+    "pcnet": DeviceFixture(
+        PCNet, 0x300, "pmio", lambda vm: PCNetDriver(vm),
+        lambda drv: drv.init_rings()),
+    "ehci": DeviceFixture(
+        EHCI, 0x400, "mmio", lambda vm: EHCIDriver(vm),
+        lambda drv: drv.start_controller()),
+    "sdhci": DeviceFixture(
+        SDHCI, 0x500, "pmio", lambda vm: SDHCIDriver(vm),
+        lambda drv: drv.reset_card()),
+    "scsi": DeviceFixture(
+        SCSI, 0x600, "pmio", lambda vm: SCSIDriver(vm),
+        lambda drv: drv.reset()),
+    "virtio-net": DeviceFixture(
+        VirtioNet, 0x700, "pmio", lambda vm: VirtioNetDriver(vm, 0x700),
+        lambda drv: drv.bring_up()),
+    "virtio-blk": DeviceFixture(
+        VirtioBlk, 0x800, "pmio", lambda vm: VirtioBlkDriver(vm, 0x800),
+        lambda drv: drv.bring_up()),
+}
+
+
+def make_device(name: str, version: str = "99.0.0",
+                bring_up: bool = True) -> Tuple[GuestVM, object, object]:
+    """Build ``(vm, device, driver)`` for a registered device model."""
+    fixture = DEVICE_FIXTURES[name]
+    vm = GuestVM()
+    device = fixture.device_cls(qemu_version=version)
+    if fixture.bus == "mmio":
+        vm.attach_mmio_device(device, fixture.base)
+    else:
+        vm.attach_device(device, fixture.base)
+    driver = fixture.make_driver(vm)
+    if bring_up:
+        fixture.bring_up(driver)
+    return vm, device, driver

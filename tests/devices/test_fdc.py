@@ -4,16 +4,11 @@ import pytest
 
 from repro.devices.fdc import FDC, SECTOR_LEN
 from repro.errors import DeviceFault, GuestError
-from repro.vm import GuestVM
-from repro.vm.drivers.fdc import FDCDriver
+from tests.devices.fixtures import make_device
 
 
 def make(version="99.0.0"):
-    vm = GuestVM()
-    fdc = vm.attach_device(FDC(qemu_version=version), 0x3F0)
-    driver = FDCDriver(vm)
-    driver.controller_reset()
-    return vm, fdc, driver
+    return make_device("fdc", version)
 
 
 class TestBasicProtocol:

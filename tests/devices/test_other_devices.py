@@ -3,24 +3,14 @@
 import pytest
 
 from repro.devices import create_device, device_names
-from repro.devices.ehci import EHCI
-from repro.devices.pcnet import CSR_RCVRL, PCNet
-from repro.devices.scsi import SCSI
-from repro.devices.sdhci import SDHCI
+from repro.devices.pcnet import CSR_RCVRL
 from repro.errors import DeviceFault
-from repro.vm import GuestVM
-from repro.vm.drivers.ehci import EHCIDriver
-from repro.vm.drivers.pcnet import PCNetDriver, RX_RING
-from repro.vm.drivers.scsi import SCSIDriver
-from repro.vm.drivers.sdhci import SDHCIDriver
+from repro.vm.drivers.pcnet import RX_RING
+from tests.devices.fixtures import make_device
 
 
 def make_pcnet(version="99.0.0"):
-    vm = GuestVM()
-    nic = vm.attach_device(PCNet(qemu_version=version), 0x300)
-    driver = PCNetDriver(vm)
-    driver.init_rings()
-    return vm, nic, driver
+    return make_device("pcnet", version)
 
 
 class TestPCNet:
@@ -83,11 +73,7 @@ class TestPCNet:
 
 
 def make_ehci(version="99.0.0"):
-    vm = GuestVM()
-    usb = vm.attach_mmio_device(EHCI(qemu_version=version), 0x400)
-    driver = EHCIDriver(vm)
-    driver.start_controller()
-    return vm, usb, driver
+    return make_device("ehci", version)
 
 
 class TestEHCI:
@@ -121,11 +107,7 @@ class TestEHCI:
 
 
 def make_sdhci(version="99.0.0"):
-    vm = GuestVM()
-    sd = vm.attach_device(SDHCI(qemu_version=version), 0x500)
-    driver = SDHCIDriver(vm)
-    driver.reset_card()
-    return vm, sd, driver
+    return make_device("sdhci", version)
 
 
 class TestSDHCI:
@@ -174,11 +156,7 @@ class TestSDHCI:
 
 
 def make_scsi(version="99.0.0"):
-    vm = GuestVM()
-    scsi = vm.attach_device(SCSI(qemu_version=version), 0x600)
-    driver = SCSIDriver(vm)
-    driver.reset()
-    return vm, scsi, driver
+    return make_device("scsi", version)
 
 
 class TestSCSI:
@@ -230,9 +208,9 @@ class TestSCSI:
 
 
 class TestRegistry:
-    def test_all_five_registered(self):
+    def test_all_seven_registered(self):
         assert set(device_names()) == {"fdc", "pcnet", "ehci", "sdhci",
-                                       "scsi"}
+                                       "scsi", "virtio-net", "virtio-blk"}
 
     def test_create_by_name(self):
         dev = create_device("sdhci", qemu_version="5.2.0")

@@ -1,0 +1,158 @@
+"""Multi-device tenants through the fleet and gateway: one guest VM with
+several guarded devices, per-device specs, one shared quarantine verdict.
+
+The corpus supplies the attacks (``SYN:`` ids regenerate deterministically
+inside pool workers), so these tests also pin the cross-process story:
+a composite tenant's batches carry the composite name, the registry stays
+strictly per-device, and a detection on one part fences the whole tenant.
+"""
+
+import pytest
+
+from repro.fleet import (
+    FleetConfig, FleetSupervisor, OpRequest, SpecRegistry, build_load,
+    plan_tenants,
+)
+from repro.gateway import ArrivalSpec, Gateway, GatewayConfig
+
+PAIR = "virtio-net+virtio-blk"
+BLK_ATTACK = "SYN:virtio-blk:oob-write:s11:v0"
+
+STAT_FIELDS = (
+    "workers", "requests", "completed", "rejected", "faults", "lost",
+    "detections", "quarantined_instances", "duplicate_results",
+    "trace_gaps", "infra_failures", "shed", "circuit_opens",
+    "watchdog_kills", "spec_reloads", "io_rounds", "total_cycles",
+    "makespan_cycles", "latency_samples", "p50_request_cycles",
+    "p95_request_cycles", "p99_request_cycles",
+)
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    """Disk-backed so the virtio pair trains once per (part, version)
+    and pool workers share the artifacts."""
+    cache = tmp_path_factory.mktemp("multidev-spec-cache")
+    return SpecRegistry(cache_dir=str(cache))
+
+
+def supervisor(registry, inline=True, workers=2):
+    return FleetSupervisor(
+        FleetConfig(workers=workers, inline=inline,
+                    cache_dir=registry.cache_dir), registry)
+
+
+class TestGuardedInstance:
+    def test_composite_tenant_guards_every_part(self, registry):
+        from repro.fleet.instance import GuardedInstance
+
+        specs = {part: registry.get(part, "99.0.0")
+                 for part in ("virtio-net", "virtio-blk")}
+        inst = GuardedInstance("t0", PAIR, "99.0.0", specs)
+        assert set(inst.attachments) == {"virtio-net", "virtio-blk"}
+        assert set(inst.vm.devices) == {"virtio-net", "virtio-blk"}
+        for index in range(4):
+            outcome = inst.apply(OpRequest("common", index=index,
+                                           seed=index))
+            assert outcome.status == "ok", outcome.detail
+        assert not inst.quarantined
+
+    def test_attack_on_one_part_fences_the_whole_tenant(self, registry):
+        from repro.fleet.instance import GuardedInstance
+
+        specs = {part: registry.get(part, "7.0.0")
+                 for part in ("virtio-net", "virtio-blk")}
+        inst = GuardedInstance("t0", PAIR, "7.0.0", specs)
+        # Benign traffic against both parts first.
+        assert inst.apply(OpRequest("common", index=0, seed=1)).status \
+            == "ok"
+        outcome = inst.apply(OpRequest("exploit", cve=BLK_ATTACK))
+        assert outcome.status == "detected"
+        assert outcome.quarantined
+        assert inst.quarantined
+        # The net part never misbehaved, but the tenant shares one
+        # verdict — its next op is rejected, exactly as terminating the
+        # QEMU process would reject it.
+        after = inst.apply(OpRequest("common", index=0, seed=2))
+        assert after.status == "rejected"
+
+
+class TestFleetQuarantine:
+    def test_exact_tenant_quarantine_in_composite_fleet(self, registry):
+        plans, schedule = build_load(
+            [PAIR], 3, 3, 2, inject_cves=[BLK_ATTACK], seed=7)
+        result = supervisor(registry).run(schedule, plans)
+        attacked = result.attacked_tenants()
+        assert len(attacked) == 1
+        assert result.quarantined_tenants() == attacked
+        assert result.stats.detections >= 1
+        assert result.stats.lost == 0
+        # Only one of the tenant's two devices was attacked; the shared
+        # verdict still fenced the tenant and nobody else.
+        for tenant, summary in result.tenants.items():
+            if tenant in attacked:
+                assert summary.rejected > 0
+                assert summary.completed + summary.rejected \
+                    == summary.submitted
+            else:
+                assert summary.completed == summary.submitted
+                assert summary.rejected == 0
+
+    def test_mixed_fleet_serves_legacy_and_composite_tenants(
+            self, registry):
+        plans, schedule = build_load([PAIR, "fdc"], 4, 2, 2, seed=5)
+        result = supervisor(registry).run(schedule, plans)
+        stats = result.stats
+        assert stats.requests == stats.completed == 16
+        assert stats.detections == stats.quarantined_instances == 0
+        assert stats.lost == 0
+
+    @pytest.mark.parametrize("inline", [True, False],
+                             ids=["inline", "pool"])
+    def test_session_parity_with_composite_tenants(self, registry,
+                                                   inline):
+        """The streaming facade and run() must agree stat-for-stat on a
+        composite load — in pool mode this also proves SYN PoC ids
+        regenerate identically inside worker processes."""
+        plans, schedule = build_load(
+            [PAIR], 2, 2, 2, inject_cves=[BLK_ATTACK], seed=9)
+        batch = supervisor(registry, inline).run(schedule, plans)
+        session = supervisor(registry, inline).session()
+        for b in schedule:
+            session.submit(b)
+        streamed = session.close(plans)
+        for f in STAT_FIELDS:
+            assert getattr(streamed.stats, f) \
+                == getattr(batch.stats, f), f
+        assert streamed.tenants == batch.tenants
+        assert batch.quarantined_tenants() == batch.attacked_tenants()
+
+
+class TestGatewayMultiDevice:
+    def gw_config(self, registry, **overrides):
+        base = dict(
+            shards=2, workers_per_shard=2, seed=3, inline=True,
+            cache_dir=registry.cache_dir,
+            arrival=ArrivalSpec(pattern="poisson", rate_per_sec=400.0,
+                                horizon_s=0.01))
+        base.update(overrides)
+        return GatewayConfig(**base)
+
+    def test_conservation_over_composite_tenants(self, registry):
+        plans = plan_tenants([PAIR], 6)
+        result = Gateway(self.gw_config(registry),
+                         registry=registry).run(plans)
+        assert result.safety_failures() == []
+        s = result.stats
+        assert s.offered > 0
+        assert s.offered == s.admitted + s.quota_rejected + s.queue_shed
+        assert result.fleet.requests == s.dispatched_ops
+        assert result.fleet.lost == 0
+
+    def test_admitted_attack_quarantines_only_its_tenant(self, registry):
+        plans = plan_tenants([PAIR], 4, inject_cves=[BLK_ATTACK])
+        result = Gateway(self.gw_config(registry),
+                         registry=registry).run(plans)
+        assert result.safety_failures() == []
+        if result.fleet.detections:
+            assert result.quarantined_tenants() == result.attacked_tenants()

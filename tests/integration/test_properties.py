@@ -18,7 +18,7 @@ from repro.interp import Machine, TraceSink
 from repro.ipt import Decoder, IPTTracer
 from repro.spec import build_spec
 
-from tests.toydev import ToyLogic
+from tests.toydev import ToyLogic, make_toy_machine
 
 CMD = ToyLogic.CONSTS
 
@@ -30,11 +30,7 @@ op_strategy = st.lists(
 
 
 def make_machine():
-    program = compile_device(ToyLogic)
-    machine = Machine(program)
-    machine.bind_extern("host_log", lambda m, level: None)
-    machine.set_funcptr("irq", "on_irq")
-    return machine
+    return make_toy_machine()
 
 
 def drive(machine, script, sinks_cb=None):

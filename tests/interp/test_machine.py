@@ -7,16 +7,11 @@ from repro.compiler import compile_device
 from repro.errors import DeviceFault, InterpError
 from repro.interp import CoverageSink, Machine, TraceSink, eval_binop
 
-from tests.toydev import ToyLogic
+from tests.toydev import ToyLogic, make_toy_machine
 
 
 def make_machine(vuln=False):
-    overrides = {"VULN_UNCHECKED_PUSH": 1} if vuln else None
-    program = compile_device(ToyLogic, const_overrides=overrides)
-    machine = Machine(program)
-    machine.bind_extern("host_log", lambda m, level: None, cost=2)
-    machine.set_funcptr("irq", "on_irq")
-    return machine
+    return make_toy_machine(vuln=vuln, extern_cost=2)
 
 
 class TestBasicExecution:

@@ -83,3 +83,24 @@ class ToyLogic(DeviceLogic):
         self.count -= 1
         value = self.fifo[self.pos]
         return value
+
+
+def make_toy_machine(vuln=False, extern_cost=None, backend="compiled"):
+    """The canonical ToyLogic machine: compiled with or without the
+    vulnerable push path, ``host_log`` bound to a no-op, and the IRQ
+    function pointer seeded.  Formerly copy-pasted (with slight drift)
+    across the interp, checker, spec, telemetry, and integration
+    suites — shared so device-harness changes land in one place."""
+    from repro.compiler import compile_device
+    from repro.interp import Machine
+
+    overrides = {"VULN_UNCHECKED_PUSH": 1} if vuln else None
+    program = compile_device(ToyLogic, const_overrides=overrides)
+    machine = Machine(program, backend=backend)
+    if extern_cost is None:
+        machine.bind_extern("host_log", lambda m, level: None)
+    else:
+        machine.bind_extern("host_log", lambda m, level: None,
+                            cost=extern_cost)
+    machine.set_funcptr("irq", "on_irq")
+    return machine
