@@ -82,6 +82,11 @@ class CheckReport:
     #: report records it so an audit can tell fail-open allows apart from
     #: genuinely vetted ones
     policy: str = ""
+    #: resolved tenant-policy id and generation (policy hot-reload epoch)
+    #: in force when this report was produced, stamped by the fleet
+    #: worker exactly as ``policy`` stamps the degradation mode
+    policy_id: str = ""
+    policy_generation: int = 0
     #: the enforcement machinery lost (part of) this round: the report is
     #: an infrastructure outcome, not a security one
     trace_gap: bool = False

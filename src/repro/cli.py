@@ -21,6 +21,11 @@
     python -m repro spec promote --cache DIR --device fdc --candidate c.spec.json
     python -m repro spec reload  --cache DIR --device fdc [--digest PREFIX]
     python -m repro spec smoke   [--quick] [--out SMOKE_lifecycle.json]
+    python -m repro policy show   [--file policy.json] [--tenant T]
+    python -m repro policy apply  --file policy.json --cache DIR
+    python -m repro policy reload --file policy.json [--tenants 4]
+    python -m repro migrate [--backends reference,compiled,bytecode] \
+                            [--out MIGRATION.json]
 """
 
 from __future__ import annotations
@@ -229,10 +234,15 @@ def _serve_gateway(args: argparse.Namespace) -> int:
     from repro.fleet.loadgen import plan_tenants
     from repro.gateway import (
         AdmissionConfig, ArrivalSpec, Gateway, GatewayConfig,
-        RebalanceAction,
+        PolicyReloadAction, RebalanceAction,
     )
     from repro.telemetry.stats import gateway_rows
 
+    policies = None
+    if args.policy:
+        policies = _load_policies(args.policy)
+        if policies is None:
+            return 2
     devices = args.devices.split(",")
     plans = plan_tenants(devices, args.tenants, inject_cves=args.inject,
                          inject_fraction=args.inject_fraction,
@@ -253,14 +263,29 @@ def _serve_gateway(args: argparse.Namespace) -> int:
                                   quota_burst=args.quota_burst,
                                   queue_cap=args.queue_cap),
         arrival=arrival, inline=args.inline, backend=args.backend,
-        mode=Mode(args.mode), cache_dir=cache_dir)
+        mode=Mode(args.mode), cache_dir=cache_dir, policies=policies)
     rebalances = []
     if args.rebalance_at is not None:
         rebalances.append(RebalanceAction(
             at_cycle=int(args.rebalance_at * arrival.horizon_cycles),
             add=(args.shards,)))
+    policy_reloads = []
+    if args.policy_reload_at is not None:
+        reload_file = args.policy_reload or args.policy
+        if reload_file is None:
+            print("serve: --policy-reload-at needs --policy-reload "
+                  "(or --policy) naming the document to hot-load",
+                  file=sys.stderr)
+            return 2
+        reloaded = _load_policies(reload_file)
+        if reloaded is None:
+            return 2
+        policy_reloads.append(PolicyReloadAction(
+            at_cycle=int(args.policy_reload_at * arrival.horizon_cycles),
+            policies=reloaded))
     try:
-        result = Gateway(config).run(plans, rebalances=rebalances)
+        result = Gateway(config).run(plans, rebalances=rebalances,
+                                     policy_reloads=policy_reloads)
     finally:
         if owned_tmp is not None:
             owned_tmp.cleanup()
@@ -301,6 +326,9 @@ def _serve_gateway(args: argparse.Namespace) -> int:
                         f"saw {result.fleet.detections}")
     if args.rebalance_at is not None and not result.moves:
         failures.append("rebalance requested but no tenant moved")
+    if (args.policy_reload_at is not None
+            and result.stats.policy_reload_events == 0):
+        failures.append("policy reload requested but never fired")
     for failure in failures:
         print(f"ERROR: {failure}")
     return 1 if failures else 0
@@ -315,6 +343,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     if args.gateway:
         return _serve_gateway(args)
+    policies = None
+    if args.policy:
+        policies = _load_policies(args.policy)
+        if policies is None:
+            return 2
     devices = args.devices.split(",")
     plans, schedule = build_load(
         devices, args.tenants, args.batches, args.ops,
@@ -329,7 +362,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = FleetConfig(workers=args.workers, inline=args.inline,
                          queue_depth=args.queue_depth,
                          mode=Mode(args.mode), backend=args.backend,
-                         cache_dir=cache_dir)
+                         cache_dir=cache_dir, policies=policies)
     try:
         result = FleetSupervisor(config).run(schedule, plans)
     finally:
@@ -366,6 +399,9 @@ def _cmd_bench_fleet(args: argparse.Namespace) -> int:
                   seed=args.seed)
     if args.quick:
         kwargs.update(batches=2, ops=3)
+    if args.migration_provenance:
+        with open(args.migration_provenance) as handle:
+            kwargs["migration"] = json_mod.load(handle)
     payload = run_fleet_bench(**kwargs)
     if args.gateway:
         from repro.gateway.bench import run_gateway_bench
@@ -386,6 +422,12 @@ def _cmd_bench_fleet(args: argparse.Namespace) -> int:
           f"quarantined={sec['quarantined']} "
           f"detections={sec['detections']} lost={sec['lost']}")
     ok = sec["ok"]
+    if "migration" in payload:
+        mig = payload["migration"]
+        print(f"migration provenance: "
+              f"{mig.get('total_migrations', 0)} migrations, "
+              f"all_certified={mig.get('all_certified')}")
+        ok = ok and bool(mig.get("all_certified"))
     if args.gateway:
         gw = payload["gateway"]
         for pattern, points in sorted(gw["scaling"].items()):
@@ -413,8 +455,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.eval.report import render_table
     from repro.telemetry import prometheus_text, write_jsonl
     from repro.telemetry.stats import (
-        degradation_rows, interp_summary, latency_rows, run_stats,
-        strategy_rows,
+        degradation_rows, interp_summary, latency_rows, policy_rows,
+        run_stats, strategy_rows,
     )
 
     run = run_stats(device=args.device, rounds=args.rounds,
@@ -439,6 +481,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print()
     print(render_table(("Degradation / faults", "Total"),
                        degradation_rows(run.snapshot)))
+    print()
+    print(render_table(("Policy lifecycle", "Total"),
+                       policy_rows(run.snapshot)))
     if args.json_out:
         lines = write_jsonl(run.snapshot, args.json_out)
         print(f"wrote {lines} metric lines to {args.json_out}")
@@ -642,6 +687,136 @@ def _cmd_spec_smoke(args: argparse.Namespace) -> int:
     return 0 if payload["ok"] else 1
 
 
+#: Per-policy knob columns shown by ``repro policy show``.
+_POLICY_FIELDS = ("policy_id", "degradation", "max_retries", "rate_quota",
+                  "respawn_budget", "throttle_after", "circuit_cooldown",
+                  "restore_after", "quarantine_after")
+
+
+def _load_policies(path: str):
+    """Load + validate a policy file, or exit-worthy None on error."""
+    from repro.errors import PolicyError
+    from repro.policy.model import load_policy_file
+
+    try:
+        return load_policy_file(path)
+    except PolicyError as exc:
+        print(f"policy: {exc}", file=sys.stderr)
+        return None
+
+
+def _cmd_policy_show(args: argparse.Namespace) -> int:
+    from repro.eval.report import render_table
+    from repro.policy.model import DEFAULT_POLICY, PolicySet
+
+    if args.file:
+        policies = _load_policies(args.file)
+        if policies is None:
+            return 2
+    else:
+        policies = PolicySet(default=DEFAULT_POLICY)
+    print(f"policy set {policies.digest[:16]}: default + "
+          f"{len(policies.tenants)} tenant override(s)")
+    scopes = [("(default)", policies.default)]
+    scopes += sorted(policies.tenants.items())
+    for tenant in args.tenant or ():
+        scopes.append((f"{tenant} (resolved)", policies.resolve(tenant)))
+    rows = [(scope,) + tuple(getattr(pol, f) for f in _POLICY_FIELDS)
+            for scope, pol in scopes]
+    print(render_table(("Scope",) + _POLICY_FIELDS, rows))
+    return 0
+
+
+def _cmd_policy_apply(args: argparse.Namespace) -> int:
+    from repro.policy.model import PolicyStore
+
+    policies = _load_policies(args.file)
+    if policies is None:
+        return 1
+    store = PolicyStore(cache_dir=args.cache)
+    digest = store.put(policies)
+    print(f"validated and stored policy set {digest[:16]} "
+          f"at {store.path(digest)}")
+    return 0
+
+
+def _cmd_policy_reload(args: argparse.Namespace) -> int:
+    """Mid-schedule fleet-wide policy hot reload (the policy twin of
+    ``spec reload``): malformed input fails before the fleet starts;
+    a well-formed one swaps per tenant at the halfway batch boundary
+    with nothing lost or duplicated."""
+    from repro.fleet import FleetConfig, FleetSupervisor, build_load
+
+    policies = _load_policies(args.file)
+    if policies is None:
+        return 1
+    cache_dir = args.spec_cache
+    owned_tmp = None
+    if cache_dir is None and not args.inline:
+        import tempfile
+        owned_tmp = tempfile.TemporaryDirectory(prefix="sedspec-pol-")
+        cache_dir = owned_tmp.name
+    plans, schedule = build_load(
+        args.devices.split(","), args.tenants, args.batches, args.ops,
+        seed=args.seed)
+    at_seq = (args.batches // 2) * len(plans)
+    supervisor = FleetSupervisor(
+        FleetConfig(workers=args.workers, inline=args.inline,
+                    cache_dir=cache_dir))
+    digest = supervisor.reload_policy(policies, at_seq=at_seq)
+    try:
+        result = supervisor.run(schedule, plans)
+    finally:
+        if owned_tmp is not None:
+            owned_tmp.cleanup()
+    print(f"hot policy reload to {digest[:16]} at seq {at_seq}:")
+    print(result.stats.describe())
+    stats = result.stats
+    ok = (stats.lost == 0 and stats.duplicate_results == 0
+          and stats.policy_reloads == len(plans)
+          and not result.quarantined_tenants())
+    if not ok:
+        print("ERROR: policy reload lost traffic, duplicated results, "
+              "quarantined a benign tenant, or missed a tenant swap "
+              f"(policy_reloads={stats.policy_reloads}, "
+              f"expected {len(plans)})")
+        return 1
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    """Live-migration certification across checker backends: the same
+    load served with and without migrating every tenant mid-stream must
+    produce byte-identical per-tenant verdicts with op conservation."""
+    import json as json_mod
+
+    from repro.fleet import (
+        migration_provenance, run_migration_certification,
+    )
+
+    backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    certs = []
+    for backend in backends:
+        cert = run_migration_certification(
+            devices=tuple(args.devices.split(",")), tenants=args.tenants,
+            batches_per_tenant=args.batches, ops_per_batch=args.ops,
+            backend=backend, inject_fraction=args.inject_fraction,
+            migrate_after_batch=args.migrate_after,
+            workers=args.workers, seed=args.seed)
+        print(cert.describe())
+        certs.append(cert)
+    provenance = migration_provenance(certs)
+    print(f"total migrations: {provenance['total_migrations']} across "
+          f"{len(backends)} backend(s); "
+          f"all_certified={provenance['all_certified']}")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json_mod.dump(provenance, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if provenance["all_certified"] else 1
+
+
 def _cmd_tables(args: argparse.Namespace) -> int:
     if args.which in ("1", "all"):
         from repro.eval import generate_table1
@@ -752,6 +927,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--min-detections", type=int, default=0,
                    help="exit nonzero unless at least this many "
                         "detections were recorded")
+    p.add_argument("--policy", default=None, metavar="FILE",
+                   help="tenant-policy document (JSON) the fleet boots "
+                        "under; malformed input is rejected before any "
+                        "worker starts")
     gw = p.add_argument_group(
         "gateway", "open-loop admission gateway over sharded "
                    "supervisors (--workers becomes lanes per shard; "
@@ -781,6 +960,13 @@ def build_parser() -> argparse.ArgumentParser:
                     metavar="FRACTION",
                     help="add a shard at this fraction of the horizon "
                          "and require tenants to move cleanly")
+    gw.add_argument("--policy-reload-at", type=float, default=None,
+                    metavar="FRACTION",
+                    help="hot-reload the tenant policy fleet-wide at "
+                         "this fraction of the horizon")
+    gw.add_argument("--policy-reload", default=None, metavar="FILE",
+                    help="policy document for --policy-reload-at "
+                         "(default: re-fire --policy)")
     gw.add_argument("--show-tenants", type=int, default=16,
                     help="max flagged-tenant rows to print")
     p.set_defaults(fn=_cmd_serve)
@@ -807,6 +993,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also run the gateway benchmark (four-digit "
                         "simulated-tenant scaling across shards) and "
                         "add it to the payload")
+    p.add_argument("--migration-provenance", default=None,
+                   metavar="FILE",
+                   help="merge a `repro migrate --out` certification "
+                        "summary into the payload (and gate the exit "
+                        "code on all_certified)")
     p.add_argument("--out", default="BENCH_fleet.json")
     p.set_defaults(fn=_cmd_bench_fleet)
 
@@ -959,6 +1150,69 @@ def build_parser() -> argparse.ArgumentParser:
                     help="two devices, three tenants each (CI smoke)")
     sp.add_argument("--out", help="write the JSON payload here")
     sp.set_defaults(fn=_cmd_spec_smoke)
+
+    p = sub.add_parser(
+        "policy", help="tenant resilience policy: show resolved knobs, "
+                       "validate + store documents, fleet hot reload")
+    policy_sub = p.add_subparsers(dest="policy_command", required=True)
+
+    pp = policy_sub.add_parser(
+        "show", help="print a policy set's resolved per-tenant knobs")
+    pp.add_argument("--file", default=None,
+                    help="policy document (default: the built-in "
+                         "fleet default)")
+    pp.add_argument("--tenant", action="append", default=[],
+                    help="also show this tenant's resolved policy "
+                         "(repeatable)")
+    pp.set_defaults(fn=_cmd_policy_show)
+
+    pp = policy_sub.add_parser(
+        "apply", help="validate a policy document and store it "
+                      "content-addressed in a cache dir")
+    pp.add_argument("--file", required=True)
+    pp.add_argument("--cache", required=True,
+                    help="policy cache dir (shared with pool workers)")
+    pp.set_defaults(fn=_cmd_policy_apply)
+
+    pp = policy_sub.add_parser(
+        "reload", help="hot-reload a policy document into a running "
+                       "fleet mid-schedule (epoch-consistent, nothing "
+                       "lost)")
+    pp.add_argument("--file", required=True)
+    pp.add_argument("--devices", default="fdc,sdhci")
+    pp.add_argument("--tenants", type=int, default=4)
+    pp.add_argument("--batches", type=int, default=4)
+    pp.add_argument("--ops", type=int, default=4)
+    pp.add_argument("--workers", type=int, default=2)
+    pp.add_argument("--inline", action="store_true",
+                    help="in-process worker pool (no multiprocessing)")
+    pp.add_argument("--spec-cache", default=None,
+                    help="spec cache dir (default: temp dir)")
+    pp.add_argument("--seed", type=int, default=7)
+    pp.set_defaults(fn=_cmd_policy_reload)
+
+    p = sub.add_parser(
+        "migrate", help="certify live tenant migration: byte-identical "
+                        "verdicts and zero lost/duplicated ops vs a "
+                        "never-migrated baseline, per backend")
+    p.add_argument("--backends", default="reference,compiled,bytecode",
+                   help="comma-separated checker backends to certify")
+    p.add_argument("--devices", default="fdc")
+    p.add_argument("--tenants", type=int, default=4)
+    p.add_argument("--batches", type=int, default=4,
+                   help="batches per tenant")
+    p.add_argument("--ops", type=int, default=6,
+                   help="requests per batch")
+    p.add_argument("--inject-fraction", type=float, default=0.5,
+                   help="fraction of tenants attacked with CVE PoCs "
+                        "(fired after the migration point)")
+    p.add_argument("--migrate-after", type=int, default=1,
+                   help="migrate each tenant after this many batches")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--seed", type=int, default=11)
+    p.add_argument("--out", help="write the provenance summary (JSON) "
+                                 "for bench-fleet --migration-provenance")
+    p.set_defaults(fn=_cmd_migrate)
 
     p = sub.add_parser("tables", help="regenerate paper tables")
     p.add_argument("--which", choices=("1", "3", "all"), default="all")

@@ -106,6 +106,12 @@ class FleetError(ReproError):
     (misconfiguration, stalled workers, respawn budget exhausted)."""
 
 
+class PolicyError(ReproError):
+    """A tenant resilience-policy document failed validation, or a
+    policy artifact failed its content-digest check.  Raised eagerly at
+    load so a malformed policy never disturbs a running fleet."""
+
+
 class GatewayError(ReproError):
     """The admission gateway was misconfigured or broke an internal
     invariant (empty hash ring, unknown arrival pattern, lost events)."""

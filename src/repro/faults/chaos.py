@@ -276,6 +276,121 @@ def run_campaign(config: Optional[CampaignConfig] = None,
     return report
 
 
+@dataclass
+class LadderOutcome:
+    """One graduated-ladder scenario run (see
+    :func:`run_ladder_scenario`).  Batch indices are the first batch in
+    which each rung fired (-1: never)."""
+
+    tenant: str = ""
+    device: str = ""
+    snapshot_taken: bool = False
+    throttle_batch: int = -1
+    restore_batch: int = -1
+    fence_batch: int = -1
+    throttles: int = 0
+    restores: int = 0
+    fences: int = 0
+    quarantined: bool = False
+    fenced: bool = False
+    #: ops served after the fence rung fired (must be 0: fence sheds all)
+    served_after_fence: int = 0
+
+    @property
+    def ladder_in_order(self) -> bool:
+        """Rung 1 fired no later than rung 2, rung 2 no later than
+        rung 3, and every rung actually fired."""
+        return (0 <= self.throttle_batch <= self.restore_batch
+                <= self.fence_batch)
+
+    @property
+    def i2_ok(self) -> bool:
+        """Extended no-collateral invariant: a benign tenant driven
+        through the whole ladder — including a snapshot restore — ends
+        infrastructure-fenced, never security-quarantined."""
+        return not self.quarantined
+
+
+def run_ladder_scenario(device: str = "fdc", backend: str = "compiled",
+                        healthy_batches: int = 2,
+                        faulty_batches: int = 3,
+                        ops_per_batch: int = 4,
+                        seed: int = 207) -> LadderOutcome:
+    """Drive one benign tenant through the graduated response ladder.
+
+    Phase 1 serves *healthy_batches* of benign traffic (the policy arms
+    the restore rung, so a healthy snapshot is captured).  Phase 2 arms
+    a certain-fire ``interp.step`` infrastructure fault: every vetted
+    round degrades to a trace gap, consecutive strikes accrue, and the
+    ladder must fire **in order** — throttle (circuit opens), then
+    snapshot restore, then the infrastructure fence — while the tenant,
+    being benign and only infra-unlucky, is never security-quarantined
+    (the I2 extension the policy layer adds).
+    """
+    import random
+
+    from repro.fleet.loadgen import RequestBatch, sample_benign_op
+    from repro.fleet.registry import SpecRegistry
+    from repro.fleet.worker import FleetWorker
+    from repro.policy.model import PolicySet, TenantPolicy
+
+    policy = TenantPolicy(policy_id="ladder-test", throttle_after=2,
+                          circuit_cooldown=1, restore_after=3,
+                          quarantine_after=5)
+    worker = FleetWorker(0, SpecRegistry(), backend=backend,
+                         policies=PolicySet(default=policy))
+    tenant = f"ladder-{device}"
+    outcome = LadderOutcome(tenant=tenant, device=device)
+    rng = random.Random(seed)
+    seq = 0
+
+    def next_batch() -> RequestBatch:
+        nonlocal seq
+        batch = RequestBatch(
+            tenant, device, "99.0.0", seq,
+            tuple(sample_benign_op(device, rng)
+                  for _ in range(ops_per_batch)))
+        seq += 1
+        return batch
+
+    results = []
+    for _ in range(healthy_batches):
+        results.append(worker.run_batch(next_batch()))
+    outcome.snapshot_taken = tenant in worker._snapshots
+
+    plan = FaultPlan(seed, (FaultSpec("interp.step", probability=1.0),))
+    injector = FaultInjector(plan.for_sites("interp."))
+    worker.injector = injector
+    worker.instances[tenant].injector = injector
+    for _ in range(faulty_batches):
+        results.append(worker.run_batch(next_batch()))
+
+    # The fence is permanent: follow-up traffic (even with the fault
+    # disarmed) must be shed, not served — and still not quarantined.
+    worker.injector = None
+    instance = worker.instances.get(tenant)
+    if instance is not None:
+        instance.injector = None
+    post_fence = worker.run_batch(next_batch())
+    outcome.served_after_fence = (post_fence.completed
+                                  + post_fence.rejected)
+    results.append(post_fence)
+
+    for index, result in enumerate(results):
+        if result.policy_throttles and outcome.throttle_batch < 0:
+            outcome.throttle_batch = index
+        if result.policy_restores and outcome.restore_batch < 0:
+            outcome.restore_batch = index
+        if result.policy_fences and outcome.fence_batch < 0:
+            outcome.fence_batch = index
+        outcome.throttles += result.policy_throttles
+        outcome.restores += result.policy_restores
+        outcome.fences += result.policy_fences
+        outcome.quarantined = outcome.quarantined or result.quarantined
+        outcome.fenced = outcome.fenced or result.fenced
+    return outcome
+
+
 def decoder_recovery_experiment(seed: int = 7, runs: int = 200,
                                 rounds: int = 40) -> Dict[str, float]:
     """Measure PSB resynchronization under injected stream loss.

@@ -10,7 +10,11 @@ quarantined tenants, and aggregates fleet-wide statistics.
 
 from repro.fleet.bench import (
     DEFAULT_DEVICES, DEFAULT_INJECT, DEFAULT_WORKER_COUNTS,
-    run_fleet_bench, run_lifecycle_smoke,
+    migration_provenance, run_fleet_bench, run_lifecycle_smoke,
+)
+from repro.fleet.checkpoint import (
+    CHECKPOINT_FORMAT, checkpoint_instance, envelope_bytes,
+    restore_instance, seal, verify,
 )
 from repro.fleet.instance import GuardedInstance, OpOutcome, portable_report
 from repro.fleet.loadgen import (
@@ -18,13 +22,17 @@ from repro.fleet.loadgen import (
     TenantPlan, build_load, detectable_cves, inject_schedule_faults,
     make_schedule, plan_tenants,
 )
+from repro.fleet.migration import (
+    MigrationCertificate, certify, conservation_violations,
+    run_migration_certification, tenant_signatures, verdict_signature,
+)
 from repro.fleet.registry import (
     CACHE_FORMAT, RegistryStats, SpecGeneration, SpecRegistry,
     program_fingerprint, spec_digest,
 )
 from repro.fleet.supervisor import (
-    FleetConfig, FleetResult, FleetStats, FleetSupervisor,
-    ScheduledReload, TenantSummary, percentile,
+    FleetConfig, FleetResult, FleetSession, FleetStats, FleetSupervisor,
+    ScheduledPolicyReload, ScheduledReload, TenantSummary, percentile,
 )
 from repro.fleet.worker import (
     BatchResult, FleetWorker, batch_wants_crash, batch_wants_hang,
@@ -33,15 +41,21 @@ from repro.fleet.worker import (
 
 __all__ = [
     "DEFAULT_DEVICES", "DEFAULT_INJECT", "DEFAULT_WORKER_COUNTS",
-    "run_fleet_bench", "run_lifecycle_smoke",
+    "migration_provenance", "run_fleet_bench", "run_lifecycle_smoke",
+    "CHECKPOINT_FORMAT", "checkpoint_instance", "envelope_bytes",
+    "restore_instance", "seal", "verify",
     "GuardedInstance", "OpOutcome", "portable_report",
     "DEFAULT_QEMU_VERSION", "FAULT_OP_KINDS", "OpRequest",
     "RequestBatch", "TenantPlan", "build_load", "detectable_cves",
     "inject_schedule_faults", "make_schedule", "plan_tenants",
+    "MigrationCertificate", "certify", "conservation_violations",
+    "run_migration_certification", "tenant_signatures",
+    "verdict_signature",
     "CACHE_FORMAT", "RegistryStats", "SpecGeneration",
     "SpecRegistry", "program_fingerprint", "spec_digest",
-    "FleetConfig", "FleetResult", "FleetStats", "FleetSupervisor",
-    "ScheduledReload", "TenantSummary", "percentile",
+    "FleetConfig", "FleetResult", "FleetSession", "FleetStats",
+    "FleetSupervisor", "ScheduledPolicyReload", "ScheduledReload",
+    "TenantSummary", "percentile",
     "BatchResult", "FleetWorker", "batch_wants_crash",
     "batch_wants_hang", "instance_injector", "requeue_batch",
     "tombstone_crashes", "worker_main",

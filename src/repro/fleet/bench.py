@@ -62,8 +62,15 @@ def run_fleet_bench(worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
                     inject_cves: Sequence[str] = DEFAULT_INJECT,
                     backend: str = "compiled", inline: bool = False,
                     cache_dir: Optional[str] = None,
-                    seed: int = 7) -> Dict[str, object]:
-    """Run both parts; returns the ``BENCH_fleet.json`` payload."""
+                    seed: int = 7,
+                    migration: Optional[Dict[str, object]] = None,
+                    ) -> Dict[str, object]:
+    """Run both parts; returns the ``BENCH_fleet.json`` payload.
+
+    *migration*, when given, is a live-migration certification summary
+    (see :func:`migration_provenance`) merged into the payload so a
+    benchmark artifact records whether the numbers were produced by a
+    build whose checkpoint/restore path certifies."""
     owned_tmp = None
     if cache_dir is None and not inline:
         owned_tmp = tempfile.TemporaryDirectory(prefix="sedspec-fleet-")
@@ -139,10 +146,35 @@ def run_fleet_bench(worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
             "speedup_over_min_workers": speedups,
             "security": security,
             "corpus": _corpus_provenance(),
+            **({"migration": migration} if migration else {}),
         }
     finally:
         if owned_tmp is not None:
             owned_tmp.cleanup()
+
+
+def migration_provenance(certificates) -> Dict[str, object]:
+    """Fold per-backend :class:`MigrationCertificate` results into the
+    provenance block ``run_fleet_bench`` embeds: migration counts, the
+    certified/failed verdict per backend, and any violations — so
+    BENCH_fleet.json names the exact migration surface it was produced
+    under."""
+    backends: Dict[str, object] = {}
+    for cert in certificates:
+        backends[cert.backend] = {
+            "certified": cert.ok,
+            "tenants": cert.tenants,
+            "migrations": cert.migrations,
+            "mismatched": list(cert.mismatched),
+            "violations": list(cert.violations),
+            "missing": list(cert.missing),
+        }
+    return {
+        "backends": backends,
+        "total_migrations": sum(b["migrations"]
+                                for b in backends.values()),
+        "all_certified": all(b["certified"] for b in backends.values()),
+    }
 
 
 def _corpus_provenance() -> Dict[str, object]:

@@ -63,6 +63,15 @@ class RequestBatch:
     #: op.  Epoch 0 / empty digest means the train-once registry spec.
     spec_epoch: int = 0
     spec_digest: str = ""
+    #: tenant-policy generation this batch must run under, stamped up
+    #: front exactly like ``spec_epoch``: a worker seeing
+    #: ``policy_epoch`` above the tenant's current policy epoch loads
+    #: the policy set named by ``policy_digest`` before the first op, so
+    #: in-flight batches always finish under the policy they started
+    #: under and the inline/pool paths swap at identical boundaries.
+    #: Epoch 0 / empty digest means the fleet's configured policies.
+    policy_epoch: int = 0
+    policy_digest: str = ""
 
 
 @dataclass(frozen=True)

@@ -164,6 +164,11 @@ class SpecRegistry:
         self._by_digest: Dict[str, ExecutionSpec] = {}
         #: content-addressed lowered bytecode artifacts (interp/checker)
         self._bytecode: Dict[str, object] = {}
+        #: content-addressed tenant-policy sets; rides the same cache_dir
+        #: so pool worker processes resolve policy digests exactly the
+        #: way they resolve spec digests
+        from repro.policy.model import PolicyStore
+        self.policies = PolicyStore(cache_dir)
 
     # -- keys ---------------------------------------------------------------
 

@@ -36,6 +36,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from repro.checker import CheckReport, DEFAULT_DEGRADATION, \
     DegradationConfig, Mode
 from repro.errors import FleetError
+from repro.policy.model import PolicySet
 from repro.fleet.loadgen import FAULT_OP_KINDS, RequestBatch, TenantPlan
 from repro.spec.lifecycle import RetrainQueue, RetrainRecord
 from repro.fleet.registry import SpecRegistry
@@ -75,6 +76,10 @@ class FleetConfig:
     degradation: Optional[DegradationConfig] = None
     #: armed fault plan shipped to every worker (chaos campaigns)
     fault_plan: Optional[object] = None
+    #: declarative per-tenant resilience policies; None preserves the
+    #: legacy knobs above verbatim (workers synthesize an equivalent
+    #: default policy)
+    policies: Optional[PolicySet] = None
 
 
 @dataclass(frozen=True)
@@ -87,6 +92,15 @@ class ScheduledReload:
     digest: str
     at_seq: int = 0
     qemu_version: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ScheduledPolicyReload:
+    """One fleet-wide tenant-policy hot reload: from batch ``at_seq``
+    on, every batch is stamped with the policy set named by *digest*."""
+
+    digest: str
+    at_seq: int = 0
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -125,6 +139,16 @@ class FleetStats:
     watchdog_kills: int = 0
     #: per-instance hot spec swaps performed (epoch-based reloads)
     spec_reloads: int = 0
+    #: per-tenant policy hot swaps performed (epoch-based, like specs)
+    policy_reloads: int = 0
+    #: graduated-ladder responses fired across the fleet
+    policy_throttles: int = 0
+    policy_restores: int = 0
+    policy_fences: int = 0
+    #: tenants infrastructure-fenced by ladder rung 3 (never security)
+    fenced_tenants: int = 0
+    #: live tenant migrations (checkpoint/transfer/restore) completed
+    migrations: int = 0
     #: rounds enqueued as candidate training traces (trace gaps,
     #: incomplete walks, near-miss control-flow anomalies)
     retrain_candidates: int = 0
@@ -184,6 +208,11 @@ class FleetStats:
                 f"watchdog_kills={self.watchdog_kills}\n"
                 f"  lifecycle: spec_reloads={self.spec_reloads} "
                 f"retrain_candidates={self.retrain_candidates}\n"
+                f"  policy: reloads={self.policy_reloads} "
+                f"throttles={self.policy_throttles} "
+                f"restores={self.policy_restores} "
+                f"fences={self.policy_fences} "
+                f"migrations={self.migrations}\n"
                 f"  throughput={self.rounds_per_sec:,.0f} rounds/s "
                 f"(simulated) latency p50={self.p50_request_ms:.3f}ms "
                 f"p95={self.p95_request_ms:.3f}ms "
@@ -211,6 +240,10 @@ class TenantSummary:
     exploit_refusals: int = 0
     quarantined: bool = False
     quarantine_reason: str = ""
+    #: resolved tenant-policy id this tenant last ran under
+    policy_id: str = ""
+    #: infrastructure-fenced by ladder rung 3 (distinct from quarantine)
+    fenced: bool = False
 
 
 @dataclass
@@ -272,6 +305,14 @@ class FleetSupervisor:
             from repro.telemetry.instruments import FleetTelemetry
             self._telemetry = FleetTelemetry(recorder)
         self._reloads: List[ScheduledReload] = []
+        self._policy_reloads: List[ScheduledPolicyReload] = []
+        self._migrations = 0
+        #: configured policy set, published content-addressed so pool
+        #: worker processes load the exact same document by digest
+        self._policy_digest = ""
+        if self.config.policies is not None:
+            self._policy_digest = self.registry.policies.put(
+                self.config.policies)
         queue_path = None
         if self.config.cache_dir is not None:
             os.makedirs(self.config.cache_dir, exist_ok=True)
@@ -300,8 +341,28 @@ class FleetSupervisor:
         self._reloads.append(ScheduledReload(device, digest, at_seq,
                                              qemu_version))
 
+    def reload_policy(self, policies, at_seq: int = 0) -> str:
+        """Schedule a fleet-wide tenant-policy hot reload.
+
+        *policies* is a :class:`PolicySet` or a raw policy-set document
+        (dict), which is validated **here, eagerly** — a malformed
+        document raises :class:`~repro.errors.PolicyError` before
+        anything is scheduled, so it never disturbs the running fleet.
+        From batch ``at_seq`` on, every batch is stamped with the new
+        generation; the swap happens worker-side per tenant, between
+        batches, exactly like spec reloads — in-flight batches finish
+        under the old policy and the inline/pool paths stay
+        byte-identical.  Returns the content digest of the document.
+        """
+        if not isinstance(policies, PolicySet):
+            policies = PolicySet.from_obj(policies)
+        digest = self.registry.policies.put(policies)
+        self._policy_reloads.append(ScheduledPolicyReload(digest, at_seq))
+        return digest
+
     def _stamp_one(self, batch: RequestBatch) -> RequestBatch:
-        """Stamp one batch with the spec epoch/digest it runs under."""
+        """Stamp one batch with the spec and policy epochs it runs
+        under."""
         epoch, digest = 0, ""
         for reload_ in self._reloads:
             if (batch.device == reload_.device
@@ -311,13 +372,21 @@ class FleetSupervisor:
                 epoch += 1
                 digest = reload_.digest
         if epoch:
-            return replace(batch, spec_epoch=epoch, spec_digest=digest)
+            batch = replace(batch, spec_epoch=epoch, spec_digest=digest)
+        pepoch, pdigest = 0, ""
+        for preload in self._policy_reloads:
+            if batch.seq >= preload.at_seq:
+                pepoch += 1
+                pdigest = preload.digest
+        if pepoch:
+            batch = replace(batch, policy_epoch=pepoch,
+                            policy_digest=pdigest)
         return batch
 
     def _stamp_reloads(self, schedule: Sequence[RequestBatch]
                        ) -> List[RequestBatch]:
         """Stamp every batch with the spec epoch/digest it runs under."""
-        if not self._reloads:
+        if not self._reloads and not self._policy_reloads:
             return list(schedule)
         return [self._stamp_one(batch) for batch in schedule]
 
@@ -338,6 +407,7 @@ class FleetSupervisor:
         pending = self._assign(schedule)
         self._duplicates = 0
         self._watchdog_kills = 0
+        self._migrations = 0
         self._enqueue_ts = {}
         self._queue_waits = []
         if self.config.inline:
@@ -377,7 +447,8 @@ class FleetSupervisor:
                                config.fault_plan,
                                recorder=self._recorder),
                            circuit_threshold=config.circuit_threshold,
-                           circuit_cooldown=config.circuit_cooldown)
+                           circuit_cooldown=config.circuit_cooldown,
+                           policies=config.policies)
 
     def _run_inline(self, pending: Dict[int, Deque[RequestBatch]]
                     ) -> Tuple[List[BatchResult], int, int]:
@@ -444,7 +515,7 @@ class FleetSupervisor:
                   handle.inbox, outbox, config.fault_plan,
                   config.degradation or DEFAULT_DEGRADATION,
                   config.circuit_threshold, config.circuit_cooldown,
-                  self._slow_start(handle)),
+                  self._slow_start(handle), self._policy_digest),
             daemon=True)
         handle.process.start()
 
@@ -673,6 +744,10 @@ class FleetSupervisor:
             if result.quarantined:
                 summary.quarantined = True
                 summary.quarantine_reason = result.quarantine_reason
+            if result.policy_id:
+                summary.policy_id = result.policy_id
+            if result.fenced:
+                summary.fenced = True
             stats.completed += result.completed
             stats.rejected += result.rejected
             stats.faults += result.faults
@@ -683,6 +758,10 @@ class FleetSupervisor:
             stats.shed += result.shed
             stats.circuit_opens += result.circuit_opens
             stats.spec_reloads += result.spec_reloads
+            stats.policy_reloads += result.policy_reloads
+            stats.policy_throttles += result.policy_throttles
+            stats.policy_restores += result.policy_restores
+            stats.policy_fences += result.policy_fences
             stats.io_rounds += result.io_rounds
             stats.total_cycles += result.cycles
             busy[result.worker_id] = (busy.get(result.worker_id, 0)
@@ -697,6 +776,9 @@ class FleetSupervisor:
             stats.lost += unaccounted
         stats.quarantined_instances = sum(
             1 for s in tenants.values() if s.quarantined)
+        stats.fenced_tenants = sum(
+            1 for s in tenants.values() if s.fenced)
+        stats.migrations = self._migrations
         # Deterministic order regardless of result arrival (pool results
         # interleave); the count is *produced* records, not queue
         # admissions — the persistent queue dedups against its backlog,
@@ -734,6 +816,12 @@ class FleetSupervisor:
                 telemetry.duplicates.inc(stats.duplicate_results)
             if stats.spec_reloads:
                 telemetry.spec_reloads.inc(stats.spec_reloads)
+            if stats.policy_reloads:
+                telemetry.policy_reloads.inc(stats.policy_reloads)
+            if stats.migrations:
+                telemetry.migrations.inc(stats.migrations)
+            for result in results:
+                telemetry.record_policy(result)
             if stats.retrain_candidates:
                 telemetry.retrain_enqueued.inc(stats.retrain_candidates)
         return FleetResult(stats=stats, tenants=tenants, reports=reports,
@@ -776,6 +864,7 @@ class FleetSession:
         self._respawns = 0
         self._duplicates = 0
         self._watchdog_kills = 0
+        self._migrations = 0
         self._queue_waits: List[float] = []
         self._tenant_worker: Dict[str, int] = {}
         self._primed: set = set()
@@ -924,6 +1013,110 @@ class FleetSession:
                 raise FleetError("fleet session stalled: no result and "
                                  "no worker exit within stall_timeout")
 
+    # -- live migration ------------------------------------------------------
+
+    def checkpoint_tenant(self, tenant: str) -> Optional[dict]:
+        """Capture *tenant*'s sealed checkpoint from its pinned worker.
+
+        Submission is synchronous, so the tenant's lane is drained by
+        construction — there is never an in-flight batch at the capture
+        instant (the migration protocol's drain step).  Returns ``None``
+        when the tenant has no live instance to capture (never served,
+        or its worker's respawn budget is spent).
+        """
+        if self._closed:
+            raise FleetError("session is closed")
+        worker_id = self._tenant_worker.get(tenant)
+        if worker_id is None:
+            return None
+        if self.config.inline:
+            worker = self._workers.get(worker_id)
+            if worker is None:
+                return None
+            return worker.checkpoint_tenant(tenant)
+        handle = self._handles.get(worker_id)
+        if handle is None or handle.dead:
+            return None
+        handle.inbox.put(("checkpoint", tenant))
+        return self._await_reply("checkpoint", worker_id)
+
+    def install_checkpoint(self, envelope: dict,
+                           worker_id: Optional[int] = None) -> str:
+        """Restore a checkpoint envelope onto a worker lane and pin the
+        tenant there; counts one completed migration.  With no explicit
+        *worker_id* the tenant keeps (or round-robin acquires) its pin —
+        the cross-shard path, where the receiving session has never seen
+        the tenant."""
+        if self._closed:
+            raise FleetError("session is closed")
+        tenant = envelope["tenant"]
+        if worker_id is None:
+            worker_id = self.worker_for(tenant)
+        else:
+            if not 0 <= worker_id < self.config.workers:
+                raise FleetError(
+                    f"no such worker lane: {worker_id}")
+            self._tenant_worker[tenant] = worker_id
+        if self.config.inline:
+            if worker_id in self._inline_dead:
+                raise FleetError(
+                    f"cannot restore {tenant!r}: worker {worker_id} "
+                    f"has spent its respawn budget")
+            worker = self._workers.get(worker_id)
+            if worker is None:
+                worker = self._workers[worker_id] = \
+                    self.supervisor._make_worker(worker_id)
+            worker.restore_tenant(envelope)
+        else:
+            handle = self._handles.get(worker_id)
+            if handle is None:
+                handle = self._handles[worker_id] = \
+                    _WorkerHandle(worker_id)
+                self.supervisor._spawn(self._ctx, handle, self._outbox)
+            if handle.dead:
+                raise FleetError(
+                    f"cannot restore {tenant!r}: worker {worker_id} "
+                    f"has spent its respawn budget")
+            handle.inbox.put(("restore", envelope))
+            self._await_reply("restored", worker_id)
+        self._migrations += 1
+        return tenant
+
+    def migrate_tenant(self, tenant: str,
+                       target_worker: int) -> Optional[dict]:
+        """Live-migrate *tenant* to *target_worker*: drain (implicit —
+        submission is synchronous), checkpoint on the source lane,
+        re-pin, restore on the target.  Returns the transferred sealed
+        envelope, or ``None`` when the tenant had no live instance to
+        move (in which case the pin is left untouched)."""
+        envelope = self.checkpoint_tenant(tenant)
+        if envelope is None:
+            return None
+        self.install_checkpoint(envelope, worker_id=target_worker)
+        return envelope
+
+    def _await_reply(self, kind: str, worker_id: int):
+        """Wait for a control-RPC reply on the shared outbox.  Stray
+        ``result`` messages (late re-deliveries from a worker that died
+        after posting, the race ``_collect`` documents) are dropped and
+        counted, exactly as in ``_submit_pool``."""
+        deadline = time.monotonic() + self.config.stall_timeout
+        while True:
+            try:
+                message = self._outbox.get(timeout=0.05)
+            except queue_mod.Empty:
+                message = None
+            if message is not None:
+                if message[0] == kind and message[1] == worker_id:
+                    return message[2]
+                if message[0] == "result":
+                    self._duplicates += 1
+                    continue
+            if time.monotonic() > deadline:
+                raise FleetError(
+                    f"no {kind} reply from worker {worker_id} within "
+                    f"stall_timeout")
+
     # -- teardown -----------------------------------------------------------
 
     def close(self, plans: Sequence[TenantPlan] = ()) -> FleetResult:
@@ -937,6 +1130,7 @@ class FleetSession:
             supervisor._shutdown(self._handles)
         supervisor._duplicates = self._duplicates
         supervisor._watchdog_kills = self._watchdog_kills
+        supervisor._migrations = self._migrations
         supervisor._queue_waits = self._queue_waits
         supervisor._enqueue_ts = {}
         return supervisor._aggregate(self._submitted, plans,

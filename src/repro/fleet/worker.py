@@ -27,10 +27,16 @@ from typing import Dict, Optional, Tuple
 
 from repro.checker import CheckReport, DEFAULT_DEGRADATION, \
     DegradationConfig, Mode, retrain_reason
+from repro.fleet.checkpoint import checkpoint_instance, restore_instance, \
+    seal, verify
 from repro.fleet.instance import GuardedInstance
 from repro.fleet.loadgen import FAULT_OP_KINDS, OpRequest, RequestBatch
 from repro.fleet.registry import SpecRegistry
+from repro.policy.model import PolicySet, TenantPolicy
 from repro.spec.lifecycle import RetrainRecord
+
+#: Graduated-ladder rungs, in firing order (strike-count keyed).
+RUNG_THROTTLE, RUNG_RESTORE, RUNG_FENCE = 1, 2, 3
 
 
 def batch_wants_crash(batch: RequestBatch) -> bool:
@@ -108,6 +114,18 @@ class BatchResult:
     exploit_refusals: int = 0
     #: hot spec swaps performed before this batch's first op
     spec_reloads: int = 0
+    #: hot tenant-policy swaps performed before this batch's first op
+    policy_reloads: int = 0
+    #: resolved policy id/generation this batch ran under
+    policy_id: str = ""
+    policy_generation: int = 0
+    #: graduated-ladder responses fired during this batch
+    policy_throttles: int = 0
+    policy_restores: int = 0
+    policy_fences: int = 0
+    #: tenant is infrastructure-fenced (ladder rung 3) after this batch —
+    #: deliberately distinct from security ``quarantined``
+    fenced: bool = False
     cycles: int = 0
     io_rounds: int = 0
     #: simulated cycles per completed request (latency percentiles)
@@ -134,37 +152,86 @@ class FleetWorker:
     circuit_threshold: int = 3
     #: ops shed while open before a half-open probe is let through
     circuit_cooldown: int = 4
+    #: declarative per-tenant resilience policies; None falls back to a
+    #: policy synthesized from the legacy knobs above, preserving the
+    #: fleet's historical behavior bit-for-bit
+    policies: Optional[PolicySet] = None
     instances: Dict[str, GuardedInstance] = field(default_factory=dict)
     _respawns: Dict[str, int] = field(default_factory=dict)
     _strikes: Dict[str, int] = field(default_factory=dict)
     _circuit_open: Dict[str, bool] = field(default_factory=dict)
     _shed_since_probe: Dict[str, int] = field(default_factory=dict)
+    #: per-tenant policy hot-reload epoch (batch-stamped, like specs)
+    _policy_epoch: Dict[str, int] = field(default_factory=dict)
+    _policy_sets: Dict[str, PolicySet] = field(default_factory=dict)
+    #: highest ladder rung fired during the current strike run
+    _rung: Dict[str, int] = field(default_factory=dict)
+    #: infrastructure-fenced tenants (ladder rung 3; never security)
+    _fenced: Dict[str, bool] = field(default_factory=dict)
+    #: last healthy checkpoint per tenant (taken only when the tenant's
+    #: policy arms the snapshot-restore rung)
+    _snapshots: Dict[str, dict] = field(default_factory=dict)
+
+    # -- policy resolution --------------------------------------------------
+
+    def _legacy_policy(self) -> TenantPolicy:
+        return TenantPolicy(
+            degradation=self.degradation.policy.value,
+            max_retries=self.degradation.max_retries,
+            respawn_budget=self.max_instance_respawns,
+            throttle_after=self.circuit_threshold,
+            circuit_cooldown=max(1, self.circuit_cooldown))
+
+    def policy_for(self, tenant: str) -> TenantPolicy:
+        """The tenant's resolved policy under its current epoch."""
+        policies = self._policy_sets.get(tenant, self.policies)
+        if policies is None:
+            return self._legacy_policy()
+        return policies.resolve(tenant)
+
+    def _maybe_reload_policy(self, batch: RequestBatch,
+                             result: BatchResult) -> None:
+        """Epoch-based policy hot reload, mirroring the spec mechanism:
+        the supervisor stamped this batch with a newer policy
+        generation; the swap lands here, before the first op, so the
+        previous batch finished wholly under the old policy."""
+        tenant = batch.tenant
+        if (batch.policy_epoch > self._policy_epoch.get(tenant, 0)
+                and batch.policy_digest):
+            self._policy_sets[tenant] = \
+                self.registry.policies.get(batch.policy_digest)
+            self._policy_epoch[tenant] = batch.policy_epoch
+            result.policy_reloads += 1
 
     def _build(self, batch: RequestBatch) -> GuardedInstance:
-        from repro.workloads.profiles import split_device
-
         # A batch stamped with a generation digest builds straight at
         # that generation (fresh instances after a respawn must not
-        # regress to the train-once spec mid-schedule).
-        parts = split_device(batch.device)
-        if batch.spec_digest:
-            spec = self.registry.spec_by_digest(batch.spec_digest)
-        elif len(parts) > 1:
-            # Composite tenant: the registry stays strictly per-device;
-            # the instance deploys one spec per part.
-            spec = {part: self.registry.get(part, batch.qemu_version)
-                    for part in parts}
-        else:
-            spec = self.registry.get(batch.device, batch.qemu_version)
+        # regress to the train-once spec mid-schedule).  Composite
+        # tenants get one spec per part; the registry stays per-device.
+        spec = self._spec_for(batch.device, batch.qemu_version,
+                              batch.spec_digest)
         instance = GuardedInstance(batch.tenant, batch.device,
                                    batch.qemu_version, spec,
                                    mode=self.mode,
                                    backend=self.backend,
-                                   degradation=self.degradation,
+                                   degradation=self.policy_for(
+                                       batch.tenant).degradation_config(),
                                    injector=self.injector)
         instance.spec_epoch = batch.spec_epoch
         instance.spec_digest = batch.spec_digest
         return instance
+
+    def _spec_for(self, device: str, qemu_version: str,
+                  spec_digest: str = ""):
+        from repro.workloads.profiles import split_device
+
+        parts = split_device(device)
+        if spec_digest:
+            return self.registry.spec_by_digest(spec_digest)
+        if len(parts) > 1:
+            return {part: self.registry.get(part, qemu_version)
+                    for part in parts}
+        return self.registry.get(device, qemu_version)
 
     def instance_for(self, batch: RequestBatch) -> GuardedInstance:
         instance = self.instances.get(batch.tenant)
@@ -176,9 +243,19 @@ class FleetWorker:
     def run_batch(self, batch: RequestBatch) -> BatchResult:
         start = time.perf_counter()
         tenant = batch.tenant
-        instance = self.instance_for(batch)
         result = BatchResult(tenant, batch.device, batch.seq,
                              self.worker_id, submitted=len(batch.ops))
+        self._maybe_reload_policy(batch, result)
+        pol = self.policy_for(tenant)
+        result.policy_id = pol.policy_id
+        result.policy_generation = self._policy_epoch.get(tenant, 0)
+        instance = self.instance_for(batch)
+        # Seed the breaker from the batch: strikes accrued before the
+        # previous worker died must survive the respawn.  Seeded strikes
+        # climb the same ladder in-batch failures do.
+        if batch.infra_strikes > self._strikes.get(tenant, 0):
+            self._strikes[tenant] = batch.infra_strikes
+        instance = self._climb_ladder(batch, pol, result)
         if (batch.spec_epoch > instance.spec_epoch
                 and not instance.quarantined):
             # Epoch-based hot reload: the supervisor stamped this batch
@@ -189,31 +266,45 @@ class FleetWorker:
                 self.registry.spec_by_digest(batch.spec_digest),
                 batch.spec_epoch, batch.spec_digest)
             result.spec_reloads += 1
-        # Seed the breaker from the batch: strikes accrued before the
-        # previous worker died must survive the respawn.
-        if batch.infra_strikes > self._strikes.get(tenant, 0):
-            self._strikes[tenant] = batch.infra_strikes
-        if (self.circuit_threshold > 0
-                and self._strikes.get(tenant, 0) >= self.circuit_threshold
-                and not self._circuit_open.get(tenant, False)):
-            self._open_circuit(tenant, result)
         op_cycles = []
         reports = []
         retrain = []
+        served = 0
         for op in batch.ops:
+            if self._fenced.get(tenant, False):
+                # Ladder rung 3: infrastructure fence.  Everything is
+                # shed; deliberately *not* a security quarantine.
+                result.shed += 1
+                if op.kind == "exploit":
+                    result.exploit_refusals += 1
+                continue
+            if pol.rate_quota and served >= pol.rate_quota:
+                # Declarative rate quota: overflow past the per-batch
+                # cap is shed as a throttle response.
+                result.shed += 1
+                result.policy_throttles += 1
+                if op.kind == "exploit":
+                    result.exploit_refusals += 1
+                continue
             if self._circuit_open.get(tenant, False):
                 since = self._shed_since_probe.get(tenant, 0)
-                if since < self.circuit_cooldown:
+                if since < pol.circuit_cooldown:
                     self._shed_since_probe[tenant] = since + 1
                     result.shed += 1
                     if op.kind == "exploit":
                         result.exploit_refusals += 1
                     continue
                 self._shed_since_probe[tenant] = 0   # half-open probe
+            served += 1
             outcome = instance.apply(op)
             result.cycles += outcome.cycles
             result.io_rounds += outcome.io_rounds
             if outcome.report is not None:
+                # Stamp the resolved policy on the report, mirroring the
+                # degradation-policy stamp the checker already applies.
+                outcome.report.policy_id = pol.policy_id
+                outcome.report.policy_generation = \
+                    self._policy_epoch.get(tenant, 0)
                 reports.append(outcome.report)
                 reason = retrain_reason(outcome.report)
                 if reason and op.kind in ("common", "rare"):
@@ -227,12 +318,8 @@ class FleetWorker:
                      and outcome.report.trace_gap)
             if infra:
                 result.infra_failures += 1
-                strikes = self._strikes.get(tenant, 0) + 1
-                self._strikes[tenant] = strikes
-                if (self.circuit_threshold > 0
-                        and strikes >= self.circuit_threshold
-                        and not self._circuit_open.get(tenant, False)):
-                    self._open_circuit(tenant, result)
+                self._strikes[tenant] = self._strikes.get(tenant, 0) + 1
+                instance = self._climb_ladder(batch, pol, result)
             if outcome.status == "trace_gap":
                 result.trace_gaps += 1
                 if op.kind == "exploit":
@@ -245,15 +332,16 @@ class FleetWorker:
                 continue
             if outcome.status == "fault":
                 result.faults += 1
-                instance = self._respawn_or_fence(batch, outcome.detail,
-                                                  result)
+                instance = self._respawn_or_fence(batch, pol,
+                                                  outcome.detail, result)
                 continue
             if not infra:
                 # A vouched-for round: the tenant's machinery is healthy
-                # again, so the strike run ends and an open circuit's
-                # successful probe closes it.
+                # again, so the strike run ends, an open circuit's
+                # successful probe closes it, and the ladder resets.
                 self._strikes[tenant] = 0
                 self._circuit_open.pop(tenant, None)
+                self._rung.pop(tenant, None)
             result.completed += 1
             op_cycles.append(outcome.cycles)
             if outcome.status == "detected":
@@ -264,23 +352,85 @@ class FleetWorker:
                 result.exploit_escapes += 1
         result.quarantined = instance.quarantined
         result.quarantine_reason = instance.quarantine_reason
+        result.fenced = self._fenced.get(tenant, False)
         result.op_cycles = tuple(op_cycles)
         result.reports = tuple(reports)
         result.retrain = tuple(retrain)
         result.wall_seconds = time.perf_counter() - start
+        if (pol.restore_after > 0 and not result.fenced
+                and not instance.quarantined
+                and self._strikes.get(tenant, 0) == 0):
+            # The batch ended healthy and this tenant's policy arms the
+            # snapshot-restore rung: capture the rollback point.
+            self._snapshots[tenant] = checkpoint_instance(instance)
         return result
+
+    def _climb_ladder(self, batch: RequestBatch, pol: TenantPolicy,
+                      result: BatchResult) -> GuardedInstance:
+        """Fire every graduated-ladder rung the tenant's consecutive
+        strike count has reached, in order, at most once per strike run
+        (a vouched-for round resets the run)."""
+        tenant = batch.tenant
+        strikes = self._strikes.get(tenant, 0)
+        rung = self._rung.get(tenant, 0)
+        if (pol.throttle_after > 0 and strikes >= pol.throttle_after
+                and not self._circuit_open.get(tenant, False)):
+            self._open_circuit(tenant, result)
+            result.policy_throttles += 1
+            rung = max(rung, RUNG_THROTTLE)
+        if (pol.restore_after > 0 and strikes >= pol.restore_after
+                and rung < RUNG_RESTORE):
+            rung = RUNG_RESTORE
+            snapshot = self._snapshots.get(tenant)
+            if snapshot is not None:
+                self._restore_snapshot(batch, snapshot)
+                result.policy_restores += 1
+        if (pol.quarantine_after > 0 and strikes >= pol.quarantine_after
+                and rung < RUNG_FENCE):
+            rung = RUNG_FENCE
+            self._fenced[tenant] = True
+            result.policy_fences += 1
+            result.fenced = True
+        self._rung[tenant] = rung
+        return self.instances.get(tenant) or self.instance_for(batch)
+
+    def _restore_snapshot(self, batch: RequestBatch,
+                          snapshot: dict) -> None:
+        """Ladder rung 2: roll the instance back to its last healthy
+        checkpoint.  Breaker state is deliberately *not* rolled back —
+        the strike run continues toward the fence rung if the
+        infrastructure stays unhealthy."""
+        spec = self._spec_for(snapshot["device"],
+                              snapshot["qemu_version"],
+                              snapshot["spec_digest"])
+        instance = restore_instance(
+            snapshot, spec,
+            degradation=self.policy_for(
+                batch.tenant).degradation_config(),
+            injector=self.injector)
+        if (batch.spec_epoch > instance.spec_epoch
+                and not instance.quarantined):
+            # The snapshot predates a spec hot reload this batch is
+            # stamped with: bring the restored instance forward so the
+            # rollback never regresses the deployed spec generation.
+            instance.reload_spec(
+                self.registry.spec_by_digest(batch.spec_digest),
+                batch.spec_epoch, batch.spec_digest)
+        self.instances[batch.tenant] = instance
 
     def _open_circuit(self, tenant: str, result: BatchResult) -> None:
         self._circuit_open[tenant] = True
         self._shed_since_probe[tenant] = 0
         result.circuit_opens += 1
 
-    def _respawn_or_fence(self, batch: RequestBatch, detail: str,
+    def _respawn_or_fence(self, batch: RequestBatch, pol: TenantPolicy,
+                          detail: str,
                           result: BatchResult) -> GuardedInstance:
         """An unhandled device fault killed the instance: rebuild it from
-        the shared spec (bounded), else quarantine the tenant."""
+        the shared spec (bounded by the tenant's declarative respawn
+        budget), else quarantine the tenant."""
         spent = self._respawns.get(batch.tenant, 0)
-        if spent < self.max_instance_respawns:
+        if spent < pol.respawn_budget:
             self._respawns[batch.tenant] = spent + 1
             result.instance_respawns += 1
             instance = self._build(batch)
@@ -290,31 +440,104 @@ class FleetWorker:
         self.instances[batch.tenant] = instance
         return instance
 
+    # -- checkpoint / restore (live migration) -------------------------------
+
+    def checkpoint_tenant(self, tenant: str) -> Optional[dict]:
+        """Sealed migration envelope for *tenant*: the instance
+        checkpoint plus the worker-side breaker/ladder/respawn counters,
+        so a half-open probe does not reset across a shard move.  None
+        when the tenant never built an instance here."""
+        instance = self.instances.get(tenant)
+        if instance is None:
+            return None
+        envelope = checkpoint_instance(instance)
+        envelope["breaker"] = {
+            "strikes": self._strikes.get(tenant, 0),
+            "circuit_open": self._circuit_open.get(tenant, False),
+            "shed_since_probe": self._shed_since_probe.get(tenant, 0),
+            "rung": self._rung.get(tenant, 0),
+            "fenced": self._fenced.get(tenant, False),
+            "respawns": self._respawns.get(tenant, 0),
+        }
+        envelope["policy"] = {
+            "epoch": self._policy_epoch.get(tenant, 0),
+            "digest": (self._policy_sets[tenant].digest
+                       if tenant in self._policy_sets else ""),
+        }
+        return seal(envelope)
+
+    def restore_tenant(self, envelope: dict) -> GuardedInstance:
+        """Install a migrated tenant from its sealed envelope: rebuild
+        the instance at the envelope's spec generation, overlay the
+        serialized state, and seed the breaker/ladder counters."""
+        verify(envelope)
+        tenant = envelope["tenant"]
+        policy = envelope.get("policy", {})
+        if policy.get("digest"):
+            self._policy_sets[tenant] = \
+                self.registry.policies.get(policy["digest"])
+            self._policy_epoch[tenant] = policy.get("epoch", 0)
+        spec = self._spec_for(envelope["device"],
+                              envelope["qemu_version"],
+                              envelope["spec_digest"])
+        instance = restore_instance(
+            envelope, spec,
+            degradation=self.policy_for(tenant).degradation_config(),
+            injector=self.injector)
+        self.instances[tenant] = instance
+        breaker = envelope.get("breaker")
+        if breaker is not None:
+            self._strikes[tenant] = breaker["strikes"]
+            if breaker["circuit_open"]:
+                self._circuit_open[tenant] = True
+            self._shed_since_probe[tenant] = breaker["shed_since_probe"]
+            if breaker["rung"]:
+                self._rung[tenant] = breaker["rung"]
+            if breaker["fenced"]:
+                self._fenced[tenant] = True
+            self._respawns[tenant] = breaker["respawns"]
+        return instance
+
 
 def worker_main(worker_id: int, cache_dir: Optional[str], mode: Mode,
                 backend: str, max_instance_respawns: int,
                 inbox, outbox, fault_plan=None,
                 degradation: Optional[DegradationConfig] = None,
                 circuit_threshold: int = 3, circuit_cooldown: int = 4,
-                slow_start: float = 0.0) -> None:
+                slow_start: float = 0.0,
+                policy_digest: str = "") -> None:
     """Multiprocessing entry: drain ("batch", RequestBatch) messages
-    until ("stop",).  Specs are loaded from the shared disk cache."""
+    until ("stop",).  Specs — and the fleet's configured policy set,
+    named by *policy_digest* — are loaded from the shared disk cache.
+    ("checkpoint", tenant) answers with the tenant's sealed migration
+    envelope; ("restore", envelope) installs a migrated tenant."""
     if slow_start > 0:
         # worker.slow_start arm: the respawned process takes its time
         # coming up; dispatched batches just wait in the inbox.
         time.sleep(slow_start)
     registry = SpecRegistry(cache_dir=cache_dir)
+    policies = (registry.policies.get(policy_digest)
+                if policy_digest else None)
     worker = FleetWorker(worker_id, registry, mode=mode, backend=backend,
                          max_instance_respawns=max_instance_respawns,
                          degradation=degradation or DEFAULT_DEGRADATION,
                          injector=instance_injector(fault_plan),
                          circuit_threshold=circuit_threshold,
-                         circuit_cooldown=circuit_cooldown)
+                         circuit_cooldown=circuit_cooldown,
+                         policies=policies)
     outbox.put(("ready", worker_id))
     while True:
         message = inbox.get()
         if message[0] == "stop":
             break
+        if message[0] == "checkpoint":
+            outbox.put(("checkpoint", worker_id,
+                        worker.checkpoint_tenant(message[1])))
+            continue
+        if message[0] == "restore":
+            worker.restore_tenant(message[1])
+            outbox.put(("restored", worker_id, message[1]["tenant"]))
+            continue
         batch: RequestBatch = message[1]
         if batch_wants_crash(batch):
             # Fault-injection hook: die the way a segfaulting QEMU

@@ -16,8 +16,9 @@ from repro.gateway.arrivals import (
     ArrivalSpec, TenantStream, build_streams, tenant_rng,
 )
 from repro.gateway.engine import (
-    Gateway, GatewayConfig, GatewayResult, GatewayStats, RebalanceAction,
-    merge_fleet_stats, merge_tenant_summaries,
+    Gateway, GatewayConfig, GatewayResult, GatewayStats,
+    PolicyReloadAction, RebalanceAction, merge_fleet_stats,
+    merge_tenant_summaries,
 )
 from repro.gateway.ring import (
     DEFAULT_VNODES, HashRing, moved_tenants,
@@ -28,6 +29,7 @@ __all__ = [
     "AdmissionController", "TokenBucket",
     "ArrivalSpec", "TenantStream", "build_streams", "tenant_rng",
     "Gateway", "GatewayConfig", "GatewayResult", "GatewayStats",
-    "RebalanceAction", "merge_fleet_stats", "merge_tenant_summaries",
+    "PolicyReloadAction", "RebalanceAction", "merge_fleet_stats",
+    "merge_tenant_summaries",
     "DEFAULT_VNODES", "HashRing", "moved_tenants",
 ]

@@ -51,6 +51,7 @@ from repro.gateway.admission import (
 )
 from repro.gateway.arrivals import ArrivalSpec, TenantStream, build_streams
 from repro.gateway.ring import DEFAULT_VNODES, HashRing, moved_tenants
+from repro.policy.model import PolicySet
 from repro.telemetry.metrics import (
     DEFAULT_CYCLE_BUCKETS, TelemetrySnapshot, merge_snapshots,
 )
@@ -70,6 +71,22 @@ class RebalanceAction:
     at_cycle: int
     add: Tuple[int, ...] = ()
     remove: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class PolicyReloadAction:
+    """Fleet-wide tenant-policy hot reload at one simulated instant.
+
+    *policies* is a :class:`PolicySet` or a raw policy-set document;
+    validation happens when the gateway is constructed with the action
+    (or when ``run`` reaches it), and a malformed document raises
+    :class:`~repro.errors.PolicyError` without disturbing any shard.
+    Dispatches at or after ``at_cycle`` are stamped with the new
+    generation on every shard, current and future.
+    """
+
+    at_cycle: int
+    policies: object = None
 
 
 @dataclass
@@ -97,6 +114,9 @@ class GatewayConfig:
     circuit_cooldown: int = 4
     degradation: Optional[DegradationConfig] = None
     fault_plan: Optional[object] = None
+    #: declarative per-tenant resilience policies, forwarded to every
+    #: shard supervisor; None preserves the legacy knobs above
+    policies: Optional[PolicySet] = None
 
 
 @dataclass
@@ -120,6 +140,11 @@ class GatewayStats:
     slo_violations: int = 0
     rebalances: int = 0
     moved_tenants: int = 0
+    #: moved tenants whose live instance state travelled with them
+    #: (checkpoint on the old shard, restore on the new one)
+    migrations: int = 0
+    #: fleet-wide policy hot reloads fired mid-run
+    policy_reload_events: int = 0
     warmup_seconds: float = 0.0
     wall_seconds: float = 0.0
 
@@ -170,6 +195,8 @@ class GatewayStats:
                 f"({100 * self.slo_violation_rate:.2f}%)\n"
                 f"  rebalances={self.rebalances} "
                 f"moved_tenants={self.moved_tenants} "
+                f"migrations={self.migrations} "
+                f"policy_reloads={self.policy_reload_events} "
                 f"warmup={self.warmup_seconds:.2f}s "
                 f"wall={self.wall_seconds:.2f}s")
 
@@ -257,6 +284,9 @@ def merge_tenant_summaries(shard_results: Sequence[FleetResult]
             if summary.quarantined:
                 into.quarantined = True
                 into.quarantine_reason = summary.quarantine_reason
+            if summary.policy_id:
+                into.policy_id = summary.policy_id
+            into.fenced = into.fenced or summary.fenced
     return merged
 
 
@@ -285,6 +315,12 @@ def merge_fleet_stats(shard_stats: Sequence[FleetStats],
         merged.circuit_opens += s.circuit_opens
         merged.watchdog_kills += s.watchdog_kills
         merged.spec_reloads += s.spec_reloads
+        merged.policy_reloads += s.policy_reloads
+        merged.policy_throttles += s.policy_throttles
+        merged.policy_restores += s.policy_restores
+        merged.policy_fences += s.policy_fences
+        merged.fenced_tenants += s.fenced_tenants
+        merged.migrations += s.migrations
         merged.retrain_candidates += s.retrain_candidates
         merged.io_rounds += s.io_rounds
         merged.total_cycles += s.total_cycles
@@ -340,6 +376,7 @@ class Gateway:
         self.registry = registry or SpecRegistry(
             cache_dir=self.config.cache_dir)
         self._reloads: List[Tuple[str, str, int, Optional[str]]] = []
+        self._policy_reloads: List[PolicySet] = []
         self.telemetry = TelemetryRegistry()
         self._recorder = self.telemetry.recorder("gateway")
 
@@ -349,6 +386,14 @@ class Gateway:
         (a shard added by a rebalance inherits the reload schedule)."""
         self.registry.spec_by_digest(digest)    # unknown digest: raise
         self._reloads.append((device, digest, at_seq, qemu_version))
+
+    def _validate_policies(self, policies) -> PolicySet:
+        """Validate a policy document eagerly (before any shard sees
+        it); a malformed one raises PolicyError here, leaving every
+        shard undisturbed."""
+        if not isinstance(policies, PolicySet):
+            policies = PolicySet.from_obj(policies)
+        return policies
 
     def _new_shard(self, shard_id: int) -> _Shard:
         config = self.config
@@ -361,19 +406,31 @@ class Gateway:
             circuit_threshold=config.circuit_threshold,
             circuit_cooldown=config.circuit_cooldown,
             degradation=config.degradation,
-            fault_plan=config.fault_plan)
+            fault_plan=config.fault_plan,
+            policies=config.policies)
         supervisor = FleetSupervisor(fleet_config,
                                      registry=self.registry,
                                      recorder=recorder)
         for device, digest, at_seq, qemu_version in self._reloads:
             supervisor.reload_spec(device, digest, at_seq, qemu_version)
+        # A shard added mid-run inherits every policy reload already
+        # fired, so its tenants run under the current generation.
+        for policies in self._policy_reloads:
+            supervisor.reload_policy(policies, at_seq=0)
         return _Shard(shard_id, supervisor, telemetry)
 
     def run(self, plans: Sequence[TenantPlan],
             streams: Optional[Sequence[TenantStream]] = None,
-            rebalances: Sequence[RebalanceAction] = ()) -> GatewayResult:
+            rebalances: Sequence[RebalanceAction] = (),
+            policy_reloads: Sequence[PolicyReloadAction] = ()
+            ) -> GatewayResult:
         config = self.config
         wall_start = time.perf_counter()
+        # Validate every scheduled policy document before the first
+        # shard spins up: malformed input fails here, fleet untouched.
+        validated_reloads = [
+            (action.at_cycle, self._validate_policies(action.policies))
+            for action in policy_reloads]
         if streams is None:
             streams = build_streams(plans, config.arrival, config.seed)
         plan_by_tenant = {p.tenant: p for p in plans}
@@ -401,6 +458,10 @@ class Gateway:
                                          **labels)
         moves_ctr = self._recorder.counter("gateway.tenant_moves",
                                            **labels)
+        migrations_ctr = self._recorder.counter("gateway.migrations",
+                                                **labels)
+        policy_reload_ctr = self._recorder.counter(
+            "gateway.policy_reloads", **labels)
         latency_hist = self._recorder.histogram(
             "gateway.latency_cycles", DEFAULT_CYCLE_BUCKETS, **labels)
 
@@ -417,6 +478,10 @@ class Gateway:
 
         for action in rebalances:
             push(action.at_cycle, _EV_REBALANCE, ("rebalance", action))
+        for at_cycle, policies in validated_reloads:
+            # Same tie-break slot as rebalances: a dispatch at cycle t
+            # must already see the new policy generation.
+            push(at_cycle, _EV_REBALANCE, ("policy", policies))
         for stream in streams:
             tenant = stream.plan.tenant
             for cycle, op in stream.arrivals:
@@ -429,6 +494,8 @@ class Gateway:
         dispatches = 0
         dispatched_ops = 0
         rebalance_count = 0
+        migration_count = 0
+        policy_reload_count = 0
         moves: Dict[str, Tuple[int, int]] = {}
         seq = 0
 
@@ -535,6 +602,21 @@ class Gateway:
                 for tenant, (src, dst) in moved.items():
                     moves[tenant] = (moves.get(tenant, (src,))[0], dst)
                     moves_ctr.inc()
+                    # Live migration: the tenant's guarded-instance
+                    # state (device, shadow checker, quarantine,
+                    # circuit-breaker strikes, policy generation)
+                    # travels to the new owner as a sealed checkpoint
+                    # instead of being rebuilt from scratch.  Sessions
+                    # are synchronous, so the source lane is drained at
+                    # this instant; a tenant never served yet simply
+                    # has no envelope to move.
+                    envelope = \
+                        all_shards[src].session.checkpoint_tenant(tenant)
+                    if envelope is not None:
+                        dst_shard = all_shards[dst]
+                        dst_shard.session.install_checkpoint(envelope)
+                        migration_count += 1
+                        migrations_ctr.inc()
                     if tenant in queued:
                         # Eager re-route of queued (not in-flight) work:
                         # drop the stale ready entry, queue on the new
@@ -548,6 +630,16 @@ class Gateway:
                             pass
                         queued.discard(tenant)
                         enqueue(tenant, cycle)
+            elif kind == "policy":
+                _, policies = event
+                policy_reload_count += 1
+                policy_reload_ctr.inc()
+                self._policy_reloads.append(policies)
+                for shard in shards.values():
+                    # at_seq=0: batches are stamped at submit time, so
+                    # only dispatches after this instant pick up the
+                    # new generation — in-flight work is untouched.
+                    shard.supervisor.reload_policy(policies, at_seq=0)
             else:
                 raise GatewayError(f"unknown event kind {kind!r}")
 
@@ -580,6 +672,8 @@ class Gateway:
             p99_latency_cycles=percentile(latencies, 0.99),
             slo_cycles=slo_cycles, slo_violations=slo_violations,
             rebalances=rebalance_count, moved_tenants=len(moves),
+            migrations=migration_count,
+            policy_reload_events=policy_reload_count,
             warmup_seconds=warmup,
             wall_seconds=time.perf_counter() - wall_start)
         merged_fleet = merge_fleet_stats(

@@ -1,0 +1,17 @@
+"""repro.policy: declarative per-tenant resilience policy.
+
+Lifts the fleet's hard-coded resilience knobs (degradation mode, retry
+budget, rate quota, respawn budget, circuit breaker, graduated response
+ladder) into validated, content-addressed, hot-reloadable data.
+"""
+
+from repro.policy.model import (
+    DEFAULT_POLICY, POLICY_FORMAT, PolicySet, PolicyStore, TenantPolicy,
+    canonical_json, load_policy_file, policy_digest,
+)
+
+__all__ = [
+    "DEFAULT_POLICY", "POLICY_FORMAT", "PolicySet", "PolicyStore",
+    "TenantPolicy", "canonical_json", "load_policy_file",
+    "policy_digest",
+]

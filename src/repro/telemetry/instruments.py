@@ -222,10 +222,12 @@ class FleetTelemetry:
 
     __slots__ = ("_recorder", "_depth", "_request_cycles", "_requests",
                  "_worker_cycles", "_detections", "_quarantines",
+                 "_policy_responses",
                  "worker_respawns", "instance_respawns", "lost",
                  "duplicates", "trace_gaps", "infra_failures", "shed",
                  "circuit_opens", "watchdog_kills", "spec_reloads",
-                 "retrain_enqueued", "promotions", "promotion_refusals")
+                 "retrain_enqueued", "promotions", "promotion_refusals",
+                 "policy_reloads", "migrations")
 
     def __init__(self, recorder: Recorder):
         self._recorder = recorder
@@ -255,6 +257,11 @@ class FleetTelemetry:
         self.promotions = recorder.counter("fleet.spec_promotions")
         self.promotion_refusals = recorder.counter(
             "fleet.spec_promotion_refusals")
+        # Tenant-policy lifecycle: hot swaps, graduated-ladder responses
+        # (labeled per policy id), and live migrations.
+        self._policy_responses: Dict[Tuple[str, str], object] = {}
+        self.policy_reloads = recorder.counter("fleet.policy_reloads")
+        self.migrations = recorder.counter("fleet.migrations")
 
     def record_dispatch(self, worker_id: int, depth: int) -> None:
         hist = self._depth.get(worker_id)
@@ -307,6 +314,28 @@ class FleetTelemetry:
             self.shed.inc(result.shed)
         if result.circuit_opens:
             self.circuit_opens.inc(result.circuit_opens)
+
+    def record_policy(self, result) -> None:
+        """One BatchResult's graduated-ladder responses, labeled by the
+        resolved policy id — the per-policy breakdown ``repro stats``
+        surfaces (throttles/restores/fences per policy, mirroring the
+        per-strategy detection labels)."""
+        policy_id = result.policy_id
+        if not policy_id:
+            return
+        for response, n in (("throttle", result.policy_throttles),
+                            ("restore", result.policy_restores),
+                            ("fence", result.policy_fences)):
+            if not n:
+                continue
+            key = (policy_id, response)
+            counter = self._policy_responses.get(key)
+            if counter is None:
+                counter = self._recorder.counter(
+                    "fleet.policy_responses", policy=policy_id,
+                    response=response)
+                self._policy_responses[key] = counter
+            counter.inc(n)
 
     def record_report(self, tenant: str, report) -> None:
         for strategy in {a.strategy for a in report.anomalies}:

@@ -122,6 +122,38 @@ def degradation_rows(snapshot: TelemetrySnapshot) -> List[Tuple]:
     return rows
 
 
+#: Tenant-policy lifecycle counters surfaced by ``repro stats``.
+POLICY_COUNTERS = (
+    "fleet.policy_reloads", "fleet.migrations", "fleet.quarantines",
+)
+
+#: Graduated-ladder responses, in firing order.
+POLICY_RESPONSE_ORDER = ("throttle", "restore", "fence")
+
+
+def policy_rows(snapshot: TelemetrySnapshot) -> List[Tuple]:
+    """(counter, total) rows for the tenant-policy lifecycle, followed
+    by a per-policy breakdown of graduated-ladder responses
+    (``fleet.policy_responses[<policy>.<response>]``), mirroring how the
+    degradation table appends per-site fault rows."""
+    rows = [(name, sum(snapshot.counters_named(name).values()))
+            for name in POLICY_COUNTERS]
+    by_labels: Dict[Tuple[str, str], int] = {}
+    for (_, labels), value in snapshot.counters_named(
+            "fleet.policy_responses").items():
+        pairs = dict(labels)
+        key = (pairs.get("policy", ""), pairs.get("response", ""))
+        by_labels[key] = by_labels.get(key, 0) + value
+    for policy in sorted({policy for policy, _ in by_labels}):
+        for response in POLICY_RESPONSE_ORDER:
+            value = by_labels.get((policy, response))
+            if value:
+                rows.append(
+                    (f"fleet.policy_responses[{policy}.{response}]",
+                     value))
+    return rows
+
+
 #: Admission / SLO counters recorded by the gateway's stats plane.
 GATEWAY_COUNTERS = (
     "gateway.admitted", "gateway.quota_rejected", "gateway.queue_shed",

@@ -1,0 +1,51 @@
+"""Graduated response ladder: throttle → snapshot restore → fence.
+
+A benign tenant hit by a persistent infrastructure fault must walk the
+ladder in order — circuit throttle first, a restore from the healthy
+snapshot next, the infrastructure fence last — and come out the other
+side *fenced*, never security-quarantined.  Quarantine is a security
+verdict; an unlucky tenant on a broken lane has earned none.
+"""
+
+import pytest
+
+from repro.faults.chaos import LadderOutcome, run_ladder_scenario
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_ladder_scenario()
+
+
+class TestLadder:
+    def test_healthy_snapshot_captured_before_faults(self, outcome):
+        assert outcome.snapshot_taken
+
+    def test_rungs_fire_in_order(self, outcome):
+        assert outcome.ladder_in_order, (
+            outcome.throttle_batch, outcome.restore_batch,
+            outcome.fence_batch)
+        assert outcome.throttles >= 1
+        assert outcome.restores >= 1
+        assert outcome.fences >= 1
+
+    def test_benign_tenant_is_fenced_not_quarantined(self, outcome):
+        assert outcome.fenced
+        assert not outcome.quarantined
+        assert outcome.i2_ok
+
+    def test_fence_sheds_everything(self, outcome):
+        assert outcome.served_after_fence == 0
+
+
+class TestLadderVariants:
+    @pytest.mark.parametrize("backend", ["reference", "bytecode"])
+    def test_ladder_is_backend_independent(self, backend):
+        outcome = run_ladder_scenario(backend=backend)
+        assert outcome.ladder_in_order
+        assert outcome.i2_ok
+
+    def test_never_fired_ladder_is_not_in_order(self):
+        # The property is strict: -1 sentinels (rung never fired) must
+        # not satisfy it, so a scenario that silently skips a rung fails.
+        assert not LadderOutcome().ladder_in_order

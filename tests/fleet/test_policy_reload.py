@@ -1,0 +1,123 @@
+"""Fleet-wide tenant-policy hot reload: epoch-consistent, eager
+validation, inline/pool parity.
+
+Policy reloads ride the same stamping mechanism as spec reloads: the
+supervisor stamps every batch with the policy generation it must run
+under, the worker swaps per tenant before the batch's first op, and
+in-flight batches finish wholly under the old policy.  A malformed
+document must fail at ``reload_policy`` time — before anything is
+scheduled — leaving the running fleet untouched.
+"""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.fleet import (
+    FleetConfig, FleetSupervisor, ScheduledPolicyReload, build_load,
+)
+from repro.policy.model import PolicySet, TenantPolicy
+
+GOLD = PolicySet(default=TenantPolicy(policy_id="gold"))
+SILVER = PolicySet(default=TenantPolicy(policy_id="silver",
+                                        degradation="retry",
+                                        max_retries=1))
+
+PARITY_FIELDS = ("requests", "completed", "rejected", "lost",
+                 "detections", "shed", "policy_reloads",
+                 "policy_throttles", "policy_restores", "policy_fences",
+                 "fenced_tenants", "io_rounds", "total_cycles")
+
+
+def _run(inline, cache_dir, at_seq, tenants=3, batches=4, ops=3):
+    plans, schedule = build_load(["fdc"], tenants, batches, ops, seed=9)
+    supervisor = FleetSupervisor(FleetConfig(
+        workers=2, inline=inline, cache_dir=cache_dir, policies=GOLD))
+    supervisor.reload_policy(SILVER, at_seq=at_seq)
+    return supervisor.run(schedule, plans), plans
+
+
+class TestHotReload:
+    def test_swaps_every_tenant_exactly_once(self):
+        result, plans = _run(inline=True, cache_dir=None, at_seq=6)
+        assert result.stats.policy_reloads == len(plans)
+        assert result.stats.lost == 0
+        assert result.stats.duplicate_results == 0
+        for summary in result.tenants.values():
+            assert summary.policy_id == "silver"
+
+    def test_batches_flip_generation_at_the_boundary(self):
+        # The supervisor stamps batches; the worker swaps per tenant
+        # before the stamped batch's first op — earlier batches run
+        # wholly under the old generation, later ones under the new.
+        from dataclasses import replace
+
+        from repro.fleet import FleetWorker, SpecRegistry
+        from repro.fleet.loadgen import make_schedule, plan_tenants
+
+        registry = SpecRegistry()
+        digest = registry.policies.put(SILVER)
+        worker = FleetWorker(0, registry, policies=GOLD)
+        plans = plan_tenants(["fdc"], 1, seed=9)
+        schedule = make_schedule(plans, 4, 3, seed=9)
+        results = []
+        for i, batch in enumerate(schedule):
+            if i >= 2:
+                batch = replace(batch, policy_epoch=1,
+                                policy_digest=digest)
+            results.append(worker.run_batch(batch))
+        assert [r.policy_id for r in results] \
+            == ["gold", "gold", "silver", "silver"]
+        assert [r.policy_generation for r in results] == [0, 0, 1, 1]
+        assert sum(r.policy_reloads for r in results) == 1
+
+    def test_at_seq_zero_applies_before_first_batch(self):
+        result, plans = _run(inline=True, cache_dir=None, at_seq=0)
+        assert result.stats.policy_reloads == len(plans)
+        assert all(summary.policy_id == "silver"
+                   for summary in result.tenants.values())
+
+    def test_inline_pool_parity(self, tmp_path):
+        inline_result, _ = _run(inline=True, cache_dir=str(tmp_path),
+                                at_seq=6)
+        pool_result, _ = _run(inline=False, cache_dir=str(tmp_path),
+                              at_seq=6)
+        for name in PARITY_FIELDS:
+            assert getattr(inline_result.stats, name) \
+                == getattr(pool_result.stats, name), name
+        inline_stamps = sorted(
+            (t, r.policy_id, r.policy_generation)
+            for t, r in inline_result.reports)
+        pool_stamps = sorted(
+            (t, r.policy_id, r.policy_generation)
+            for t, r in pool_result.reports)
+        assert inline_stamps == pool_stamps
+
+
+class TestEagerValidation:
+    @pytest.mark.parametrize("document", [
+        {"default": {"circuit_cooldown": 0}},
+        {"default": {"nonsense_knob": 3}},
+        {"extra_section": {}},
+        "not an object",
+    ])
+    def test_malformed_document_rejected_eagerly(self, document):
+        supervisor = FleetSupervisor(FleetConfig(workers=2, inline=True))
+        with pytest.raises(PolicyError):
+            supervisor.reload_policy(document)
+        # Nothing was scheduled: the fleet runs exactly as unconfigured.
+        assert supervisor._policy_reloads == []
+        plans, schedule = build_load(["fdc"], 2, 2, 2, seed=9)
+        result = supervisor.run(schedule, plans)
+        assert result.stats.policy_reloads == 0
+        assert result.stats.lost == 0
+
+    def test_raw_dict_document_accepted(self):
+        supervisor = FleetSupervisor(FleetConfig(workers=2, inline=True))
+        digest = supervisor.reload_policy(SILVER.to_obj())
+        assert digest == SILVER.digest
+        assert supervisor._policy_reloads == [
+            ScheduledPolicyReload(SILVER.digest, 0)]
+
+    def test_malformed_boot_policy_rejected(self):
+        with pytest.raises(PolicyError):
+            PolicySet.from_obj({"default": {"max_retries": -1}})

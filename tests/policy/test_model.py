@@ -1,0 +1,198 @@
+"""TenantPolicy / PolicySet: round-trip identity, eager validation,
+content addressing, and the content-addressed store.
+
+The Hypothesis properties pin the serialization contract live migration
+and policy hot reload depend on: ``from_obj(to_obj(p)) == p`` for every
+valid policy, digests are an injective function of content (order of
+tenant overrides never matters), and *every* unknown key is rejected —
+a typo'd knob must fail at load, not silently fall back to a default.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PolicyError
+from repro.policy.model import (
+    DEFAULT_POLICY, PolicySet, PolicyStore, TenantPolicy,
+    canonical_json, load_policy_file, policy_digest,
+)
+
+IDENT = st.text(alphabet="abcdefghij-0123456789", min_size=1,
+                max_size=12)
+
+
+@st.composite
+def policies(draw):
+    """Valid TenantPolicy instances, ladder ordering included."""
+    throttle = draw(st.integers(0, 4))
+    restore = draw(st.one_of(
+        st.just(0), st.integers(max(throttle, 1), 8)))
+    quarantine = draw(st.one_of(
+        st.just(0), st.integers(max(throttle, restore, 1), 12)))
+    return TenantPolicy(
+        policy_id=draw(IDENT),
+        degradation=draw(st.sampled_from(
+            ("fail-closed", "fail-open", "retry"))),
+        max_retries=draw(st.integers(0, 5)),
+        rate_quota=draw(st.integers(0, 64)),
+        respawn_budget=draw(st.integers(0, 4)),
+        throttle_after=throttle,
+        circuit_cooldown=draw(st.integers(1, 8)),
+        restore_after=restore,
+        quarantine_after=quarantine)
+
+
+@st.composite
+def policy_sets(draw):
+    overrides = draw(st.dictionaries(IDENT, policies(), max_size=4))
+    return PolicySet(default=draw(policies()), tenants=overrides)
+
+
+class TestRoundTrip:
+    @given(policies())
+    @settings(max_examples=60, deadline=None)
+    def test_policy_parse_serialize_identity(self, policy):
+        assert TenantPolicy.from_obj(policy.to_obj()) == policy
+
+    @given(policy_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_set_parse_serialize_identity(self, policies):
+        again = PolicySet.from_obj(policies.to_obj())
+        assert again == policies
+        assert again.digest == policies.digest
+
+    @given(policy_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_obj_survives_json_encoding(self, policies):
+        # The wire form (what a policy file or a pool worker sees) is
+        # JSON text, not live dicts; digests must agree across the hop.
+        wire = json.loads(canonical_json(policies.to_obj()))
+        assert PolicySet.from_obj(wire) == policies
+        assert policy_digest(wire) == policies.digest
+
+    @given(policy_sets(), IDENT)
+    @settings(max_examples=40, deadline=None)
+    def test_resolve_falls_back_to_default(self, policies, tenant):
+        resolved = policies.resolve(tenant)
+        if tenant in policies.tenants:
+            assert resolved == policies.tenants[tenant]
+        else:
+            assert resolved == policies.default
+
+    @given(policies(), IDENT)
+    @settings(max_examples=40, deadline=None)
+    def test_unknown_policy_key_rejected(self, policy, key):
+        obj = policy.to_obj()
+        obj[f"x-{key}"] = 1    # prefixed: never collides with a field
+        with pytest.raises(PolicyError):
+            TenantPolicy.from_obj(obj)
+
+    @given(policy_sets(), IDENT)
+    @settings(max_examples=40, deadline=None)
+    def test_unknown_set_key_rejected(self, policies, key):
+        obj = policies.to_obj()
+        obj[f"x-{key}"] = {}
+        with pytest.raises(PolicyError):
+            PolicySet.from_obj(obj)
+
+
+class TestValidation:
+    def test_default_policy_is_valid(self):
+        assert TenantPolicy.from_obj(DEFAULT_POLICY.to_obj()) \
+            == DEFAULT_POLICY
+
+    @pytest.mark.parametrize("overrides", [
+        {"policy_id": ""},
+        {"degradation": "explode"},
+        {"max_retries": -1},
+        {"max_retries": True},          # bool is not an int here
+        {"rate_quota": "lots"},
+        {"circuit_cooldown": 0},
+        {"throttle_after": 3, "restore_after": 2},
+        {"throttle_after": 2, "restore_after": 4, "quarantine_after": 3},
+        {"quarantine_after": -2},
+    ])
+    def test_malformed_policy_rejected(self, overrides):
+        obj = DEFAULT_POLICY.to_obj()
+        obj.update(overrides)
+        with pytest.raises(PolicyError):
+            TenantPolicy.from_obj(obj)
+
+    def test_non_dict_documents_rejected(self):
+        with pytest.raises(PolicyError):
+            TenantPolicy.from_obj([1, 2])
+        with pytest.raises(PolicyError):
+            PolicySet.from_obj("not an object")
+
+    def test_wrong_format_rejected(self):
+        obj = PolicySet().to_obj()
+        obj["format"] = 99
+        with pytest.raises(PolicyError):
+            PolicySet.from_obj(obj)
+
+
+class TestDigest:
+    def test_digest_ignores_tenant_insertion_order(self):
+        a = PolicySet().with_override(
+            "t1", TenantPolicy(policy_id="a")).with_override(
+            "t2", TenantPolicy(policy_id="b"))
+        b = PolicySet().with_override(
+            "t2", TenantPolicy(policy_id="b")).with_override(
+            "t1", TenantPolicy(policy_id="a"))
+        assert a.digest == b.digest
+
+    def test_digest_changes_with_content(self):
+        base = PolicySet()
+        assert base.digest != base.with_override(
+            "t", TenantPolicy(policy_id="other")).digest
+
+
+class TestStoreAndFile:
+    def test_store_round_trip(self, tmp_path):
+        store = PolicyStore(cache_dir=str(tmp_path))
+        policies = PolicySet(default=TenantPolicy(policy_id="gold"))
+        digest = store.put(policies)
+        # A second store over the same dir (a pool worker process)
+        # resolves the digest from disk to an equal set.
+        other = PolicyStore(cache_dir=str(tmp_path))
+        assert other.get(digest) == policies
+
+    def test_store_rejects_tampered_artifact(self, tmp_path):
+        store = PolicyStore(cache_dir=str(tmp_path))
+        digest = store.put(PolicySet())
+        path = store.path(digest)
+        with open(path) as handle:
+            envelope = json.load(handle)
+        envelope["policy"]["default"]["max_retries"] = 99
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        with pytest.raises(PolicyError):
+            PolicyStore(cache_dir=str(tmp_path)).get(digest)
+
+    def test_store_misses_unknown_digest(self, tmp_path):
+        with pytest.raises(PolicyError):
+            PolicyStore(cache_dir=str(tmp_path)).get("0" * 64)
+
+    def test_load_policy_file_round_trip(self, tmp_path):
+        policies = PolicySet(default=TenantPolicy(policy_id="gold"),
+                             tenants={"t0": TenantPolicy(
+                                 policy_id="bronze", rate_quota=4)})
+        path = tmp_path / "pol.json"
+        path.write_text(json.dumps(policies.to_obj()))
+        assert load_policy_file(str(path)) == policies
+
+    def test_load_policy_file_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope")
+        with pytest.raises(PolicyError):
+            load_policy_file(str(path))
+
+    def test_load_policy_file_rejects_unknown_key(self, tmp_path):
+        obj = PolicySet().to_obj()
+        obj["default"]["throttle_afterr"] = 3
+        path = tmp_path / "typo.json"
+        path.write_text(json.dumps(obj))
+        with pytest.raises(PolicyError):
+            load_policy_file(str(path))
