@@ -87,6 +87,10 @@ class CheckReport:
     #: worker exactly as ``policy`` stamps the degradation mode
     policy_id: str = ""
     policy_generation: int = 0
+    #: spec generation (hot-reload epoch) the round was vetted under,
+    #: stamped by the guarded instance when it records the report; an
+    #: offline bound audit uses it to pick the right epoch's table
+    spec_epoch: int = 0
     #: the enforcement machinery lost (part of) this round: the report is
     #: an infrastructure outcome, not a security one
     trace_gap: bool = False

@@ -209,8 +209,12 @@ def scan(table: BoundTable,
     for io_key, field, value in samples:
         index = indexes.get(io_key)
         if index is None:
-            index = {site.field: site
-                     for site in table.commands.get(io_key, ())}
+            # First site wins when a command stores the same field at
+            # several sites, matching check_value's iteration order —
+            # the two entry points must attribute the same address.
+            index = {}
+            for site in table.commands.get(io_key, ()):
+                index.setdefault(site.field, site)
             indexes[io_key] = index
         site = index.get(field)
         if site is not None and not (site.lo <= value <= site.hi):
@@ -219,18 +223,32 @@ def scan(table: BoundTable,
     return violations
 
 
-def audit_reports(table: BoundTable, reports) -> List[BoundViolation]:
+def audit_reports(table: BoundTable, reports,
+                  by_epoch: Optional[Dict[int, BoundTable]] = None
+                  ) -> List[BoundViolation]:
     """Re-audit a checker session's final shadow-state dumps.
 
     Every scalar parameter value a passed round left in the shadow
     state must sit inside the field's declared range — the inline
     checks guarantee it online, so any violation found here indicates
     checker malfunction or post-hoc tampering with the report stream.
+
+    A session that crossed a spec hot reload holds reports produced
+    under *different* declared layouts; auditing them all against one
+    table turns every range the reload narrowed into a false tampering
+    verdict.  Reports are stamped with the spec epoch they ran under,
+    so pass ``by_epoch`` (epoch -> that generation's table) and each
+    report is judged against the table of its own epoch; *table* stays
+    the fallback for epochs the mapping does not cover.
     """
     violations: List[BoundViolation] = []
     for report in reports:
+        current = table
+        if by_epoch is not None:
+            current = by_epoch.get(
+                getattr(report, "spec_epoch", 0), table)
         for field, value in report.final_state.items():
-            bounds = table.field_bounds.get(field)
+            bounds = current.field_bounds.get(field)
             if bounds is not None and not (
                     bounds[0] <= value <= bounds[1]):
                 violations.append(BoundViolation(

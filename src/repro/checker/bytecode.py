@@ -44,10 +44,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import struct
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import CheckerError, DeviceFault
-from repro.checker.anomalies import Strategy
+from repro.checker.anomalies import (
+    Action, CheckReport, Strategy, decide_action,
+)
 from repro.checker.compile import _WalkStop, _flag
 from repro.interp.ops import _floordiv, _mod, binop_fn
 from repro.ir import (
@@ -58,6 +61,12 @@ from repro.ir import (
 from repro.spec.escfg import ESBlock, ESFunction, ExecutionSpec
 
 BYTECODE_FORMAT = 1
+
+#: Little-endian fixed-width codecs shared by every specialized frame.
+_S2 = struct.Struct("<H")
+_S4 = struct.Struct("<I")
+_S8 = struct.Struct("<Q")
+BATCH_FORMAT = 1
 
 #: read sentinels for the generated frame
 _MISS = object()     # I/O parameter never provided
@@ -500,7 +509,8 @@ class BytecodeSpec:
     """One spec's flat bytecode arrays plus its assembled walk frame."""
 
     __slots__ = ("device", "fnames", "entry_pc", "nparams", "nlocals",
-                 "code", "pool", "_walk", "_fid", "_entry")
+                 "code", "pool", "_walk", "_walk_batch", "_fid",
+                 "_entry")
 
     def __init__(self, device: str, fnames: Tuple[str, ...],
                  entry_pc: Tuple[int, ...], nparams: Tuple[int, ...],
@@ -514,6 +524,7 @@ class BytecodeSpec:
         self.code = code
         self.pool = pool
         self._walk: Optional[Callable] = None
+        self._walk_batch: Optional[Callable] = None
         self._fid = {name: i for i, name in enumerate(fnames)}
         self._entry = {name: (entry_pc[i], nparams[i], nlocals[i])
                        for i, name in enumerate(fnames)}
@@ -522,6 +533,16 @@ class BytecodeSpec:
         """Self-contained: assembly reads only the arrays."""
         self._walk = _assemble_spec(self)
         return self
+
+    def batch_walk(self) -> Callable:
+        """The batched entry's generated frame, assembled on first use
+        (the per-round ``_walk`` is untouched — the batched frame is a
+        second, spec-specialized artifact)."""
+        wb = self._walk_batch
+        if wb is None:
+            wb = _assemble_spec(self, batched=True)
+            self._walk_batch = wb
+        return wb
 
     def run(self, w, handler: str, args: Tuple[int, ...]) -> Optional[int]:
         """One I/O round's walk; counters flush even on early stops
@@ -576,6 +597,54 @@ class BytecodeSpec:
                           separators=(",", ":")).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()
 
+    # -- the specialized batch artifact --------------------------------------
+
+    def batch_payload(self) -> Dict[str, Any]:
+        """The spec-specialized batched dispatch as a self-contained
+        artifact: the generated source plus the constant tables it
+        closes over (trained access tables, jump tables, legitimate
+        target sets).  Deterministic for a given bytecode, so it is
+        content-addressable alongside the ``bc-*`` artifacts."""
+        walk = self.batch_walk()
+        return {
+            "format": BATCH_FORMAT,
+            "kind": "checker-batch-dispatch",
+            "device": self.device,
+            "bytecode_digest": self.digest(),
+            "source": walk._bytecode_source,
+            "consts": {k: _tag_const(v)
+                       for k, v in sorted(
+                           walk._bytecode_consts.items())},
+        }
+
+    def attach_batch_payload(self, payload: Dict[str, Any]) -> None:
+        """Adopt a cached specialized dispatch instead of re-running
+        specialization.  The payload must belong to this bytecode."""
+        if payload.get("format") != BATCH_FORMAT:
+            raise CheckerError(
+                f"unsupported batch format {payload.get('format')!r}")
+        if payload.get("kind") != "checker-batch-dispatch":
+            raise CheckerError("payload is not a batch dispatch")
+        if payload.get("device") != self.device:
+            raise CheckerError(
+                f"batch dispatch for {payload.get('device')!r} cannot "
+                f"serve {self.device!r}")
+        if payload.get("bytecode_digest") != self.digest():
+            raise CheckerError(
+                "batch dispatch was specialized from a different "
+                "spec generation")
+        bound = {k: _untag_const(v)
+                 for k, v in payload["consts"].items()}
+        namespace: Dict[str, Any] = _base_consts(self)
+        namespace.update(bound)
+        source = payload["source"]
+        exec(compile(source, f"<es-bytecode-batch:{self.device}>",
+                     "exec"), namespace)
+        walk = namespace["_walk_batch"]
+        walk._bytecode_source = source
+        walk._bytecode_consts = bound
+        self._walk_batch = walk
+
 
 def _tag_const(value: Any) -> Any:
     if isinstance(value, tuple):
@@ -620,17 +689,36 @@ class _Asm:
         return f"_t{self._temp}"
 
 
-def _state_load_expr(off: int, end: int, signed: int, bits: int) -> str:
-    raw = f'_ifb(_sdata[{off}:{end}], "little")'
+def _state_load_expr(off: int, end: int, signed: int, bits: int,
+                     direct: bool = False) -> str:
+    if direct and end - off == 1:
+        # Specialized form: a one-byte field is a plain bytearray index —
+        # no slice object, no int.from_bytes call.
+        raw = f"_sdata[{off}]"
+    elif direct and end - off == 2:
+        # Two index ops beat the slice allocation + from_bytes call;
+        # wider fields use the fixed-width codecs below.
+        raw = f"(_sdata[{off}] | _sdata[{off + 1}] << 8)"
+    elif direct and end - off in (4, 8):
+        raw = f"_u{end - off}(_sdata, {off})[0]"
+    else:
+        raw = f'_ifb(_sdata[{off}:{end}], "little")'
     if signed:
         half, mod = 1 << (bits - 1), 1 << bits
         return f"((({raw} + {half}) % {mod}) - {half})"
     return raw
 
 
-def _assemble_spec(bspec: BytecodeSpec) -> Callable:
-    code, pool = bspec.code, bspec.pool
-    consts: Dict[str, Any] = {
+def _base_consts(bspec: "BytecodeSpec") -> Dict[str, Any]:
+    """The non-serializable part of a generated frame's namespace:
+    helpers, sentinels, and the function tables derived from the
+    bytecode arrays."""
+    from bisect import bisect_left
+
+    def _die(msg: str) -> int:
+        raise CheckerError(msg)
+
+    return {
         "_ifb": int.from_bytes, "_fdiv": _floordiv, "_fmod": _mod,
         "_flag": _flag, "_WalkStop": _WalkStop,
         "CheckerError": CheckerError,
@@ -640,8 +728,41 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
         "_FENT": bspec.entry_pc, "_FNP": bspec.nparams,
         "_FNL": bspec.nlocals,
         "_MISSPAD": (_MISS,) * (max(bspec.nparams, default=0) + 1),
+        "_bisect": bisect_left, "_die": _die,
+        # Batched-driver helpers (unused by the per-round frame).
+        "_CR": CheckReport, "_decide": decide_action,
+        "_ALLOW": Action.ALLOW, "_bytes": bytes,
+        # Fixed-width accessors for the specialized source: no slice
+        # allocation, no int.to_bytes object per store.
+        "_u2": _S2.unpack_from, "_u4": _S4.unpack_from,
+        "_u8": _S8.unpack_from,
+        "_p2": _S2.pack_into, "_p4": _S4.pack_into,
+        "_p8": _S8.pack_into,
     }
+
+
+_INT_LITERAL = __import__("re").compile(r"-?\d+")
+
+
+def _assemble_spec(bspec: BytecodeSpec, batched: bool = False) -> Callable:
+    """Assemble the arrays into a generated Python frame.
+
+    ``batched=False`` produces the per-round ``_walk`` entry, unchanged.
+    ``batched=True`` produces the cross-round ``_walk_batch`` entry with
+    a **spec-specialized** dispatch source: the trained access tables
+    and parameter bounds are constant-folded into the emitted code at
+    assembly time (single-byte field accesses become direct bytearray
+    indexing, bound checks on in-range constant stores reduce to their
+    counter increment, anomaly addresses become literals, and command
+    gates that a ``command_end`` prologue makes unreachable are
+    elided), and the frame loops over the batch's rounds internally so
+    the prologue — strategy toggles, shadow buffer, oracle, watchdog
+    budget — is set up once per batch instead of once per round.
+    """
+    code, pool = bspec.code, bspec.pool
+    consts: Dict[str, Any] = _base_consts(bspec)
     const_n = 0
+    cur_addr: Optional[int] = None   # current block address (batched)
 
     def bind(value: Any, prefix: str = "_K") -> str:
         nonlocal const_n
@@ -693,6 +814,7 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
             asm.lines = []
             blocks.append(asm.lines)
             address, is_cmd_end, gated, gate, gate_msg = pool[code[pc + 1]]
+            cur_addr = address
             asm.w(f"_addr = {address}")
             asm.w("_blk += 1")
             asm.w("if _blk > _maxb:")
@@ -703,6 +825,10 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
             asm.indent -= 1
             if is_cmd_end:
                 asm.w("_cmd = None")
+            if gated and batched and is_cmd_end:
+                # The command_end prologue just cleared _cmd, so the
+                # gate below it can never fire: fold it away.
+                gated = 0
             if gated:
                 gref = bind(gate, "_G")
                 asm.w("if _cmd is not None:")
@@ -717,6 +843,10 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
         elif op == N_STUB:
             asm.lines = []
             blocks.append(asm.lines)
+            # A stub flags at the *predecessor's* address (the block the
+            # untrained transition left from), so _addr must stay
+            # dynamic here even in the specialized source.
+            cur_addr = None
             emit_flag_raise("_SC", "unobserved-path",
                             repr(pool[code[pc + 1]]), "_addr")
             pc += 2
@@ -753,7 +883,8 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
             pc += 3
         elif op == C_STATE:
             off, end, signed, bits = pool[code[pc + 1]]
-            push(_state_load_expr(off, end, signed, bits))
+            push(_state_load_expr(off, end, signed, bits,
+                                  direct=batched))
             pc += 2
         elif op == C_STATEF:
             spill_pending()
@@ -770,6 +901,8 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
             index = pop()
             spill_pending()
             i = force_temp(index)
+            load_addr = ("_addr" if not batched or cur_addr is None
+                         else str(cur_addr))
             if checked:
                 asm.w("if _pon:")
                 asm.indent += 1
@@ -777,7 +910,7 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
                 asm.w(f"if not 0 <= {i} < {length}:")
                 asm.indent += 1
                 emit_flag_raise("_SP", "buffer-overflow",
-                                f"{msg!r} % {i}", "_addr", plain=True)
+                                f"{msg!r} % {i}", load_addr, plain=True)
                 asm.indent -= 2
             o = asm.temp()
             asm.w(f"{o} = {base} + {i} * {esize}")
@@ -786,7 +919,14 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
             asm.w("raise _WalkStop(True)")
             asm.indent -= 1
             t = asm.temp()
-            raw = f'_ifb(_sdata[{o}:{o} + {esize}], "little")'
+            if batched and esize == 1:
+                raw = f"_sdata[{o}]"
+            elif batched and esize == 2:
+                raw = f"(_sdata[{o}] | _sdata[{o} + 1] << 8)"
+            elif batched and esize in (4, 8):
+                raw = f"_u{esize}(_sdata, {o})[0]"
+            else:
+                raw = f'_ifb(_sdata[{o}:{o} + {esize}], "little")'
             if signed:
                 half, mod = 1 << (bits - 1), 1 << bits
                 asm.w(f"{t} = ((({raw} + {half}) % {mod}) - {half})")
@@ -833,17 +973,38 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
         elif op == D_STORE:
             (field, lo, hi, off, end, size, mask, msg,
              address) = pool[code[pc + 1]]
-            v = force_temp(pop())
-            asm.w("if _pon:")
-            asm.indent += 1
-            asm.w("_pch += 1")
-            asm.w(f"if not {lo} <= {v} <= {hi}:")
-            asm.indent += 1
-            emit_flag_raise("_SP", "integer-overflow", f"{msg!r} % {v}",
-                            str(address), plain=True)
-            asm.indent -= 2
-            asm.w(f"_sdata[{off}:{end}] = ({v} & {mask})"
-                  f'.to_bytes({size}, "little")')
+            raw_v = pop()
+            folded = (batched and _INT_LITERAL.fullmatch(raw_v)
+                      and lo <= int(raw_v) <= hi)
+            if folded:
+                # Constant store inside its declared bounds: the check
+                # can never fire, only its counter survives.
+                v = raw_v
+                asm.w("if _pon: _pch += 1")
+            else:
+                v = force_temp(raw_v)
+                asm.w("if _pon:")
+                asm.indent += 1
+                asm.w("_pch += 1")
+                asm.w(f"if not {lo} <= {v} <= {hi}:")
+                asm.indent += 1
+                emit_flag_raise("_SP", "integer-overflow",
+                                f"{msg!r} % {v}", str(address),
+                                plain=True)
+                asm.indent -= 2
+            if batched and folded:
+                if size == 1:
+                    asm.w(f"_sdata[{off}] = {int(v) & mask}")
+                else:
+                    blob = (int(v) & mask).to_bytes(size, "little")
+                    asm.w(f"_sdata[{off}:{end}] = {blob!r}")
+            elif batched and size == 1:
+                asm.w(f"_sdata[{off}] = {v} & {mask}")
+            elif batched and size in (2, 4, 8):
+                asm.w(f"_p{size}(_sdata, {off}, {v} & {mask})")
+            else:
+                asm.w(f"_sdata[{off}:{end}] = ({v} & {mask})"
+                      f'.to_bytes({size}, "little")')
             pc += 2
         elif op == D_STOREM:
             field = pool[code[pc + 1]]
@@ -879,8 +1040,13 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
             asm.indent += 1
             asm.w("raise _WalkStop(True)")
             asm.indent -= 1
-            asm.w(f"_sdata[{o}:{o} + {esize}] = ({v} & {emask})"
-                  f'.to_bytes({esize}, "little")')
+            if batched and esize == 1:
+                asm.w(f"_sdata[{o}] = {v} & {emask}")
+            elif batched and esize in (2, 4, 8):
+                asm.w(f"_p{esize}(_sdata, {o}, {v} & {emask})")
+            else:
+                asm.w(f"_sdata[{o}:{o} + {esize}] = ({v} & {emask})"
+                      f'.to_bytes({esize}, "little")')
             pc += 2
         elif op == D_SETCMD:
             known, msg, address = pool[code[pc + 1]]
@@ -900,7 +1066,18 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
             t_pc, nt_pc = code[pc + 2], code[pc + 3]
             cond = pop()
             if one_sided < 0:
-                asm.w(f"_pc = {t_pc} if {cond} else {nt_pc}")
+                if batched:
+                    # Split arms so each gets a static `_pc = K` tail:
+                    # the tail inliner and the self-loop wrapper can
+                    # then collapse trained loop back-edges.
+                    asm.w(f"if {cond}:")
+                    asm.indent += 1
+                    asm.w(f"_pc = {t_pc}")
+                    asm.w("continue")
+                    asm.indent -= 1
+                    asm.w(f"_pc = {nt_pc}")
+                else:
+                    asm.w(f"_pc = {t_pc} if {cond} else {nt_pc}")
             else:
                 c = force_temp(cond)
                 asm.w("if _con: _cch += 1")
@@ -1014,7 +1191,11 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
         elif op == N_RET0:
             asm.w("if not _stack:")
             asm.indent += 1
-            asm.w("return 0")
+            if batched:
+                asm.w("_rv = 0")
+                asm.w("break")
+            else:
+                asm.w("return 0")
             asm.indent -= 1
             asm.w("_env, _par, _pc, _d = _stack.pop()")
             asm.w("if _d >= 0:")
@@ -1028,7 +1209,7 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
             asm.w(f"_rv = {v}")
             asm.w("if not _stack:")
             asm.indent += 1
-            asm.w("return _rv")
+            asm.w("break" if batched else "return _rv")
             asm.indent -= 1
             asm.w("_env, _par, _pc, _d = _stack.pop()")
             asm.w("if _d >= 0:")
@@ -1046,44 +1227,148 @@ def _assemble_spec(bspec: BytecodeSpec) -> Callable:
     if stack:
         raise CheckerError("unbalanced expression stack lowering spec")
 
-    _inline_goto_tails(blocks)
+    # The batched frame is built once per spec generation and amortized
+    # over every round of every batch, so it can afford a much larger
+    # inlining budget: fewer dispatch-tree descents per walk.
+    _inline_goto_tails(blocks,
+                       _INLINE_BUDGET_BATCH if batched else _INLINE_BUDGET)
+    if batched:
+        _wrap_self_loops(blocks)
 
     out = _Asm()
-    out.w("def _walk(w, _pc, _par, _env):")
-    out.indent += 1
-    out.w("_blk = 0; _dsd = 0; _pch = 0; _ich = 0; _cch = 0")
-    out.w("_cmd = None; _addr = 0")
-    out.w("_pon = w.param_on; _ion = w.ijump_on; _con = w.cond_on")
-    out.w("_maxb = w.checker.max_walk_blocks")
-    out.w("_sdata = w.state.memory.data")
-    out.w("_res = w.oracle.resolve")
-    out.w("_stack = []")
-    out.w("try:")
-    out.indent += 1
-    out.w("while True:")
-    out.indent += 1
-    _emit_dispatch(out, blocks, 0, len(blocks))
-    out.indent -= 2
-    out.w("finally:")
-    out.indent += 1
-    out.w("w.blocks = _blk; w.dsod = _dsd; w.pchecks = _pch")
-    out.w("w.ichecks = _ich; w.cchecks = _cch")
-    out.w("w.current_address = _addr; w.current_cmd = _cmd")
-    out.indent -= 2
-
-    from bisect import bisect_left
-    consts["_bisect"] = bisect_left
-
-    def _die(msg: str) -> int:
-        raise CheckerError(msg)
-    consts["_die"] = _die
+    if batched:
+        # The generated frame IS the batch driver: plan lookup, report
+        # construction, walk, verdict, commit/rollback and bookkeeping
+        # all run as locals of one frame — the per-round Python driver
+        # that dominates small-round overhead disappears entirely.
+        out.w("def _walk_batch(w, _rounds, _ctx):")
+        out.indent += 1
+        # One prologue for the batch, not per round.
+        out.w("_pon = w.param_on; _ion = w.ijump_on; _con = w.cond_on")
+        out.w("_maxb = w.checker.max_walk_blocks")
+        out.w("_sdata = w.state.memory.data")
+        out.w("_res = w.oracle.resolve")
+        out.w("(_plans, _policy, _mode, _unknown, _make_src,")
+        out.w(" _hist_append, _reports_append, _tel, _clk,")
+        out.w(" _cbc, _csc) = _ctx")
+        out.w("_plans_get = _plans.get")
+        out.w("_committed = _bytes(_sdata)")
+        out.w("_cyc = 0")
+        out.w("_t0 = 0.0")
+        out.w("for _iokey, _args in _rounds:")
+        out.indent += 1
+        out.w("_plan = _plans_get(_iokey)")
+        out.w("if _plan is None:")
+        out.indent += 1
+        out.w("_unknown(_iokey)")
+        out.w("continue")
+        out.indent -= 1
+        out.w("_pc, _np, _nl = _plan")
+        out.w("if len(_args) == _np:")
+        out.indent += 1
+        out.w("_par = _args if type(_args) is tuple else tuple(_args)")
+        out.indent -= 1
+        out.w("else:")
+        out.indent += 1
+        out.w("_par = (tuple(_args) + _MISSPAD)[:_np]")
+        out.indent -= 1
+        out.w("_report = _CR(io_key=_iokey)")
+        out.w("_report.policy = _policy")
+        out.w("w.report = _report")
+        out.w("if _tel is not None:")
+        out.indent += 1
+        out.w("_t0 = _clk()")
+        out.indent -= 1
+        out.w("_env = [_UNDEF] * _nl")
+        out.w("_blk = 0; _dsd = 0; _pch = 0; _ich = 0; _cch = 0")
+        out.w("_cmd = None; _addr = 0")
+        out.w("_stack = []")
+        out.w("_rv = None; _err = None")
+        out.w("try:")
+        out.indent += 1
+        out.w("while True:")
+        out.indent += 1
+        _emit_dispatch(out, blocks, 0, len(blocks))
+        out.indent -= 2
+        out.w("except _WalkStop as _e:")
+        out.indent += 1
+        out.w("_err = _e")
+        out.indent -= 1
+        out.w("except CheckerError as _e:")
+        out.indent += 1
+        out.w("_err = _e")
+        out.indent -= 1
+        out.w("_report.blocks_walked = _blk")
+        out.w("_report.dsod_stmts_executed = _dsd")
+        out.w("_report.param_checks = _pch")
+        out.w("_report.indirect_checks = _ich")
+        out.w("_report.conditional_checks = _cch")
+        out.w("if _err is not None:")
+        out.indent += 1
+        out.w("if _err.__class__ is _WalkStop:")
+        out.indent += 1
+        out.w("_report.incomplete = _err.incomplete")
+        out.indent -= 1
+        out.w("else:")
+        out.indent += 1
+        out.w('_flag(w, _SC, "sync-failure", str(_err), _addr)')
+        out.indent -= 2
+        out.w("_anoms = _report.anomalies")
+        out.w("_act = _ALLOW if not _anoms else _decide(_anoms, _mode)")
+        out.w("_report.action = _act")
+        out.w("_cyc += int(_blk * _cbc + _dsd * _csc)")
+        out.w("_hist_append(_report)")
+        out.w("if _act is _ALLOW and not _report.incomplete:")
+        out.indent += 1
+        out.w("_committed = _bytes(_sdata)")
+        out.indent -= 1
+        out.w("else:")
+        out.indent += 1
+        out.w("_sdata[:] = _committed")
+        out.indent -= 1
+        out.w("_report.bind_final_state(_make_src(_committed))")
+        out.w("_reports_append(_report)")
+        out.w("if _tel is not None:")
+        out.indent += 1
+        out.w("_tel.record_round(_report, _clk() - _t0)")
+        out.indent -= 2
+        out.w("return _cyc")
+        out.indent -= 1
+        fname = "_walk_batch"
+        tag = f"<es-bytecode-batch:{bspec.device}>"
+    else:
+        out.w("def _walk(w, _pc, _par, _env):")
+        out.indent += 1
+        out.w("_blk = 0; _dsd = 0; _pch = 0; _ich = 0; _cch = 0")
+        out.w("_cmd = None; _addr = 0")
+        out.w("_pon = w.param_on; _ion = w.ijump_on; _con = w.cond_on")
+        out.w("_maxb = w.checker.max_walk_blocks")
+        out.w("_sdata = w.state.memory.data")
+        out.w("_res = w.oracle.resolve")
+        out.w("_stack = []")
+        out.w("try:")
+        out.indent += 1
+        out.w("while True:")
+        out.indent += 1
+        _emit_dispatch(out, blocks, 0, len(blocks))
+        out.indent -= 2
+        out.w("finally:")
+        out.indent += 1
+        out.w("w.blocks = _blk; w.dsod = _dsd; w.pchecks = _pch")
+        out.w("w.ichecks = _ich; w.cchecks = _cch")
+        out.w("w.current_address = _addr; w.current_cmd = _cmd")
+        out.indent -= 2
+        fname = "_walk"
+        tag = f"<es-bytecode:{bspec.device}>"
 
     source = "\n".join(out.lines) + "\n"
+    base_keys = set(_base_consts(bspec))
     namespace: Dict[str, Any] = dict(consts)
-    exec(compile(source, f"<es-bytecode:{bspec.device}>", "exec"),
-         namespace)
-    walk = namespace["_walk"]
+    exec(compile(source, tag, "exec"), namespace)
+    walk = namespace[fname]
     walk._bytecode_source = source
+    walk._bytecode_consts = {k: v for k, v in consts.items()
+                             if k not in base_keys}
     return walk
 
 
@@ -1094,8 +1379,13 @@ _GOTO_TAIL = __import__("re").compile(r"^_pc = (\d+)$")
 #: the straight-line Goto / one-sided-branch chains that dominate walks.
 _INLINE_BUDGET = 400
 
+#: The batched frame trades source size for dispatch savings; its cost
+#: is paid once per spec generation (and cached in the registry).
+_INLINE_BUDGET_BATCH = 1600
 
-def _inline_goto_tails(blocks: List[List[str]]) -> None:
+
+def _inline_goto_tails(blocks: List[List[str]],
+                       budget: int = _INLINE_BUDGET) -> None:
     """Splice statically-known successors into their predecessors.
 
     A block ending in ``_pc = K`` / ``continue`` (a ``Goto`` or the
@@ -1110,7 +1400,7 @@ def _inline_goto_tails(blocks: List[List[str]]) -> None:
     for i, lines in enumerate(blocks):
         visited = {i}
         while (len(lines) >= 2 and lines[-1] == "continue"
-               and len(lines) < _INLINE_BUDGET):
+               and len(lines) < budget):
             match = _GOTO_TAIL.match(lines[-2])
             if match is None:
                 break
@@ -1119,6 +1409,54 @@ def _inline_goto_tails(blocks: List[List[str]]) -> None:
                 break
             visited.add(target)
             lines[-2:] = list(blocks[target])
+
+
+def _wrap_self_loops(blocks: List[List[str]]) -> None:
+    """Turn dispatch-level self-loops into native Python loops.
+
+    After tail inlining, a trained loop collapses into one block whose
+    tail is ``_pc = <itself>`` / ``continue`` — and every iteration
+    still pays a full dispatch-tree descent to get back to it.  In the
+    batched frame (only), such a block is wrapped in its own
+    ``while True:``: the back-edge becomes a plain ``continue`` and the
+    loop body re-executes without touching the dispatch tree at all.
+
+    Inside the wrapped body, control statements are re-targeted:
+
+    * ``continue`` (a dispatch jump to another block) → ``break`` out
+      of the inner loop, then the trailing ``continue`` re-enters the
+      dispatch with ``_pc`` already set;
+    * ``break`` (a batched round-exit) → ``_pc = -1`` + ``break``; the
+      trailing ``if _pc == -1: break`` propagates the round exit.
+
+    Observables (counters, flags, shadow stores, anomaly addresses) are
+    byte-for-byte those of the dispatch-driven execution.
+    """
+    for i, lines in enumerate(blocks):
+        target = f"_pc = {i}"
+        if not any(a.strip() == target and b.strip() == "continue"
+                   for a, b in zip(lines, lines[1:])):
+            continue
+        body: List[str] = []
+        for line in lines:
+            stripped = line.strip()
+            indent = line[:len(line) - len(stripped)]
+            if stripped == "continue":
+                if body and body[-1].strip() == f"_pc = {i}":
+                    # The self back-edge: drop the pc store, loop
+                    # natively.
+                    body.pop()
+                    body.append(indent + "continue")
+                else:
+                    body.append(indent + "break")
+            elif stripped == "break":
+                body.append(indent + "_pc = -1")
+                body.append(indent + "break")
+            else:
+                body.append(line)
+        blocks[i] = (["while True:"]
+                     + ["    " + line for line in body]
+                     + ["if _pc == -1:", "    break", "continue"])
 
 
 def _emit_setcmd(asm: _Asm, bind, known, msg: str, address: int,

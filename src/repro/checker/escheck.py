@@ -85,6 +85,7 @@ class ESChecker:
         else:
             self._bytecode = None
         self.device_state = spec.make_device_state()
+        self._batch_plans: Optional[Dict[str, Tuple[int, int, int]]] = None
         self.cycles = 0
         #: anomaly history across the session (for FPR accounting)
         self.history: List[CheckReport] = []
@@ -193,6 +194,107 @@ class ESChecker:
         # read it before the next resync if exactness matters.
         report.bind_final_state(self.device_state.dump)
         return report
+
+    # -- the batched entry -------------------------------------------------------
+
+    def check_batch(self, rounds, oracle: Optional[SyncOracle] = None
+                    ) -> List[CheckReport]:
+        """Check a queue of I/O rounds through a single checker
+        invocation (the cross-round batched entry).
+
+        ``rounds`` is any iterable of ``(io_key, args)`` pairs — a
+        list, or a generator streaming straight out of the trace
+        decoder.  The returned reports are byte-identical to running
+        :meth:`check_io` once per round in the same order: same
+        anomalies, counters, actions, history entries, committed
+        shadow state, and per-round final states.
+
+        On the bytecode backend all rounds share one generated frame
+        entry: the strategy toggles, shadow buffer, sync oracle and
+        the spec-specialized dispatch tables are set up once per
+        batch.  The other backends have no batched frame and fall
+        back to per-round checking, which keeps parity trivially.
+        """
+        if self._bytecode is None:
+            return [self.check_io(key, args, oracle=oracle)
+                    for key, args in rounds]
+        return self._check_batch_bytecode(rounds, oracle)
+
+    def _batch_plans_for(self) -> Dict[str, Tuple[int, int, int]]:
+        """io_key → (entry pc, nparams, nlocals) for the batched frame.
+
+        Built once per checker (the spec is fixed at construction);
+        io_keys absent here take the unknown-io-key path.
+        """
+        plans = self._batch_plans
+        if plans is None:
+            bspec = self._bytecode
+            spec = self.spec
+            plans = {key: bspec._entry[handler]
+                     for key, handler in spec.entry_handlers.items()
+                     if spec.has_function(handler)}
+            self._batch_plans = plans
+        return plans
+
+    def _check_batch_bytecode(self, rounds,
+                              oracle: Optional[SyncOracle]
+                              ) -> List[CheckReport]:
+        walk_batch = self._bytecode.batch_walk()
+        oracle = oracle or NullSyncOracle()
+        reports: List[CheckReport] = []
+
+        # One scratch per batch; commits become byte snapshots of the
+        # shadow buffer, replicating check_io's per-round clone/commit
+        # object dance at memcpy cost.  Rounds that do not commit roll
+        # the buffer back to the last committed snapshot (the generated
+        # frame owns that loop — see ``_assemble_spec(batched=True)``).
+        scratch = self.device_state.clone()
+        walker = _WalkContext(self, None, scratch, oracle)
+        telemetry = self._telemetry
+
+        # Final states rebuild lazily through a shared view clone, so a
+        # committed snapshot stays frozen exactly like the superseded
+        # state object a per-round commit leaves behind.  The view is
+        # itself lazy: the hot path never dumps.
+        viewbox: List = []
+
+        def make_src(snap: bytes):
+            def dump():
+                if not viewbox:
+                    viewbox.append(scratch.clone())
+                view = viewbox[0]
+                view.memory.data[:] = snap
+                return view.dump()
+            return dump
+
+        def unknown(io_key: str) -> None:
+            # Rare path, mirrored from _check_io: nothing walks, the
+            # shadow buffer is untouched, final_state stays unbound.
+            clock = self._clock
+            t0 = clock() if telemetry is not None else 0.0
+            report = CheckReport(io_key=io_key)
+            report.policy = policy_val
+            self._flag(report, Strategy.CONDITIONAL_JUMP,
+                       "unknown-io-key",
+                       f"I/O interface {io_key!r} never used in "
+                       f"training", 0)
+            self._finish(report)
+            reports.append(report)
+            if telemetry is not None:
+                telemetry.record_round(report, clock() - t0)
+
+        # The degradation policy is sampled once per batch: policy hot
+        # reloads land at op boundaries, never inside a batch.
+        policy_val = self.degradation.policy.value
+        ctx = (self._batch_plans_for(), policy_val, self.mode,
+               unknown, make_src, self.history.append, reports.append,
+               telemetry, self._clock,
+               CHECK_BLOCK_COST, CHECK_STMT_COST)
+        self.cycles += walk_batch(walker, rounds, ctx)
+        # The scratch buffer now equals the last committed snapshot:
+        # adopt it, exactly as the last per-round commit would have.
+        self.device_state = scratch
+        return reports
 
     # -- internals --------------------------------------------------------------
 

@@ -47,16 +47,34 @@ class MappingSyncOracle(SyncOracle):
 
 
 class FieldSyncOracle(SyncOracle):
-    """Resolves ``field:NAME`` from a live control structure."""
+    """Resolves ``field:NAME`` from a live control structure.
+
+    Field geometry is immutable per layout, so each resolved name
+    caches its (offset, end, wrap) triple: repeat resolutions — the
+    checker hot path issues them every sync point — skip the layout
+    lookup and read the backing store directly.
+    """
 
     def __init__(self, memory: StateMemory,
                  fallback: Optional[SyncOracle] = None):
         self._memory = memory
         self._fallback = fallback
+        self._cache: Dict[str, Tuple[int, int, Optional[object]]] = {}
 
     def resolve(self, name: str) -> int:
+        hit = self._cache.get(name)
+        if hit is not None:
+            off, end, wrap = hit
+            raw = int.from_bytes(self._memory.data[off:end], "little")
+            return wrap(raw).value if wrap is not None else raw
         if name.startswith("field:"):
-            return self._memory.read_field(name[len("field:"):])
+            field = name[len("field:"):]
+            value = self._memory.read_field(field)
+            decl = self._memory.layout.field(field)
+            wrap = (decl.type.wrap
+                    if getattr(decl.type, "signed", False) else None)
+            self._cache[name] = (decl.offset, decl.end, wrap)
+            return value
         if self._fallback is not None:
             return self._fallback.resolve(name)
         return super().resolve(name)

@@ -263,6 +263,7 @@ def _serve_gateway(args: argparse.Namespace) -> int:
                                   quota_burst=args.quota_burst,
                                   queue_cap=args.queue_cap),
         arrival=arrival, inline=args.inline, backend=args.backend,
+        batch_rounds=args.batch_rounds,
         mode=Mode(args.mode), cache_dir=cache_dir, policies=policies)
     rebalances = []
     if args.rebalance_at is not None:
@@ -362,6 +363,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     config = FleetConfig(workers=args.workers, inline=args.inline,
                          queue_depth=args.queue_depth,
                          mode=Mode(args.mode), backend=args.backend,
+                         batch_rounds=args.batch_rounds,
                          cache_dir=cache_dir, policies=policies)
     try:
         result = FleetSupervisor(config).run(schedule, plans)
@@ -916,6 +918,11 @@ def build_parser() -> argparse.ArgumentParser:
                    default="protection")
     p.add_argument("--backend", choices=("compiled", "reference", "bytecode"),
                    default="compiled")
+    p.add_argument("--batch-rounds", type=int, default=0,
+                   help="credit-batch size: strict-key I/O rounds "
+                        "execute on credit and are vetted in one "
+                        "batched checker invocation per flush "
+                        "(0 = per-round vets)")
     p.add_argument("--inline", action="store_true",
                    help="in-process worker pool (no multiprocessing)")
     p.add_argument("--queue-depth", type=int, default=4,

@@ -72,12 +72,15 @@ def deploy(vm: GuestVM, device: Device, spec: ExecutionSpec,
            mode: Mode = Mode.ENHANCEMENT,
            strategies=ALL_STRATEGIES,
            backend: str = "compiled",
-           recorder=None) -> Attachment:
+           recorder=None,
+           batch_rounds: int = 0) -> Attachment:
     """Phase ③: put the ES-Checker in front of the device.
 
     Pass a :class:`repro.telemetry.Recorder` to observe the deployed
     checker (per-strategy check counts, round latency); telemetry stays
-    off otherwise."""
+    off otherwise.  ``batch_rounds > 0`` opts into the credit-batch
+    discipline (see :meth:`GuestVM.attach_sedspec`)."""
     return vm.attach_sedspec(device.NAME, spec, mode=mode,
                              strategies=strategies, backend=backend,
-                             recorder=recorder)
+                             recorder=recorder,
+                             batch_rounds=batch_rounds)

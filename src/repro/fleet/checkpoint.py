@@ -153,6 +153,7 @@ def checkpoint_instance(instance) -> Dict[str, object]:
         "qemu_version": instance.qemu_version,
         "mode": instance.mode.value,
         "backend": instance.backend,
+        "batch_rounds": instance.batch_rounds,
         "spec_epoch": instance.spec_epoch,
         "spec_digest": instance.spec_digest,
         "op_serial": instance._op_serial,
@@ -202,7 +203,8 @@ def restore_instance(envelope, spec, *,
         envelope["tenant"], envelope["device"],
         envelope["qemu_version"], spec,
         mode=Mode(envelope["mode"]), backend=envelope["backend"],
-        degradation=degradation, injector=injector)
+        degradation=degradation, injector=injector,
+        batch_rounds=envelope.get("batch_rounds", 0))
     vm = instance.vm
     mem = envelope["vm"]["memory"]
     _sparse_restore(vm.memory._store, mem["store"])

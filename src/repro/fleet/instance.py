@@ -67,7 +67,7 @@ class GuardedInstance:
                  spec, mode: Mode = Mode.PROTECTION,
                  backend: str = "compiled",
                  degradation: Optional[DegradationConfig] = None,
-                 injector=None):
+                 injector=None, batch_rounds: int = 0):
         from repro.workloads.profiles import profile
 
         self.tenant = tenant
@@ -77,6 +77,7 @@ class GuardedInstance:
         self.backend = backend
         self.degradation = degradation or DEFAULT_DEGRADATION
         self.injector = injector
+        self.batch_rounds = batch_rounds
         #: which spec generation is deployed (hot-reload bookkeeping);
         #: epoch 0 is whatever the registry served at build time
         self.spec_epoch = 0
@@ -88,7 +89,8 @@ class GuardedInstance:
                  else {self.device.NAME: spec})
         self.attachments = {
             part: deploy(self.vm, self.vm.devices[part], part_spec,
-                         mode=mode, backend=backend)
+                         mode=mode, backend=backend,
+                         batch_rounds=batch_rounds)
             for part, part_spec in specs.items()}
         self.attachment = self.attachments[self.device.NAME]
         self.driver = self.profile.make_driver(self.vm)
@@ -129,10 +131,17 @@ class GuardedInstance:
         for part, part_spec in specs.items():
             self.attachments[part] = deploy(
                 self.vm, self.vm.devices[part], part_spec,
-                mode=self.mode, backend=self.backend)
+                mode=self.mode, backend=self.backend,
+                batch_rounds=self.batch_rounds)
         self.attachment = self.attachments[self.device.NAME]
         self.spec_epoch = epoch
         self.spec_digest = digest
+
+    def _record(self, report: CheckReport) -> CheckReport:
+        """Stamp the spec generation the round ran under and file it."""
+        report.spec_epoch = self.spec_epoch
+        self.reports.append(report)
+        return report
 
     def _warning_counts(self) -> dict:
         return {part: len(a.warnings)
@@ -158,14 +167,19 @@ class GuardedInstance:
             self._tracer.clear()
         try:
             self._run(op)
+            # Credit-batch discipline: the op boundary is a flush point,
+            # so every round this op executed on credit is vetted before
+            # the outcome is reported.
+            self.vm.flush_batches()
         except SEDSpecHalt as halt:
-            report = portable_report(halt.report)
-            self.reports.append(report)
-            self.quarantine(str(halt.report.first_anomaly()))
-            return self._outcome("detected", before, report=report,
-                                 detail=self.quarantine_reason,
-                                 quarantined=True)
+            return self._detected(halt, before)
         except DeviceFault as fault:
+            try:
+                # Detection takes precedence over the fault outcome:
+                # rounds credited before the crash are vetted first.
+                self.vm.flush_batches()
+            except SEDSpecHalt as halt:
+                return self._detected(halt, before)
             return self._outcome("fault", before,
                                  detail=f"{fault.kind}: {fault}")
         gap = self._post_execution_gap(op_key, before)
@@ -175,11 +189,17 @@ class GuardedInstance:
         if warning is not None:
             # Enhancement mode warned-and-allowed: a detection on the
             # record, but the round completed and the tenant stays live.
-            report = portable_report(warning)
-            self.reports.append(report)
+            report = self._record(portable_report(warning))
             return self._outcome("detected", before, report=report,
                                  detail=str(report.first_anomaly()))
         return self._outcome("ok", before)
+
+    def _detected(self, halt: SEDSpecHalt, before) -> OpOutcome:
+        report = self._record(portable_report(halt.report))
+        self.quarantine(str(halt.report.first_anomaly()))
+        return self._outcome("detected", before, report=report,
+                             detail=self.quarantine_reason,
+                             quarantined=True)
 
     # -- fault arms ----------------------------------------------------------
 
@@ -206,8 +226,7 @@ class GuardedInstance:
             # run the round unguarded, then re-align the shadow state so
             # the blind spot does not cascade into false positives.
             return self._run_unguarded(op, op_key, last)
-        report = gap_report(op_key, config, last)
-        self.reports.append(report)
+        report = self._record(gap_report(op_key, config, last))
         return OpOutcome("trace_gap", report=report, detail=last)
 
     def _draw_interp_fault(self, key: str) -> None:
@@ -238,8 +257,8 @@ class GuardedInstance:
             for part, attachment in detached.items():
                 self.vm.attachments[part] = attachment
                 attachment.checker.resync(self.vm.devices[part].state)
-        report = gap_report(op_key, self.degradation, reason)
-        self.reports.append(report)
+        report = self._record(gap_report(op_key, self.degradation,
+                                         reason))
         return self._outcome("ok", before, report=report, detail=reason)
 
     def _post_execution_gap(self, op_key: str,
@@ -258,8 +277,7 @@ class GuardedInstance:
                 last = f"{type(exc).__name__}: {exc}"
                 continue
             return None
-        report = gap_report(op_key, config, last)
-        self.reports.append(report)
+        report = self._record(gap_report(op_key, config, last))
         if config.policy is DegradationPolicy.FAIL_OPEN:
             return self._outcome("ok", before, report=report, detail=last)
         return self._outcome("trace_gap", before, report=report,

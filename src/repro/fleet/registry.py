@@ -164,6 +164,9 @@ class SpecRegistry:
         self._by_digest: Dict[str, ExecutionSpec] = {}
         #: content-addressed lowered bytecode artifacts (interp/checker)
         self._bytecode: Dict[str, object] = {}
+        #: spec-specialized batched dispatch payloads, keyed by the
+        #: digest of the bytecode they were specialized from
+        self._batch: Dict[str, Dict[str, object]] = {}
         #: content-addressed tenant-policy sets; rides the same cache_dir
         #: so pool worker processes resolve policy digests exactly the
         #: way they resolve spec digests
@@ -543,6 +546,78 @@ class SpecRegistry:
         self._bytecode[digest] = artifact
         return artifact
 
+    # -- specialized batch dispatch artifacts ---------------------------------
+
+    def batch_dispatch_path(self, bytecode_digest: str) -> Optional[str]:
+        if self.cache_dir is None:
+            return None
+        return os.path.join(self.cache_dir,
+                            f"bd-{bytecode_digest[:16]}.batch.json")
+
+    def store_batch_dispatch(self, bspec) -> str:
+        """Persist a spec-specialized batched dispatch artifact.
+
+        *bspec* is a checker :class:`BytecodeSpec`; its
+        ``batch_payload()`` (generated source + folded constant tables)
+        is stored **addressed by the digest of the bytecode it was
+        specialized from**, so a later :meth:`load_batch_dispatch` on
+        the same spec generation finds it without re-specializing —
+        and a different generation's lookup simply misses.  The
+        payload's own content digest rides in the envelope for the
+        tamper check.  Returns the payload digest.
+        """
+        payload = bspec.batch_payload()
+        bc_digest = payload["bytecode_digest"]
+        digest = _payload_digest(payload)
+        self._batch[bc_digest] = payload
+        path = self.batch_dispatch_path(bc_digest)
+        if path is not None:
+            _atomic_write_json(path, {
+                "format": CACHE_FORMAT,
+                "kind": payload["kind"],
+                "bytecode_sha256": bc_digest,
+                "sha256": digest,
+                "payload": payload,
+            })
+        return digest
+
+    def load_batch_dispatch(self, bspec) -> bool:
+        """Attach a cached specialized dispatch to *bspec* if one exists.
+
+        Returns ``True`` on a hit (the spec's batched entry now runs the
+        cached source without re-specializing).  A missing artifact
+        returns ``False`` — the caller specializes lazily as usual.  A
+        tampered, truncated or wrong-generation envelope is rejected
+        (``corrupt_rejected``) and also returns ``False``: corruption
+        degrades to re-specialization, never to running altered code.
+        """
+        bc_digest = bspec.digest()
+        payload = self._batch.get(bc_digest)
+        if payload is None:
+            path = self.batch_dispatch_path(bc_digest)
+            if path is None or not os.path.exists(path):
+                return False
+            try:
+                with open(path) as handle:
+                    envelope = json.load(handle)
+                payload = envelope["payload"]
+            except (OSError, ValueError, KeyError, TypeError):
+                self.stats.corrupt_rejected += 1
+                return False
+            if (not isinstance(envelope, dict)
+                    or envelope.get("format") != CACHE_FORMAT
+                    or envelope.get("bytecode_sha256") != bc_digest
+                    or envelope.get("sha256") != _payload_digest(payload)):
+                self.stats.corrupt_rejected += 1
+                return False
+        try:
+            bspec.attach_batch_payload(payload)
+        except Exception:
+            self.stats.corrupt_rejected += 1
+            return False
+        self._batch[bc_digest] = payload
+        return True
+
     def _load_active(self, device_name: str,
                      qemu_version: str) -> Optional[ExecutionSpec]:
         digest = self._active.get((device_name, qemu_version))
@@ -557,6 +632,13 @@ class SpecRegistry:
             return None
         self.stats.disk_hits += 1
         return spec
+
+
+def _payload_digest(payload) -> str:
+    """Canonical content digest of a JSON-safe artifact payload."""
+    blob = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
 
 
 def _atomic_write_json(path: str, obj) -> None:

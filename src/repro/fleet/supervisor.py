@@ -54,6 +54,10 @@ class FleetConfig:
     queue_depth: int = 4            # outstanding batches per worker
     mode: Mode = Mode.PROTECTION
     backend: str = "compiled"
+    #: credit-batch size per instance: strict-key rounds execute on
+    #: credit and are vetted in one batched checker invocation per
+    #: flush (0 preserves the per-round discipline bit-for-bit)
+    batch_rounds: int = 0
     cache_dir: Optional[str] = None
     max_worker_respawns: int = 2
     max_instance_respawns: int = 1
@@ -439,6 +443,7 @@ class FleetSupervisor:
         return FleetWorker(worker_id, self.registry,
                            mode=config.mode,
                            backend=config.backend,
+                           batch_rounds=config.batch_rounds,
                            max_instance_respawns=config
                            .max_instance_respawns,
                            degradation=(config.degradation
@@ -515,7 +520,8 @@ class FleetSupervisor:
                   handle.inbox, outbox, config.fault_plan,
                   config.degradation or DEFAULT_DEGRADATION,
                   config.circuit_threshold, config.circuit_cooldown,
-                  self._slow_start(handle), self._policy_digest),
+                  self._slow_start(handle), self._policy_digest,
+                  config.batch_rounds),
             daemon=True)
         handle.process.start()
 

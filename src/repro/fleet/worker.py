@@ -145,6 +145,8 @@ class FleetWorker:
     registry: SpecRegistry
     mode: Mode = Mode.PROTECTION
     backend: str = "compiled"
+    #: credit-batch size for every hosted instance (0 = per-round vets)
+    batch_rounds: int = 0
     max_instance_respawns: int = 1
     degradation: DegradationConfig = DEFAULT_DEGRADATION
     injector: Optional[object] = None
@@ -216,7 +218,8 @@ class FleetWorker:
                                    backend=self.backend,
                                    degradation=self.policy_for(
                                        batch.tenant).degradation_config(),
-                                   injector=self.injector)
+                                   injector=self.injector,
+                                   batch_rounds=self.batch_rounds)
         instance.spec_epoch = batch.spec_epoch
         instance.spec_digest = batch.spec_digest
         return instance
@@ -505,7 +508,8 @@ def worker_main(worker_id: int, cache_dir: Optional[str], mode: Mode,
                 degradation: Optional[DegradationConfig] = None,
                 circuit_threshold: int = 3, circuit_cooldown: int = 4,
                 slow_start: float = 0.0,
-                policy_digest: str = "") -> None:
+                policy_digest: str = "",
+                batch_rounds: int = 0) -> None:
     """Multiprocessing entry: drain ("batch", RequestBatch) messages
     until ("stop",).  Specs — and the fleet's configured policy set,
     named by *policy_digest* — are loaded from the shared disk cache.
@@ -519,6 +523,7 @@ def worker_main(worker_id: int, cache_dir: Optional[str], mode: Mode,
     policies = (registry.policies.get(policy_digest)
                 if policy_digest else None)
     worker = FleetWorker(worker_id, registry, mode=mode, backend=backend,
+                         batch_rounds=batch_rounds,
                          max_instance_respawns=max_instance_respawns,
                          degradation=degradation or DEFAULT_DEGRADATION,
                          injector=instance_injector(fault_plan),

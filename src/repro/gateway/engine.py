@@ -108,6 +108,10 @@ class GatewayConfig:
     # fleet plumbing, forwarded to every shard supervisor
     inline: bool = True
     backend: str = "compiled"
+    #: credit-batch size per guarded instance: a coalesced lane's ops
+    #: ride one credit batch *and* their rounds are vetted in batched
+    #: checker invocations (0 keeps per-round vets)
+    batch_rounds: int = 0
     mode: Mode = Mode.PROTECTION
     cache_dir: Optional[str] = None
     circuit_threshold: int = 3
@@ -402,6 +406,7 @@ class Gateway:
         fleet_config = FleetConfig(
             workers=config.workers_per_shard, inline=config.inline,
             mode=config.mode, backend=config.backend,
+            batch_rounds=config.batch_rounds,
             cache_dir=config.cache_dir,
             circuit_threshold=config.circuit_threshold,
             circuit_cooldown=config.circuit_cooldown,

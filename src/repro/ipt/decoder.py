@@ -22,7 +22,7 @@ Two entry points share the walk:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import TraceError
 from repro.ir import (
@@ -125,23 +125,42 @@ class Decoder:
                      ) -> Tuple[List[DecodedRound], DecodeResult]:
         """Resilient bytes-level entry: one pass over the raw stream.
 
+        Materializing wrapper over :meth:`iter_decode_bytes` — see there
+        for the decode semantics.  Returns the full round list plus the
+        :class:`DecodeResult` report.
+        """
+        result = DecodeResult()
+        rounds = list(self.iter_decode_bytes(data, result))
+        return rounds, result
+
+    def iter_decode_bytes(self, data: bytes,
+                          result: Optional[DecodeResult] = None
+                          ) -> "Iterator[DecodedRound]":
+        """Streaming resilient bytes-level entry: one pass, one round at
+        a time.
+
         A single index cursor moves over a ``memoryview`` of *data*;
         TNT bits are unpacked and TIP/PGE/PGD addresses read in place,
-        rounds are segmented as the cursor passes their boundary
-        packets, and every parse failure resynchronizes at the next PSB
+        and each round is **yielded as soon as the cursor passes its
+        closing boundary packet** — no intermediate list of
+        :class:`DecodedRound` objects is held, so a consumer such as the
+        batched checker can stream round boundaries straight into its
+        walk.  Every parse failure resynchronizes at the next PSB
         pattern exactly like :func:`decode_resilient` (same
         :class:`TraceGap` spans and reasons).  Rounds overlapping a loss
         region carry ``trace_gap=True``; nothing raises on corrupt
         input.
 
-        The returned :class:`DecodeResult` reports the gaps plus only
-        the *anomaly* packets (FUP, on-the-wire OVF, and the OVF
-        markers synthesized at loss points) — the common-path packets
-        are consumed in place and never materialized.
+        Pass a :class:`DecodeResult` as *result* to collect the gaps
+        plus only the *anomaly* packets (FUP, on-the-wire OVF, and the
+        OVF markers synthesized at loss points) — the common-path
+        packets are consumed in place and never materialized.  The
+        report is filled incrementally as the generator advances and is
+        complete once it is exhausted.
         """
         mv = memoryview(data)
-        result = DecodeResult()
-        rounds: List[DecodedRound] = []
+        if result is None:
+            result = DecodeResult()
         telemetry = self._telemetry
 
         # Current-round accumulators (None entry_address = not inside).
@@ -151,7 +170,7 @@ class Decoder:
         faulted = False
         gapped = False
 
-        def finish() -> None:
+        def finish() -> DecodedRound:
             nonlocal cur
             round_ = cur
             cur = None
@@ -159,11 +178,11 @@ class Decoder:
             round_.trace_gap = gapped
             self._walk(round_.entry_address,
                        _BitFeed(tnt, tips, faulted, gapped), round_)
-            rounds.append(round_)
             if telemetry is not None:
                 telemetry.rounds.inc()
                 if round_.faulted:
                     telemetry.faulted.inc()
+            return round_
 
         pos = 0
         size = len(data)
@@ -233,7 +252,7 @@ class Decoder:
                         if cur is not None:
                             if telemetry is not None:
                                 telemetry.count_kind("TipPgd")
-                            finish()
+                            yield finish()
                     elif magic == magic_tip:
                         if telemetry is not None and cur is not None:
                             telemetry.count_kind("Tip")
@@ -264,8 +283,7 @@ class Decoder:
                 pos = sync
         if cur is not None:
             # Trailing partial round (device faulted mid-I/O).
-            finish()
-        return rounds, result
+            yield finish()
 
     def decode_round(self, packets: List[Packet]) -> DecodedRound:
         pge = next((p for p in packets if isinstance(p, TipPge)), None)

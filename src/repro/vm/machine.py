@@ -59,6 +59,13 @@ class Attachment:
     warnings: List[CheckReport] = field(default_factory=list)
     halts: List[CheckReport] = field(default_factory=list)
     checked_rounds: int = 0
+    #: credit-batch discipline: defer strict-key rounds and vet up to
+    #: this many in one batched checker invocation (0 = per-round)
+    batch_rounds: int = 0
+    #: credited rounds awaiting the next flush
+    pending: List[Tuple[str, Tuple[int, ...]]] = field(default_factory=list)
+    #: batched checker invocations performed
+    batch_flushes: int = 0
 
 
 @dataclass
@@ -143,12 +150,17 @@ class GuestVM:
                        mode: Mode = Mode.ENHANCEMENT,
                        strategies=ALL_STRATEGIES,
                        backend: str = "compiled",
-                       recorder=None) -> Attachment:
+                       recorder=None,
+                       batch_rounds: int = 0) -> Attachment:
         """Deploy an execution specification in front of a device.
 
         *recorder* (a :class:`repro.telemetry.Recorder`) opts the
         checker into telemetry; the default ``None`` keeps the hot path
-        observation-free."""
+        observation-free.  ``batch_rounds > 0`` opts the attachment into
+        the credit-batch discipline: strict-key rounds execute on credit
+        and are vetted in batches of up to *batch_rounds* through
+        :meth:`ESChecker.check_batch` (flushed before any sync-key
+        round, on a device fault, and at every op boundary)."""
         device = self.devices[device_name]
         checker = ESChecker(spec, mode=mode, strategies=strategies,
                             backend=backend, recorder=recorder)
@@ -156,7 +168,8 @@ class GuestVM:
         sync_keys = {key: handler_needs_sync(spec, key)
                      for key in spec.entry_handlers}
         attachment = Attachment(checker=checker, device=device,
-                                sync_keys=sync_keys)
+                                sync_keys=sync_keys,
+                                batch_rounds=batch_rounds)
         self.attachments[device_name] = attachment
         return attachment
 
@@ -204,13 +217,79 @@ class GuestVM:
         if attachment is None:
             return self._run_device(device, key, args)
         if attachment.sync_keys.get(key, False):
+            # Co-execution validates against the state the round starts
+            # from, so any credited rounds must land first.
+            self._flush_batch(attachment, device)
             return self._co_execute(attachment, device, key, args)
+        if attachment.batch_rounds > 0:
+            return self._credit_io(attachment, device, key, args)
         # Strict discipline: simulate and vet before the device runs.
         oracle = FieldSyncOracle(device.state)
         report = self._vet(attachment, key, args, oracle)
         result = self._run_device(device, key, args)
         self._maybe_resync(attachment, device, report)
         return result
+
+    def _credit_io(self, attachment: Attachment, device: Device,
+                   key: str, args: Tuple[int, ...]) -> Optional[int]:
+        """Credit-batch discipline: the strict-key round executes on
+        credit and joins the pending batch; the batched checker vets the
+        whole batch at the next flush point.  Detection moves from
+        before-execution to the flush — the fleet's post-hoc quarantine
+        semantics, traded for one checker invocation per batch."""
+        attachment.pending.append((key, args))
+        try:
+            result = self._run_device(device, key, args)
+        except DeviceFault:
+            # Detection takes precedence over the fault outcome: vet
+            # the credited rounds (the faulting one included) before
+            # the fault propagates; a HALT verdict raises SEDSpecHalt
+            # from the flush instead.
+            self._flush_batch(attachment, device)
+            raise
+        if len(attachment.pending) >= attachment.batch_rounds:
+            self._flush_batch(attachment, device)
+        return result
+
+    def _flush_batch(self, attachment: Attachment,
+                     device: Device) -> None:
+        pending = attachment.pending
+        if not pending:
+            return
+        rounds = list(pending)
+        pending.clear()
+        checker = attachment.checker
+        before = checker.cycles
+        reports = checker.check_batch(
+            rounds, oracle=FieldSyncOracle(device.state))
+        self.stats.checker_cycles += checker.cycles - before
+        attachment.batch_flushes += 1
+        resync = False
+        halt: Optional[CheckReport] = None
+        checked = 0
+        for report in reports:
+            checked += 1
+            if report.action is Action.HALT:
+                halt = report
+                attachment.halts.append(report)
+                break
+            if report.action is Action.WARN:
+                attachment.warnings.append(report)
+                resync = True
+            if report.incomplete:
+                resync = True
+        attachment.checked_rounds += checked
+        if resync:
+            checker.resync(device.state)
+        if halt is not None:
+            raise SEDSpecHalt(halt)
+
+    def flush_batches(self) -> None:
+        """Flush every attachment's credited rounds (op boundary).  A
+        HALT verdict raises :class:`SEDSpecHalt` exactly as a per-round
+        vet would — just later, at the flush."""
+        for name, attachment in self.attachments.items():
+            self._flush_batch(attachment, self.devices[name])
 
     def _co_execute(self, attachment: Attachment, device: Device,
                     key: str, args: Tuple[int, ...]) -> Optional[int]:

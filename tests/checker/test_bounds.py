@@ -13,7 +13,7 @@ import pytest
 
 from repro.checker import ESChecker
 from repro.checker.bounds import (
-    BoundTable, BoundViolation, audit_reports, scan,
+    BoundTable, BoundViolation, ScalarBound, audit_reports, scan,
 )
 from repro.checker.sync import FieldSyncOracle
 from repro.ir import Call, IntType, StateStore
@@ -154,3 +154,100 @@ class TestAuditReports:
         assert len(violations) == 1
         assert violations[0].field == field
         assert violations[0].value == hi + 1
+
+
+def _toy_table(device="toy", **commands):
+    """Hand-built table: commands maps io_key -> ScalarBound sites."""
+    field_bounds = {}
+    for sites in commands.values():
+        for site in sites:
+            field_bounds.setdefault(site.field, (site.lo, site.hi))
+    return BoundTable(device, {k: tuple(v) for k, v in commands.items()},
+                      {k: () for k in commands}, field_bounds)
+
+
+class TestAuditEdges:
+    """Edge cases of the batch audits: empty inputs, duplicate sites,
+    duplicate samples, and reports spanning a spec hot reload."""
+
+    def test_empty_report_list_audits_clean(self, table):
+        assert audit_reports(table, []) == []
+
+    def test_report_with_empty_final_state(self, table):
+        from repro.checker import CheckReport
+
+        report = CheckReport(io_key="pmio:write:0")
+        report.final_state = {}
+        assert audit_reports(table, [report]) == []
+
+    def test_duplicate_sites_attribute_first_site(self):
+        """A command storing the same field at two sites: scan and
+        check_value must flag the *same* (first) site address, not
+        diverge on attribution."""
+        first = ScalarBound("msl", 0, 15, 0x100)
+        second = ScalarBound("msl", 0, 15, 0x200)
+        table = _toy_table(**{"pmio:write:0": [first, second]})
+        one = table.check_value("pmio:write:0", "msl", 99)
+        batch = scan(table, [("pmio:write:0", "msl", 99)])
+        assert one is not None
+        assert one.address == 0x100
+        assert batch == [one]
+
+    def test_duplicate_samples_each_flagged(self):
+        site = ScalarBound("msl", 0, 15, 0x100)
+        table = _toy_table(**{"pmio:write:0": [site]})
+        samples = [("pmio:write:0", "msl", 99)] * 3
+        violations = scan(table, samples)
+        assert len(violations) == 3
+        assert len(set(map(str, violations))) == 1
+
+    def test_hot_reload_epochs_audited_against_own_table(self):
+        """A session spanning a spec hot reload holds reports from two
+        spec generations; each must be judged against its own epoch's
+        declared ranges, or narrowed bounds turn historical in-range
+        values into false tampering verdicts."""
+        from repro.checker import CheckReport
+
+        wide = _toy_table(**{"pmio:write:0":
+                             [ScalarBound("msl", 0, 255, 0x100)]})
+        narrow = _toy_table(**{"pmio:write:0":
+                               [ScalarBound("msl", 0, 15, 0x100)]})
+        old = CheckReport(io_key="pmio:write:0", spec_epoch=0)
+        old.final_state = {"msl": 200}      # fine under epoch 0
+        new = CheckReport(io_key="pmio:write:0", spec_epoch=1)
+        new.final_state = {"msl": 200}      # tampered under epoch 1
+        by_epoch = {0: wide, 1: narrow}
+        violations = audit_reports(narrow, [old, new],
+                                   by_epoch=by_epoch)
+        assert len(violations) == 1
+        assert violations[0].hi == 15
+        # Without the epoch map the old report is mis-attributed.
+        assert len(audit_reports(narrow, [old, new])) == 2
+
+    def test_unmapped_epoch_falls_back_to_default_table(self):
+        from repro.checker import CheckReport
+
+        narrow = _toy_table(**{"pmio:write:0":
+                               [ScalarBound("msl", 0, 15, 0x100)]})
+        report = CheckReport(io_key="pmio:write:0", spec_epoch=7)
+        report.final_state = {"msl": 200}
+        assert len(audit_reports(narrow, [report], by_epoch={})) == 1
+
+    def test_instance_stamps_reports_with_spec_epoch(self):
+        """The guarded instance stamps each recorded report with the
+        spec generation it ran under, across a hot reload."""
+        from repro.checker import Mode
+        from repro.exploits.corpus import trained_spec
+        from repro.exploits.pocs import EXPLOITS
+        from repro.fleet.instance import GuardedInstance
+        from repro.fleet.loadgen import OpRequest
+
+        venom = next(e for e in EXPLOITS if e.cve == "CVE-2015-3456")
+        spec = trained_spec("fdc", venom.qemu_version)
+        instance = GuardedInstance("t0", "fdc", venom.qemu_version,
+                                   spec, mode=Mode.PROTECTION)
+        instance.reload_spec(spec, epoch=3, digest="d3")
+        outcome = instance.apply(
+            OpRequest(kind="exploit", cve=venom.cve))
+        assert outcome.status == "detected"
+        assert instance.reports[-1].spec_epoch == 3

@@ -181,3 +181,77 @@ class TestBytecodeArtifacts:
         registry = SpecRegistry(cache_dir=str(tmp_path))
         with pytest.raises(SpecError, match="no bytecode artifact"):
             registry.load_bytecode("ab" * 32)
+
+
+class TestBatchDispatchArtifacts:
+    """Spec-specialized batched dispatch (``bd-*``) through the
+    registry: addressed by the bytecode it was specialized from, hit
+    skips re-specialization, corruption degrades to a miss."""
+
+    def _bspec(self):
+        from repro.checker.bytecode import (BytecodeSpec,
+                                            bytecode_spec_for)
+        from repro.workloads.profiles import train_device_spec
+
+        spec = train_device_spec("fdc").spec
+        # A private copy: the process-level bytecode_spec_for cache
+        # would otherwise hand every test the same object with the
+        # batched frame already assembled.
+        return BytecodeSpec.from_payload(
+            bytecode_spec_for(spec).to_payload())
+
+    def test_round_trip_skips_respecialization(self, tmp_path):
+        registry = SpecRegistry(cache_dir=str(tmp_path))
+        stored = self._bspec()
+        registry.store_batch_dispatch(stored)
+        fresh_registry = SpecRegistry(cache_dir=str(tmp_path))
+        fresh = self._bspec()
+        assert fresh._walk_batch is None
+        assert fresh_registry.load_batch_dispatch(fresh) is True
+        # The adopted frame is the cached specialization verbatim.
+        assert (fresh._walk_batch._bytecode_source
+                == stored.batch_walk()._bytecode_source)
+
+    def test_memory_memo_hits_without_disk(self, tmp_path):
+        registry = SpecRegistry(cache_dir=str(tmp_path))
+        registry.store_batch_dispatch(self._bspec())
+        os.unlink(registry.batch_dispatch_path(self._bspec().digest()))
+        assert registry.load_batch_dispatch(self._bspec()) is True
+
+    def test_cold_cache_misses(self, tmp_path):
+        registry = SpecRegistry(cache_dir=str(tmp_path))
+        bspec = self._bspec()
+        assert registry.load_batch_dispatch(bspec) is False
+        assert bspec._walk_batch is None
+        assert registry.stats.corrupt_rejected == 0
+
+    def test_tampered_source_degrades_to_miss(self, tmp_path):
+        registry = SpecRegistry(cache_dir=str(tmp_path))
+        bspec = self._bspec()
+        registry.store_batch_dispatch(bspec)
+        path = registry.batch_dispatch_path(bspec.digest())
+        with open(path) as handle:
+            envelope = json.load(handle)
+        # Altered generated source under an unchanged content digest:
+        # only the recomputed payload digest can catch it.
+        envelope["payload"]["source"] += "\n# tampered\n"
+        with open(path, "w") as handle:
+            json.dump(envelope, handle)
+        fresh_registry = SpecRegistry(cache_dir=str(tmp_path))
+        fresh = self._bspec()
+        assert fresh_registry.load_batch_dispatch(fresh) is False
+        assert fresh._walk_batch is None
+        assert fresh_registry.stats.corrupt_rejected == 1
+
+    def test_other_generations_artifact_misses(self, tmp_path):
+        """An artifact keyed by another spec generation's bytecode is
+        simply not found under this one's digest."""
+        from repro.checker.bytecode import bytecode_spec_for
+        from repro.workloads.profiles import train_device_spec
+
+        registry = SpecRegistry(cache_dir=str(tmp_path))
+        registry.store_batch_dispatch(self._bspec())
+        other = bytecode_spec_for(
+            train_device_spec("sdhci").spec)
+        assert registry.load_batch_dispatch(other) is False
+        assert registry.stats.corrupt_rejected == 0

@@ -1,0 +1,159 @@
+"""Degenerate-run hardening: derived metrics at zero dispatches.
+
+A gateway run where nothing arrives (empty tenant set, zero horizon) or
+nothing is admitted (zero quota, zero queue capacity) still renders its
+whole stats plane — ``describe()``, the benchmark row, the Prometheus
+and JSON-lines exports — with no ``ZeroDivisionError`` and no NaN/inf
+leaking into any derived metric (``coalesce_mean``, latency
+percentiles, SLO-violation rate, rounds/sec).  These tests pin the
+zero-guards so a refactor of the stats plane cannot silently drop one.
+"""
+
+import math
+
+import pytest
+
+from repro.fleet import SpecRegistry
+from repro.fleet.loadgen import plan_tenants
+from repro.fleet.supervisor import FleetStats, percentile
+from repro.gateway import (
+    AdmissionConfig, ArrivalSpec, Gateway, GatewayConfig,
+)
+from repro.gateway.bench import gateway_point
+from repro.gateway.engine import (
+    GatewayStats, merge_fleet_stats, merge_tenant_summaries,
+)
+from repro.telemetry import Recorder, prometheus_text
+from repro.telemetry.export import iter_jsonl
+
+
+def _assert_finite(value):
+    assert isinstance(value, (int, float))
+    assert math.isfinite(value), value
+
+
+def _assert_row_finite(row):
+    for key, value in row.items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            assert math.isfinite(value), (key, value)
+
+
+@pytest.fixture(scope="module")
+def registry(tmp_path_factory):
+    cache = tmp_path_factory.mktemp("zero-stats-cache")
+    return SpecRegistry(cache_dir=str(cache))
+
+
+def _config(registry, **overrides):
+    base = dict(shards=2, workers_per_shard=2, seed=3, inline=True,
+                cache_dir=registry.cache_dir,
+                arrival=ArrivalSpec(pattern="poisson",
+                                    rate_per_sec=400.0, horizon_s=0.01))
+    base.update(overrides)
+    return GatewayConfig(**base)
+
+
+def _assert_stats_plane_clean(result):
+    stats = result.stats
+    for value in (stats.coalesce_mean, stats.slo_violation_rate,
+                  stats.makespan_seconds, stats.p50_latency_ms,
+                  stats.p95_latency_ms, stats.p99_latency_ms,
+                  result.fleet.rounds_per_sec,
+                  result.fleet.p50_request_ms):
+        _assert_finite(value)
+    assert "nan" not in stats.describe().split("tenants")[0]
+    _assert_row_finite(gateway_point(result))
+    assert result.safety_failures() == []
+
+
+class TestEmptyGatewayRuns:
+    def test_no_tenants_at_all(self, registry):
+        result = Gateway(_config(registry), registry=registry).run([])
+        _assert_stats_plane_clean(result)
+        assert result.stats.offered == 0
+        assert result.stats.dispatches == 0
+
+    def test_zero_horizon_offers_nothing(self, registry):
+        config = _config(registry, arrival=ArrivalSpec(
+            pattern="poisson", rate_per_sec=400.0, horizon_s=0.0))
+        result = Gateway(config, registry=registry).run(
+            plan_tenants(["fdc"], 4))
+        _assert_stats_plane_clean(result)
+        assert result.stats.offered == 0
+
+    def test_zero_quota_admits_nothing(self, registry):
+        config = _config(registry, admission=AdmissionConfig(
+            quota_rate_per_sec=0.0, quota_burst=0))
+        result = Gateway(config, registry=registry).run(
+            plan_tenants(["fdc"], 4))
+        _assert_stats_plane_clean(result)
+        assert result.stats.offered > 0
+        assert result.stats.admitted == 0
+        assert result.stats.quota_rejected == result.stats.offered
+
+    def test_zero_queue_capacity_sheds_everything(self, registry):
+        config = _config(registry,
+                         admission=AdmissionConfig(queue_cap=0))
+        result = Gateway(config, registry=registry).run(
+            plan_tenants(["fdc"], 4))
+        _assert_stats_plane_clean(result)
+        assert result.stats.admitted == 0
+        assert result.stats.queue_shed == result.stats.offered
+
+
+class TestZeroValueDataclasses:
+    def test_gateway_stats_defaults(self):
+        stats = GatewayStats()
+        assert stats.coalesce_mean == 0.0
+        assert stats.slo_violation_rate == 0.0
+        assert "x0.00" in stats.describe()
+
+    def test_fleet_stats_defaults(self):
+        stats = FleetStats()
+        assert stats.rounds_per_sec == 0.0
+        assert stats.p50_request_ms == 0.0
+        assert stats.makespan_seconds == 0.0
+
+    def test_percentile_empty_sample(self):
+        assert percentile([], 0.50) == 0.0
+        assert percentile([], 0.99) == 0.0
+
+    def test_merge_of_zero_shards(self):
+        merged = merge_fleet_stats([], [], [])
+        assert merged.rounds_per_sec == 0.0
+        assert merged.p99_request_cycles == 0.0
+        assert merge_tenant_summaries([]) == {}
+
+
+class TestZeroSampleExports:
+    def test_prometheus_export_of_untouched_recorder(self):
+        recorder = Recorder()
+        recorder.histogram("gateway.latency_cycles", pattern="poisson")
+        text = prometheus_text(recorder.snapshot())
+        assert "nan" not in text.lower().replace("+inf", "")
+        assert "gateway_latency_cycles_count" in text
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            _assert_finite(float(line.rsplit(" ", 1)[1]))
+
+    def test_jsonl_export_of_zero_count_histogram(self):
+        import json
+
+        recorder = Recorder()
+        recorder.histogram("gateway.latency_cycles", pattern="poisson")
+        lines = list(iter_jsonl(recorder.snapshot()))
+        assert lines
+        for line in lines:
+            obj = json.loads(line)     # NaN would raise in strict JSON
+            if obj["type"] == "histogram":
+                assert obj["count"] == 0
+                assert obj["p50"] == 0.0
+                assert obj["p99"] == 0.0
+
+    def test_zero_count_histogram_mean(self):
+        recorder = Recorder()
+        hist = recorder.histogram("x.y")
+        snap = hist.snapshot()
+        assert snap.mean == 0.0
+        assert snap.percentile(0.99) == 0.0
